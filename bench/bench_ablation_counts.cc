@@ -1,0 +1,83 @@
+// Ablation for Sections 3.3 and 6.2: measured operation counts of the
+// blitzsplit inner loop against the paper's analytical predictions.
+//
+//  * Loop iterations are exactly 3^n - 2*2^n + 1 regardless of input.
+//  * Improvements ("conditionally executed code") should track the
+//    random-order expectation (ln2/2) n 2^n + gamma 2^n.
+//  * kappa'' evaluations lie between the improvement count and the loop
+//    count; low mean cardinality pushes the count towards 3^n (closely
+//    spaced costs defeat the operand-cost short-circuit), high cardinality
+//    pulls it towards (ln2/2) n 2^n.
+//
+// Environment knobs: BLITZ_COUNTS_N (default 14).
+
+#include <cstdio>
+
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "query/workload.h"
+
+namespace blitz {
+namespace {
+
+int Run() {
+  const int n = BenchEnvInt("BLITZ_COUNTS_N", 14);
+  std::printf(
+      "Operation-count ablation at n = %d (Sections 3.3 / 6.2)\n"
+      "predicted loop iterations  3^n - 2*2^n + 1 = %.0f\n"
+      "predicted improvements (ln2/2) n 2^n + g 2^n = %.0f\n\n",
+      n, Pow3(n) - 2 * Pow2(n) + 1, ExpectedCondCount(n));
+
+  TextTable out;
+  out.SetHeader({"model", "topology", "mean card", "loop iters", "kappa''",
+                 "improvements", "kappa''/3^n", "kappa''/cond"});
+
+  for (const CostModelKind model :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops}) {
+    for (const Topology topology : {Topology::kChain, Topology::kClique}) {
+      for (const double mean : {1.0, 100.0, 1e6}) {
+        WorkloadSpec spec;
+        spec.num_relations = n;
+        spec.topology = topology;
+        spec.mean_cardinality = mean;
+        spec.variability = 0;
+        Result<Workload> workload = MakeWorkload(spec);
+        if (!workload.ok()) continue;
+        OptimizerOptions options;
+        options.cost_model = model;
+        options.count_operations = true;
+        Result<OptimizeOutcome> outcome =
+            OptimizeJoin(workload->catalog, workload->graph, options);
+        if (!outcome.ok()) continue;
+        const CountingInstrumentation& c = outcome->counters;
+        out.AddRow(
+            {CostModelKindToString(model), TopologyToString(topology),
+             StrFormat("%.3g", mean),
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(c.loop_iterations)),
+             StrFormat("%llu", static_cast<unsigned long long>(
+                                   c.kappa2_evaluations)),
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(c.improvements)),
+             StrFormat("%.3f", c.kappa2_evaluations / Pow3(n)),
+             StrFormat("%.2f",
+                       c.kappa2_evaluations / ExpectedCondCount(n))});
+      }
+    }
+  }
+  std::printf("%s\n", out.ToString().c_str());
+  std::printf(
+      "Reading: kappa''/3^n near 1 means the nested ifs bought nothing\n"
+      "(closely spaced costs, low cardinality); small values mean most\n"
+      "splits were dismissed from operand costs alone.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

@@ -1,0 +1,91 @@
+// Ablation for the Section 4.2 nested-if optimization: replacing the single
+// if in find_best_split with nested ifs predicates kappa'' evaluation on the
+// operand-cost comparison, cutting its execution count from 3^n towards
+// (ln2/2) n 2^n. This bench times the optimizer with the nested ifs on and
+// off across cost models and cardinalities; the effect should be largest
+// for expensive kappa'' (kappa_dnl / kappa_sm) at high mean cardinality and
+// smallest at mean cardinality 1 (Section 6.2's explanation of the
+// "chaise-longue" shape).
+
+#include <cstdio>
+
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "query/workload.h"
+
+namespace blitz {
+namespace {
+
+int Run() {
+  const int n = BenchEnvInt("BLITZ_NESTEDIF_N", 14);
+  const double min_seconds = BenchMinSeconds(0.05);
+  std::printf("Nested-if ablation at n = %d (chain topology)\n\n", n);
+
+  TextTable out;
+  out.SetHeader({"model", "mean card", "nested (ms)", "flat (ms)",
+                 "speedup", "kappa'' nested", "kappa'' flat"});
+
+  for (const CostModelKind model :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl}) {
+    for (const double mean : {1.0, 100.0, 1e6}) {
+      WorkloadSpec spec;
+      spec.num_relations = n;
+      spec.topology = Topology::kChain;
+      spec.mean_cardinality = mean;
+      spec.variability = 0;
+      Result<Workload> workload = MakeWorkload(spec);
+      if (!workload.ok()) continue;
+
+      OptimizerOptions nested;
+      nested.cost_model = model;
+      OptimizerOptions flat = nested;
+      flat.nested_ifs = false;
+
+      const TimingResult nested_time = TimeIt(
+          [&] {
+            Result<OptimizeOutcome> r =
+                OptimizeJoin(workload->catalog, workload->graph, nested);
+            (void)r;
+          },
+          min_seconds);
+      const TimingResult flat_time = TimeIt(
+          [&] {
+            Result<OptimizeOutcome> r =
+                OptimizeJoin(workload->catalog, workload->graph, flat);
+            (void)r;
+          },
+          min_seconds);
+
+      OptimizerOptions count_nested = nested;
+      count_nested.count_operations = true;
+      OptimizerOptions count_flat = flat;
+      count_flat.count_operations = true;
+      Result<OptimizeOutcome> cn =
+          OptimizeJoin(workload->catalog, workload->graph, count_nested);
+      Result<OptimizeOutcome> cf =
+          OptimizeJoin(workload->catalog, workload->graph, count_flat);
+      if (!cn.ok() || !cf.ok()) continue;
+
+      out.AddRow(
+          {CostModelKindToString(model), StrFormat("%.3g", mean),
+           StrFormat("%.1f", nested_time.seconds_per_run * 1e3),
+           StrFormat("%.1f", flat_time.seconds_per_run * 1e3),
+           StrFormat("%.2fx", flat_time.seconds_per_run /
+                                  nested_time.seconds_per_run),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 cn->counters.kappa2_evaluations)),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 cf->counters.kappa2_evaluations))});
+    }
+  }
+  std::printf("%s\n", out.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

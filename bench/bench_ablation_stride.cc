@@ -1,0 +1,92 @@
+// Ablation for footnote 3 and the Section 3.3 randomness assumption: the
+// expected count of the conditionally executed improvement code,
+// (ln2/2) n 2^n + gamma 2^n, assumes splits are examined in effectively
+// random cost order. The successor operator visits subsets in dilated
+// counting order (stride 1); footnote 3 notes any odd stride k also cycles
+// through all splits, in a different order "some of which may better
+// conform to the randomness assumption."
+//
+// Using a filled DP table we replay find_best_split's improvement test for
+// several odd strides and count how often the running minimum improves —
+// no re-optimization, pure visit-order replay (kappa_0, so the split cost
+// is just the operand-cost sum).
+
+#include <cstdio>
+
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "core/subset_enum.h"
+#include "query/workload.h"
+
+namespace blitz {
+namespace {
+
+std::uint64_t CountImprovements(const DpTable& table, std::uint64_t stride) {
+  std::uint64_t improvements = 0;
+  const std::uint64_t full = table.size() - 1;
+  for (std::uint64_t s = 3; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;
+    float best = kRejectedCost;
+    ForEachProperSplitStrided(
+        RelSet::FromWord(s), stride, [&](RelSet lhs, RelSet rhs) {
+          const float candidate = table.cost(lhs) + table.cost(rhs);
+          if (candidate < best) {
+            best = candidate;
+            ++improvements;
+          }
+        });
+  }
+  return improvements;
+}
+
+int Run() {
+  const int n = BenchEnvInt("BLITZ_STRIDE_N", 13);
+  std::printf(
+      "Visit-order ablation at n = %d (footnote 3): improvement count per\n"
+      "odd successor stride, vs the randomness-assumption prediction\n"
+      "(ln2/2) n 2^n + gamma 2^n = %.0f\n\n",
+      n, ExpectedCondCount(n));
+
+  TextTable out;
+  out.SetHeader({"topology", "mean card", "stride 1", "stride 3", "stride 5",
+                 "stride 11", "predicted"});
+
+  for (const Topology topology : {Topology::kChain, Topology::kClique}) {
+    for (const double mean : {21.5, 1e4}) {
+      WorkloadSpec spec;
+      spec.num_relations = n;
+      spec.topology = topology;
+      spec.mean_cardinality = mean;
+      spec.variability = 0.5;
+      Result<Workload> workload = MakeWorkload(spec);
+      if (!workload.ok()) continue;
+      Result<OptimizeOutcome> outcome = OptimizeJoin(
+          workload->catalog, workload->graph, OptimizerOptions{});
+      if (!outcome.ok()) continue;
+
+      std::vector<std::string> row = {TopologyToString(topology),
+                                      StrFormat("%.3g", mean)};
+      for (const std::uint64_t stride : {1ull, 3ull, 5ull, 11ull}) {
+        row.push_back(StrFormat(
+            "%llu", static_cast<unsigned long long>(
+                        CountImprovements(outcome->table, stride))));
+      }
+      row.push_back(StrFormat("%.0f", ExpectedCondCount(n)));
+      out.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s\n", out.ToString().c_str());
+  std::printf(
+      "Reading: counts of the same magnitude across strides support the\n"
+      "paper's statistical argument; systematic deviation from the\n"
+      "prediction reflects cost correlation among nearby splits.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

@@ -1,0 +1,91 @@
+// Enumeration-efficiency comparison in the style of Ono & Lohman [OL90]
+// (the Section 2 complexity discussion): how many candidates each
+// enumerator touches, per topology, at fixed n.
+//
+//  * blitzsplit: ~3^n best-split loop iterations regardless of topology
+//    (with the kappa'' evaluations cut down by the nested ifs);
+//  * DPsize: pairs examined including overlap rejections — the O(4^n)
+//    worst case;
+//  * left-deep DP: n 2^(n-1) - n candidates;
+//  * DPccp (2006): exactly the valid product-free joins — polynomial on
+//    chains, (3^n - 2^(n+1) + 1)/2 on cliques.
+//
+// Environment knobs: BLITZ_ENUM_N (default 13).
+
+#include <cstdio>
+
+#include "baseline/dpccp.h"
+#include "baseline/dpsize.h"
+#include "baseline/leftdeep.h"
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "query/workload.h"
+
+namespace blitz {
+namespace {
+
+int Run() {
+  const int n = BenchEnvInt("BLITZ_ENUM_N", 13);
+  std::printf(
+      "Enumerator work at n = %d (counts of candidates touched; 3^n = %.0f,"
+      "\n2^n = %.0f; mean cardinality 464, variability 0.5)\n\n",
+      n, Pow3(n), Pow2(n));
+
+  TextTable out;
+  out.SetHeader({"topology", "blitz loop", "blitz kappa''", "DPsize pairs",
+                 "left-deep", "DPccp pairs"});
+
+  for (const Topology topology : kPaperTopologies) {
+    WorkloadSpec spec;
+    spec.num_relations = n;
+    spec.topology = topology;
+    spec.mean_cardinality = 464;
+    spec.variability = 0.5;
+    Result<Workload> workload = MakeWorkload(spec);
+    if (!workload.ok()) continue;
+
+    OptimizerOptions counting;
+    counting.count_operations = true;
+    Result<OptimizeOutcome> blitz =
+        OptimizeJoin(workload->catalog, workload->graph, counting);
+    Result<DpSizeResult> dpsize =
+        OptimizeDpSize(workload->catalog, workload->graph,
+                       CostModelKind::kNaive, DpSizeOptions{});
+    Result<LeftDeepResult> left_deep = OptimizeLeftDeep(
+        workload->catalog, workload->graph, CostModelKind::kNaive);
+    Result<DpCcpResult> dpccp = OptimizeDpCcp(
+        workload->catalog, workload->graph, CostModelKind::kNaive);
+    if (!blitz.ok() || !dpsize.ok() || !left_deep.ok() || !dpccp.ok()) {
+      continue;
+    }
+
+    out.AddRow(
+        {TopologyToString(topology),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               blitz->counters.loop_iterations)),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               blitz->counters.kappa2_evaluations)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(dpsize->pairs_examined)),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               left_deep->joins_enumerated)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(dpccp->ccp_pairs))});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+  std::printf(
+      "Reading: blitzsplit touches 3^n splits but each costs ~a nanosecond\n"
+      "and the nested ifs keep kappa'' work near the 2^n scale; DPsize\n"
+      "pays the overlap-rejection tax; DPccp touches only valid\n"
+      "product-free joins (cubic on chains) at the price of excluding\n"
+      "products and a heavier per-candidate enumerator.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

@@ -1,0 +1,75 @@
+// Regenerates Figure 5 of the paper: enlarged close-ups of two Figure 4
+// cells, with fully labeled axes —
+//   (a) naive cost model kappa_0 on the chain topology, and
+//   (b) disk-nested-loops kappa_dnl on cycle+3.
+// Entries are optimization times in milliseconds at n = 15 (the paper's HP
+// timings for these cells are roughly 0.6-1.1 s; the shape, not the
+// absolute scale, is the reproduction target).
+//
+// Environment knobs: BLITZ_BENCH_MIN_SECONDS (default 0.05),
+// BLITZ_FIG5_N (default 15).
+
+#include <cstdio>
+
+#include "benchlib/sweep.h"
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/strings.h"
+
+namespace blitz {
+namespace {
+
+int PrintCell(const char* title, CostModelKind model, Topology topology,
+              int n) {
+  SweepConfig config;
+  config.num_relations = n;
+  config.models = {model};
+  config.topologies = {topology};
+  config.mean_cardinalities = MeanCardinalityGrid(16);  // 1 .. 10^10
+  config.variabilities = VariabilityGrid(5);
+  config.min_seconds_per_point = BenchMinSeconds(0.05);
+
+  Result<std::vector<SweepPoint>> points = RunSweep(config);
+  if (!points.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", title);
+  TextTable cell;
+  std::vector<std::string> header = {"variability \\ mean card"};
+  for (const double mean : config.mean_cardinalities) {
+    header.push_back(StrFormat("%.3g", mean));
+  }
+  cell.SetHeader(std::move(header));
+  const size_t means = config.mean_cardinalities.size();
+  for (size_t v = 0; v < config.variabilities.size(); ++v) {
+    std::vector<std::string> row = {
+        StrFormat("%.2f", config.variabilities[v])};
+    for (size_t m = 0; m < means; ++m) {
+      row.push_back(
+          StrFormat("%.1f ms", (*points)[v * means + m].seconds * 1e3));
+    }
+    cell.AddRow(std::move(row));
+  }
+  std::printf("%s\n", cell.ToString().c_str());
+  return 0;
+}
+
+int Run() {
+  const int n = BenchEnvInt("BLITZ_FIG5_N", 15);
+  std::printf("Figure 5: close-ups of two Figure 4 cells (n = %d)\n\n", n);
+  if (PrintCell("(a) cost model kappa_0 (naive), topology chain",
+                CostModelKind::kNaive, Topology::kChain, n) != 0) {
+    return 1;
+  }
+  return PrintCell("(b) cost model kappa_dnl, topology cycle+3",
+                   CostModelKind::kDiskNestedLoops, Topology::kCyclePlus3,
+                   n);
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

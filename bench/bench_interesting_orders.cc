@@ -1,0 +1,108 @@
+// Extension bench (the Section 6.5 open problem implemented for the
+// sort-merge special case): plain kappa_sm optimization vs the order-aware
+// DP that reuses sort orders across merges on the same attribute class.
+// Workloads are stars and chains joined through a single closed column
+// equivalence (the setting where interesting orders matter most).
+//
+// Environment knobs: BLITZ_BENCH_MIN_SECONDS (default 0.05),
+// BLITZ_ORDERS_MAX_N (default 12).
+
+#include <cstdio>
+#include <vector>
+
+#include "api/interesting_orders.h"
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "query/equivalence.h"
+
+namespace blitz {
+namespace {
+
+struct Scenario {
+  const char* name;
+  Catalog catalog;
+  JoinGraph graph;
+  std::vector<int> classes;
+};
+
+Result<Scenario> MakeSharedKeyScenario(const char* name, int n,
+                                       double card, double distinct) {
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, card));
+  if (!catalog.ok()) return catalog.status();
+  JoinSpecBuilder builder(n);
+  std::vector<int> members(n);
+  std::vector<double> distinct_counts(n, distinct);
+  for (int i = 0; i < n; ++i) members[i] = i;
+  BLITZ_RETURN_IF_ERROR(
+      builder.AddEquivalenceClass(members, distinct_counts));
+  Result<JoinGraph> graph = builder.Build();
+  if (!graph.ok()) return graph.status();
+  std::vector<int> classes(graph->num_predicates(), 0);
+  return Scenario{name, std::move(catalog).value(),
+                  std::move(graph).value(), std::move(classes)};
+}
+
+int Run() {
+  const double min_seconds = BenchMinSeconds(0.05);
+  const int max_n = BenchEnvInt("BLITZ_ORDERS_MAX_N", 12);
+  std::printf(
+      "Interesting-orders extension: plain kappa_sm vs order-aware DP\n"
+      "(all relations joined through one shared attribute class)\n\n");
+
+  TextTable out;
+  out.SetHeader({"n", "plain cost", "order-aware", "saving", "sorts avoided",
+                 "plain (ms)", "order-aware (ms)"});
+
+  for (int n = 4; n <= max_n; n += 2) {
+    Result<Scenario> scenario =
+        MakeSharedKeyScenario("shared-key", n, 10000, 500);
+    if (!scenario.ok()) continue;
+
+    OptimizerOptions plain_options;
+    plain_options.cost_model = CostModelKind::kSortMerge;
+    float plain_cost = 0;
+    const TimingResult plain_time = TimeIt(
+        [&] {
+          Result<OptimizeOutcome> outcome = OptimizeJoin(
+              scenario->catalog, scenario->graph, plain_options);
+          if (outcome.ok()) plain_cost = outcome->cost;
+        },
+        min_seconds);
+
+    float aware_cost = 0;
+    int sorts_avoided = 0;
+    const TimingResult aware_time = TimeIt(
+        [&] {
+          Result<InterestingOrdersResult> result =
+              OptimizeWithInterestingOrders(scenario->catalog,
+                                            scenario->graph,
+                                            scenario->classes);
+          if (result.ok()) {
+            aware_cost = result->cost;
+            sorts_avoided = result->sorts_avoided;
+          }
+        },
+        min_seconds);
+
+    out.AddRow({StrFormat("%d", n), StrFormat("%.0f", plain_cost),
+                StrFormat("%.0f", aware_cost),
+                StrFormat("%.1f%%", 100.0 * (1 - aware_cost / plain_cost)),
+                StrFormat("%d", sorts_avoided),
+                StrFormat("%.2f", plain_time.seconds_per_run * 1e3),
+                StrFormat("%.2f", aware_time.seconds_per_run * 1e3)});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+  std::printf(
+      "Reading: the order-aware optimum avoids ~n-2 of the n sorts a plain\n"
+      "kappa_sm plan pays when every join shares one key; the DP costs a\n"
+      "(classes+1)x larger table and proportional extra time.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

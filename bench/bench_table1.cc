@@ -1,0 +1,84 @@
+// Regenerates Table 1 of the paper: the dynamic programming table built by
+// Algorithm blitzsplit for the Cartesian product A x B x C x D with
+// cardinalities 10, 20, 30, 40 under the naive cost model
+// kappa_0(R_out, ...) = |R_out|.
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchlib/table_out.h"
+#include "catalog/catalog.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "plan/plan.h"
+
+namespace blitz {
+namespace {
+
+std::string SetName(RelSet s, const Catalog& catalog) {
+  std::string out = "{";
+  bool first = true;
+  s.ForEach([&](int i) {
+    if (!first) out += ",";
+    first = false;
+    out += catalog.relation(i).name;
+  });
+  return out + "}";
+}
+
+int Run() {
+  Result<Catalog> catalog = Catalog::Create({
+      {"A", 10, 64},
+      {"B", 20, 64},
+      {"C", 30, 64},
+      {"D", 40, 64},
+  });
+  BLITZ_CHECK(catalog.ok());
+
+  Result<OptimizeOutcome> outcome =
+      OptimizeCartesian(*catalog, OptimizerOptions{});
+  BLITZ_CHECK(outcome.ok());
+  const DpTable& table = outcome->table;
+
+  std::printf("Table 1: Dynamic programming table for A x B x C x D\n");
+  std::printf("(cards 10/20/30/40, naive cost model kappa_0 = |R_out|)\n\n");
+
+  // Paper order: by set size, then by integer representation.
+  std::vector<std::uint64_t> sets;
+  for (std::uint64_t s = 1; s < table.size(); ++s) sets.push_back(s);
+  std::sort(sets.begin(), sets.end(), [](std::uint64_t a, std::uint64_t b) {
+    const int pa = std::popcount(a);
+    const int pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  TextTable out;
+  out.SetHeader({"Relation Set", "Cardinality", "Best LHS", "Cost"});
+  for (const std::uint64_t word : sets) {
+    const RelSet s = RelSet::FromWord(word);
+    const RelSet best = table.best_lhs(s);
+    out.AddRow({SetName(s, *catalog), StrFormat("%.0f", table.card(s)),
+                best.empty() ? "none" : SetName(best, *catalog),
+                StrFormat("%.0f", static_cast<double>(table.cost(s)))});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+
+  Result<Plan> plan = Plan::ExtractFromTable(table);
+  BLITZ_CHECK(plan.ok());
+  std::printf("Extracted optimal expression: %s  (cost %.0f)\n",
+              plan->ToString(&catalog.value()).c_str(),
+              static_cast<double>(outcome->cost));
+  std::printf(
+      "Paper reports (A x D) x (B x C) at cost 241000; our enumeration\n"
+      "meets the commuted, equal-cost split first.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

@@ -1,0 +1,161 @@
+// blitzopt: command-line join-order optimizer over .bjq query files.
+//
+// Usage:
+//   blitzopt <query.bjq> [--execute] [--counts] [--tree] [--explain]
+//
+// The .bjq format (see src/textio/bjq.h):
+//   relation <name> <cardinality> [<tuple_bytes>]
+//   predicate <a> <b> <selectivity>
+//   costmodel <naive|sm|dnl|min>
+//   threshold <initial_plan_cost_threshold>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "core/optimizer.h"
+#include "exec/datagen.h"
+#include "exec/executor.h"
+#include "plan/algorithm_choice.h"
+#include "plan/explain.h"
+#include "plan/plan.h"
+#include "textio/bjq.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: blitzopt <query.bjq> [--execute] [--counts] "
+               "[--tree] [--explain]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blitz;
+  if (argc < 2) return Usage();
+
+  std::string path;
+  bool execute = false;
+  bool counts = false;
+  bool tree = false;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--execute") == 0) {
+      execute = true;
+    } else if (std::strcmp(argv[i], "--counts") == 0) {
+      counts = true;
+    } else if (std::strcmp(argv[i], "--tree") == 0) {
+      tree = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  Result<QuerySpec> spec = LoadBjqFile(path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%d relations, %d predicates, cost model %s\n",
+              spec->catalog.num_relations(), spec->graph.num_predicates(),
+              CostModelKindToString(spec->cost_model));
+
+  OptimizerOptions options;
+  options.cost_model = spec->cost_model;
+  options.count_operations = counts;
+
+  Result<OptimizeOutcome> outcome = Status::Internal("unset");
+  int passes = 1;
+  if (spec->threshold.has_value()) {
+    ThresholdLadderOptions ladder;
+    ladder.initial_threshold = *spec->threshold;
+    Result<LadderOutcome> laddered = OptimizeJoinWithThresholds(
+        spec->catalog, spec->graph, options, ladder);
+    if (!laddered.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   laddered.status().ToString().c_str());
+      return 1;
+    }
+    passes = laddered->passes;
+    outcome = std::move(laddered->outcome);
+  } else {
+    outcome = OptimizeJoin(spec->catalog, spec->graph, options);
+  }
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  ChooseAlgorithms(&plan.value(), spec->catalog, spec->graph,
+                   spec->cost_model);
+
+  std::printf("plan: %s\n", plan->ToString(&spec->catalog).c_str());
+  if (tree) std::printf("%s", plan->ToTreeString(&spec->catalog).c_str());
+  if (explain) {
+    std::printf("%s", ExplainPlan(*plan, spec->catalog, spec->graph,
+                                  spec->cost_model)
+                          .c_str());
+  }
+  std::printf("cost: %g (%d optimizer pass%s)\n",
+              static_cast<double>(outcome->cost), passes,
+              passes == 1 ? "" : "es");
+  std::printf("estimated result cardinality: %g\n",
+              outcome->table.card(spec->catalog.AllRelations()));
+  if (counts) {
+    std::printf("operation counts: %s\n",
+                outcome->counters.ToString().c_str());
+  }
+
+  if (execute) {
+    // Refuse to materialize unreasonably large intermediates: the bundled
+    // engine is a validator, not a warehouse.
+    constexpr double kMaxRows = 5e6;
+    double biggest = 0;
+    std::function<void(const PlanNode&)> scan = [&](const PlanNode& node) {
+      biggest = std::max(biggest, outcome->table.card(node.set));
+      if (!node.is_leaf()) {
+        scan(*node.left);
+        scan(*node.right);
+      }
+    };
+    scan(plan->root());
+    if (biggest > kMaxRows) {
+      std::printf(
+          "skipping --execute: an intermediate result is estimated at %g "
+          "rows (limit %g)\n",
+          biggest, kMaxRows);
+      return 0;
+    }
+    Result<std::vector<ExecTable>> tables =
+        GenerateTables(spec->catalog, spec->graph, DataGenOptions{});
+    if (!tables.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   tables.status().ToString().c_str());
+      return 1;
+    }
+    Result<ExecutionResult> result =
+        ExecutePlan(*plan, *tables, spec->graph);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("executed on synthetic data: %llu result rows\n",
+                static_cast<unsigned long long>(result->result.num_rows()));
+  }
+  return 0;
+}

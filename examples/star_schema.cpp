@@ -1,0 +1,69 @@
+// Data-warehouse scenario: a star-schema query whose optimal plan contains
+// a Cartesian product — the motivating case for never excluding products a
+// priori (Sections 1 and 7 of the paper).
+//
+// A large fact table joins four dimension tables through selective foreign
+// keys. Two of the dimensions are tiny after local filters; producting them
+// *before* touching the fact table multiplies their selectivities into a
+// single probe and is dramatically cheaper than any product-free plan. We
+// run both the full bushy-with-products optimizer and the conventional
+// connected-subgraphs-only optimizer and compare.
+
+#include <cstdio>
+
+#include "baseline/dpsub.h"
+#include "catalog/catalog.h"
+#include "core/optimizer.h"
+#include "plan/evaluate.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+int main() {
+  using namespace blitz;
+
+  Result<Catalog> catalog = Catalog::Create({
+      {"sales", 10000000, 64},   // fact table
+      {"store", 4, 64},          // tiny dimension (after region filter)
+      {"promo", 6, 64},          // tiny dimension (after campaign filter)
+      {"item", 40000, 64},       // medium dimension
+      {"customer", 200000, 64},  // large dimension
+  });
+  if (!catalog.ok()) return 1;
+
+  JoinGraph graph(5);
+  graph.AddPredicate(0, 1, 1.0 / 4);       // sales.store_id = store.id
+  graph.AddPredicate(0, 2, 1.0 / 6);       // sales.promo_id = promo.id
+  graph.AddPredicate(0, 3, 1.0 / 40000);   // sales.item_id = item.id
+  graph.AddPredicate(0, 4, 1.0 / 200000);  // sales.cust_id = customer.id
+
+  const CostModelKind model = CostModelKind::kNaive;
+  OptimizerOptions options;
+  options.cost_model = model;
+
+  Result<OptimizeOutcome> bushy = OptimizeJoin(*catalog, graph, options);
+  if (!bushy.ok() || !bushy->found_plan()) return 1;
+  Result<Plan> bushy_plan = Plan::ExtractFromTable(bushy->table);
+  if (!bushy_plan.ok()) return 1;
+
+  Result<DpSubResult> no_products =
+      OptimizeDpSubNoProducts(*catalog, graph, model);
+
+  std::printf("=== star schema: 10M-row fact, 4 dimensions ===\n\n");
+  std::printf("bushy + products (blitzsplit):\n%s",
+              bushy_plan->ToTreeString(&catalog.value()).c_str());
+  std::printf("  cost %.4g, Cartesian products in plan: %d\n\n",
+              static_cast<double>(bushy->cost),
+              bushy_plan->CountCartesianProducts(graph));
+
+  if (no_products.ok()) {
+    std::printf("connected subgraphs only (products excluded):\n%s",
+                no_products->plan.ToTreeString(&catalog.value()).c_str());
+    std::printf("  cost %.4g\n\n", no_products->cost);
+    std::printf("product-free plan costs %.1fx the true optimum\n",
+                no_products->cost / static_cast<double>(bushy->cost));
+  } else {
+    std::printf("product-free optimization failed: %s\n",
+                no_products.status().ToString().c_str());
+  }
+  return 0;
+}

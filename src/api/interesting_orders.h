@@ -1,0 +1,76 @@
+#ifndef BLITZ_API_INTERESTING_ORDERS_H_
+#define BLITZ_API_INTERESTING_ORDERS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Physical-property-aware join-order optimization: the "interesting sort
+/// orders" problem Section 6.5 of the paper leaves open ("Although we have
+/// a plausible strategy for accommodating physical properties in special
+/// cases, we have yet to develop a strategy for the general case").
+///
+/// This module implements that special case for sort-merge plans: a
+/// sort-merge join's output is sorted on its merge key, and a later
+/// sort-merge on the *same attribute class* can consume that input with a
+/// linear merge scan instead of paying the full x(1 + log x) sort. The DP
+/// therefore keeps one table row per (subset, order) pair, where an order
+/// is either "unordered" or "sorted on attribute class c".
+///
+/// Cost model (an order-aware refinement of the Appendix's kappa_sm):
+///   * sort-merge on a predicate of class c:
+///       per input X:  |X|                 if X is sorted on c,
+///                     |X| (1 + log |X|)   otherwise (sort + scan);
+///       output sorted on c;
+///   * no spanning predicate (Cartesian product): both inputs pay the full
+///     x(1 + log x) term — exactly kappa_sm's treatment — and the output is
+///     unordered.
+/// With no reusable orders this degrades to precisely the plain kappa_sm
+/// optimizer, so the order-aware optimum is never worse (and the tests
+/// assert both directions).
+///
+/// Attribute classes: predicates sharing a class id join on the same
+/// underlying attribute (as produced by transitively closing column
+/// equivalences — see query/equivalence.h). `predicate_classes[p]` gives
+/// the class of graph predicate p; ids must be dense in [0, num_classes).
+struct InterestingOrdersResult {
+  /// Cost of the best plan under the order-aware sort-merge model,
+  /// regardless of its final output order.
+  float cost = 0;
+
+  /// The winning plan. Join nodes carry kSortMerge/kCartesianProduct
+  /// algorithms, and each sort-merge node's PlanNode::sort_class records
+  /// the attribute class of its merge key.
+  Plan plan;
+
+  /// Human-readable per-node account of sort reuse.
+  std::string explain;
+
+  /// Number of sort passes the plan avoided through order reuse.
+  int sorts_avoided = 0;
+};
+
+/// Limits: at most this many relations / attribute classes (the table has
+/// (classes + 1) * 2^n rows).
+inline constexpr int kMaxOrderAwareRelations = 18;
+inline constexpr int kMaxAttributeClasses = 32;
+
+/// Runs the order-aware DP. `predicate_classes` must have one entry per
+/// graph predicate; pass IdentityPredicateClasses(graph) when no two
+/// predicates share an attribute.
+Result<InterestingOrdersResult> OptimizeWithInterestingOrders(
+    const Catalog& catalog, const JoinGraph& graph,
+    const std::vector<int>& predicate_classes);
+
+/// The trivial class assignment: every predicate its own class.
+std::vector<int> IdentityPredicateClasses(const JoinGraph& graph);
+
+}  // namespace blitz
+
+#endif  // BLITZ_API_INTERESTING_ORDERS_H_

@@ -1,0 +1,58 @@
+#include "api/optimize_query.h"
+
+#include <utility>
+
+#include "plan/algorithm_choice.h"
+#include "plan/evaluate.h"
+
+namespace blitz {
+
+Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
+                                     const JoinGraph& graph,
+                                     const QueryOptimizerOptions& options) {
+  if (graph.num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+  if (options.exhaustive_limit < 1) {
+    return Status::InvalidArgument("exhaustive_limit must be >= 1");
+  }
+
+  OptimizedQuery result;
+  if (catalog.num_relations() <= options.exhaustive_limit) {
+    OptimizerOptions dp_options;
+    dp_options.cost_model = options.cost_model;
+    Result<OptimizeOutcome> outcome = Status::Internal("unset");
+    if (options.initial_cost_threshold.has_value()) {
+      ThresholdLadderOptions ladder;
+      ladder.initial_threshold = *options.initial_cost_threshold;
+      Result<LadderOutcome> laddered =
+          OptimizeJoinWithThresholds(catalog, graph, dp_options, ladder);
+      if (!laddered.ok()) return laddered.status();
+      result.passes = laddered->passes;
+      outcome = std::move(laddered->outcome);
+    } else {
+      outcome = OptimizeJoin(catalog, graph, dp_options);
+      if (!outcome.ok()) return outcome.status();
+    }
+    Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+    if (!plan.ok()) return plan.status();
+    result.plan = std::move(plan).value();
+    result.exact = true;
+  } else {
+    HybridOptions hybrid = options.hybrid;
+    hybrid.cost_model = options.cost_model;
+    Result<HybridResult> outcome = OptimizeHybrid(catalog, graph, hybrid);
+    if (!outcome.ok()) return outcome.status();
+    result.plan = std::move(outcome->plan);
+    result.exact = false;
+  }
+
+  result.cost =
+      EvaluateCost(result.plan, catalog, graph, options.cost_model);
+  if (options.attach_algorithms) {
+    ChooseAlgorithms(&result.plan, catalog, graph, options.cost_model);
+  }
+  return result;
+}
+
+}  // namespace blitz

@@ -1,0 +1,62 @@
+#ifndef BLITZ_API_OPTIMIZE_QUERY_H_
+#define BLITZ_API_OPTIMIZE_QUERY_H_
+
+#include <optional>
+
+#include "baseline/hybrid.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// One-call configuration for the top-level entry point.
+struct QueryOptimizerOptions {
+  CostModelKind cost_model = CostModelKind::kNaive;
+
+  /// Largest n optimized exhaustively (O(3^n) time, O(2^n) space); larger
+  /// queries fall back to the hybrid randomized/DP optimizer.
+  int exhaustive_limit = 16;
+
+  /// If set, exhaustive optimization runs under the Section 6.4 threshold
+  /// ladder starting at this value.
+  std::optional<float> initial_cost_threshold;
+
+  /// Configuration of the fallback for n > exhaustive_limit. (cost_model
+  /// and seed fields here are overridden to match this struct's.)
+  HybridOptions hybrid;
+
+  /// Attach physical join algorithms to the plan (Section 6.5 post-pass).
+  bool attach_algorithms = true;
+};
+
+/// The result of OptimizeQuery.
+struct OptimizedQuery {
+  Plan plan;
+
+  /// Double-precision cost of `plan` under the chosen model (re-evaluated
+  /// by the independent plan evaluator, so it is comparable across the
+  /// exhaustive and hybrid paths).
+  double cost = 0;
+
+  /// True if the plan is a guaranteed optimum (exhaustive path).
+  bool exact = false;
+
+  /// Optimizer passes (> 1 only when a threshold ladder re-optimized).
+  int passes = 1;
+};
+
+/// The library's front door: optimizes the join of all catalog relations
+/// under `graph`, choosing exhaustive blitzsplit or the hybrid fallback by
+/// problem size, applying the optional threshold ladder, and attaching
+/// physical algorithms. This is the call a downstream system embeds.
+Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
+                                     const JoinGraph& graph,
+                                     const QueryOptimizerOptions& options);
+
+}  // namespace blitz
+
+#endif  // BLITZ_API_OPTIMIZE_QUERY_H_

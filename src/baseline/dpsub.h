@@ -1,0 +1,39 @@
+#ifndef BLITZ_BASELINE_DPSUB_H_
+#define BLITZ_BASELINE_DPSUB_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Result of a connected-subgraph bushy DP optimization.
+struct DpSubResult {
+  Plan plan;
+  double cost = 0;
+  /// Splits examined whose two sides were both connected with a spanning
+  /// predicate (the "csg-cmp pairs" actually costed).
+  std::uint64_t splits_costed = 0;
+  /// Total best-split loop iterations, including those rejected by the
+  /// connectivity filters.
+  std::uint64_t loop_iterations = 0;
+};
+
+/// Exhaustive bushy dynamic programming *without* Cartesian products: only
+/// connected induced subgraphs get table entries, and a split is considered
+/// only if both halves are connected (so at least one predicate spans them).
+/// This is the conventional exclusion the paper argues against; it fails
+/// outright when the join graph is disconnected (Status kFailedPrecondition)
+/// and can return plans worse than the bushy-with-products optimum when the
+/// optimal plan contains a product.
+Result<DpSubResult> OptimizeDpSubNoProducts(const Catalog& catalog,
+                                            const JoinGraph& graph,
+                                            CostModelKind cost_model);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BASELINE_DPSUB_H_

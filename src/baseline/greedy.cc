@@ -1,0 +1,72 @@
+#include "baseline/greedy.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "plan/evaluate.h"
+
+namespace blitz {
+
+Result<GreedyResult> OptimizeGreedy(const Catalog& catalog,
+                                    const JoinGraph& graph,
+                                    CostModelKind cost_model,
+                                    GreedyCriterion criterion) {
+  const int n = catalog.num_relations();
+  if (graph.num_relations() != n) {
+    return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+
+  struct Tree {
+    Plan plan;
+    double card;
+    double cost;
+  };
+  std::vector<Tree> forest;
+  forest.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    forest.push_back(Tree{Plan::Leaf(i), catalog.cardinality(i), 0.0});
+  }
+
+  while (forest.size() > 1) {
+    double best_score = std::numeric_limits<double>::infinity();
+    size_t best_a = 0;
+    size_t best_b = 1;
+    double best_card = 0;
+    double best_kappa = 0;
+    for (size_t a = 0; a < forest.size(); ++a) {
+      for (size_t b = a + 1; b < forest.size(); ++b) {
+        const double span = graph.PiSpan(forest[a].plan.relations(),
+                                         forest[b].plan.relations());
+        const double out_card = forest[a].card * forest[b].card * span;
+        const double kappa =
+            EvalJoinCost(cost_model, out_card, forest[a].card, forest[b].card);
+        const double score =
+            criterion == GreedyCriterion::kMinOutputCardinality ? out_card
+                                                                : kappa;
+        if (score < best_score) {
+          best_score = score;
+          best_a = a;
+          best_b = b;
+          best_card = out_card;
+          best_kappa = kappa;
+        }
+      }
+    }
+    Tree merged{
+        Plan::Join(std::move(forest[best_a].plan),
+                   std::move(forest[best_b].plan)),
+        best_card, forest[best_a].cost + forest[best_b].cost + best_kappa};
+    // Remove b first (b > a) to keep indexes valid.
+    forest.erase(forest.begin() + static_cast<std::ptrdiff_t>(best_b));
+    forest[best_a] = std::move(merged);
+  }
+
+  GreedyResult result;
+  result.cost = forest[0].cost;
+  result.plan = std::move(forest[0].plan);
+  return result;
+}
+
+}  // namespace blitz

@@ -1,0 +1,39 @@
+#ifndef BLITZ_BASELINE_GREEDY_H_
+#define BLITZ_BASELINE_GREEDY_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Pair-selection criterion for the greedy heuristic.
+enum class GreedyCriterion {
+  /// Join the pair of subtrees whose result has the smallest cardinality
+  /// (classic greedy operator ordering, GOO).
+  kMinOutputCardinality,
+  /// Join the pair with the smallest immediate cost increment kappa.
+  kMinCostIncrement,
+};
+
+/// Result of a greedy optimization.
+struct GreedyResult {
+  Plan plan;
+  double cost = 0;
+};
+
+/// O(n^3) greedy heuristic: start with one subtree per base relation and
+/// repeatedly merge the best pair under `criterion` until a single (bushy)
+/// tree remains. Produces plans of reasonable but unguaranteed quality in
+/// polynomial time — the heuristic comparator for the benches, standing in
+/// for the heuristic family surveyed by Steinbrunn [Ste96].
+Result<GreedyResult> OptimizeGreedy(const Catalog& catalog,
+                                    const JoinGraph& graph,
+                                    CostModelKind cost_model,
+                                    GreedyCriterion criterion);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BASELINE_GREEDY_H_

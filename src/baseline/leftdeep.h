@@ -1,0 +1,39 @@
+#ifndef BLITZ_BASELINE_LEFTDEEP_H_
+#define BLITZ_BASELINE_LEFTDEEP_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Result of a left-deep dynamic programming optimization.
+struct LeftDeepResult {
+  Plan plan;
+  double cost = 0;
+  /// Number of (subset, inner relation) join candidates enumerated,
+  /// ~ n 2^n — the left-deep-with-products complexity cited from
+  /// Ono and Lohman [OL90] in Section 2.
+  std::uint64_t joins_enumerated = 0;
+};
+
+/// Exhaustive dynamic programming over the space of *left-deep* plans with
+/// Cartesian products permitted (the System R-style search space of
+/// [SAC+79], with the product exclusion lifted). Serves as the
+/// restricted-space comparator for the bushy blitzsplit search: by
+/// construction its result is never better than the bushy optimum, and the
+/// benches measure how much worse it can be.
+///
+/// Costs are accumulated in double precision; cardinalities come from the
+/// same Section 5 recurrences as the main optimizer.
+Result<LeftDeepResult> OptimizeLeftDeep(const Catalog& catalog,
+                                        const JoinGraph& graph,
+                                        CostModelKind cost_model);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BASELINE_LEFTDEEP_H_

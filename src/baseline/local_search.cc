@@ -1,0 +1,201 @@
+#include "baseline/local_search.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "baseline/random_plans.h"
+#include "plan/evaluate.h"
+
+namespace blitz {
+
+namespace {
+
+void CollectInternal(PlanNode* node, std::vector<PlanNode*>* out) {
+  if (node->is_leaf()) return;
+  out->push_back(node);
+  CollectInternal(node->left.get(), out);
+  CollectInternal(node->right.get(), out);
+}
+
+void CollectLeaves(PlanNode* node, std::vector<PlanNode*>* out) {
+  if (node->is_leaf()) {
+    out->push_back(node);
+    return;
+  }
+  CollectLeaves(node->left.get(), out);
+  CollectLeaves(node->right.get(), out);
+}
+
+RelSet RecomputeSets(PlanNode* node) {
+  if (!node->is_leaf()) {
+    node->set = RecomputeSets(node->left.get()) |
+                RecomputeSets(node->right.get());
+  }
+  return node->set;
+}
+
+/// (LL x LR) x R  ->  LL x (LR x R). Requires an internal left child.
+void RotateLeft(PlanNode* x) {
+  BLITZ_DCHECK(!x->is_leaf() && !x->left->is_leaf());
+  std::unique_ptr<PlanNode> l = std::move(x->left);
+  std::unique_ptr<PlanNode> ll = std::move(l->left);
+  std::unique_ptr<PlanNode> lr = std::move(l->right);
+  std::unique_ptr<PlanNode> r = std::move(x->right);
+  l->left = std::move(lr);
+  l->right = std::move(r);
+  l->set = l->left->set | l->right->set;
+  x->left = std::move(ll);
+  x->right = std::move(l);
+}
+
+/// L x (RL x RR)  ->  (L x RL) x RR. Requires an internal right child.
+void RotateRight(PlanNode* x) {
+  BLITZ_DCHECK(!x->is_leaf() && !x->right->is_leaf());
+  std::unique_ptr<PlanNode> r = std::move(x->right);
+  std::unique_ptr<PlanNode> rl = std::move(r->left);
+  std::unique_ptr<PlanNode> rr = std::move(r->right);
+  std::unique_ptr<PlanNode> l = std::move(x->left);
+  r->left = std::move(l);
+  r->right = std::move(rl);
+  r->set = r->left->set | r->right->set;
+  x->left = std::move(r);
+  x->right = std::move(rr);
+}
+
+}  // namespace
+
+bool ApplyRandomMove(Plan* plan, Rng* rng) {
+  if (plan->empty() || plan->root().is_leaf()) return false;
+  PlanNode* root = &plan->mutable_root();
+  std::vector<PlanNode*> internal;
+  CollectInternal(root, &internal);
+  // Try a handful of times in case the drawn (node, move) pair is not
+  // applicable; with >= 1 internal node, commutativity always applies, so
+  // this terminates quickly.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    PlanNode* node = internal[rng->NextBounded(internal.size())];
+    switch (rng->NextInt(0, 3)) {
+      case 0:  // commutativity
+        std::swap(node->left, node->right);
+        return true;
+      case 1:  // left associativity rotation
+        if (!node->left->is_leaf()) {
+          RotateLeft(node);
+          return true;
+        }
+        break;
+      case 2:  // right associativity rotation
+        if (!node->right->is_leaf()) {
+          RotateRight(node);
+          return true;
+        }
+        break;
+      case 3: {  // exchange two leaves
+        std::vector<PlanNode*> leaves;
+        CollectLeaves(root, &leaves);
+        if (leaves.size() >= 2) {
+          const size_t a = rng->NextBounded(leaves.size());
+          size_t b = rng->NextBounded(leaves.size() - 1);
+          if (b >= a) ++b;
+          std::swap(leaves[a]->set, leaves[b]->set);
+          RecomputeSets(root);
+          return true;
+        }
+        break;
+      }
+    }
+  }
+  std::swap(root->left, root->right);
+  return true;
+}
+
+Result<LocalSearchResult> OptimizeIterativeImprovement(
+    const Catalog& catalog, const JoinGraph& graph, CostModelKind cost_model,
+    const LocalSearchOptions& options) {
+  const int n = catalog.num_relations();
+  if (graph.num_relations() != n) {
+    return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+  Rng rng(options.seed);
+  const int max_failures =
+      options.max_failures > 0 ? options.max_failures : 4 * n * n;
+
+  LocalSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  int moves = 0;
+  for (int restart = 0; restart < options.restarts && moves < options.max_moves;
+       ++restart) {
+    Plan current = RandomBushyPlan(catalog.AllRelations(), &rng);
+    double current_cost = EvaluateCost(current, catalog, graph, cost_model);
+    int failures = 0;
+    while (failures < max_failures && moves < options.max_moves) {
+      Plan candidate = current.Clone();
+      if (!ApplyRandomMove(&candidate, &rng)) break;
+      ++moves;
+      const double candidate_cost =
+          EvaluateCost(candidate, catalog, graph, cost_model);
+      if (candidate_cost < current_cost) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        failures = 0;
+      } else {
+        ++failures;
+      }
+    }
+    if (current_cost < best.cost) {
+      best.cost = current_cost;
+      best.plan = std::move(current);
+    }
+  }
+  best.moves_evaluated = moves;
+  return best;
+}
+
+Result<LocalSearchResult> OptimizeSimulatedAnnealing(
+    const Catalog& catalog, const JoinGraph& graph, CostModelKind cost_model,
+    const LocalSearchOptions& options) {
+  const int n = catalog.num_relations();
+  if (graph.num_relations() != n) {
+    return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+  Rng rng(options.seed);
+
+  Plan current = RandomBushyPlan(catalog.AllRelations(), &rng);
+  double current_cost = EvaluateCost(current, catalog, graph, cost_model);
+
+  LocalSearchResult best;
+  best.plan = current.Clone();
+  best.cost = current_cost;
+
+  double temperature =
+      std::max(options.initial_temperature_factor * current_cost, 1e-12);
+  const double min_temperature = temperature * 1e-9;
+  int moves = 0;
+  while (temperature > min_temperature && moves < options.max_moves) {
+    for (int i = 0;
+         i < options.moves_per_temperature && moves < options.max_moves; ++i) {
+      Plan candidate = current.Clone();
+      if (!ApplyRandomMove(&candidate, &rng)) break;
+      ++moves;
+      const double candidate_cost =
+          EvaluateCost(candidate, catalog, graph, cost_model);
+      const double delta = candidate_cost - current_cost;
+      if (delta < 0 || rng.NextDouble() < std::exp(-delta / temperature)) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        if (current_cost < best.cost) {
+          best.cost = current_cost;
+          best.plan = current.Clone();
+        }
+      }
+    }
+    temperature *= options.cooling;
+  }
+  best.moves_evaluated = moves;
+  return best;
+}
+
+}  // namespace blitz

@@ -1,0 +1,68 @@
+#ifndef BLITZ_BASELINE_LOCAL_SEARCH_H_
+#define BLITZ_BASELINE_LOCAL_SEARCH_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Shared knobs for the stochastic plan-space searches (the transformation-
+/// based techniques surveyed by Steinbrunn [Ste96] that Section 2 discusses).
+struct LocalSearchOptions {
+  std::uint64_t seed = 42;
+
+  /// Hard budget on neighbor evaluations across the whole run.
+  int max_moves = 20000;
+
+  /// Iterative improvement: consecutive non-improving tries before the
+  /// current descent is declared a local minimum (0 = derive from n).
+  int max_failures = 0;
+
+  /// Iterative improvement: number of random restarts.
+  int restarts = 10;
+
+  /// Simulated annealing: initial temperature as a fraction of the starting
+  /// plan's cost.
+  double initial_temperature_factor = 0.1;
+
+  /// Simulated annealing: geometric cooling rate per stage.
+  double cooling = 0.9;
+
+  /// Simulated annealing: moves attempted per temperature stage.
+  int moves_per_temperature = 200;
+};
+
+/// Result of a stochastic optimization run.
+struct LocalSearchResult {
+  Plan plan;
+  double cost = 0;
+  int moves_evaluated = 0;
+};
+
+/// The plan-tree transformation rules used as the neighborhood: join
+/// commutativity, the two associativity rotations, and a leaf exchange.
+/// Applies one uniformly random applicable move in place and returns true,
+/// or returns false if no move is applicable (single-relation plans).
+/// Exposed for tests; the optimizers below use it internally.
+bool ApplyRandomMove(Plan* plan, Rng* rng);
+
+/// Iterated improvement: repeated random-restart hill climbing over the
+/// bushy plan space.
+Result<LocalSearchResult> OptimizeIterativeImprovement(
+    const Catalog& catalog, const JoinGraph& graph, CostModelKind cost_model,
+    const LocalSearchOptions& options);
+
+/// Simulated annealing with geometric cooling over the same neighborhood.
+Result<LocalSearchResult> OptimizeSimulatedAnnealing(
+    const Catalog& catalog, const JoinGraph& graph, CostModelKind cost_model,
+    const LocalSearchOptions& options);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BASELINE_LOCAL_SEARCH_H_

@@ -1,0 +1,67 @@
+#include "baseline/random_plans.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/subset_enum.h"
+#include "plan/evaluate.h"
+
+namespace blitz {
+
+Plan RandomBushyPlan(RelSet set, Rng* rng) {
+  BLITZ_CHECK(!set.empty());
+  if (set.IsSingleton()) return Plan::Leaf(set.Min());
+  // Choose a uniformly random dilated index in [1, 2^m - 2] and split there.
+  const int m = set.size();
+  const std::uint64_t span = (std::uint64_t{1} << m) - 2;
+  const std::uint64_t index = 1 + rng->NextBounded(span);
+  const std::uint64_t lhs = Dilate(set.word(), index);
+  const RelSet left = RelSet::FromWord(lhs);
+  return Plan::Join(RandomBushyPlan(left, rng),
+                    RandomBushyPlan(set - left, rng));
+}
+
+Plan RandomLeftDeepPlan(RelSet set, Rng* rng) {
+  BLITZ_CHECK(!set.empty());
+  std::vector<int> members;
+  set.ForEach([&](int i) { members.push_back(i); });
+  // Fisher-Yates shuffle.
+  for (size_t i = members.size(); i > 1; --i) {
+    const size_t j = rng->NextBounded(i);
+    std::swap(members[i - 1], members[j]);
+  }
+  Plan plan = Plan::Leaf(members[0]);
+  for (size_t i = 1; i < members.size(); ++i) {
+    plan = Plan::Join(std::move(plan), Plan::Leaf(members[i]));
+  }
+  return plan;
+}
+
+Result<RandomSamplingResult> OptimizeByRandomSampling(const Catalog& catalog,
+                                                      const JoinGraph& graph,
+                                                      CostModelKind cost_model,
+                                                      int samples, Rng* rng) {
+  if (graph.num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+  if (samples < 1) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  const RelSet all = catalog.AllRelations();
+  RandomSamplingResult result;
+  result.cost = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < samples; ++i) {
+    Plan plan = RandomBushyPlan(all, rng);
+    const double cost = EvaluateCost(plan, catalog, graph, cost_model);
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.plan = std::move(plan);
+    }
+  }
+  result.samples = samples;
+  return result;
+}
+
+}  // namespace blitz

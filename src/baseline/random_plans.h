@@ -1,0 +1,39 @@
+#ifndef BLITZ_BASELINE_RANDOM_PLANS_H_
+#define BLITZ_BASELINE_RANDOM_PLANS_H_
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Generates a random bushy plan over the relations in `set` by recursive
+/// random partition: a uniformly random nonempty proper subset becomes the
+/// left subtree. (This probes plan-space points directly, in the spirit of
+/// the transformation-free sampling of Galindo-Legaria et al. [GLPK94],
+/// though the induced distribution over trees is not uniform.)
+Plan RandomBushyPlan(RelSet set, Rng* rng);
+
+/// A random left-deep plan (uniformly random permutation of `set`).
+Plan RandomLeftDeepPlan(RelSet set, Rng* rng);
+
+/// Result of random sampling.
+struct RandomSamplingResult {
+  Plan plan;         ///< Best plan among the samples.
+  double cost = 0;   ///< Its cost.
+  int samples = 0;   ///< Number of plans drawn.
+};
+
+/// Draws `samples` random bushy plans and returns the cheapest — the
+/// baseline stochastic method the benches compare against exhaustive search.
+Result<RandomSamplingResult> OptimizeByRandomSampling(const Catalog& catalog,
+                                                      const JoinGraph& graph,
+                                                      CostModelKind cost_model,
+                                                      int samples, Rng* rng);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BASELINE_RANDOM_PLANS_H_

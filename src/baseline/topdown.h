@@ -1,0 +1,56 @@
+#ifndef BLITZ_BASELINE_TOPDOWN_H_
+#define BLITZ_BASELINE_TOPDOWN_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Options for the top-down memo optimizer.
+struct TopDownOptions {
+  /// Branch-and-bound pruning with cost limits passed down to subgroups
+  /// (Volcano's upper bounds). Disabling it gives a plain memoized top-down
+  /// enumeration, useful as the constant-factor comparison point against
+  /// blitzsplit's bottom-up loop.
+  bool use_cost_bounds = true;
+
+  /// Allow joins with no spanning predicate.
+  bool allow_cartesian_products = true;
+};
+
+/// Result of a top-down optimization.
+struct TopDownResult {
+  Plan plan;
+  double cost = 0;
+  /// Group explorations (re-explorations after a limit increase count
+  /// again).
+  std::uint64_t groups_explored = 0;
+  /// Splits whose kappa was evaluated.
+  std::uint64_t splits_costed = 0;
+  /// Splits dismissed by a cost bound before recursing.
+  std::uint64_t splits_pruned = 0;
+};
+
+/// Volcano-style top-down optimization ([GM93], the rule-based comparator
+/// of the paper's Section 2): groups (relation subsets) are optimized on
+/// demand, memoized, and re-explored only when a caller offers a larger
+/// cost budget; within a group, candidate splits are dismissed as soon as
+/// their accumulated cost reaches the budget, and the budget tightens to
+/// the best complete plan found so far (branch and bound).
+///
+/// Produces the same optimum as blitzsplit (asserted by tests); the benches
+/// compare the constant factors and the pruning behavior of top-down vs
+/// bottom-up search.
+Result<TopDownResult> OptimizeTopDown(const Catalog& catalog,
+                                      const JoinGraph& graph,
+                                      CostModelKind cost_model,
+                                      const TopDownOptions& options);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BASELINE_TOPDOWN_H_

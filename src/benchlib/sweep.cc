@@ -1,0 +1,75 @@
+#include "benchlib/sweep.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace blitz {
+
+Result<std::vector<SweepPoint>> RunSweep(const SweepConfig& config) {
+  std::vector<SweepPoint> points;
+  for (const CostModelKind model : config.models) {
+    for (const Topology topology : config.topologies) {
+      for (const double variability : config.variabilities) {
+        for (const double mean_cardinality : config.mean_cardinalities) {
+          WorkloadSpec spec;
+          spec.num_relations = config.num_relations;
+          spec.topology = topology;
+          spec.mean_cardinality = mean_cardinality;
+          spec.variability = variability;
+          Result<Workload> workload = MakeWorkload(spec);
+          if (!workload.ok()) return workload.status();
+
+          OptimizerOptions options;
+          options.cost_model = model;
+
+          SweepPoint point;
+          point.model = model;
+          point.topology = topology;
+          point.mean_cardinality = mean_cardinality;
+          point.variability = variability;
+
+          Status failure = Status::OK();
+          TimingResult timing;
+          if (config.threshold.has_value()) {
+            ThresholdLadderOptions ladder;
+            ladder.initial_threshold = *config.threshold;
+            ladder.growth_factor = config.threshold_growth;
+            timing = TimeIt(
+                [&] {
+                  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+                      workload->catalog, workload->graph, options, ladder);
+                  if (!outcome.ok()) {
+                    failure = outcome.status();
+                    return;
+                  }
+                  point.plan_cost = outcome->outcome.cost;
+                  point.passes = outcome->passes;
+                },
+                config.min_seconds_per_point);
+          } else {
+            timing = TimeIt(
+                [&] {
+                  Result<OptimizeOutcome> outcome =
+                      OptimizeJoin(workload->catalog, workload->graph,
+                                   options);
+                  if (!outcome.ok()) {
+                    failure = outcome.status();
+                    return;
+                  }
+                  point.plan_cost = outcome->cost;
+                },
+                config.min_seconds_per_point);
+          }
+          if (!failure.ok()) return failure;
+          point.seconds = timing.seconds_per_run;
+          point.repetitions = timing.repetitions;
+          points.push_back(point);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace blitz

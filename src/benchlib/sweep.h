@@ -1,0 +1,55 @@
+#ifndef BLITZ_BENCHLIB_SWEEP_H_
+#define BLITZ_BENCHLIB_SWEEP_H_
+
+#include <optional>
+#include <vector>
+
+#include "benchlib/timing.h"
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "cost/cost_model.h"
+#include "query/topology.h"
+#include "query/workload.h"
+
+namespace blitz {
+
+/// One measured point of the Section 6 four-dimensional grid.
+struct SweepPoint {
+  CostModelKind model;
+  Topology topology;
+  double mean_cardinality;
+  double variability;
+
+  double seconds = 0;     ///< Mean optimization time.
+  int repetitions = 0;    ///< Timing repetitions behind the mean.
+  float plan_cost = 0;    ///< Cost of the chosen plan.
+  int passes = 1;         ///< Optimizer passes (> 1 only with thresholds).
+};
+
+/// Configuration of a 4-D sweep (Figures 4-6). The grid is the cross
+/// product of the four axes; every point is generated deterministically via
+/// MakeWorkload.
+struct SweepConfig {
+  int num_relations = 15;
+  std::vector<CostModelKind> models;
+  std::vector<Topology> topologies;
+  std::vector<double> mean_cardinalities;
+  std::vector<double> variabilities;
+
+  /// Adaptive-timing floor per point.
+  double min_seconds_per_point = 0.05;
+
+  /// If set, optimize under the Section 6.4 threshold ladder with this
+  /// initial threshold.
+  std::optional<float> threshold;
+  float threshold_growth = 1e4f;
+};
+
+/// Runs the sweep, timing one optimization per grid point. Points are
+/// ordered with the model axis outermost, then topology, then variability,
+/// then mean cardinality (matching the Figure 4 reading order).
+Result<std::vector<SweepPoint>> RunSweep(const SweepConfig& config);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BENCHLIB_SWEEP_H_

@@ -1,0 +1,78 @@
+#include "benchlib/table_out.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace blitz {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != 'x' &&
+        c != 'n' && c != 'a' && c != 'i' && c != 'f') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-' ||
+         s[0] == '+' || s[0] == '.';
+}
+
+}  // namespace
+
+std::string TextTable::ToString() const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  all.insert(all.end(), rows_.begin(), rows_.end());
+  if (all.empty()) return "";
+
+  size_t columns = 0;
+  for (const auto& row : all) columns = std::max(columns, row.size());
+  std::vector<size_t> width(columns, 0);
+  for (const auto& row : all) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  bool is_header = !header_.empty();
+  for (const auto& row : all) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      const bool right = !is_header && LooksNumeric(row[c]);
+      const size_t pad = width[c] - row[c].size();
+      if (right) out.append(pad, ' ');
+      out += row[c];
+      if (!right && c + 1 < row.size()) out.append(pad, ' ');
+    }
+    out += "\n";
+    if (is_header) {
+      for (size_t c = 0; c < columns; ++c) {
+        if (c > 0) out += "  ";
+        out.append(width[c], '-');
+      }
+      out += "\n";
+      is_header = false;
+    }
+  }
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += row[c];
+    }
+    out += "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace blitz

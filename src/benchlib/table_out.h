@@ -1,0 +1,36 @@
+#ifndef BLITZ_BENCHLIB_TABLE_OUT_H_
+#define BLITZ_BENCHLIB_TABLE_OUT_H_
+
+#include <string>
+#include <vector>
+
+namespace blitz {
+
+/// Minimal fixed-width text table for bench output: add a header and rows,
+/// render with columns aligned. Keeps bench binaries free of ad-hoc
+/// formatting code.
+class TextTable {
+ public:
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Renders with two spaces between columns; numeric-looking cells are
+  /// right-aligned, others left-aligned.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (for machine consumption).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_BENCHLIB_TABLE_OUT_H_

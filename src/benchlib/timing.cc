@@ -1,0 +1,46 @@
+#include "benchlib/timing.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+TimingResult TimeIt(const std::function<void()>& fn, double min_total_seconds,
+                    int min_repetitions) {
+  TimingResult result;
+  Stopwatch watch;
+  while (result.repetitions < min_repetitions ||
+         result.total_seconds < min_total_seconds) {
+    Stopwatch run;
+    fn();
+    result.total_seconds += run.ElapsedSeconds();
+    ++result.repetitions;
+    // Safety valve: never spin more than ~60x the requested floor on a
+    // single point (can happen if one run is far below the clock grain).
+    if (result.repetitions >= 1 && watch.ElapsedSeconds() >
+        60.0 * (min_total_seconds > 0 ? min_total_seconds : 1.0)) {
+      break;
+    }
+  }
+  result.seconds_per_run = result.total_seconds / result.repetitions;
+  return result;
+}
+
+double BenchMinSeconds(double fallback) {
+  const char* env = std::getenv("BLITZ_BENCH_MIN_SECONDS");
+  if (env == nullptr) return fallback;
+  double value = 0;
+  if (!ParseDouble(env, &value) || value < 0) return fallback;
+  return value;
+}
+
+int BenchEnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  int value = 0;
+  if (!ParseInt(env, &value)) return fallback;
+  return value;
+}
+
+}  // namespace blitz

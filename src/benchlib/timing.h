@@ -1,0 +1,50 @@
+#ifndef BLITZ_BENCHLIB_TIMING_H_
+#define BLITZ_BENCHLIB_TIMING_H_
+
+#include <chrono>
+#include <functional>
+
+namespace blitz {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// One adaptive timing measurement.
+struct TimingResult {
+  double seconds_per_run = 0;
+  double total_seconds = 0;
+  int repetitions = 0;
+};
+
+/// Times `fn` adaptively: repeats until at least `min_total_seconds` of wall
+/// time and `min_repetitions` runs have accumulated, then reports the mean.
+/// This is the paper's protocol ("each timing point t represents an average
+/// over k executions ... where k is such that kt >= 30 seconds") with a
+/// configurable floor suited to a CI budget.
+TimingResult TimeIt(const std::function<void()>& fn, double min_total_seconds,
+                    int min_repetitions = 1);
+
+/// Reads the bench time floor from the BLITZ_BENCH_MIN_SECONDS environment
+/// variable, defaulting to `fallback`. Lets one `bench/*` binary serve both
+/// quick smoke runs and paper-faithful long runs.
+double BenchMinSeconds(double fallback);
+
+/// Reads an integer knob from the environment, defaulting to `fallback`.
+int BenchEnvInt(const char* name, int fallback);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BENCHLIB_TIMING_H_

@@ -1,0 +1,67 @@
+#include "catalog/catalog.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+Result<Catalog> Catalog::Create(std::vector<RelationStats> relations) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("catalog must contain at least 1 relation");
+  }
+  if (static_cast<int>(relations.size()) > kMaxRelations) {
+    return Status::InvalidArgument(
+        StrFormat("too many relations: %zu (max %d)", relations.size(),
+                  kMaxRelations));
+  }
+  std::set<std::string> names;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    RelationStats& r = relations[i];
+    if (r.name.empty()) r.name = "R" + std::to_string(i);
+    if (!(r.cardinality > 0) || !std::isfinite(r.cardinality)) {
+      return Status::InvalidArgument(
+          StrFormat("relation %s has invalid cardinality %g", r.name.c_str(),
+                    r.cardinality));
+    }
+    if (r.tuple_bytes <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("relation %s has invalid tuple width %d", r.name.c_str(),
+                    r.tuple_bytes));
+    }
+    if (!names.insert(r.name).second) {
+      return Status::InvalidArgument("duplicate relation name: " + r.name);
+    }
+  }
+  Catalog catalog;
+  catalog.relations_ = std::move(relations);
+  return catalog;
+}
+
+Result<Catalog> Catalog::FromCardinalities(
+    const std::vector<double>& cardinalities) {
+  std::vector<RelationStats> relations;
+  relations.reserve(cardinalities.size());
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    relations.push_back(RelationStats{"R" + std::to_string(i),
+                                      cardinalities[i], /*tuple_bytes=*/64});
+  }
+  return Create(std::move(relations));
+}
+
+int Catalog::FindByName(const std::string& name) const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (relations_[i].name == name) return i;
+  }
+  return -1;
+}
+
+double Catalog::GeometricMeanCardinality() const {
+  double log_sum = 0;
+  for (const RelationStats& r : relations_) log_sum += std::log(r.cardinality);
+  return std::exp(log_sum / num_relations());
+}
+
+}  // namespace blitz

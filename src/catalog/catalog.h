@@ -1,0 +1,58 @@
+#ifndef BLITZ_CATALOG_CATALOG_H_
+#define BLITZ_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/relset.h"
+
+namespace blitz {
+
+/// Per-relation statistics needed by the optimizer: this is the paper's
+/// rel_data. With the cost models considered here only the cardinality
+/// matters; tuple width is carried for the disk-oriented models' optional
+/// blocking-factor computation and for the execution engine.
+struct RelationStats {
+  std::string name;        ///< Human-readable name (e.g. "R0", "orders").
+  double cardinality = 0;  ///< Estimated number of tuples (may be fractional).
+  int tuple_bytes = 64;    ///< Average tuple width in bytes.
+};
+
+/// An immutable collection of base-relation statistics, indexed 0..n-1.
+/// Relation index i corresponds to bit i of a RelSet.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Builds a catalog; fails if there are more than kMaxRelations relations,
+  /// any cardinality is non-positive or non-finite, or names collide.
+  static Result<Catalog> Create(std::vector<RelationStats> relations);
+
+  /// Convenience: relations named R0..R{n-1} with the given cardinalities.
+  static Result<Catalog> FromCardinalities(
+      const std::vector<double>& cardinalities);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+
+  const RelationStats& relation(int i) const { return relations_[i]; }
+
+  double cardinality(int i) const { return relations_[i].cardinality; }
+
+  /// All relations as a set: {R0..R{n-1}}.
+  RelSet AllRelations() const { return RelSet::FirstN(num_relations()); }
+
+  /// Index of the relation with the given name, or -1.
+  int FindByName(const std::string& name) const;
+
+  /// Geometric mean of the base-relation cardinalities (the key workload
+  /// parameter identified in Section 6.1).
+  double GeometricMeanCardinality() const;
+
+ private:
+  std::vector<RelationStats> relations_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CATALOG_CATALOG_H_

@@ -1,0 +1,33 @@
+#include "catalog/filters.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+Result<Catalog> ApplyFilters(const Catalog& catalog,
+                             const std::vector<FilterSpec>& filters) {
+  std::vector<RelationStats> relations;
+  relations.reserve(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    relations.push_back(catalog.relation(i));
+  }
+  for (const FilterSpec& filter : filters) {
+    if (filter.relation < 0 || filter.relation >= catalog.num_relations()) {
+      return Status::OutOfRange(
+          StrFormat("filter on unknown relation %d", filter.relation));
+    }
+    if (!(filter.selectivity > 0.0) || filter.selectivity > 1.0 ||
+        !std::isfinite(filter.selectivity)) {
+      return Status::InvalidArgument(
+          StrFormat("filter selectivity %g outside (0,1]",
+                    filter.selectivity));
+    }
+    relations[filter.relation].cardinality *= filter.selectivity;
+  }
+  return Catalog::Create(std::move(relations));
+}
+
+}  // namespace blitz

@@ -1,0 +1,30 @@
+#ifndef BLITZ_CATALOG_FILTERS_H_
+#define BLITZ_CATALOG_FILTERS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace blitz {
+
+/// A local selection predicate on one base relation (e.g. a date-range or
+/// region filter), summarized by its selectivity. Filters are applied
+/// before join-order optimization: what the optimizer sees as |R| is the
+/// post-filter cardinality — exactly how small "dimension" inputs arise in
+/// practice and make Cartesian products attractive (the star_schema
+/// example's premise).
+struct FilterSpec {
+  int relation = 0;
+  double selectivity = 1.0;  ///< In (0, 1].
+};
+
+/// Returns a catalog with each filtered relation's cardinality scaled by
+/// its filter selectivity (several filters on one relation multiply,
+/// assuming independence). Names and tuple widths are preserved.
+Result<Catalog> ApplyFilters(const Catalog& catalog,
+                             const std::vector<FilterSpec>& filters);
+
+}  // namespace blitz
+
+#endif  // BLITZ_CATALOG_FILTERS_H_

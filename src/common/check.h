@@ -1,0 +1,37 @@
+#ifndef BLITZ_COMMON_CHECK_H_
+#define BLITZ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace blitz::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "BLITZ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace blitz::internal_check
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes;
+/// use only for programmer errors, not for input validation (which should
+/// return Status).
+#define BLITZ_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::blitz::internal_check::CheckFailed(#cond, __FILE__, __LINE__);   \
+    }                                                                    \
+  } while (false)
+
+/// Debug-only variant of BLITZ_CHECK; compiles to nothing under NDEBUG so it
+/// is safe to use on hot paths.
+#ifdef NDEBUG
+#define BLITZ_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define BLITZ_DCHECK(cond) BLITZ_CHECK(cond)
+#endif
+
+#endif  // BLITZ_COMMON_CHECK_H_

@@ -1,0 +1,90 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+
+namespace blitz {
+
+double HarmonicNumber(std::uint64_t k) {
+  if (k == 0) return 0.0;
+  if (k <= 1024) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= k; ++i) sum += 1.0 / static_cast<double>(i);
+    return sum;
+  }
+  const double kd = static_cast<double>(k);
+  return std::log(kd) + kEulerGamma + 1.0 / (2.0 * kd);
+}
+
+double Pow3(int n) { return std::pow(3.0, n); }
+
+double Pow2(int n) { return std::ldexp(1.0, n); }
+
+double Formula3(int n, double t_loop, double t_cond, double t_subset) {
+  const double ln2_over_2 = 0.5 * std::log(2.0);
+  return Pow3(n) * t_loop + ln2_over_2 * n * Pow2(n) * t_cond +
+         Pow2(n) * t_subset;
+}
+
+double ExpectedCondCount(int n) {
+  const double ln2_over_2 = 0.5 * std::log(2.0);
+  return ln2_over_2 * n * Pow2(n) + kEulerGamma * Pow2(n);
+}
+
+double GeometricMean(const double* values, int count) {
+  if (count <= 0) return 0.0;
+  double log_sum = 0.0;
+  for (int i = 0; i < count; ++i) log_sum += std::log(values[i]);
+  return std::exp(log_sum / count);
+}
+
+bool Solve3x3(double a[3][3], double b[3], double x[3]) {
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::fabs(a[perm[row]][col]) > std::fabs(a[perm[pivot]][col])) {
+        pivot = row;
+      }
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a[perm[col]][col];
+    if (std::fabs(diag) < 1e-300) return false;
+    for (int row = col + 1; row < 3; ++row) {
+      const double factor = a[perm[row]][col] / diag;
+      for (int k = col; k < 3; ++k) a[perm[row]][k] -= factor * a[perm[col]][k];
+      b[perm[row]] -= factor * b[perm[col]];
+    }
+  }
+  for (int col = 2; col >= 0; --col) {
+    double sum = b[perm[col]];
+    for (int k = col + 1; k < 3; ++k) sum -= a[perm[col]][k] * x[k];
+    x[col] = sum / a[perm[col]][col];
+  }
+  return true;
+}
+
+bool FitFormula3(const int* ns, const double* times, int count, double* t_loop,
+                 double* t_cond, double* t_subset) {
+  if (count < 3) return false;
+  // Basis functions per sample: f0 = 3^n, f1 = (ln2/2) n 2^n, f2 = 2^n.
+  // Normal equations: (F^T F) x = F^T y.
+  const double ln2_over_2 = 0.5 * std::log(2.0);
+  double ata[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  double atb[3] = {0, 0, 0};
+  for (int i = 0; i < count; ++i) {
+    const double f[3] = {Pow3(ns[i]), ln2_over_2 * ns[i] * Pow2(ns[i]),
+                         Pow2(ns[i])};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) ata[r][c] += f[r] * f[c];
+      atb[r] += f[r] * times[i];
+    }
+  }
+  double x[3];
+  if (!Solve3x3(ata, atb, x)) return false;
+  *t_loop = x[0];
+  *t_cond = x[1];
+  *t_subset = x[2];
+  return true;
+}
+
+}  // namespace blitz

@@ -1,0 +1,46 @@
+#ifndef BLITZ_COMMON_MATH_UTIL_H_
+#define BLITZ_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace blitz {
+
+/// Euler-Mascheroni constant, used by the harmonic-number approximation in
+/// the paper's Section 3.3 complexity analysis.
+inline constexpr double kEulerGamma = 0.5772156649015329;
+
+/// H_k = sum_{i=1..k} 1/i, computed exactly for small k and via
+/// ln(k) + gamma + 1/(2k) for large k.
+double HarmonicNumber(std::uint64_t k);
+
+/// The paper's formula (3): predicted execution time
+///   3^n * t_loop + (ln2/2) * n * 2^n * t_cond + 2^n * t_subset.
+double Formula3(int n, double t_loop, double t_cond, double t_subset);
+
+/// The expected number of executions of the conditionally executed code in
+/// find_best_split across all subsets (Section 3.3): (ln2/2) n 2^n + gamma 2^n.
+double ExpectedCondCount(int n);
+
+/// pow(3, n) as a double (exact for n <= 33).
+double Pow3(int n);
+
+/// pow(2, n) as a double.
+double Pow2(int n);
+
+/// Geometric mean of `values[0..count)`; returns 0 for empty input.
+double GeometricMean(const double* values, int count);
+
+/// Solves the 3x3 linear system a*x = b by Gaussian elimination with partial
+/// pivoting. Returns false if the system is (near-)singular.
+bool Solve3x3(double a[3][3], double b[3], double x[3]);
+
+/// Least-squares fit of formula (3) to measured times: finds t_loop, t_cond,
+/// t_subset minimizing sum over samples of (Formula3(n_i, ...) - time_i)^2.
+/// Returns false if the normal equations are singular (e.g. < 3 samples).
+bool FitFormula3(const int* ns, const double* times, int count, double* t_loop,
+                 double* t_cond, double* t_subset);
+
+}  // namespace blitz
+
+#endif  // BLITZ_COMMON_MATH_UTIL_H_

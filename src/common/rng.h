@@ -1,0 +1,53 @@
+#ifndef BLITZ_COMMON_RNG_H_
+#define BLITZ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace blitz {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used everywhere randomness is
+/// needed so that workloads, data sets, and stochastic optimizer runs are
+/// reproducible from a seed. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(NextBounded(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_COMMON_RNG_H_

@@ -1,0 +1,99 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace blitz {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    // +1 for the terminating NUL that vsnprintf always writes.
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view s, char delim,
+                                  bool keep_empty) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(delim, start);
+    if (end == std::string_view::npos) end = s.size();
+    std::string_view field = s.substr(start, end - start);
+    if (keep_empty || !field.empty()) {
+      fields.emplace_back(field);
+    }
+    if (end == s.size()) break;
+    start = end + 1;
+  }
+  return fields;
+}
+
+std::string_view StrTrim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty() || s.size() > 63) return false;
+  char buf[64];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view s, int* out) {
+  if (s.empty() || s.size() > 63) return false;
+  char buf[64];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(buf, &end, 10);
+  if (errno != 0 || end != buf + s.size()) return false;
+  if (value < 0 || value > 2147483647L) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace blitz

@@ -1,0 +1,37 @@
+#ifndef BLITZ_COMMON_STRINGS_H_
+#define BLITZ_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blitz {
+
+/// printf-style formatting into a std::string. (GCC 12 lacks std::format.)
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `delim`, dropping empty fields when `keep_empty` is false.
+std::vector<std::string> StrSplit(std::string_view s, char delim,
+                                  bool keep_empty = false);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Parses a double, returning false on any trailing garbage or empty input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a non-negative integer, returning false on garbage or overflow.
+bool ParseInt(std::string_view s, int* out);
+
+}  // namespace blitz
+
+#endif  // BLITZ_COMMON_STRINGS_H_

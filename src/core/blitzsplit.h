@@ -1,0 +1,193 @@
+#ifndef BLITZ_CORE_BLITZSPLIT_H_
+#define BLITZ_CORE_BLITZSPLIT_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "core/dp_table.h"
+#include "core/instrumentation.h"
+#include "core/relset.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// The blitzsplit dynamic programming core (Figure 1 of the paper, with the
+/// Section 4 lightweight realization and the Section 5 join extension).
+///
+/// Fills `table` bottom-up for every nonempty subset of the n relations whose
+/// base cardinalities are given. Returns the cost of the best plan for the
+/// full set (kRejectedCost if every plan was rejected by the threshold).
+///
+/// Template parameters:
+///   CostModel        — a cost-model policy from cost/cost_model.h, supplying
+///                      the kappa = kappa' + kappa'' decomposition.
+///   kWithPredicates  — false reproduces the pure Cartesian-product optimizer
+///                      of Sections 3-4 (no Pi_fan column, one multiplication
+///                      in compute_properties); true adds the Section 5
+///                      selectivity recurrences (three multiplications).
+///   kNestedIfs       — true uses the Section 4.2 nested-if short-circuiting
+///                      in find_best_split; false evaluates kappa'' on every
+///                      loop iteration (the ablation of Section 6.2).
+///   Instr            — instrumentation policy (NoInstrumentation or
+///                      CountingInstrumentation).
+///
+/// `cost_threshold` implements Section 6.4: any subset whose
+/// split-independent cost kappa'(S) already reaches the threshold has its
+/// best-split loop skipped entirely, and any completed cost reaching the
+/// threshold is rejected (set to kRejectedCost). Passing +infinity leaves
+/// only the genuine float-overflow rejection of Section 6.3, which is the
+/// same code path (overflowed costs compare >= +infinity... they *are*
+/// +infinity).
+///
+/// Requirements: base_cards.size() == n in [1, kMaxRelations]; graph non-null
+/// iff kWithPredicates; the table must have been created with matching
+/// columns (pi_fan iff kWithPredicates, aux iff CostModel::kNeedsAux).
+template <typename CostModel, bool kWithPredicates, bool kNestedIfs = true,
+          typename Instr = NoInstrumentation>
+float RunBlitzSplit(const CostModel& model,
+                    const std::vector<double>& base_cards,
+                    const JoinGraph* graph, float cost_threshold,
+                    DpTable* table, Instr* instr) {
+  static_assert(kWithPredicates || true);
+  const int n = static_cast<int>(base_cards.size());
+  BLITZ_CHECK(n >= 1 && n <= kMaxRelations);
+  BLITZ_CHECK(table->num_relations() == n);
+  BLITZ_CHECK((graph != nullptr) == kWithPredicates);
+  BLITZ_CHECK(table->has_pi_fan() == kWithPredicates);
+  BLITZ_CHECK(table->has_aux() == CostModel::kNeedsAux);
+
+  float* const cost = table->cost_data();
+  double* const card = table->card_data();
+  std::uint32_t* const best = table->best_lhs_data();
+  [[maybe_unused]] double* const pi_fan =
+      kWithPredicates ? table->pi_fan_data() : nullptr;
+  [[maybe_unused]] double* const aux =
+      CostModel::kNeedsAux ? table->aux_data() : nullptr;
+
+  // First loop of procedure blitzsplit: init_singleton for each relation.
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t w = std::uint64_t{1} << i;
+    card[w] = base_cards[i];
+    cost[w] = 0.0f;
+    best[w] = 0;
+    if constexpr (kWithPredicates) pi_fan[w] = 1.0;
+    if constexpr (CostModel::kNeedsAux) aux[w] = CostModel::Aux(base_cards[i]);
+  }
+
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+  if (n == 1) return cost[full];
+
+  // Second loop, realized as in Section 4.2: process the sets in the order
+  // of their integer representations, skipping powers of two (singletons).
+  // Integer order guarantees all subsets of S are filled in before S.
+  for (std::uint64_t s = 3; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton — already initialized
+    instr->OnSubsetVisited();
+
+    // --- compute_properties(S) ---------------------------------------
+    // U = {min S} = delta_S(1) = S & -S; V = S - U.
+    const std::uint64_t u = s & (~s + 1);
+    const std::uint64_t v = s ^ u;
+    double out_card;
+    if constexpr (kWithPredicates) {
+      double fan;
+      if ((v & (v - 1)) == 0) {
+        // Doubleton {R,R'}: Pi_fan is the selectivity of the predicate
+        // connecting R and R', or 1 if there is none (Section 5.4).
+        fan = graph->Selectivity(std::countr_zero(u), std::countr_zero(v));
+      } else {
+        // Recurrence (10): split V into disjoint W and Z; we use W = {min V}.
+        const std::uint64_t w = v & (~v + 1);
+        const std::uint64_t z = v ^ w;
+        fan = pi_fan[u | w] * pi_fan[u | z];
+      }
+      pi_fan[s] = fan;
+      // Recurrence (11): card(S) = card(U) * card(V) * Pi_fan(S).
+      out_card = card[u] * card[v] * fan;
+    } else {
+      out_card = card[u] * card[v];
+    }
+    card[s] = out_card;
+    if constexpr (CostModel::kNeedsAux) aux[s] = CostModel::Aux(out_card);
+
+    // --- find_best_split(S) ------------------------------------------
+    // kappa'(S) is split-independent, so compute it before the loop; if it
+    // already overflows or reaches the plan-cost threshold, no plan for S
+    // can survive, and the loop is avoided entirely (Sections 6.3-6.4).
+    const float kappa_prime = static_cast<float>(model.KappaPrime(out_card));
+    if (!(kappa_prime < cost_threshold)) {
+      cost[s] = kRejectedCost;
+      best[s] = 0;
+      instr->OnThresholdSkip();
+      continue;
+    }
+
+    float best_cost_so_far = kRejectedCost;
+    std::uint32_t best_lhs = 0;
+    // S_lhs ranges over all nonempty proper subsets of S via the successor
+    // operator succ(S_lhs) = S & (S_lhs - S); starting from 0 the first
+    // value is S & -S and the sequence ends when S itself is reached.
+    for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
+      instr->OnLoopIteration();
+      const std::uint64_t rhs = s ^ lhs;
+      if constexpr (kNestedIfs) {
+        // Nested ifs (Section 4.2): each comparison can dismiss the split
+        // before the next, increasingly expensive, quantity is computed.
+        const float lhs_cost = cost[lhs];
+        if (!(lhs_cost < best_cost_so_far)) continue;
+        const float oprnd_cost = lhs_cost + cost[rhs];
+        if (!(oprnd_cost < best_cost_so_far)) continue;
+        instr->OnOperandPass();
+        float kappa2;
+        if constexpr (CostModel::kNeedsAux) {
+          kappa2 = static_cast<float>(model.KappaDoublePrime(
+              out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
+        } else {
+          kappa2 = static_cast<float>(
+              model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
+        }
+        instr->OnKappa2Evaluated();
+        const float dpnd_cost = oprnd_cost + kappa2;
+        if (dpnd_cost < best_cost_so_far) {
+          best_cost_so_far = dpnd_cost;
+          best_lhs = static_cast<std::uint32_t>(lhs);
+          instr->OnImprovement();
+        }
+      } else {
+        // Flat variant for the nested-if ablation: kappa'' is evaluated on
+        // every one of the ~3^n iterations.
+        const float oprnd_cost = cost[lhs] + cost[rhs];
+        instr->OnOperandPass();
+        float kappa2;
+        if constexpr (CostModel::kNeedsAux) {
+          kappa2 = static_cast<float>(model.KappaDoublePrime(
+              out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
+        } else {
+          kappa2 = static_cast<float>(
+              model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
+        }
+        instr->OnKappa2Evaluated();
+        const float dpnd_cost = oprnd_cost + kappa2;
+        if (dpnd_cost < best_cost_so_far) {
+          best_cost_so_far = dpnd_cost;
+          best_lhs = static_cast<std::uint32_t>(lhs);
+          instr->OnImprovement();
+        }
+      }
+    }
+
+    float total = best_cost_so_far + kappa_prime;
+    // Reject plans whose cost overflows single precision (Section 6.3) or
+    // reaches the simulated-overflow threshold (Section 6.4).
+    if (!(total < cost_threshold)) total = kRejectedCost;
+    cost[s] = total;
+    best[s] = best_lhs;
+  }
+  return cost[full];
+}
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_BLITZSPLIT_H_

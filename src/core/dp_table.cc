@@ -1,0 +1,38 @@
+#include "core/dp_table.h"
+
+#include <new>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+Result<DpTable> DpTable::Create(int n, bool with_pi_fan, bool with_aux) {
+  if (n < 1 || n > kMaxRelations) {
+    return Status::InvalidArgument(
+        StrFormat("relation count %d outside [1, %d]", n, kMaxRelations));
+  }
+  DpTable table;
+  table.n_ = n;
+  const std::uint64_t rows = std::uint64_t{1} << n;
+  try {
+    table.cost_.assign(rows, kRejectedCost);
+    table.card_.assign(rows, 0.0);
+    table.best_lhs_.assign(rows, 0);
+    if (with_pi_fan) table.pi_fan_.assign(rows, 1.0);
+    if (with_aux) table.aux_.assign(rows, 0.0);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        StrFormat("cannot allocate DP table for n=%d (%llu rows)", n,
+                  static_cast<unsigned long long>(rows)));
+  }
+  return table;
+}
+
+std::uint64_t DpTable::MemoryBytes() const {
+  return cost_.capacity() * sizeof(float) +
+         card_.capacity() * sizeof(double) +
+         best_lhs_.capacity() * sizeof(std::uint32_t) +
+         pi_fan_.capacity() * sizeof(double) + aux_.capacity() * sizeof(double);
+}
+
+}  // namespace blitz

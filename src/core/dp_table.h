@@ -1,0 +1,89 @@
+#ifndef BLITZ_CORE_DP_TABLE_H_
+#define BLITZ_CORE_DP_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "core/relset.h"
+
+namespace blitz {
+
+/// The cost of a rejected plan (overflowed or over threshold). Costs are
+/// single-precision floats, as in Section 6.3 of the paper: "We represent
+/// costs as single-precision floating-point values, and summarily reject
+/// plans whose cost overflows."
+inline constexpr float kRejectedCost = std::numeric_limits<float>::infinity();
+
+/// The dynamic programming table of Section 3.2, generalized to the join
+/// setting of Section 5.4: one row per nonempty subset of the relation set,
+/// indexed by the subset's bit-vector word.
+///
+/// The layout is struct-of-arrays rather than the paper's 16-byte row: the
+/// best-split loop touches only the cost column (plus the cardinality/aux
+/// columns when kappa'' needs them), so splitting the columns keeps the hot
+/// data dense in cache. Columns that a given configuration does not need
+/// (pi_fan for Cartesian-only problems, aux for models without a memo) are
+/// simply not allocated.
+class DpTable {
+ public:
+  /// Allocates a table for n relations (2^n rows). `with_pi_fan` allocates
+  /// the Pi_fan column of Section 5.4; `with_aux` allocates the per-model
+  /// memo column (e.g. x(1+log x) for the sort-merge model).
+  static Result<DpTable> Create(int n, bool with_pi_fan, bool with_aux);
+
+  /// An empty (zero-relation) table; useful only as a placeholder to be
+  /// move-assigned into.
+  DpTable() = default;
+
+  DpTable(DpTable&&) = default;
+  DpTable& operator=(DpTable&&) = default;
+  DpTable(const DpTable&) = delete;
+  DpTable& operator=(const DpTable&) = delete;
+
+  int num_relations() const { return n_; }
+
+  /// Number of rows, 2^n (row 0, the empty set, is unused).
+  std::uint64_t size() const { return std::uint64_t{1} << n_; }
+
+  /// The full relation set {R0..R{n-1}}.
+  RelSet AllRelations() const { return RelSet::FirstN(n_); }
+
+  bool has_pi_fan() const { return !pi_fan_.empty(); }
+  bool has_aux() const { return !aux_.empty(); }
+
+  // Column accessors (by set). Valid only for nonempty sets that have been
+  // filled in by an optimizer run.
+  double card(RelSet s) const { return card_[s.word()]; }
+  float cost(RelSet s) const { return cost_[s.word()]; }
+  RelSet best_lhs(RelSet s) const {
+    return RelSet::FromWord(best_lhs_[s.word()]);
+  }
+  double pi_fan(RelSet s) const { return pi_fan_[s.word()]; }
+
+  /// True if no plan for s survived (cost overflow or threshold rejection).
+  bool rejected(RelSet s) const { return !(cost_[s.word()] < kRejectedCost); }
+
+  // Raw column pointers for the optimizer hot loop.
+  float* cost_data() { return cost_.data(); }
+  double* card_data() { return card_.data(); }
+  double* pi_fan_data() { return pi_fan_.data(); }
+  double* aux_data() { return aux_.data(); }
+  std::uint32_t* best_lhs_data() { return best_lhs_.data(); }
+
+  /// Approximate memory footprint in bytes.
+  std::uint64_t MemoryBytes() const;
+
+ private:
+  int n_ = 0;
+  std::vector<float> cost_;
+  std::vector<double> card_;
+  std::vector<std::uint32_t> best_lhs_;
+  std::vector<double> pi_fan_;  ///< Empty unless with_pi_fan.
+  std::vector<double> aux_;     ///< Empty unless with_aux.
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_DP_TABLE_H_

@@ -1,0 +1,19 @@
+#include "core/instrumentation.h"
+
+#include "common/strings.h"
+
+namespace blitz {
+
+std::string CountingInstrumentation::ToString() const {
+  return StrFormat(
+      "subsets=%llu loop_iters=%llu operand_passes=%llu kappa2=%llu "
+      "improvements=%llu threshold_skips=%llu",
+      static_cast<unsigned long long>(subsets_visited),
+      static_cast<unsigned long long>(loop_iterations),
+      static_cast<unsigned long long>(operand_passes),
+      static_cast<unsigned long long>(kappa2_evaluations),
+      static_cast<unsigned long long>(improvements),
+      static_cast<unsigned long long>(threshold_skips));
+}
+
+}  // namespace blitz

@@ -1,0 +1,65 @@
+#ifndef BLITZ_CORE_INSTRUMENTATION_H_
+#define BLITZ_CORE_INSTRUMENTATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace blitz {
+
+/// Zero-cost instrumentation policy: all hooks are empty inline functions,
+/// so the production optimizer pays nothing for the instrumentation points.
+struct NoInstrumentation {
+  static constexpr bool kEnabled = false;
+
+  void OnSubsetVisited() {}
+  void OnLoopIteration() {}
+  void OnOperandPass() {}
+  void OnKappa2Evaluated() {}
+  void OnImprovement() {}
+  void OnThresholdSkip() {}
+};
+
+/// Counting policy used by the Section 6.2 / 3.3 analyses: tallies how often
+/// each stage of find_best_split executes so the measured counts can be
+/// compared against the paper's predictions (3^n loop iterations,
+/// (ln2/2) n 2^n expected improvements, kappa'' count in between).
+struct CountingInstrumentation {
+  static constexpr bool kEnabled = true;
+
+  void OnSubsetVisited() { ++subsets_visited; }
+  void OnLoopIteration() { ++loop_iterations; }
+  void OnOperandPass() { ++operand_passes; }
+  void OnKappa2Evaluated() { ++kappa2_evaluations; }
+  void OnImprovement() { ++improvements; }
+  void OnThresholdSkip() { ++threshold_skips; }
+
+  CountingInstrumentation& operator+=(const CountingInstrumentation& other) {
+    subsets_visited += other.subsets_visited;
+    loop_iterations += other.loop_iterations;
+    operand_passes += other.operand_passes;
+    kappa2_evaluations += other.kappa2_evaluations;
+    improvements += other.improvements;
+    threshold_skips += other.threshold_skips;
+    return *this;
+  }
+
+  std::string ToString() const;
+
+  /// Non-singleton subsets processed (2^n - n - 1 when nothing is skipped).
+  std::uint64_t subsets_visited = 0;
+  /// Iterations of the best-split loop (~3^n in aggregate).
+  std::uint64_t loop_iterations = 0;
+  /// Iterations that passed the operand-cost nested-if gates.
+  std::uint64_t operand_passes = 0;
+  /// Evaluations of the split-dependent cost component kappa''.
+  std::uint64_t kappa2_evaluations = 0;
+  /// Executions of the conditional improvement code (expected ~(ln2/2)n2^n).
+  std::uint64_t improvements = 0;
+  /// Subsets whose best-split loop was skipped because kappa'(S) already
+  /// exceeded the plan-cost threshold (Sections 6.3-6.4).
+  std::uint64_t threshold_skips = 0;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_INSTRUMENTATION_H_

@@ -1,0 +1,141 @@
+#include "core/optimizer.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "core/blitzsplit.h"
+
+namespace blitz {
+
+namespace {
+
+std::vector<double> BaseCards(const Catalog& catalog) {
+  std::vector<double> cards(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    cards[i] = catalog.cardinality(i);
+  }
+  return cards;
+}
+
+/// Dispatches to the right RunBlitzSplit instantiation for the runtime
+/// options. `graph` is null for the Cartesian-only variant.
+template <bool kWithPredicates>
+float Dispatch(const OptimizerOptions& options,
+               const std::vector<double>& base_cards, const JoinGraph* graph,
+               DpTable* table, CountingInstrumentation* counters) {
+  return DispatchCostModel(options.cost_model, [&](auto model) -> float {
+    using Model = decltype(model);
+    if (options.count_operations) {
+      CountingInstrumentation instr;
+      float cost;
+      if (options.nested_ifs) {
+        cost = RunBlitzSplit<Model, kWithPredicates, true>(
+            model, base_cards, graph, options.cost_threshold, table, &instr);
+      } else {
+        cost = RunBlitzSplit<Model, kWithPredicates, false>(
+            model, base_cards, graph, options.cost_threshold, table, &instr);
+      }
+      if (counters != nullptr) *counters += instr;
+      return cost;
+    }
+    NoInstrumentation no_instr;
+    if (options.nested_ifs) {
+      return RunBlitzSplit<Model, kWithPredicates, true>(
+          model, base_cards, graph, options.cost_threshold, table, &no_instr);
+    }
+    return RunBlitzSplit<Model, kWithPredicates, false>(
+        model, base_cards, graph, options.cost_threshold, table, &no_instr);
+  });
+}
+
+bool ModelNeedsAux(CostModelKind kind) {
+  return DispatchCostModel(kind, [](auto model) {
+    return decltype(model)::kNeedsAux;
+  });
+}
+
+}  // namespace
+
+Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
+                                     const JoinGraph& graph,
+                                     const OptimizerOptions& options) {
+  if (graph.num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument(StrFormat(
+        "graph has %d relations but catalog has %d", graph.num_relations(),
+        catalog.num_relations()));
+  }
+  Result<DpTable> table =
+      DpTable::Create(catalog.num_relations(), /*with_pi_fan=*/true,
+                      ModelNeedsAux(options.cost_model));
+  if (!table.ok()) return table.status();
+  OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
+  outcome.cost = Dispatch<true>(options, BaseCards(catalog), &graph,
+                                &outcome.table, &outcome.counters);
+  return outcome;
+}
+
+Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
+                                          const OptimizerOptions& options) {
+  Result<DpTable> table =
+      DpTable::Create(catalog.num_relations(), /*with_pi_fan=*/false,
+                      ModelNeedsAux(options.cost_model));
+  if (!table.ok()) return table.status();
+  OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
+  outcome.cost = Dispatch<false>(options, BaseCards(catalog), nullptr,
+                                 &outcome.table, &outcome.counters);
+  return outcome;
+}
+
+Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
+                                    const JoinGraph& graph,
+                                    const OptimizerOptions& options,
+                                    DpTable* table,
+                                    CountingInstrumentation* counters) {
+  if (graph.num_relations() != catalog.num_relations() ||
+      table->num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument("relation-count mismatch");
+  }
+  if (!table->has_pi_fan() ||
+      table->has_aux() != ModelNeedsAux(options.cost_model)) {
+    return Status::FailedPrecondition(
+        "table columns do not match the requested configuration");
+  }
+  return Dispatch<true>(options, BaseCards(catalog), &graph, table, counters);
+}
+
+Result<LadderOutcome> OptimizeJoinWithThresholds(
+    const Catalog& catalog, const JoinGraph& graph,
+    const OptimizerOptions& options, const ThresholdLadderOptions& ladder) {
+  if (!(ladder.initial_threshold > 0) || !(ladder.growth_factor > 1)) {
+    return Status::InvalidArgument(
+        "threshold ladder requires positive threshold and growth factor > 1");
+  }
+  LadderOutcome result;
+  OptimizerOptions pass_options = options;
+  pass_options.cost_threshold = ladder.initial_threshold;
+  for (int pass = 0; pass < ladder.max_thresholded_passes; ++pass) {
+    Result<OptimizeOutcome> outcome =
+        OptimizeJoin(catalog, graph, pass_options);
+    if (!outcome.ok()) return outcome.status();
+    result.thresholds_tried.push_back(pass_options.cost_threshold);
+    ++result.passes;
+    if (outcome->found_plan()) {
+      result.outcome = std::move(outcome).value();
+      return result;
+    }
+    pass_options.cost_threshold *= ladder.growth_factor;
+    // Once the threshold stops being representable there is no point in
+    // another thresholded pass.
+    if (!(pass_options.cost_threshold < kRejectedCost)) break;
+  }
+  // Last resort: unbounded pass (Section 6.3 overflow rejection only).
+  pass_options.cost_threshold = kRejectedCost;
+  Result<OptimizeOutcome> outcome = OptimizeJoin(catalog, graph, pass_options);
+  if (!outcome.ok()) return outcome.status();
+  result.thresholds_tried.push_back(kRejectedCost);
+  ++result.passes;
+  result.outcome = std::move(outcome).value();
+  return result;
+}
+
+}  // namespace blitz

@@ -1,0 +1,95 @@
+#ifndef BLITZ_CORE_OPTIMIZER_H_
+#define BLITZ_CORE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/dp_table.h"
+#include "core/instrumentation.h"
+#include "cost/cost_model.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Runtime-configurable options for one optimizer pass. Each distinct
+/// (cost_model, nested_ifs, count_operations) combination dispatches to its
+/// own compiled instantiation of the blitzsplit core.
+struct OptimizerOptions {
+  /// Which kappa to optimize under.
+  CostModelKind cost_model = CostModelKind::kNaive;
+
+  /// Section 4.2 nested-if short-circuiting (disable only for ablations).
+  bool nested_ifs = true;
+
+  /// Tally the operation counts of Section 3.3 / 6.2 (small overhead).
+  bool count_operations = false;
+
+  /// Section 6.4 plan-cost threshold for a single pass; plans costing this
+  /// much or more are rejected. +infinity disables thresholding (leaving
+  /// only genuine float overflow, Section 6.3).
+  float cost_threshold = kRejectedCost;
+};
+
+/// The result of one optimizer pass: the filled DP table (from which plans
+/// are extracted — see plan/plan.h), the cost of the best overall plan, and
+/// the operation counters (all zero unless count_operations was set).
+struct OptimizeOutcome {
+  DpTable table;
+  float cost = kRejectedCost;
+  CountingInstrumentation counters;
+
+  /// False if every complete plan was rejected by the cost threshold (the
+  /// "optimization fails ... reoptimize with a higher threshold" case of
+  /// Section 6.4).
+  bool found_plan() const { return cost < kRejectedCost; }
+};
+
+/// Optimizes the join of all relations in `catalog` under the predicates of
+/// `graph` (Section 5). The graph must have the same relation count as the
+/// catalog.
+Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
+                                     const JoinGraph& graph,
+                                     const OptimizerOptions& options);
+
+/// Optimizes the pure Cartesian product of all relations in `catalog`
+/// (Sections 3-4) — the predicate machinery is compiled out entirely.
+Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
+                                          const OptimizerOptions& options);
+
+/// Re-runs a pass in-place against an existing table (avoids reallocation
+/// across the repetitions of a timing loop or the passes of a threshold
+/// ladder). The table's columns must match the options and problem shape.
+Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
+                                    const JoinGraph& graph,
+                                    const OptimizerOptions& options,
+                                    DpTable* table,
+                                    CountingInstrumentation* counters);
+
+/// Configuration of the Section 6.4 multi-pass scheme: try the initial
+/// threshold; on failure multiply it by growth_factor and re-optimize; after
+/// max_thresholded_passes give up on thresholds and run one unbounded pass.
+struct ThresholdLadderOptions {
+  float initial_threshold = 1e9f;
+  float growth_factor = 1e4f;
+  int max_thresholded_passes = 8;
+};
+
+/// Outcome of a threshold-ladder optimization, with per-pass bookkeeping.
+struct LadderOutcome {
+  OptimizeOutcome outcome;               ///< From the final (successful) pass.
+  std::vector<float> thresholds_tried;   ///< One per pass; +inf if unbounded.
+  int passes = 0;
+};
+
+/// Runs OptimizeJoin under the Section 6.4 threshold ladder. The result is
+/// always a found plan (the last-resort pass is unbounded), and its cost
+/// equals the true optimum whenever the true optimum is below whichever
+/// threshold succeeded.
+Result<LadderOutcome> OptimizeJoinWithThresholds(
+    const Catalog& catalog, const JoinGraph& graph,
+    const OptimizerOptions& options, const ThresholdLadderOptions& ladder);
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_OPTIMIZER_H_

@@ -1,0 +1,151 @@
+#ifndef BLITZ_CORE_RELSET_H_
+#define BLITZ_CORE_RELSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace blitz {
+
+/// Maximum number of base relations in one optimization problem. The dynamic
+/// programming table has 2^n entries, so memory is the practical bound long
+/// before the representation is: at n = 30 the table alone is tens of GB.
+inline constexpr int kMaxRelations = 30;
+
+/// A set of relation indexes represented as a bit-vector inside a single
+/// 64-bit word, exactly as prescribed by Section 4.1 of the paper: relation
+/// R_i is identified with the integer i, and a set of relations with the
+/// integer whose bit i is set for each member R_i.
+///
+/// The integer value of a set (word()) doubles as its index into the dynamic
+/// programming table, and integer order on sets guarantees that every proper
+/// subset of S precedes S (Section 4.2).
+class RelSet {
+ public:
+  using Word = std::uint64_t;
+
+  /// The empty set.
+  constexpr RelSet() = default;
+
+  /// The set whose bit-vector is `w`.
+  static constexpr RelSet FromWord(Word w) { return RelSet(w); }
+
+  /// The singleton {R_i}.
+  static constexpr RelSet Singleton(int i) {
+    return RelSet(Word{1} << i);
+  }
+
+  /// The set {R_0, ..., R_{n-1}}.
+  static constexpr RelSet FirstN(int n) {
+    return n == 0 ? RelSet() : RelSet((Word{1} << n) - 1);
+  }
+
+  constexpr Word word() const { return word_; }
+
+  constexpr bool empty() const { return word_ == 0; }
+
+  /// Number of members (|S|).
+  constexpr int size() const { return std::popcount(word_); }
+
+  constexpr bool IsSingleton() const {
+    return word_ != 0 && (word_ & (word_ - 1)) == 0;
+  }
+
+  constexpr bool Contains(int i) const {
+    return (word_ >> i) & Word{1};
+  }
+
+  /// True if every member of `other` is a member of this set.
+  constexpr bool ContainsAll(RelSet other) const {
+    return (word_ & other.word_) == other.word_;
+  }
+
+  constexpr bool Intersects(RelSet other) const {
+    return (word_ & other.word_) != 0;
+  }
+
+  /// True if this is a subset of `other` and not equal to it.
+  constexpr bool IsProperSubsetOf(RelSet other) const {
+    return other.ContainsAll(*this) && word_ != other.word_;
+  }
+
+  /// Index of the smallest member; the set must be nonempty. This is the
+  /// "min S" of the paper's fan definition (Section 5.3) under the natural
+  /// total order on relation names.
+  constexpr int Min() const { return std::countr_zero(word_); }
+
+  /// Index of the largest member; the set must be nonempty.
+  constexpr int Max() const { return 63 - std::countl_zero(word_); }
+
+  /// The singleton {min S}, computed as S & -S (the paper's delta_S(1)).
+  constexpr RelSet LowestSingleton() const {
+    return RelSet(word_ & (~word_ + 1));
+  }
+
+  /// This set minus its smallest member.
+  constexpr RelSet WithoutLowest() const {
+    return RelSet(word_ & (word_ - 1));
+  }
+
+  constexpr RelSet Union(RelSet other) const {
+    return RelSet(word_ | other.word_);
+  }
+  constexpr RelSet Intersect(RelSet other) const {
+    return RelSet(word_ & other.word_);
+  }
+  /// Set difference (this minus other).
+  constexpr RelSet Minus(RelSet other) const {
+    return RelSet(word_ & ~other.word_);
+  }
+  constexpr RelSet With(int i) const { return Union(Singleton(i)); }
+  constexpr RelSet Without(int i) const { return Minus(Singleton(i)); }
+
+  friend constexpr RelSet operator|(RelSet a, RelSet b) { return a.Union(b); }
+  friend constexpr RelSet operator&(RelSet a, RelSet b) {
+    return a.Intersect(b);
+  }
+  friend constexpr RelSet operator-(RelSet a, RelSet b) { return a.Minus(b); }
+  friend constexpr RelSet operator^(RelSet a, RelSet b) {
+    return RelSet(a.word_ ^ b.word_);
+  }
+  friend constexpr bool operator==(RelSet a, RelSet b) {
+    return a.word_ == b.word_;
+  }
+  friend constexpr bool operator!=(RelSet a, RelSet b) {
+    return a.word_ != b.word_;
+  }
+
+  /// Invokes fn(i) for each member i in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    Word w = word_;
+    while (w != 0) {
+      fn(std::countr_zero(w));
+      w &= w - 1;
+    }
+  }
+
+  /// Renders as e.g. "{R0,R3,R7}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    ForEach([&](int i) {
+      if (!first) out += ",";
+      first = false;
+      out += "R" + std::to_string(i);
+    });
+    out += "}";
+    return out;
+  }
+
+ private:
+  explicit constexpr RelSet(Word w) : word_(w) {}
+
+  Word word_ = 0;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_RELSET_H_

@@ -1,0 +1,94 @@
+#ifndef BLITZ_CORE_SUBSET_ENUM_H_
+#define BLITZ_CORE_SUBSET_ENUM_H_
+
+#include <cstdint>
+
+#include "core/relset.h"
+
+namespace blitz {
+
+/// The successor operator of Section 4.2: given the current left-hand-side
+/// subset `lhs` of `s` (as bit-vectors), steps to the next subset in the
+/// dilated counting order, succ(lhs) = s & (lhs - s). Starting from 0 the
+/// first application yields delta_S(1) = s & -s, and repeated application
+/// visits delta_S(2), delta_S(3), ..., ending at s itself (= delta_S(2^m - 1)).
+constexpr std::uint64_t SubsetSucc(std::uint64_t s, std::uint64_t lhs) {
+  return s & (lhs - s);
+}
+
+/// The dilation operator delta_S(i) of Section 4.2: distributes the low
+/// |S| bits of `i` over the 1-bit positions of `s`. Used in tests to verify
+/// the successor trick; the optimizer itself never evaluates delta.
+constexpr std::uint64_t Dilate(std::uint64_t s, std::uint64_t i) {
+  std::uint64_t out = 0;
+  std::uint64_t remaining = s;
+  int bit = 0;
+  while (remaining != 0) {
+    const std::uint64_t lowest = remaining & (~remaining + 1);
+    if ((i >> bit) & 1) out |= lowest;
+    remaining &= remaining - 1;
+    ++bit;
+  }
+  return out;
+}
+
+/// The contraction operator gamma_S (left inverse of Dilate): gathers the
+/// bits of `w` at the 1-bit positions of `s` into a dense low-order integer.
+constexpr std::uint64_t Contract(std::uint64_t s, std::uint64_t w) {
+  std::uint64_t out = 0;
+  std::uint64_t remaining = s;
+  int bit = 0;
+  while (remaining != 0) {
+    const std::uint64_t lowest = remaining & (~remaining + 1);
+    if (w & lowest) out |= std::uint64_t{1} << bit;
+    remaining &= remaining - 1;
+    ++bit;
+  }
+  return out;
+}
+
+/// Invokes fn(lhs, rhs) for every split of `s` into nonempty, disjoint
+/// (lhs, rhs) with lhs | rhs == s — i.e. every ordered pair; each unordered
+/// split is seen twice, once per orientation, exactly as in find_best_split.
+template <typename Fn>
+void ForEachProperSplit(RelSet s, Fn&& fn) {
+  const std::uint64_t sw = s.word();
+  for (std::uint64_t lhs = SubsetSucc(sw, 0); lhs != sw;
+       lhs = SubsetSucc(sw, lhs)) {
+    fn(RelSet::FromWord(lhs), RelSet::FromWord(sw ^ lhs));
+  }
+}
+
+/// Invokes fn(subset) for every nonempty proper subset of `s`, in dilated
+/// counting order.
+template <typename Fn>
+void ForEachProperSubset(RelSet s, Fn&& fn) {
+  const std::uint64_t sw = s.word();
+  for (std::uint64_t sub = SubsetSucc(sw, 0); sub != sw;
+       sub = SubsetSucc(sw, sub)) {
+    fn(RelSet::FromWord(sub));
+  }
+}
+
+/// Footnote 3 of the paper: the subsets of `s` may be visited in alternative
+/// orders by stepping delta(i) -> delta(i + k) for any odd stride k, which
+/// still cycles through all 2^m values before repeating. Calls fn(lhs, rhs)
+/// for each proper split, visiting in stride-k order. `stride` must be odd.
+template <typename Fn>
+void ForEachProperSplitStrided(RelSet s, std::uint64_t stride, Fn&& fn) {
+  const std::uint64_t sw = s.word();
+  const std::uint64_t m = static_cast<std::uint64_t>(s.size());
+  const std::uint64_t period = std::uint64_t{1} << m;
+  std::uint64_t i = stride % period;
+  for (std::uint64_t step = 1; step < period; ++step) {
+    if (i != 0) {  // skip the empty subset; Dilate(s, period-1 wrap) == s
+      const std::uint64_t lhs = Dilate(sw, i);
+      if (lhs != sw) fn(RelSet::FromWord(lhs), RelSet::FromWord(sw ^ lhs));
+    }
+    i = (i + stride) % period;
+  }
+}
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_SUBSET_ENUM_H_

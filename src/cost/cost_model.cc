@@ -1,0 +1,63 @@
+#include "cost/cost_model.h"
+
+#include <string>
+
+namespace blitz {
+
+const char* CostModelKindToString(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kNaive:
+      return "naive";
+    case CostModelKind::kSortMerge:
+      return "sm";
+    case CostModelKind::kDiskNestedLoops:
+      return "dnl";
+    case CostModelKind::kMinSmDnl:
+      return "min";
+    case CostModelKind::kHash:
+      return "hash";
+    case CostModelKind::kMinAll:
+      return "minall";
+  }
+  return "unknown";
+}
+
+Result<CostModelKind> ParseCostModelKind(std::string_view s) {
+  if (s == "naive" || s == "k0" || s == "kappa0") return CostModelKind::kNaive;
+  if (s == "sm" || s == "sortmerge" || s == "sort-merge") {
+    return CostModelKind::kSortMerge;
+  }
+  if (s == "dnl" || s == "disknestedloops" || s == "disk-nested-loops") {
+    return CostModelKind::kDiskNestedLoops;
+  }
+  if (s == "min" || s == "minsmdnl" || s == "min-sm-dnl") {
+    return CostModelKind::kMinSmDnl;
+  }
+  if (s == "hash" || s == "h") return CostModelKind::kHash;
+  if (s == "minall" || s == "min-all") return CostModelKind::kMinAll;
+  return Status::InvalidArgument("unknown cost model: " + std::string(s));
+}
+
+double EvalJoinCost(CostModelKind kind, double out_card, double lhs_card,
+                    double rhs_card) {
+  return EvalKappaPrime(kind, out_card) +
+         EvalKappaDoublePrime(kind, out_card, lhs_card, rhs_card);
+}
+
+double EvalKappaPrime(CostModelKind kind, double out_card) {
+  return DispatchCostModel(
+      kind, [&](auto model) { return model.KappaPrime(out_card); });
+}
+
+double EvalKappaDoublePrime(CostModelKind kind, double out_card,
+                            double lhs_card, double rhs_card) {
+  return DispatchCostModel(kind, [&](auto model) {
+    using Model = decltype(model);
+    const double lhs_aux = Model::Aux(lhs_card);
+    const double rhs_aux = Model::Aux(rhs_card);
+    return model.KappaDoublePrime(out_card, lhs_card, rhs_card, lhs_aux,
+                                  rhs_aux);
+  });
+}
+
+}  // namespace blitz

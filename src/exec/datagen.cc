@@ -1,0 +1,43 @@
+#include "exec/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace blitz {
+
+Result<std::vector<ExecTable>> GenerateTables(const Catalog& catalog,
+                                              const JoinGraph& graph,
+                                              const DataGenOptions& options) {
+  if (graph.num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+  Rng rng(options.seed);
+  std::vector<ExecTable> tables;
+  tables.reserve(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    const double card = catalog.cardinality(i);
+    const std::uint32_t rows = static_cast<std::uint32_t>(std::min<double>(
+        std::max<double>(1.0, static_cast<double>(std::llround(card))),
+        options.max_rows_per_table));
+    tables.emplace_back(i, rows);
+  }
+  const auto& predicates = graph.predicates();
+  for (int p = 0; p < static_cast<int>(predicates.size()); ++p) {
+    const Predicate& predicate = predicates[p];
+    const std::uint64_t domain = static_cast<std::uint64_t>(std::max<double>(
+        1.0, static_cast<double>(std::llround(1.0 / predicate.selectivity))));
+    for (const int endpoint : {predicate.lhs, predicate.rhs}) {
+      std::vector<std::uint32_t> values(tables[endpoint].num_rows());
+      for (auto& v : values) {
+        v = static_cast<std::uint32_t>(rng.NextBounded(domain));
+      }
+      BLITZ_RETURN_IF_ERROR(
+          tables[endpoint].AddJoinColumn(p, std::move(values)));
+    }
+  }
+  return tables;
+}
+
+}  // namespace blitz

@@ -1,0 +1,36 @@
+#ifndef BLITZ_EXEC_DATAGEN_H_
+#define BLITZ_EXEC_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/relation.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Knobs for synthetic data generation.
+struct DataGenOptions {
+  std::uint64_t seed = 1;
+  /// Hard cap on rows per table (protects tests from huge catalogs). Tables
+  /// are truncated to this size; estimates then refer to the original
+  /// catalog, so validation workloads should stay under the cap.
+  std::uint32_t max_rows_per_table = 1u << 20;
+};
+
+/// Materializes one ExecTable per catalog relation, with one join-key column
+/// per incident predicate. Keys for predicate p are drawn uniformly from a
+/// domain of size round(1 / selectivity(p)), so the expected fraction of the
+/// cross product with matching keys — i.e. the realized selectivity of an
+/// equality predicate on those columns — approximates the predicate's
+/// selectivity, and predicates are independent (uncorrelated), matching the
+/// paper's modeling assumptions.
+Result<std::vector<ExecTable>> GenerateTables(const Catalog& catalog,
+                                              const JoinGraph& graph,
+                                              const DataGenOptions& options);
+
+}  // namespace blitz
+
+#endif  // BLITZ_EXEC_DATAGEN_H_

@@ -1,0 +1,62 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace blitz {
+
+namespace {
+
+RowSet ExecuteNode(const PlanNode& node, const std::vector<ExecTable>& tables,
+                   const JoinGraph& graph, std::vector<NodeStats>* stats) {
+  if (node.is_leaf()) {
+    return ScanTable(tables[node.relation()]);
+  }
+  // Record stats in pre-order (reserve the slot before recursing).
+  const size_t stat_index = stats->size();
+  stats->push_back(NodeStats{node.set, 0, node.algorithm});
+  const RowSet lhs = ExecuteNode(*node.left, tables, graph, stats);
+  const RowSet rhs = ExecuteNode(*node.right, tables, graph, stats);
+  const std::vector<BoundPredicate> predicates =
+      BindSpanningPredicates(graph, node.left->set, node.right->set);
+  JoinAlgorithm algorithm = node.algorithm;
+  if (algorithm == JoinAlgorithm::kCartesianProduct && !predicates.empty()) {
+    // The plan was annotated against a different graph; fall back safely.
+    algorithm = JoinAlgorithm::kUnspecified;
+  }
+  RowSet out = JoinRowSets(lhs, rhs, predicates, algorithm, tables);
+  (*stats)[stat_index].output_rows = out.num_rows();
+  return out;
+}
+
+}  // namespace
+
+Result<ExecutionResult> ExecutePlan(const Plan& plan,
+                                    const std::vector<ExecTable>& tables,
+                                    const JoinGraph& graph) {
+  if (plan.empty()) return Status::InvalidArgument("empty plan");
+  bool tables_ok = true;
+  plan.relations().ForEach([&](int r) {
+    if (r >= static_cast<int>(tables.size()) ||
+        tables[r].relation_index() != r) {
+      tables_ok = false;
+    }
+  });
+  if (!tables_ok) {
+    return Status::InvalidArgument(
+        "tables vector does not cover the plan's relations (tables[i] must "
+        "be relation i)");
+  }
+  ExecutionResult result;
+  result.result = ExecuteNode(plan.root(), tables, graph, &result.node_stats);
+  return result;
+}
+
+std::vector<std::vector<std::uint32_t>> ResultFingerprint(const RowSet& rows) {
+  std::vector<std::vector<std::uint32_t>> fingerprint = rows.rows;
+  std::sort(fingerprint.begin(), fingerprint.end());
+  return fingerprint;
+}
+
+}  // namespace blitz

@@ -1,0 +1,45 @@
+#ifndef BLITZ_EXEC_EXECUTOR_H_
+#define BLITZ_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Per-join-node execution statistics, in plan pre-order.
+struct NodeStats {
+  RelSet set;
+  std::uint64_t output_rows = 0;
+  JoinAlgorithm algorithm = JoinAlgorithm::kUnspecified;
+};
+
+/// Result of executing a plan.
+struct ExecutionResult {
+  RowSet result;
+  std::vector<NodeStats> node_stats;
+};
+
+/// Executes `plan` over the base tables, applying at each join node exactly
+/// the predicates spanning its operands (Section 5.1: "there is no benefit
+/// in deferring the application of a predicate once its referent relations
+/// have become available"). Each node uses its attached JoinAlgorithm
+/// (kUnspecified defaults to hash when predicates exist, else nested loops).
+/// `tables[i]` must be the table for relation i.
+Result<ExecutionResult> ExecutePlan(const Plan& plan,
+                                    const std::vector<ExecTable>& tables,
+                                    const JoinGraph& graph);
+
+/// Canonical fingerprint of a result for cross-plan comparison: the sorted
+/// list of result rows (each row already lists base row-ids in ascending
+/// relation order). Two plans over the same tables and graph are equivalent
+/// iff their fingerprints are equal.
+std::vector<std::vector<std::uint32_t>> ResultFingerprint(const RowSet& rows);
+
+}  // namespace blitz
+
+#endif  // BLITZ_EXEC_EXECUTOR_H_

@@ -1,0 +1,223 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace blitz {
+
+RowSet ScanTable(const ExecTable& table) {
+  RowSet out;
+  out.relations = RelSet::Singleton(table.relation_index());
+  out.rows.reserve(table.num_rows());
+  for (std::uint32_t i = 0; i < table.num_rows(); ++i) {
+    out.rows.push_back({i});
+  }
+  return out;
+}
+
+std::vector<BoundPredicate> BindSpanningPredicates(const JoinGraph& graph,
+                                                   RelSet lhs, RelSet rhs) {
+  BLITZ_DCHECK(!lhs.Intersects(rhs));
+  std::vector<BoundPredicate> bound;
+  const auto& predicates = graph.predicates();
+  for (int p = 0; p < static_cast<int>(predicates.size()); ++p) {
+    const Predicate& predicate = predicates[p];
+    if (lhs.Contains(predicate.lhs) && rhs.Contains(predicate.rhs)) {
+      bound.push_back({p, predicate.lhs, predicate.rhs});
+    } else if (lhs.Contains(predicate.rhs) && rhs.Contains(predicate.lhs)) {
+      bound.push_back({p, predicate.rhs, predicate.lhs});
+    }
+  }
+  return bound;
+}
+
+namespace {
+
+/// Key of row `row` of `side` under predicate `bp` (side-specific endpoint).
+std::uint32_t KeyOf(const RowSet& side, const std::vector<std::uint32_t>& row,
+                    int relation, int predicate_id,
+                    const std::vector<ExecTable>& tables) {
+  const int slot = side.SlotOf(relation);
+  return tables[relation].Column(predicate_id)[row[slot]];
+}
+
+/// True if the (lhs_row, rhs_row) pair satisfies predicates[begin..].
+bool VerifyRest(const RowSet& lhs, const RowSet& rhs,
+                const std::vector<std::uint32_t>& lhs_row,
+                const std::vector<std::uint32_t>& rhs_row,
+                const std::vector<BoundPredicate>& predicates, size_t begin,
+                const std::vector<ExecTable>& tables) {
+  for (size_t i = begin; i < predicates.size(); ++i) {
+    const BoundPredicate& bp = predicates[i];
+    if (KeyOf(lhs, lhs_row, bp.lhs_relation, bp.predicate_id, tables) !=
+        KeyOf(rhs, rhs_row, bp.rhs_relation, bp.predicate_id, tables)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> Concatenate(const RowSet& lhs, const RowSet& rhs,
+                                       const std::vector<std::uint32_t>& a,
+                                       const std::vector<std::uint32_t>& b,
+                                       RelSet out_relations) {
+  // Merge the two rows so slots stay in ascending relation order.
+  std::vector<std::uint32_t> merged(out_relations.size());
+  int out_slot = 0;
+  out_relations.ForEach([&](int r) {
+    if (lhs.relations.Contains(r)) {
+      merged[out_slot] = a[lhs.SlotOf(r)];
+    } else {
+      merged[out_slot] = b[rhs.SlotOf(r)];
+    }
+    ++out_slot;
+  });
+  return merged;
+}
+
+RowSet NestedLoopsJoin(const RowSet& lhs, const RowSet& rhs,
+                       const std::vector<BoundPredicate>& predicates,
+                       const std::vector<ExecTable>& tables) {
+  RowSet out;
+  out.relations = lhs.relations | rhs.relations;
+  for (const auto& a : lhs.rows) {
+    for (const auto& b : rhs.rows) {
+      if (VerifyRest(lhs, rhs, a, b, predicates, 0, tables)) {
+        out.rows.push_back(Concatenate(lhs, rhs, a, b, out.relations));
+      }
+    }
+  }
+  return out;
+}
+
+RowSet HashJoin(const RowSet& lhs, const RowSet& rhs,
+                const std::vector<BoundPredicate>& predicates,
+                const std::vector<ExecTable>& tables) {
+  BLITZ_CHECK(!predicates.empty());
+  RowSet out;
+  out.relations = lhs.relations | rhs.relations;
+  const BoundPredicate& key = predicates[0];
+  // Build on the smaller input.
+  const bool build_left = lhs.num_rows() <= rhs.num_rows();
+  const RowSet& build = build_left ? lhs : rhs;
+  const RowSet& probe = build_left ? rhs : lhs;
+  const int build_rel = build_left ? key.lhs_relation : key.rhs_relation;
+  const int probe_rel = build_left ? key.rhs_relation : key.lhs_relation;
+
+  std::unordered_multimap<std::uint32_t, const std::vector<std::uint32_t>*>
+      hash_table;
+  hash_table.reserve(build.rows.size());
+  for (const auto& row : build.rows) {
+    hash_table.emplace(KeyOf(build, row, build_rel, key.predicate_id, tables),
+                       &row);
+  }
+  for (const auto& probe_row : probe.rows) {
+    const std::uint32_t k =
+        KeyOf(probe, probe_row, probe_rel, key.predicate_id, tables);
+    auto [begin, end] = hash_table.equal_range(k);
+    for (auto it = begin; it != end; ++it) {
+      const auto& build_row = *it->second;
+      const auto& lhs_row = build_left ? build_row : probe_row;
+      const auto& rhs_row = build_left ? probe_row : build_row;
+      if (VerifyRest(lhs, rhs, lhs_row, rhs_row, predicates, 1, tables)) {
+        out.rows.push_back(
+            Concatenate(lhs, rhs, lhs_row, rhs_row, out.relations));
+      }
+    }
+  }
+  return out;
+}
+
+RowSet SortMergeJoin(const RowSet& lhs, const RowSet& rhs,
+                     const std::vector<BoundPredicate>& predicates,
+                     const std::vector<ExecTable>& tables) {
+  BLITZ_CHECK(!predicates.empty());
+  RowSet out;
+  out.relations = lhs.relations | rhs.relations;
+  const BoundPredicate& key = predicates[0];
+
+  auto sorted_indexes = [&](const RowSet& side, int relation) {
+    std::vector<std::uint32_t> order(side.rows.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a,
+                                              std::uint32_t b) {
+      return KeyOf(side, side.rows[a], relation, key.predicate_id, tables) <
+             KeyOf(side, side.rows[b], relation, key.predicate_id, tables);
+    });
+    return order;
+  };
+  const std::vector<std::uint32_t> lhs_order =
+      sorted_indexes(lhs, key.lhs_relation);
+  const std::vector<std::uint32_t> rhs_order =
+      sorted_indexes(rhs, key.rhs_relation);
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lhs_order.size() && j < rhs_order.size()) {
+    const std::uint32_t lk = KeyOf(lhs, lhs.rows[lhs_order[i]],
+                                   key.lhs_relation, key.predicate_id, tables);
+    const std::uint32_t rk = KeyOf(rhs, rhs.rows[rhs_order[j]],
+                                   key.rhs_relation, key.predicate_id, tables);
+    if (lk < rk) {
+      ++i;
+    } else if (lk > rk) {
+      ++j;
+    } else {
+      // Equal-key runs on both sides; emit their cross product.
+      size_t i_end = i;
+      while (i_end < lhs_order.size() &&
+             KeyOf(lhs, lhs.rows[lhs_order[i_end]], key.lhs_relation,
+                   key.predicate_id, tables) == lk) {
+        ++i_end;
+      }
+      size_t j_end = j;
+      while (j_end < rhs_order.size() &&
+             KeyOf(rhs, rhs.rows[rhs_order[j_end]], key.rhs_relation,
+                   key.predicate_id, tables) == rk) {
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          const auto& lhs_row = lhs.rows[lhs_order[a]];
+          const auto& rhs_row = rhs.rows[rhs_order[b]];
+          if (VerifyRest(lhs, rhs, lhs_row, rhs_row, predicates, 1, tables)) {
+            out.rows.push_back(
+                Concatenate(lhs, rhs, lhs_row, rhs_row, out.relations));
+          }
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RowSet JoinRowSets(const RowSet& lhs, const RowSet& rhs,
+                   const std::vector<BoundPredicate>& predicates,
+                   JoinAlgorithm algorithm,
+                   const std::vector<ExecTable>& tables) {
+  BLITZ_CHECK(!lhs.relations.Intersects(rhs.relations));
+  switch (algorithm) {
+    case JoinAlgorithm::kCartesianProduct:
+      BLITZ_CHECK(predicates.empty());
+      return NestedLoopsJoin(lhs, rhs, predicates, tables);
+    case JoinAlgorithm::kNestedLoops:
+      return NestedLoopsJoin(lhs, rhs, predicates, tables);
+    case JoinAlgorithm::kHash:
+      return HashJoin(lhs, rhs, predicates, tables);
+    case JoinAlgorithm::kSortMerge:
+      return SortMergeJoin(lhs, rhs, predicates, tables);
+    case JoinAlgorithm::kUnspecified:
+      return predicates.empty() ? NestedLoopsJoin(lhs, rhs, predicates, tables)
+                                : HashJoin(lhs, rhs, predicates, tables);
+  }
+  BLITZ_CHECK(false && "unknown algorithm");
+  return RowSet{};
+}
+
+}  // namespace blitz

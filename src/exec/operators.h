@@ -1,0 +1,66 @@
+#ifndef BLITZ_EXEC_OPERATORS_H_
+#define BLITZ_EXEC_OPERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relset.h"
+#include "exec/relation.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// An intermediate result: for each output tuple, the row ids of the
+/// participating base-relation tuples. Row layout: one id per relation in
+/// `relations`, in ascending relation order. This representation keeps
+/// results small and makes cross-plan result comparison trivial.
+struct RowSet {
+  RelSet relations;
+  std::vector<std::vector<std::uint32_t>> rows;
+
+  std::uint64_t num_rows() const { return rows.size(); }
+
+  /// Position of relation `r` within a row (relations are kept in ascending
+  /// order); `r` must be a member.
+  int SlotOf(int r) const {
+    BLITZ_DCHECK(relations.Contains(r));
+    return RelSet::FromWord(relations.word() &
+                            ((std::uint64_t{1} << r) - 1))
+        .size();
+  }
+};
+
+/// Scans a base table into a RowSet (row id i for each of its rows).
+RowSet ScanTable(const ExecTable& table);
+
+/// A join predicate bound to the operand sides: predicate `predicate_id`
+/// between base relation `lhs_relation` (in the left input) and
+/// `rhs_relation` (in the right input).
+struct BoundPredicate {
+  int predicate_id;
+  int lhs_relation;
+  int rhs_relation;
+};
+
+/// Finds the predicates of `graph` spanning the two operand relation sets
+/// and binds their endpoints to the correct sides.
+std::vector<BoundPredicate> BindSpanningPredicates(const JoinGraph& graph,
+                                                   RelSet lhs, RelSet rhs);
+
+/// Joins two RowSets under the given spanning predicates using the chosen
+/// algorithm. All algorithms produce the same multiset of output rows:
+///  - kCartesianProduct / kNestedLoops: nested loops, verifying every
+///    predicate per pair (the product must be given an empty predicate list);
+///  - kHash: build/probe on the first predicate, verify the rest;
+///  - kSortMerge: sort both inputs on the first predicate's key, merge equal
+///    runs, verify the rest.
+/// kUnspecified picks hash when predicates exist, nested loops otherwise.
+RowSet JoinRowSets(const RowSet& lhs, const RowSet& rhs,
+                   const std::vector<BoundPredicate>& predicates,
+                   JoinAlgorithm algorithm,
+                   const std::vector<ExecTable>& tables);
+
+}  // namespace blitz
+
+#endif  // BLITZ_EXEC_OPERATORS_H_

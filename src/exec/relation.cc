@@ -1,0 +1,38 @@
+#include "exec/relation.h"
+
+#include "common/strings.h"
+
+namespace blitz {
+
+Status ExecTable::AddJoinColumn(int predicate_id,
+                                std::vector<std::uint32_t> values) {
+  if (values.size() != num_rows_) {
+    return Status::InvalidArgument(
+        StrFormat("column for predicate %d has %zu values, table has %u rows",
+                  predicate_id, values.size(), num_rows_));
+  }
+  if (HasColumn(predicate_id)) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate column for predicate %d", predicate_id));
+  }
+  columns_.emplace_back(predicate_id, std::move(values));
+  return Status::OK();
+}
+
+bool ExecTable::HasColumn(int predicate_id) const {
+  for (const auto& [id, values] : columns_) {
+    if (id == predicate_id) return true;
+  }
+  return false;
+}
+
+const std::vector<std::uint32_t>& ExecTable::Column(int predicate_id) const {
+  for (const auto& [id, values] : columns_) {
+    if (id == predicate_id) return values;
+  }
+  BLITZ_CHECK(false && "missing join column");
+  static const std::vector<std::uint32_t> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace blitz

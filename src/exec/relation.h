@@ -1,0 +1,42 @@
+#ifndef BLITZ_EXEC_RELATION_H_
+#define BLITZ_EXEC_RELATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace blitz {
+
+/// An in-memory base relation for the execution engine. Storage is columnar:
+/// one join-key column per predicate incident on the relation, identified by
+/// the predicate's index in JoinGraph::predicates(). (Payload columns are
+/// irrelevant to join-order validation and are omitted.)
+class ExecTable {
+ public:
+  ExecTable(int relation_index, std::uint32_t num_rows)
+      : relation_index_(relation_index), num_rows_(num_rows) {}
+
+  int relation_index() const { return relation_index_; }
+  std::uint32_t num_rows() const { return num_rows_; }
+
+  /// Attaches the join-key column for predicate `predicate_id`; the column
+  /// must have exactly num_rows() values and must not already exist.
+  Status AddJoinColumn(int predicate_id, std::vector<std::uint32_t> values);
+
+  bool HasColumn(int predicate_id) const;
+
+  /// The join-key column for `predicate_id`; the column must exist.
+  const std::vector<std::uint32_t>& Column(int predicate_id) const;
+
+ private:
+  int relation_index_;
+  std::uint32_t num_rows_;
+  std::vector<std::pair<int, std::vector<std::uint32_t>>> columns_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_EXEC_RELATION_H_

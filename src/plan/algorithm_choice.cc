@@ -1,0 +1,82 @@
+#include "plan/algorithm_choice.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace blitz {
+
+namespace {
+
+double ChooseRec(PlanNode* node, const std::vector<double>& cards,
+                 const JoinGraph& graph, CostModelKind kind) {
+  if (node->is_leaf()) return cards[node->relation()];
+  const double lhs_card = ChooseRec(node->left.get(), cards, graph, kind);
+  const double rhs_card = ChooseRec(node->right.get(), cards, graph, kind);
+  const double span = graph.PiSpan(node->left->set, node->right->set);
+  const double out_card = lhs_card * rhs_card * span;
+
+  if (!graph.AnyEdgeSpans(node->left->set, node->right->set)) {
+    node->algorithm = JoinAlgorithm::kCartesianProduct;
+    return out_card;
+  }
+  switch (kind) {
+    case CostModelKind::kNaive:
+      node->algorithm = JoinAlgorithm::kHash;
+      break;
+    case CostModelKind::kSortMerge:
+      node->algorithm = JoinAlgorithm::kSortMerge;
+      break;
+    case CostModelKind::kDiskNestedLoops:
+      node->algorithm = JoinAlgorithm::kNestedLoops;
+      break;
+    case CostModelKind::kHash:
+      node->algorithm = JoinAlgorithm::kHash;
+      break;
+    case CostModelKind::kMinSmDnl: {
+      const double sm = EvalJoinCost(CostModelKind::kSortMerge, out_card,
+                                     lhs_card, rhs_card);
+      const double dnl = EvalJoinCost(CostModelKind::kDiskNestedLoops,
+                                      out_card, lhs_card, rhs_card);
+      node->algorithm = sm <= dnl ? JoinAlgorithm::kSortMerge
+                                  : JoinAlgorithm::kNestedLoops;
+      break;
+    }
+    case CostModelKind::kMinAll: {
+      const double sm = EvalJoinCost(CostModelKind::kSortMerge, out_card,
+                                     lhs_card, rhs_card);
+      const double dnl = EvalJoinCost(CostModelKind::kDiskNestedLoops,
+                                      out_card, lhs_card, rhs_card);
+      const double hash =
+          EvalJoinCost(CostModelKind::kHash, out_card, lhs_card, rhs_card);
+      if (hash <= sm && hash <= dnl) {
+        node->algorithm = JoinAlgorithm::kHash;
+      } else if (sm <= dnl) {
+        node->algorithm = JoinAlgorithm::kSortMerge;
+      } else {
+        node->algorithm = JoinAlgorithm::kNestedLoops;
+      }
+      break;
+    }
+  }
+  return out_card;
+}
+
+}  // namespace
+
+void ChooseAlgorithms(PlanNode* node, const Catalog& catalog,
+                      const JoinGraph& graph, CostModelKind kind) {
+  std::vector<double> cards(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    cards[i] = catalog.cardinality(i);
+  }
+  ChooseRec(node, cards, graph, kind);
+}
+
+void ChooseAlgorithms(Plan* plan, const Catalog& catalog,
+                      const JoinGraph& graph, CostModelKind kind) {
+  BLITZ_CHECK(!plan->empty());
+  ChooseAlgorithms(&plan->mutable_root(), catalog, graph, kind);
+}
+
+}  // namespace blitz

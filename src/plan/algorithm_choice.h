@@ -1,0 +1,30 @@
+#ifndef BLITZ_PLAN_ALGORITHM_CHOICE_H_
+#define BLITZ_PLAN_ALGORITHM_CHOICE_H_
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// The Section 6.5 post-pass for multiple join algorithms: "On completion of
+/// optimization, a single traversal of the optimal plan suffices to attach
+/// the appropriate algorithm to each join node."
+///
+/// For the kMinSmDnl model each join node gets whichever of sort-merge /
+/// disk-nested-loops is cheaper for its operand cardinalities; for the
+/// single-algorithm models the corresponding algorithm is attached
+/// everywhere (hash for the naive model, which does not commit to a physical
+/// algorithm). Joins with no spanning predicate are marked as Cartesian
+/// products regardless of the model.
+void ChooseAlgorithms(PlanNode* node, const Catalog& catalog,
+                      const JoinGraph& graph, CostModelKind kind);
+
+/// Convenience overload on Plan.
+void ChooseAlgorithms(Plan* plan, const Catalog& catalog,
+                      const JoinGraph& graph, CostModelKind kind);
+
+}  // namespace blitz
+
+#endif  // BLITZ_PLAN_ALGORITHM_CHOICE_H_

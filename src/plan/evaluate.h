@@ -1,0 +1,42 @@
+#ifndef BLITZ_PLAN_EVALUATE_H_
+#define BLITZ_PLAN_EVALUATE_H_
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Direct (non-DP) plan analysis. These functions recompute cardinalities
+/// from the induced-subgraph definition of Section 5.1 and costs from the
+/// recursive definition of Equations (1)-(2), entirely independently of the
+/// recurrences used inside the optimizer — which makes them the reference
+/// implementation the DP is cross-checked against in tests.
+
+/// Estimated output cardinality of the subtree: product of base cardinalities
+/// and of the selectivities of all predicates wholly contained in its set.
+double EvaluateCardinality(const PlanNode& node, const Catalog& catalog,
+                           const JoinGraph& graph);
+
+/// Total plan cost in double precision: cost(R) = 0 for leaves;
+/// cost(E x E') = cost(E) + cost(E') + kappa([[E x E']], [[E]], [[E']]).
+double EvaluateCost(const PlanNode& node, const Catalog& catalog,
+                    const JoinGraph& graph, CostModelKind kind);
+
+/// Plan cost with the exact floating-point behavior of the blitzsplit inner
+/// loop (single-precision accumulation, kappa'' and kappa' rounded to float
+/// and added in the same order), so extracted plans can be compared for
+/// bit-exact equality against the DP table's cost column.
+float EvaluateCostFloat(const PlanNode& node, const Catalog& catalog,
+                        const JoinGraph& graph, CostModelKind kind);
+
+/// Convenience overloads on Plan.
+double EvaluateCost(const Plan& plan, const Catalog& catalog,
+                    const JoinGraph& graph, CostModelKind kind);
+float EvaluateCostFloat(const Plan& plan, const Catalog& catalog,
+                        const JoinGraph& graph, CostModelKind kind);
+
+}  // namespace blitz
+
+#endif  // BLITZ_PLAN_EVALUATE_H_

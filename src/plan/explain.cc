@@ -1,0 +1,122 @@
+#include "plan/explain.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+struct Walk {
+  const Catalog* catalog;
+  const JoinGraph* graph;
+  CostModelKind cost_model;
+  std::vector<double> base_cards;
+  std::string* text = nullptr;  ///< Null when only summarizing.
+  PlanSummary summary;
+
+  /// Returns (cardinality, cumulative cost) for the subtree.
+  std::pair<double, double> Visit(const PlanNode& node, int depth) {
+    if (node.is_leaf()) {
+      const double card = base_cards[node.relation()];
+      if (text != nullptr) {
+        text->append(static_cast<size_t>(depth) * 2, ' ');
+        text->append(StrFormat(
+            "scan %s  rows %.6g\n",
+            catalog->relation(node.relation()).name.c_str(), card));
+      }
+      return {card, 0.0};
+    }
+    const auto [lhs_card, lhs_cost] = Visit(*node.left, depth + 1);
+    const auto [rhs_card, rhs_cost] = Visit(*node.right, depth + 1);
+    const double span = graph->PiSpan(node.left->set, node.right->set);
+    const double out_card = lhs_card * rhs_card * span;
+    const double kappa =
+        EvalJoinCost(cost_model, out_card, lhs_card, rhs_card);
+    const double total = lhs_cost + rhs_cost + kappa;
+
+    ++summary.joins;
+    summary.max_intermediate_cardinality =
+        std::max(summary.max_intermediate_cardinality, out_card);
+
+    // Collect the predicates applied at this join.
+    std::string predicates;
+    for (const Predicate& p : graph->predicates()) {
+      const bool spans = (node.left->set.Contains(p.lhs) &&
+                          node.right->set.Contains(p.rhs)) ||
+                         (node.left->set.Contains(p.rhs) &&
+                          node.right->set.Contains(p.lhs));
+      if (!spans) continue;
+      if (!predicates.empty()) predicates += " AND ";
+      predicates += StrFormat("%s=%s",
+                              catalog->relation(p.lhs).name.c_str(),
+                              catalog->relation(p.rhs).name.c_str());
+    }
+    if (predicates.empty()) {
+      ++summary.cartesian_products;
+      predicates = "(Cartesian product)";
+    }
+
+    if (text != nullptr) {
+      text->append(static_cast<size_t>(depth) * 2, ' ');
+      text->append(StrFormat(
+          "%s %s  rows %.6g  kappa %.6g  cumulative %.6g  on %s\n",
+          JoinAlgorithmToString(node.algorithm), node.set.ToString().c_str(),
+          out_card, kappa, total, predicates.c_str()));
+    }
+    return {out_card, total};
+  }
+};
+
+Walk MakeWalk(const Catalog& catalog, const JoinGraph& graph,
+              CostModelKind cost_model) {
+  Walk walk;
+  walk.catalog = &catalog;
+  walk.graph = &graph;
+  walk.cost_model = cost_model;
+  walk.base_cards.resize(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    walk.base_cards[i] = catalog.cardinality(i);
+  }
+  return walk;
+}
+
+}  // namespace
+
+PlanSummary SummarizePlan(const Plan& plan, const Catalog& catalog,
+                          const JoinGraph& graph, CostModelKind cost_model) {
+  BLITZ_CHECK(!plan.empty());
+  Walk walk = MakeWalk(catalog, graph, cost_model);
+  const auto [card, cost] = walk.Visit(plan.root(), 0);
+  walk.summary.result_cardinality = card;
+  walk.summary.total_cost = cost;
+  walk.summary.depth = plan.Depth();
+  walk.summary.left_deep = plan.IsLeftDeep();
+  return walk.summary;
+}
+
+std::string ExplainPlan(const Plan& plan, const Catalog& catalog,
+                        const JoinGraph& graph, CostModelKind cost_model) {
+  BLITZ_CHECK(!plan.empty());
+  Walk walk = MakeWalk(catalog, graph, cost_model);
+  std::string body;
+  walk.text = &body;
+  const auto [card, cost] = walk.Visit(plan.root(), 0);
+
+  std::string out = StrFormat(
+      "join plan (%s cost model), total cost %.6g\n"
+      "%d join%s, %d Cartesian product%s, %s (depth %d), result rows %.6g,"
+      " peak intermediate %.6g\n\n",
+      CostModelKindToString(cost_model), cost, walk.summary.joins,
+      walk.summary.joins == 1 ? "" : "s", walk.summary.cartesian_products,
+      walk.summary.cartesian_products == 1 ? "" : "s",
+      plan.IsLeftDeep() ? "left-deep" : "bushy", plan.Depth(), card,
+      walk.summary.max_intermediate_cardinality);
+  out += body;
+  return out;
+}
+
+}  // namespace blitz

@@ -1,0 +1,47 @@
+#ifndef BLITZ_PLAN_EXPLAIN_H_
+#define BLITZ_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Produces an EXPLAIN-style report for a plan: one line per operator with
+/// estimated cardinality, per-join kappa, cumulative cost, the predicates
+/// applied at each join (exactly the spanning predicates, per Section 5.1),
+/// and Cartesian-product markers. Example:
+///
+///   join plan (naive cost model), total cost 241000
+///   2 joins, 0 with predicates, 2 Cartesian products, bushy (depth 2)
+///
+///   product {A,D}                           rows 400        kappa 400 ...
+///
+/// Intended for CLI/debugging output; everything it prints is recomputed by
+/// the independent evaluator (not read from a DP table), so it can explain
+/// plans from any optimizer or parser.
+std::string ExplainPlan(const Plan& plan, const Catalog& catalog,
+                        const JoinGraph& graph, CostModelKind cost_model);
+
+/// Summary numbers extracted by ExplainPlan, available programmatically.
+struct PlanSummary {
+  double total_cost = 0;
+  double result_cardinality = 0;
+  int joins = 0;
+  int cartesian_products = 0;
+  int depth = 0;
+  bool left_deep = false;
+  /// Largest estimated intermediate-result cardinality in the plan.
+  double max_intermediate_cardinality = 0;
+};
+
+/// Computes the summary without rendering text.
+PlanSummary SummarizePlan(const Plan& plan, const Catalog& catalog,
+                          const JoinGraph& graph, CostModelKind cost_model);
+
+}  // namespace blitz
+
+#endif  // BLITZ_PLAN_EXPLAIN_H_

@@ -1,0 +1,194 @@
+#include "plan/plan.h"
+
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace blitz {
+
+const char* JoinAlgorithmToString(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kUnspecified:
+      return "join";
+    case JoinAlgorithm::kCartesianProduct:
+      return "product";
+    case JoinAlgorithm::kNestedLoops:
+      return "nested-loops";
+    case JoinAlgorithm::kSortMerge:
+      return "sort-merge";
+    case JoinAlgorithm::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+Plan Plan::Leaf(int relation) {
+  auto node = std::make_unique<PlanNode>();
+  node->set = RelSet::Singleton(relation);
+  return Plan(std::move(node));
+}
+
+Plan Plan::Join(Plan lhs, Plan rhs) {
+  BLITZ_CHECK(!lhs.empty() && !rhs.empty());
+  BLITZ_CHECK(!lhs.relations().Intersects(rhs.relations()));
+  auto node = std::make_unique<PlanNode>();
+  node->set = lhs.relations() | rhs.relations();
+  node->left = std::move(lhs.root_);
+  node->right = std::move(rhs.root_);
+  return Plan(std::move(node));
+}
+
+namespace {
+
+Result<std::unique_ptr<PlanNode>> ExtractNode(const DpTable& table, RelSet s) {
+  auto node = std::make_unique<PlanNode>();
+  node->set = s;
+  if (s.IsSingleton()) return node;
+  if (table.rejected(s)) {
+    return Status::NotFound(
+        StrFormat("no plan for %s survived the cost threshold",
+                  s.ToString().c_str()));
+  }
+  const RelSet lhs = table.best_lhs(s);
+  BLITZ_CHECK(!lhs.empty() && lhs.IsProperSubsetOf(s));
+  Result<std::unique_ptr<PlanNode>> left = ExtractNode(table, lhs);
+  if (!left.ok()) return left.status();
+  Result<std::unique_ptr<PlanNode>> right = ExtractNode(table, s - lhs);
+  if (!right.ok()) return right.status();
+  node->left = std::move(left).value();
+  node->right = std::move(right).value();
+  return node;
+}
+
+std::unique_ptr<PlanNode> CloneNode(const PlanNode& node) {
+  auto copy = std::make_unique<PlanNode>();
+  copy->set = node.set;
+  copy->algorithm = node.algorithm;
+  copy->sort_class = node.sort_class;
+  if (!node.is_leaf()) {
+    copy->left = CloneNode(*node.left);
+    copy->right = CloneNode(*node.right);
+  }
+  return copy;
+}
+
+}  // namespace
+
+Result<Plan> Plan::ExtractFromTable(const DpTable& table, RelSet s) {
+  if (s.empty() || !table.AllRelations().ContainsAll(s)) {
+    return Status::InvalidArgument("set " + s.ToString() +
+                                   " is not a nonempty subset of the table");
+  }
+  Result<std::unique_ptr<PlanNode>> root = ExtractNode(table, s);
+  if (!root.ok()) return root.status();
+  return Plan(std::move(root).value());
+}
+
+Result<Plan> Plan::ExtractFromTable(const DpTable& table) {
+  return ExtractFromTable(table, table.AllRelations());
+}
+
+int Plan::NumLeaves() const {
+  return root_ == nullptr ? 0 : root_->set.size();
+}
+
+int Plan::Depth() const {
+  std::function<int(const PlanNode&)> depth = [&](const PlanNode& node) {
+    if (node.is_leaf()) return 0;
+    return 1 + std::max(depth(*node.left), depth(*node.right));
+  };
+  return root_ == nullptr ? 0 : depth(*root_);
+}
+
+bool Plan::IsLeftDeep() const {
+  if (root_ == nullptr) return true;
+  const PlanNode* node = root_.get();
+  while (!node->is_leaf()) {
+    if (!node->right->is_leaf()) return false;
+    node = node->left.get();
+  }
+  return true;
+}
+
+int Plan::CountCartesianProducts(const JoinGraph& graph) const {
+  std::function<int(const PlanNode&)> count = [&](const PlanNode& node) {
+    if (node.is_leaf()) return 0;
+    const int below = count(*node.left) + count(*node.right);
+    return below +
+           (graph.AnyEdgeSpans(node.left->set, node.right->set) ? 0 : 1);
+  };
+  return root_ == nullptr ? 0 : count(*root_);
+}
+
+Plan Plan::Clone() const {
+  if (root_ == nullptr) return Plan();
+  return Plan(CloneNode(*root_));
+}
+
+bool Plan::StructurallyEquals(const Plan& other) const {
+  std::function<bool(const PlanNode*, const PlanNode*)> eq =
+      [&](const PlanNode* a, const PlanNode* b) {
+        if (a == nullptr || b == nullptr) return a == b;
+        if (a->set != b->set) return false;
+        if (a->is_leaf() != b->is_leaf()) return false;
+        if (a->is_leaf()) return true;
+        return eq(a->left.get(), b->left.get()) &&
+               eq(a->right.get(), b->right.get());
+      };
+  return eq(root_.get(), other.root_.get());
+}
+
+namespace {
+
+std::string LeafName(const PlanNode& node, const Catalog* catalog) {
+  if (catalog != nullptr && node.relation() < catalog->num_relations()) {
+    return catalog->relation(node.relation()).name;
+  }
+  return "R" + std::to_string(node.relation());
+}
+
+void RenderInfix(const PlanNode& node, const Catalog* catalog,
+                 std::string* out) {
+  if (node.is_leaf()) {
+    *out += LeafName(node, catalog);
+    return;
+  }
+  *out += "(";
+  RenderInfix(*node.left, catalog, out);
+  *out += " x ";
+  RenderInfix(*node.right, catalog, out);
+  *out += ")";
+}
+
+void RenderTree(const PlanNode& node, const Catalog* catalog, int indent,
+                std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (node.is_leaf()) {
+    *out += "scan " + LeafName(node, catalog) + "\n";
+    return;
+  }
+  *out += JoinAlgorithmToString(node.algorithm);
+  *out += " " + node.set.ToString() + "\n";
+  RenderTree(*node.left, catalog, indent + 1, out);
+  RenderTree(*node.right, catalog, indent + 1, out);
+}
+
+}  // namespace
+
+std::string Plan::ToString(const Catalog* catalog) const {
+  if (root_ == nullptr) return "(empty)";
+  std::string out;
+  RenderInfix(*root_, catalog, &out);
+  return out;
+}
+
+std::string Plan::ToTreeString(const Catalog* catalog) const {
+  if (root_ == nullptr) return "(empty)\n";
+  std::string out;
+  RenderTree(*root_, catalog, 0, &out);
+  return out;
+}
+
+}  // namespace blitz

@@ -1,0 +1,118 @@
+#ifndef BLITZ_PLAN_PLAN_H_
+#define BLITZ_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/dp_table.h"
+#include "core/relset.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Physical join algorithm attached to a join node by the Section 6.5
+/// post-pass (see plan/algorithm_choice.h). kUnspecified until attached.
+enum class JoinAlgorithm {
+  kUnspecified,
+  kCartesianProduct,  ///< No predicate spans the operands.
+  kNestedLoops,
+  kSortMerge,
+  kHash,
+};
+
+const char* JoinAlgorithmToString(JoinAlgorithm algorithm);
+
+/// A node of a (bushy) plan tree. A leaf scans one base relation; an inner
+/// node joins its two children. Passive data; plans are built and owned via
+/// the Plan wrapper.
+struct PlanNode {
+  /// The set of base relations this subtree produces.
+  RelSet set;
+
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  /// Physical algorithm (inner nodes only); set by ChooseAlgorithms.
+  JoinAlgorithm algorithm = JoinAlgorithm::kUnspecified;
+
+  /// Attribute class this node's output is sorted on (-1 = none). Set by
+  /// the order-aware optimizer (api/interesting_orders.h) on sort-merge
+  /// nodes.
+  int sort_class = -1;
+
+  bool is_leaf() const { return left == nullptr; }
+
+  /// The base-relation index of a leaf.
+  int relation() const { return set.Min(); }
+};
+
+/// An immutable join-order plan: an operator tree over a set of base
+/// relations. Move-only; use Clone() for an explicit deep copy.
+class Plan {
+ public:
+  Plan() = default;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// A single-relation plan.
+  static Plan Leaf(int relation);
+
+  /// Joins two plans (which must cover disjoint relation sets).
+  static Plan Join(Plan lhs, Plan rhs);
+
+  /// Reads the optimal plan for subset `s` out of a filled DP table by
+  /// recursively following best_lhs links (the extraction procedure of
+  /// Section 3.1). Fails if `s` was rejected (no plan under the threshold).
+  static Result<Plan> ExtractFromTable(const DpTable& table, RelSet s);
+
+  /// Extraction for the full relation set of the table.
+  static Result<Plan> ExtractFromTable(const DpTable& table);
+
+  bool empty() const { return root_ == nullptr; }
+  const PlanNode& root() const { return *root_; }
+  PlanNode& mutable_root() { return *root_; }
+
+  /// The set of base relations the plan covers.
+  RelSet relations() const { return root_ == nullptr ? RelSet() : root_->set; }
+
+  int NumLeaves() const;
+  int NumJoins() const { return NumLeaves() - 1; }
+
+  /// Height of the operator tree (a leaf has depth 0).
+  int Depth() const;
+
+  /// True if every join's right operand is a base relation — the "left-deep
+  /// vine" shape of [IK91] that many optimizers restrict themselves to.
+  bool IsLeftDeep() const;
+
+  /// Number of join nodes with no predicate spanning their operands, i.e.
+  /// Cartesian products under `graph`.
+  int CountCartesianProducts(const JoinGraph& graph) const;
+
+  Plan Clone() const;
+
+  /// Structural equality (same shapes, same leaf relations; algorithms are
+  /// ignored).
+  bool StructurallyEquals(const Plan& other) const;
+
+  /// Compact infix rendering, e.g. "((R0 x R3) x (R1 x R2))". With a catalog,
+  /// relation names are used instead of R<i>.
+  std::string ToString(const Catalog* catalog = nullptr) const;
+
+  /// Multi-line indented tree rendering with per-node relation sets and,
+  /// when attached, algorithms.
+  std::string ToTreeString(const Catalog* catalog = nullptr) const;
+
+ private:
+  explicit Plan(std::unique_ptr<PlanNode> root) : root_(std::move(root)) {}
+
+  std::unique_ptr<PlanNode> root_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_PLAN_PLAN_H_

@@ -1,0 +1,154 @@
+#include "plan/serialize.h"
+
+#include <cctype>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+void SerializeNode(const PlanNode& node, const Catalog* catalog,
+                   std::string* out) {
+  if (node.is_leaf()) {
+    if (catalog != nullptr && node.relation() < catalog->num_relations()) {
+      *out += catalog->relation(node.relation()).name;
+    } else {
+      *out += "R" + std::to_string(node.relation());
+    }
+    return;
+  }
+  *out += "(";
+  SerializeNode(*node.left, catalog, out);
+  *out += " ";
+  SerializeNode(*node.right, catalog, out);
+  *out += ")";
+  if (node.algorithm != JoinAlgorithm::kUnspecified) {
+    *out += "@";
+    *out += JoinAlgorithmToString(node.algorithm);
+  }
+}
+
+/// Recursive-descent parser over the s-expression grammar.
+class Parser {
+ public:
+  Parser(std::string_view text, const Catalog* catalog)
+      : text_(text), catalog_(catalog) {}
+
+  Result<Plan> Parse() {
+    SkipSpace();
+    Result<Plan> plan = ParseNode();
+    if (!plan.ok()) return plan;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after plan");
+    }
+    return plan;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("plan parse error at offset %zu: %s", pos_,
+                  message.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool IsIdentifierChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-';
+  }
+
+  Result<Plan> ParseNode() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    if (text_[pos_] == '(') return ParseJoin();
+    return ParseLeaf();
+  }
+
+  Result<Plan> ParseLeaf() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentifierChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected relation name");
+    const std::string name(text_.substr(start, pos_ - start));
+    int relation = -1;
+    if (catalog_ != nullptr) relation = catalog_->FindByName(name);
+    if (relation < 0 && name.size() >= 2 && name[0] == 'R') {
+      int index = 0;
+      if (ParseInt(std::string_view(name).substr(1), &index)) {
+        relation = index;
+      }
+    }
+    if (relation < 0 || relation >= kMaxRelations) {
+      return Error("unknown relation: " + name);
+    }
+    if (seen_.Contains(relation)) {
+      return Error("relation appears twice: " + name);
+    }
+    seen_ = seen_.With(relation);
+    return Plan::Leaf(relation);
+  }
+
+  Result<Plan> ParseJoin() {
+    ++pos_;  // consume '('
+    Result<Plan> left = ParseNode();
+    if (!left.ok()) return left;
+    SkipSpace();
+    Result<Plan> right = ParseNode();
+    if (!right.ok()) return right;
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Error("expected ')'");
+    }
+    ++pos_;
+    Plan join = Plan::Join(std::move(left).value(), std::move(right).value());
+    if (pos_ < text_.size() && text_[pos_] == '@') {
+      ++pos_;
+      const size_t start = pos_;
+      while (pos_ < text_.size() && IsIdentifierChar(text_[pos_])) ++pos_;
+      const std::string_view name = text_.substr(start, pos_ - start);
+      JoinAlgorithm algorithm;
+      if (name == "hash") {
+        algorithm = JoinAlgorithm::kHash;
+      } else if (name == "sort-merge") {
+        algorithm = JoinAlgorithm::kSortMerge;
+      } else if (name == "nested-loops") {
+        algorithm = JoinAlgorithm::kNestedLoops;
+      } else if (name == "product") {
+        algorithm = JoinAlgorithm::kCartesianProduct;
+      } else {
+        return Error("unknown algorithm: " + std::string(name));
+      }
+      join.mutable_root().algorithm = algorithm;
+    }
+    return join;
+  }
+
+  std::string_view text_;
+  const Catalog* catalog_;
+  size_t pos_ = 0;
+  RelSet seen_;
+};
+
+}  // namespace
+
+std::string SerializePlan(const Plan& plan, const Catalog* catalog) {
+  if (plan.empty()) return "()";
+  std::string out;
+  SerializeNode(plan.root(), catalog, &out);
+  return out;
+}
+
+Result<Plan> ParsePlan(std::string_view text, const Catalog* catalog) {
+  return Parser(text, catalog).Parse();
+}
+
+}  // namespace blitz

@@ -1,0 +1,32 @@
+#ifndef BLITZ_PLAN_SERIALIZE_H_
+#define BLITZ_PLAN_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace blitz {
+
+/// Serializes a plan to a compact s-expression:
+///
+///   plan := leaf | "(" plan " " plan ")" [ "@" algorithm ]
+///   leaf := relation name (catalog given) or R<i>
+///
+/// e.g. "((A B)@hash (C D)@sort-merge)@nested-loops". The "@algorithm"
+/// suffix is emitted only for annotated nodes. Round-trips through
+/// ParsePlan.
+std::string SerializePlan(const Plan& plan, const Catalog* catalog = nullptr);
+
+/// Parses the SerializePlan format. Relation names are resolved through the
+/// catalog when given (falling back to R<i> syntax); without a catalog only
+/// the R<i> syntax is accepted. Validates that each relation appears at
+/// most once.
+Result<Plan> ParsePlan(std::string_view text,
+                       const Catalog* catalog = nullptr);
+
+}  // namespace blitz
+
+#endif  // BLITZ_PLAN_SERIALIZE_H_

@@ -1,0 +1,133 @@
+#include "query/equivalence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+JoinSpecBuilder::JoinSpecBuilder(int num_relations, EquivalencePolicy policy)
+    : num_relations_(num_relations), policy_(policy) {}
+
+Status JoinSpecBuilder::AddPredicate(int i, int j, double selectivity) {
+  if (i < 0 || i >= num_relations_ || j < 0 || j >= num_relations_ ||
+      i == j) {
+    return Status::InvalidArgument(
+        StrFormat("bad predicate endpoints (%d,%d)", i, j));
+  }
+  if (!(selectivity > 0.0) || selectivity > 1.0 ||
+      !std::isfinite(selectivity)) {
+    return Status::InvalidArgument(
+        StrFormat("selectivity %g outside (0,1]", selectivity));
+  }
+  plain_predicates_.push_back(
+      {std::min(i, j), std::max(i, j), selectivity});
+  return Status::OK();
+}
+
+Status JoinSpecBuilder::AddEquivalenceClass(
+    std::vector<int> relations, std::vector<double> distinct_counts) {
+  if (relations.size() < 2) {
+    return Status::InvalidArgument(
+        "equivalence class needs at least 2 members");
+  }
+  if (relations.size() != distinct_counts.size()) {
+    return Status::InvalidArgument(
+        "one distinct count per class member required");
+  }
+  std::set<int> seen;
+  for (size_t m = 0; m < relations.size(); ++m) {
+    if (relations[m] < 0 || relations[m] >= num_relations_) {
+      return Status::OutOfRange(
+          StrFormat("relation %d out of range", relations[m]));
+    }
+    if (!seen.insert(relations[m]).second) {
+      return Status::InvalidArgument(
+          StrFormat("relation %d appears twice in one class",
+                    relations[m]));
+    }
+    if (!(distinct_counts[m] >= 1.0) || !std::isfinite(distinct_counts[m])) {
+      return Status::InvalidArgument(
+          StrFormat("distinct count %g must be >= 1", distinct_counts[m]));
+    }
+  }
+  classes_.push_back({std::move(relations), std::move(distinct_counts)});
+  return Status::OK();
+}
+
+double EquivalenceClassJoinFactor(
+    const std::vector<double>& distinct_counts) {
+  double product = 1.0;
+  double min_d = distinct_counts.empty() ? 1.0 : distinct_counts[0];
+  for (const double d : distinct_counts) {
+    product *= d;
+    min_d = std::min(min_d, d);
+  }
+  return min_d / product;
+}
+
+Result<JoinGraph> JoinSpecBuilder::Build() const {
+  // Accumulate the merged selectivity per relation pair.
+  std::vector<double> merged(
+      static_cast<size_t>(num_relations_) * num_relations_, 1.0);
+  std::vector<bool> present(merged.size(), false);
+  auto accumulate = [&](int a, int b, double selectivity) {
+    const size_t slot_ab = static_cast<size_t>(a) * num_relations_ + b;
+    const size_t slot_ba = static_cast<size_t>(b) * num_relations_ + a;
+    merged[slot_ab] *= selectivity;
+    merged[slot_ba] = merged[slot_ab];
+    present[slot_ab] = present[slot_ba] = true;
+  };
+
+  for (const Predicate& p : plain_predicates_) {
+    accumulate(p.lhs, p.rhs, p.selectivity);
+  }
+
+  for (const EquivalenceClass& cls : classes_) {
+    const size_t k = cls.relations.size();
+    // Member order sorted by ascending distinct count (used by the
+    // calibrated policy; harmless for pairwise).
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cls.distinct_counts[a] < cls.distinct_counts[b];
+    });
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        const int rel_a = cls.relations[order[a]];
+        const int rel_b = cls.relations[order[b]];
+        double selectivity;
+        if (policy_ == EquivalencePolicy::kPairwise) {
+          selectivity = 1.0 / std::max(cls.distinct_counts[order[a]],
+                                       cls.distinct_counts[order[b]]);
+        } else {
+          // Calibrated: consecutive sorted members carry the class's whole
+          // selectivity mass (1 / larger distinct count each); implied
+          // edges are pure connectivity (selectivity 1).
+          selectivity = (b == a + 1)
+                            ? 1.0 / cls.distinct_counts[order[b]]
+                            : 1.0;
+        }
+        accumulate(rel_a, rel_b, selectivity);
+      }
+    }
+  }
+
+  JoinGraph graph(num_relations_);
+  for (int i = 0; i < num_relations_; ++i) {
+    for (int j = i + 1; j < num_relations_; ++j) {
+      const size_t slot = static_cast<size_t>(i) * num_relations_ + j;
+      if (present[slot]) {
+        BLITZ_RETURN_IF_ERROR(
+            graph.AddPredicate(i, j, std::min(merged[slot], 1.0)));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace blitz

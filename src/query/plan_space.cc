@@ -1,0 +1,56 @@
+#include "query/plan_space.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blitz {
+
+namespace {
+
+double Factorial(int n) {
+  double out = 1;
+  for (int i = 2; i <= n; ++i) out *= i;
+  return out;
+}
+
+}  // namespace
+
+double NumLeftDeepPlans(int n) {
+  BLITZ_CHECK(n >= 0);
+  return Factorial(n);
+}
+
+double NumBushyPlans(int n) {
+  BLITZ_CHECK(n >= 0);
+  if (n <= 1) return n == 0 ? 0 : 1;
+  // (2n-2)! / (n-1)!.
+  double out = 1;
+  for (int i = n; i <= 2 * n - 2; ++i) out *= i;
+  return out;
+}
+
+double NumBushyPlansUpToCommutativity(int n) {
+  BLITZ_CHECK(n >= 0);
+  if (n <= 1) return n == 0 ? 0 : 1;
+  double out = 1;
+  for (int i = 3; i <= 2 * n - 3; i += 2) out *= i;
+  return out;
+}
+
+double NumDpSplits(int n) {
+  BLITZ_CHECK(n >= 0);
+  return std::pow(3.0, n) - 2.0 * std::pow(2.0, n) + 1.0;
+}
+
+double NumLeftDeepDpJoins(int n) {
+  BLITZ_CHECK(n >= 0);
+  return n * std::pow(2.0, n - 1) - n;
+}
+
+double NumDpTableRows(int n) {
+  BLITZ_CHECK(n >= 0);
+  return std::pow(2.0, n) - 1.0;
+}
+
+}  // namespace blitz

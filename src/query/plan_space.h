@@ -1,0 +1,40 @@
+#ifndef BLITZ_QUERY_PLAN_SPACE_H_
+#define BLITZ_QUERY_PLAN_SPACE_H_
+
+#include <cstdint>
+
+namespace blitz {
+
+/// Closed-form sizes of the join-order search spaces discussed in the
+/// paper's introduction and related-work sections ([IK91]'s left-deep vs
+/// bushy comparison, [OL90]'s enumeration counts). Values are returned as
+/// doubles because they overflow 64-bit integers quickly (the bushy space
+/// at n = 15 already has ~2.0e14 shapes x orders).
+
+/// Number of left-deep plans over n distinct relations: n!.
+double NumLeftDeepPlans(int n);
+
+/// Number of bushy plans over n distinct relations, counting both tree
+/// shape and leaf order and distinguishing left/right children:
+/// n! * Catalan(n-1) = (2n-2)! / (n-1)!.
+double NumBushyPlans(int n);
+
+/// Number of unordered binary tree shapes over n distinct leaves (plans up
+/// to commutativity): (2n-3)!! = 1*3*5*...*(2n-3) for n >= 2; 1 for n <= 1.
+double NumBushyPlansUpToCommutativity(int n);
+
+/// Join pairs a bushy dynamic programming enumerator evaluates over all
+/// subsets (both orientations), with Cartesian products allowed:
+/// 3^n - 2^(n+1) + 1 — the paper's aggregate loop count (Section 3.3).
+double NumDpSplits(int n);
+
+/// Join candidates a left-deep DP enumerates: sum over non-singleton
+/// subsets of |S| = n 2^(n-1) - n.
+double NumLeftDeepDpJoins(int n);
+
+/// Number of table rows a subset DP allocates: 2^n - 1 nonempty subsets.
+double NumDpTableRows(int n);
+
+}  // namespace blitz
+
+#endif  // BLITZ_QUERY_PLAN_SPACE_H_

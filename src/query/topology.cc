@@ -1,0 +1,152 @@
+#include "query/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace blitz {
+
+const char* TopologyToString(Topology t) {
+  switch (t) {
+    case Topology::kChain:
+      return "chain";
+    case Topology::kCycle:
+      return "cycle";
+    case Topology::kCyclePlus3:
+      return "cycle+3";
+    case Topology::kStar:
+      return "star";
+    case Topology::kClique:
+      return "clique";
+    case Topology::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+Result<Topology> ParseTopology(std::string_view s) {
+  if (s == "chain") return Topology::kChain;
+  if (s == "cycle") return Topology::kCycle;
+  if (s == "cycle+3" || s == "cycle3") return Topology::kCyclePlus3;
+  if (s == "star") return Topology::kStar;
+  if (s == "clique") return Topology::kClique;
+  if (s == "grid") return Topology::kGrid;
+  return Status::InvalidArgument("unknown topology: " + std::string(s));
+}
+
+std::vector<int> ChainOrder(int n) {
+  std::vector<int> order;
+  order.reserve(n);
+  const int h = (n + 1) / 2;
+  for (int i = 0; i < h; ++i) {
+    order.push_back(i);
+    if (h + i < n) order.push_back(h + i);
+  }
+  return order;
+}
+
+namespace {
+
+using EdgeList = std::vector<std::pair<int, int>>;
+
+void AddEdge(EdgeList* edges, int a, int b) {
+  edges->push_back({std::min(a, b), std::max(a, b)});
+}
+
+EdgeList ChainEdges(int n) {
+  const std::vector<int> order = ChainOrder(n);
+  EdgeList edges;
+  for (int i = 0; i + 1 < n; ++i) AddEdge(&edges, order[i], order[i + 1]);
+  return edges;
+}
+
+}  // namespace
+
+Result<EdgeList> MakeTopologyEdges(Topology t, int n) {
+  switch (t) {
+    case Topology::kChain: {
+      if (n < 2) return Status::InvalidArgument("chain needs n >= 2");
+      return ChainEdges(n);
+    }
+    case Topology::kCycle: {
+      if (n < 3) return Status::InvalidArgument("cycle needs n >= 3");
+      EdgeList edges = ChainEdges(n);
+      const std::vector<int> order = ChainOrder(n);
+      AddEdge(&edges, order.front(), order.back());
+      return edges;
+    }
+    case Topology::kCyclePlus3: {
+      // The Appendix's "cycle+3" for n = 15 closes the chain
+      // (R0-R7) and adds cross-edges R8-R14, R1-R6, R9-R13 — i.e. chain
+      // positions (j, n-1-j) for j = 0 (the closure) and j = 1, 2, 3.
+      if (n < 9) return Status::InvalidArgument("cycle+3 needs n >= 9");
+      EdgeList edges = ChainEdges(n);
+      const std::vector<int> order = ChainOrder(n);
+      for (int j = 0; j <= 3; ++j) {
+        AddEdge(&edges, order[j], order[n - 1 - j]);
+      }
+      return edges;
+    }
+    case Topology::kStar: {
+      if (n < 2) return Status::InvalidArgument("star needs n >= 2");
+      EdgeList edges;
+      const int hub = n - 1;  // "Star graphs have predicate connections
+                              // between the hub R14 and each other relation."
+      for (int i = 0; i < hub; ++i) AddEdge(&edges, hub, i);
+      return edges;
+    }
+    case Topology::kClique: {
+      if (n < 2) return Status::InvalidArgument("clique needs n >= 2");
+      EdgeList edges;
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) AddEdge(&edges, i, j);
+      }
+      return edges;
+    }
+    case Topology::kGrid: {
+      if (n < 4) return Status::InvalidArgument("grid needs n >= 4");
+      // Near-square lattice: cols = ceil(sqrt(n)).
+      const int cols = static_cast<int>(std::ceil(std::sqrt(n)));
+      EdgeList edges;
+      for (int i = 0; i < n; ++i) {
+        const int row = i / cols;
+        const int col = i % cols;
+        if (col + 1 < cols && i + 1 < n) AddEdge(&edges, i, i + 1);
+        if ((row + 1) * cols + col < n) AddEdge(&edges, i, i + cols);
+      }
+      return edges;
+    }
+  }
+  return Status::InvalidArgument("unknown topology");
+}
+
+EdgeList MakeRandomConnectedEdges(int n, double extra_edge_prob, Rng* rng) {
+  BLITZ_CHECK(n >= 1);
+  EdgeList edges;
+  std::vector<bool> present(static_cast<size_t>(n) * n, false);
+  auto mark = [&](int a, int b) {
+    present[static_cast<size_t>(a) * n + b] = true;
+    present[static_cast<size_t>(b) * n + a] = true;
+  };
+  // Random spanning tree: attach each node to a random earlier node.
+  for (int i = 1; i < n; ++i) {
+    const int j = rng->NextInt(0, i - 1);
+    AddEdge(&edges, i, j);
+    mark(i, j);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!present[static_cast<size_t>(i) * n + j] &&
+          rng->NextBool(extra_edge_prob)) {
+        AddEdge(&edges, i, j);
+        mark(i, j);
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace blitz

@@ -1,0 +1,51 @@
+#ifndef BLITZ_QUERY_TOPOLOGY_H_
+#define BLITZ_QUERY_TOPOLOGY_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace blitz {
+
+/// Join-graph shapes. The paper's benchmark uses chain, cycle+3, star, and
+/// clique (Section 6.1); cycle and grid are provided for additional studies.
+enum class Topology {
+  kChain,       ///< Appendix chain with the interleaved cardinality order.
+  kCycle,       ///< Chain closed into a cycle.
+  kCyclePlus3,  ///< Cycle augmented with three cross-edges ("cycle+3").
+  kStar,        ///< Hub R_{n-1} connected to every other relation.
+  kClique,      ///< Every pair connected.
+  kGrid,        ///< Near-square grid lattice.
+};
+
+const char* TopologyToString(Topology t);
+Result<Topology> ParseTopology(std::string_view s);
+
+/// All four paper topologies, in the order of the Figure 4 columns.
+inline constexpr Topology kPaperTopologies[] = {
+    Topology::kChain, Topology::kCyclePlus3, Topology::kStar,
+    Topology::kClique};
+
+/// The Appendix's chain visiting order, which interleaves low- and
+/// high-cardinality relations: for n = 15 it is
+/// R0-R8-R1-R9-R2-R10-R3-R11-R4-R12-R5-R13-R6-R14-R7.
+/// Generalized: alternate R_i and R_{h+i} with h = ceil(n/2).
+std::vector<int> ChainOrder(int n);
+
+/// Edge list (pairs with first < second) for the given topology over n
+/// relations. Fails if n is too small for the shape (chain/star need n >= 2,
+/// cycle n >= 3, cycle+3 n >= 9 so the cross-edges are distinct).
+Result<std::vector<std::pair<int, int>>> MakeTopologyEdges(Topology t, int n);
+
+/// A random connected graph: a random spanning tree plus each remaining pair
+/// independently with probability `extra_edge_prob`. Deterministic in the
+/// Rng state; used by property tests.
+std::vector<std::pair<int, int>> MakeRandomConnectedEdges(
+    int n, double extra_edge_prob, Rng* rng);
+
+}  // namespace blitz
+
+#endif  // BLITZ_QUERY_TOPOLOGY_H_

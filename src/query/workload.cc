@@ -1,0 +1,100 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace blitz {
+
+std::string WorkloadSpec::ToString() const {
+  return StrFormat("n=%d %s mean=%g var=%g", num_relations,
+                   TopologyToString(topology), mean_cardinality, variability);
+}
+
+std::vector<double> MakeCardinalityLadder(int n, double mean_cardinality,
+                                          double variability) {
+  BLITZ_CHECK(n >= 1);
+  std::vector<double> cards(n);
+  if (n == 1) {
+    cards[0] = mean_cardinality;
+    return cards;
+  }
+  // log|R_i| = (1 - variability) * log(mean) + i * step, with the step such
+  // that the average of the log-cardinalities equals log(mean).
+  const double log_mean = std::log(mean_cardinality);
+  const double log_first = (1.0 - variability) * log_mean;
+  const double step = 2.0 * variability * log_mean / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    cards[i] = std::exp(log_first + step * i);
+  }
+  return cards;
+}
+
+std::vector<double> MeanCardinalityGrid(int count) {
+  std::vector<double> grid(count);
+  for (int i = 0; i < count; ++i) {
+    grid[i] = std::pow(10.0, 2.0 * i / 3.0);
+  }
+  return grid;
+}
+
+std::vector<double> VariabilityGrid(int count) {
+  BLITZ_CHECK(count >= 2);
+  std::vector<double> grid(count);
+  for (int i = 0; i < count; ++i) {
+    grid[i] = static_cast<double>(i) / (count - 1);
+  }
+  return grid;
+}
+
+Result<Workload> MakeWorkload(const WorkloadSpec& spec) {
+  if (spec.num_relations < 1 || spec.num_relations > kMaxRelations) {
+    return Status::InvalidArgument(
+        StrFormat("num_relations %d outside [1, %d]", spec.num_relations,
+                  kMaxRelations));
+  }
+  if (!(spec.mean_cardinality >= 1.0) ||
+      !std::isfinite(spec.mean_cardinality)) {
+    return Status::InvalidArgument(
+        StrFormat("mean_cardinality %g must be >= 1", spec.mean_cardinality));
+  }
+  if (spec.variability < 0.0 || spec.variability > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("variability %g outside [0, 1]", spec.variability));
+  }
+
+  const int n = spec.num_relations;
+  const std::vector<double> cards =
+      MakeCardinalityLadder(n, spec.mean_cardinality, spec.variability);
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  if (!catalog.ok()) return catalog.status();
+
+  Result<std::vector<std::pair<int, int>>> edges =
+      MakeTopologyEdges(spec.topology, n);
+  if (!edges.ok()) return edges.status();
+
+  // Predicate degrees (the k_i of the Appendix's selectivity formula).
+  std::vector<int> degree(n, 0);
+  for (const auto& [a, b] : *edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  const int k = static_cast<int>(edges->size());
+
+  JoinGraph graph(n);
+  for (const auto& [a, b] : *edges) {
+    double selectivity = std::pow(spec.mean_cardinality, 1.0 / k) *
+                         std::pow(cards[a], -1.0 / degree[a]) *
+                         std::pow(cards[b], -1.0 / degree[b]);
+    // Guard against numeric drift past 1 in degenerate corners (e.g. mean
+    // cardinality exactly 1, where the formula gives exactly 1).
+    selectivity = std::min(selectivity, 1.0);
+    BLITZ_RETURN_IF_ERROR(graph.AddPredicate(a, b, selectivity));
+  }
+  return Workload{std::move(catalog).value(), std::move(graph)};
+}
+
+}  // namespace blitz

@@ -1,0 +1,60 @@
+#ifndef BLITZ_QUERY_WORKLOAD_H_
+#define BLITZ_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/join_graph.h"
+#include "query/topology.h"
+
+namespace blitz {
+
+/// One deterministic test point of the paper's Appendix parameterization:
+/// a topology over n relations, a geometric-mean cardinality, and a
+/// variability knob in [0, 1].
+///
+/// Cardinalities: |R_0| = mean^(1 - variability), successive ratios
+/// |R_i|/|R_{i-1}| constant, chosen so the geometric mean is `mean`
+/// (hence |R_{n-1}| = mean^(1 + variability)). R_0 gets the lowest
+/// cardinality and R_{n-1} the highest, as in the Appendix.
+///
+/// Selectivities: the predicate (if any) connecting R_i and R_j has
+/// selectivity mean^(1/k) * |R_i|^(-1/k_i) * |R_j|^(-1/k_j), where k is the
+/// total number of predicates and k_i the number incident on R_i. These
+/// yield a final query-result cardinality of exactly `mean`.
+struct WorkloadSpec {
+  int num_relations = 15;
+  Topology topology = Topology::kChain;
+  double mean_cardinality = 100.0;  ///< Geometric mean, must be >= 1.
+  double variability = 0.0;         ///< In [0, 1].
+
+  std::string ToString() const;
+};
+
+/// A generated optimization problem: catalog + join graph.
+struct Workload {
+  Catalog catalog;
+  JoinGraph graph;
+};
+
+/// Builds the catalog and join graph for `spec`. Selectivities are clamped
+/// to 1.0 in the (rare, degenerate) case the Appendix formula exceeds it.
+Result<Workload> MakeWorkload(const WorkloadSpec& spec);
+
+/// The base-relation cardinalities of `spec` (without building a graph).
+std::vector<double> MakeCardinalityLadder(int n, double mean_cardinality,
+                                          double variability);
+
+/// The paper's logarithmic mean-cardinality axis: 1, 4.64, 21.5, 100, 464,
+/// ... — successive points a factor 10^(2/3) apart (footnote 6).
+std::vector<double> MeanCardinalityGrid(int count);
+
+/// Evenly spaced variability axis over [0, 1] with `count` points
+/// (count >= 2), e.g. {0, 0.25, 0.5, 0.75, 1} for count = 5.
+std::vector<double> VariabilityGrid(int count);
+
+}  // namespace blitz
+
+#endif  // BLITZ_QUERY_WORKLOAD_H_

@@ -1,0 +1,235 @@
+#include "textio/bjq.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "catalog/filters.h"
+#include "common/strings.h"
+#include "query/equivalence.h"
+
+namespace blitz {
+
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument(StrFormat("line %d: %s", line,
+                                           message.c_str()));
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseBjq(std::string_view text) {
+  std::vector<RelationStats> relations;
+  struct PendingPredicate {
+    std::string a;
+    std::string b;
+    double selectivity;
+    int line;
+  };
+  std::vector<PendingPredicate> pending;
+  struct PendingEquivalence {
+    std::vector<std::string> names;
+    std::vector<double> distinct_counts;
+    int line;
+  };
+  std::vector<PendingEquivalence> pending_classes;
+  struct PendingFilter {
+    std::string name;
+    double selectivity;
+    int line;
+  };
+  std::vector<PendingFilter> pending_filters;
+  CostModelKind cost_model = CostModelKind::kNaive;
+  EquivalencePolicy policy = EquivalencePolicy::kCalibrated;
+  std::optional<float> threshold;
+
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_number;
+    std::string_view raw = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (end == text.size() && raw.empty()) break;
+
+    const size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = StrTrim(raw);
+    if (line.empty()) continue;
+
+    const std::vector<std::string> fields = StrSplit(line, ' ');
+    const std::string& directive = fields[0];
+    if (directive == "relation") {
+      if (fields.size() < 3 || fields.size() > 4) {
+        return LineError(line_number,
+                         "expected: relation <name> <cardinality> [<bytes>]");
+      }
+      RelationStats stats;
+      stats.name = fields[1];
+      if (!ParseDouble(fields[2], &stats.cardinality)) {
+        return LineError(line_number, "bad cardinality: " + fields[2]);
+      }
+      if (fields.size() == 4 && !ParseInt(fields[3], &stats.tuple_bytes)) {
+        return LineError(line_number, "bad tuple width: " + fields[3]);
+      }
+      relations.push_back(std::move(stats));
+    } else if (directive == "predicate") {
+      if (fields.size() != 4) {
+        return LineError(line_number,
+                         "expected: predicate <a> <b> <selectivity>");
+      }
+      double selectivity = 0;
+      if (!ParseDouble(fields[3], &selectivity)) {
+        return LineError(line_number, "bad selectivity: " + fields[3]);
+      }
+      pending.push_back({fields[1], fields[2], selectivity, line_number});
+    } else if (directive == "filter") {
+      if (fields.size() != 3) {
+        return LineError(line_number, "expected: filter <name> <selectivity>");
+      }
+      double selectivity = 0;
+      if (!ParseDouble(fields[2], &selectivity)) {
+        return LineError(line_number, "bad selectivity: " + fields[2]);
+      }
+      pending_filters.push_back({fields[1], selectivity, line_number});
+    } else if (directive == "equivalence") {
+      // equivalence <names...> : <distinct counts...>
+      PendingEquivalence cls;
+      cls.line = line_number;
+      size_t field = 1;
+      while (field < fields.size() && fields[field] != ":") {
+        cls.names.push_back(fields[field]);
+        ++field;
+      }
+      if (field >= fields.size()) {
+        return LineError(line_number,
+                         "expected ':' separating names from counts");
+      }
+      for (++field; field < fields.size(); ++field) {
+        double count = 0;
+        if (!ParseDouble(fields[field], &count)) {
+          return LineError(line_number,
+                           "bad distinct count: " + fields[field]);
+        }
+        cls.distinct_counts.push_back(count);
+      }
+      if (cls.names.size() < 2 ||
+          cls.names.size() != cls.distinct_counts.size()) {
+        return LineError(line_number,
+                         "equivalence needs >= 2 names and one distinct "
+                         "count per name");
+      }
+      pending_classes.push_back(std::move(cls));
+    } else if (directive == "policy") {
+      if (fields.size() != 2) {
+        return LineError(line_number, "expected: policy <name>");
+      }
+      if (fields[1] == "pairwise") {
+        policy = EquivalencePolicy::kPairwise;
+      } else if (fields[1] == "calibrated") {
+        policy = EquivalencePolicy::kCalibrated;
+      } else {
+        return LineError(line_number, "unknown policy: " + fields[1]);
+      }
+    } else if (directive == "costmodel") {
+      if (fields.size() != 2) {
+        return LineError(line_number, "expected: costmodel <name>");
+      }
+      Result<CostModelKind> kind = ParseCostModelKind(fields[1]);
+      if (!kind.ok()) return LineError(line_number, kind.status().message());
+      cost_model = *kind;
+    } else if (directive == "threshold") {
+      if (fields.size() != 2) {
+        return LineError(line_number, "expected: threshold <value>");
+      }
+      double value = 0;
+      if (!ParseDouble(fields[1], &value) || !(value > 0)) {
+        return LineError(line_number, "bad threshold: " + fields[1]);
+      }
+      threshold = static_cast<float>(value);
+    } else {
+      return LineError(line_number, "unknown directive: " + directive);
+    }
+  }
+
+  Result<Catalog> catalog = Catalog::Create(std::move(relations));
+  if (!catalog.ok()) return catalog.status();
+
+  if (!pending_filters.empty()) {
+    std::vector<FilterSpec> filters;
+    filters.reserve(pending_filters.size());
+    for (const PendingFilter& f : pending_filters) {
+      const int relation = catalog->FindByName(f.name);
+      if (relation < 0) {
+        return LineError(f.line, "unknown relation: " + f.name);
+      }
+      filters.push_back({relation, f.selectivity});
+    }
+    Result<Catalog> filtered = ApplyFilters(*catalog, filters);
+    if (!filtered.ok()) {
+      return LineError(pending_filters.front().line,
+                       filtered.status().message());
+    }
+    catalog = std::move(filtered);
+  }
+
+  JoinSpecBuilder builder(catalog->num_relations(), policy);
+  for (const PendingPredicate& p : pending) {
+    const int a = catalog->FindByName(p.a);
+    const int b = catalog->FindByName(p.b);
+    if (a < 0) return LineError(p.line, "unknown relation: " + p.a);
+    if (b < 0) return LineError(p.line, "unknown relation: " + p.b);
+    Status added = builder.AddPredicate(a, b, p.selectivity);
+    if (!added.ok()) return LineError(p.line, added.message());
+  }
+  for (const PendingEquivalence& cls : pending_classes) {
+    std::vector<int> members;
+    members.reserve(cls.names.size());
+    for (const std::string& name : cls.names) {
+      const int relation = catalog->FindByName(name);
+      if (relation < 0) return LineError(cls.line, "unknown relation: " + name);
+      members.push_back(relation);
+    }
+    Status added =
+        builder.AddEquivalenceClass(std::move(members), cls.distinct_counts);
+    if (!added.ok()) return LineError(cls.line, added.message());
+  }
+  Result<JoinGraph> graph = builder.Build();
+  if (!graph.ok()) return graph.status();
+  return QuerySpec{std::move(catalog).value(), std::move(graph).value(),
+                   cost_model, threshold};
+}
+
+Result<QuerySpec> LoadBjqFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseBjq(buffer.str());
+}
+
+std::string WriteBjq(const QuerySpec& spec) {
+  std::string out;
+  out += StrFormat("costmodel %s\n",
+                   CostModelKindToString(spec.cost_model));
+  if (spec.threshold.has_value()) {
+    out += StrFormat("threshold %g\n", static_cast<double>(*spec.threshold));
+  }
+  for (int i = 0; i < spec.catalog.num_relations(); ++i) {
+    const RelationStats& r = spec.catalog.relation(i);
+    out += StrFormat("relation %s %.17g %d\n", r.name.c_str(), r.cardinality,
+                     r.tuple_bytes);
+  }
+  for (const Predicate& p : spec.graph.predicates()) {
+    out += StrFormat("predicate %s %s %.17g\n",
+                     spec.catalog.relation(p.lhs).name.c_str(),
+                     spec.catalog.relation(p.rhs).name.c_str(),
+                     p.selectivity);
+  }
+  return out;
+}
+
+}  // namespace blitz

@@ -1,0 +1,55 @@
+#ifndef BLITZ_TEXTIO_BJQ_H_
+#define BLITZ_TEXTIO_BJQ_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// A parsed ".bjq" (blitz join query) specification: the textual interface
+/// used by the CLI example and for serializing workloads.
+///
+/// Format (one directive per line; '#' starts a comment):
+///
+///     relation <name> <cardinality> [<tuple_bytes>]
+///     filter <name> <selectivity>
+///     predicate <name_a> <name_b> <selectivity>
+///     equivalence <name_1> ... <name_k> : <distinct_1> ... <distinct_k>
+///     policy <pairwise|calibrated>
+///     costmodel <naive|sm|dnl|min|hash|minall>
+///     threshold <initial_plan_cost_threshold>
+///
+/// A filter directive scales the named relation's cardinality by a local
+/// selection selectivity before optimization (several filters multiply).
+///
+/// Relations must be declared before predicates or equivalence classes
+/// referencing them. An equivalence directive declares k columns equal (one
+/// per listed relation, with its distinct-value count) and is closed into
+/// implied predicates per the policy (see query/equivalence.h; default
+/// calibrated). Parallel predicates between a pair are merged by
+/// multiplying selectivities. The costmodel, policy, and threshold
+/// directives are optional (defaults: naive, calibrated, none).
+struct QuerySpec {
+  Catalog catalog;
+  JoinGraph graph;
+  CostModelKind cost_model = CostModelKind::kNaive;
+  std::optional<float> threshold;
+};
+
+/// Parses a .bjq document. Errors carry 1-based line numbers.
+Result<QuerySpec> ParseBjq(std::string_view text);
+
+/// Reads and parses a .bjq file from disk.
+Result<QuerySpec> LoadBjqFile(const std::string& path);
+
+/// Serializes a spec back to .bjq text (round-trips through ParseBjq).
+std::string WriteBjq(const QuerySpec& spec);
+
+}  // namespace blitz
+
+#endif  // BLITZ_TEXTIO_BJQ_H_

@@ -1,0 +1,105 @@
+#include "plan/algorithm_choice.h"
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "plan/evaluate.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::Figure3Graph;
+using ::blitz::testing::Table1Catalog;
+
+TEST(AlgorithmChoiceTest, ProductsMarkedRegardlessOfModel) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph();  // no B-D edge
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl}) {
+    Plan plan = Plan::Join(Plan::Leaf(1), Plan::Leaf(3));  // B x D: no edge
+    ChooseAlgorithms(&plan, catalog, graph, kind);
+    EXPECT_EQ(plan.root().algorithm, JoinAlgorithm::kCartesianProduct);
+  }
+}
+
+TEST(AlgorithmChoiceTest, SingleAlgorithmModelsAttachUniformly) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph();
+  Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));  // A-B edge exists
+
+  ChooseAlgorithms(&plan, catalog, graph, CostModelKind::kSortMerge);
+  EXPECT_EQ(plan.root().algorithm, JoinAlgorithm::kSortMerge);
+
+  ChooseAlgorithms(&plan, catalog, graph, CostModelKind::kDiskNestedLoops);
+  EXPECT_EQ(plan.root().algorithm, JoinAlgorithm::kNestedLoops);
+
+  ChooseAlgorithms(&plan, catalog, graph, CostModelKind::kNaive);
+  EXPECT_EQ(plan.root().algorithm, JoinAlgorithm::kHash);
+}
+
+TEST(AlgorithmChoiceTest, MinModelPicksTheCheaperAlgorithmPerNode) {
+  // Section 6.5: "a single traversal of the optimal plan suffices to attach
+  // the appropriate algorithm to each join node."
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities({100, 100, 1000, 1000});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(4);
+  // R0-R1 with an exploding output (selectivity 1, out = 10000) — sm wins
+  // because dnl pays 2|out|/K on the big output; R2-R3 highly selective,
+  // small output — dnl wins because sm pays the sort of two 1000-tuple
+  // inputs.
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 1.0).ok());
+  ASSERT_TRUE(graph.AddPredicate(2, 3, 1e-6).ok());
+  ASSERT_TRUE(graph.AddPredicate(0, 2, 0.001).ok());
+
+  Plan plan = Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(1)),
+                         Plan::Join(Plan::Leaf(2), Plan::Leaf(3)));
+  ChooseAlgorithms(&plan, *catalog, graph, CostModelKind::kMinSmDnl);
+
+  const PlanNode& left = *plan.root().left;    // R0 x R1, out = 10000
+  const PlanNode& right = *plan.root().right;  // R2 x R3, out = 1
+  // Verify the attached algorithm really is the argmin of the two models.
+  const double left_sm =
+      EvalJoinCost(CostModelKind::kSortMerge, 10000, 100, 100);
+  const double left_dnl =
+      EvalJoinCost(CostModelKind::kDiskNestedLoops, 10000, 100, 100);
+  EXPECT_EQ(left.algorithm, left_sm <= left_dnl
+                                ? JoinAlgorithm::kSortMerge
+                                : JoinAlgorithm::kNestedLoops);
+  const double right_sm =
+      EvalJoinCost(CostModelKind::kSortMerge, 1, 1000, 1000);
+  const double right_dnl =
+      EvalJoinCost(CostModelKind::kDiskNestedLoops, 1, 1000, 1000);
+  EXPECT_EQ(right.algorithm, right_sm <= right_dnl
+                                 ? JoinAlgorithm::kSortMerge
+                                 : JoinAlgorithm::kNestedLoops);
+  // And that the two nodes actually got different algorithms.
+  EXPECT_NE(left.algorithm, right.algorithm);
+}
+
+TEST(AlgorithmChoiceTest, AnnotatesEveryJoinNodeOfExtractedPlan) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph();
+  OptimizerOptions options;
+  options.cost_model = CostModelKind::kMinSmDnl;
+  Result<OptimizeOutcome> outcome = OptimizeJoin(catalog, graph, options);
+  ASSERT_TRUE(outcome.ok());
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  ASSERT_TRUE(plan.ok());
+  ChooseAlgorithms(&plan.value(), catalog, graph, CostModelKind::kMinSmDnl);
+
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    if (node.is_leaf()) return;
+    EXPECT_NE(node.algorithm, JoinAlgorithm::kUnspecified);
+    check(*node.left);
+    check(*node.right);
+  };
+  check(plan->root());
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,341 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bruteforce.h"
+#include "baseline/dpsize.h"
+#include "baseline/dpsub.h"
+#include "baseline/greedy.h"
+#include "baseline/leftdeep.h"
+#include "baseline/random_plans.h"
+#include "core/optimizer.h"
+#include "plan/evaluate.h"
+#include "plan/plan.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::Figure3Graph;
+using ::blitz::testing::MakeRandomInstance;
+using ::blitz::testing::Table1Catalog;
+
+// --------------------------------------------------------------------------
+// Left-deep DP.
+// --------------------------------------------------------------------------
+
+TEST(LeftDeepTest, ProducesLeftDeepPlanWithCorrectCost) {
+  const auto instance = MakeRandomInstance(8, 1);
+  Result<LeftDeepResult> result = OptimizeLeftDeep(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->plan.IsLeftDeep());
+  EXPECT_EQ(result->plan.relations(), instance.catalog.AllRelations());
+  const double evaluated = EvaluateCost(result->plan, instance.catalog,
+                                        instance.graph,
+                                        CostModelKind::kNaive);
+  EXPECT_NEAR(evaluated, result->cost, 1e-9 * std::max(1.0, result->cost));
+}
+
+TEST(LeftDeepTest, NeverBeatsBushyOptimum) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed);
+    Result<LeftDeepResult> left_deep = OptimizeLeftDeep(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    Result<BruteForceResult> bushy = OptimizeBruteForce(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    ASSERT_TRUE(left_deep.ok());
+    ASSERT_TRUE(bushy.ok());
+    EXPECT_GE(left_deep->cost, bushy->cost * (1 - 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(LeftDeepTest, OptimalAmongLeftDeepPlans) {
+  // Compare against DPsize restricted to left-deep plans.
+  const auto instance = MakeRandomInstance(7, 3);
+  Result<LeftDeepResult> left_deep = OptimizeLeftDeep(
+      instance.catalog, instance.graph, CostModelKind::kSortMerge);
+  DpSizeOptions options;
+  options.left_deep_only = true;
+  Result<DpSizeResult> dpsize = OptimizeDpSize(
+      instance.catalog, instance.graph, CostModelKind::kSortMerge, options);
+  ASSERT_TRUE(left_deep.ok());
+  ASSERT_TRUE(dpsize.ok());
+  EXPECT_NEAR(left_deep->cost, dpsize->cost,
+              1e-9 * std::max(1.0, dpsize->cost));
+}
+
+TEST(LeftDeepTest, JoinEnumerationCountIsNTimesTwoToTheN) {
+  const auto instance = MakeRandomInstance(8, 2);
+  Result<LeftDeepResult> result = OptimizeLeftDeep(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  // Sum over non-singleton subsets of |S|: n 2^(n-1) - n (exact).
+  const int n = 8;
+  const std::uint64_t expected = n * (1u << (n - 1)) - n;
+  EXPECT_EQ(result->joins_enumerated, expected);
+}
+
+// --------------------------------------------------------------------------
+// DPsub (no Cartesian products).
+// --------------------------------------------------------------------------
+
+TEST(DpSubTest, MatchesBruteForceOnAcyclicQueriesWithoutProductAdvantage) {
+  // A uniform chain where products never pay off: the product-free optimum
+  // equals the unrestricted optimum.
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities({100, 100, 100, 100, 100});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    ASSERT_TRUE(graph.AddPredicate(i, i + 1, 0.01).ok());
+  }
+  Result<DpSubResult> dpsub =
+      OptimizeDpSubNoProducts(*catalog, graph, CostModelKind::kNaive);
+  Result<BruteForceResult> brute =
+      OptimizeBruteForce(*catalog, graph, CostModelKind::kNaive);
+  ASSERT_TRUE(dpsub.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_NEAR(dpsub->cost, brute->cost, 1e-9 * brute->cost);
+  EXPECT_EQ(dpsub->plan.CountCartesianProducts(graph), 0);
+}
+
+TEST(DpSubTest, FailsOnDisconnectedGraph) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 10, 10});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.1).ok());
+  Result<DpSubResult> result =
+      OptimizeDpSubNoProducts(*catalog, graph, CostModelKind::kNaive);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DpSubTest, WorseThanBlitzsplitWhenOptimumNeedsProduct) {
+  // The Section 7 point: excluding products "could harm plan quality".
+  Result<Catalog> catalog = Catalog::FromCardinalities({2, 1000000, 3});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.1).ok());
+  ASSERT_TRUE(graph.AddPredicate(1, 2, 0.1).ok());
+  Result<DpSubResult> dpsub =
+      OptimizeDpSubNoProducts(*catalog, graph, CostModelKind::kNaive);
+  Result<OptimizeOutcome> blitz =
+      OptimizeJoin(*catalog, graph, OptimizerOptions{});
+  ASSERT_TRUE(dpsub.ok());
+  ASSERT_TRUE(blitz.ok());
+  EXPECT_GT(dpsub->cost, static_cast<double>(blitz->cost) * 2.0);
+}
+
+TEST(DpSubTest, PlanHasNoProductsAndConnectedSubtrees) {
+  const auto instance = MakeRandomInstance(9, 17, /*extra_edge_prob=*/0.2);
+  Result<DpSubResult> result = OptimizeDpSubNoProducts(
+      instance.catalog, instance.graph, CostModelKind::kDiskNestedLoops);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.CountCartesianProducts(instance.graph), 0);
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    EXPECT_TRUE(instance.graph.IsConnected(node.set)) << node.set.ToString();
+    if (node.is_leaf()) return;
+    check(*node.left);
+    check(*node.right);
+  };
+  check(result->plan.root());
+}
+
+// --------------------------------------------------------------------------
+// DPsize.
+// --------------------------------------------------------------------------
+
+TEST(DpSizeTest, BushyWithProductsMatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto instance = MakeRandomInstance(7, seed);
+    Result<DpSizeResult> dpsize =
+        OptimizeDpSize(instance.catalog, instance.graph,
+                       CostModelKind::kNaive, DpSizeOptions{});
+    Result<BruteForceResult> brute = OptimizeBruteForce(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    ASSERT_TRUE(dpsize.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_NEAR(dpsize->cost, brute->cost, 1e-9 * brute->cost)
+        << "seed " << seed;
+  }
+}
+
+TEST(DpSizeTest, ExaminesMorePairsThanItCosts) {
+  // The size-driven enumerator must reject overlapping pairs — the O(4^n)
+  // inefficiency the paper quotes from [OL90].
+  const auto instance = MakeRandomInstance(9, 4);
+  Result<DpSizeResult> result = OptimizeDpSize(
+      instance.catalog, instance.graph, CostModelKind::kNaive,
+      DpSizeOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->pairs_examined, result->pairs_costed);
+  // Valid (ordered) joins over all subsets: 3^n - 2^(n+1) + 1.
+  const std::uint64_t n = 9;
+  std::uint64_t pow3 = 1;
+  for (std::uint64_t i = 0; i < n; ++i) pow3 *= 3;
+  EXPECT_EQ(result->pairs_costed, pow3 - (std::uint64_t{2} << n) + 1);
+}
+
+TEST(DpSizeTest, NoProductModeFailsOnDisconnectedGraph) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 10});
+  ASSERT_TRUE(catalog.ok());
+  const JoinGraph graph(2);
+  DpSizeOptions options;
+  options.allow_cartesian_products = false;
+  Result<DpSizeResult> result = OptimizeDpSize(
+      *catalog, graph, CostModelKind::kNaive, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DpSizeTest, NoProductModeMatchesDpSub) {
+  const auto instance = MakeRandomInstance(8, 12, /*extra_edge_prob=*/0.3);
+  DpSizeOptions options;
+  options.allow_cartesian_products = false;
+  Result<DpSizeResult> dpsize = OptimizeDpSize(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  Result<DpSubResult> dpsub = OptimizeDpSubNoProducts(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(dpsize.ok());
+  ASSERT_TRUE(dpsub.ok());
+  EXPECT_NEAR(dpsize->cost, dpsub->cost, 1e-9 * dpsub->cost);
+}
+
+TEST(DpSizeTest, LeftDeepModeMatchesLeftDeepDp) {
+  const auto instance = MakeRandomInstance(8, 9);
+  DpSizeOptions options;
+  options.left_deep_only = true;
+  Result<DpSizeResult> dpsize = OptimizeDpSize(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  Result<LeftDeepResult> left_deep = OptimizeLeftDeep(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(dpsize.ok());
+  ASSERT_TRUE(left_deep.ok());
+  EXPECT_TRUE(dpsize->plan.IsLeftDeep());
+  EXPECT_NEAR(dpsize->cost, left_deep->cost, 1e-9 * left_deep->cost);
+}
+
+// --------------------------------------------------------------------------
+// Greedy.
+// --------------------------------------------------------------------------
+
+TEST(GreedyTest, ProducesValidPlanCoveringAllRelations) {
+  const auto instance = MakeRandomInstance(10, 6);
+  for (const GreedyCriterion criterion :
+       {GreedyCriterion::kMinOutputCardinality,
+        GreedyCriterion::kMinCostIncrement}) {
+    Result<GreedyResult> result = OptimizeGreedy(
+        instance.catalog, instance.graph, CostModelKind::kNaive, criterion);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->plan.relations(), instance.catalog.AllRelations());
+    const double evaluated = EvaluateCost(
+        result->plan, instance.catalog, instance.graph, CostModelKind::kNaive);
+    EXPECT_NEAR(evaluated, result->cost, 1e-9 * std::max(1.0, evaluated));
+  }
+}
+
+TEST(GreedyTest, NeverBeatsExhaustiveSearch) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed);
+    Result<GreedyResult> greedy = OptimizeGreedy(
+        instance.catalog, instance.graph, CostModelKind::kNaive,
+        GreedyCriterion::kMinCostIncrement);
+    Result<BruteForceResult> brute = OptimizeBruteForce(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_GE(greedy->cost, brute->cost * (1 - 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(GreedyTest, FindsOptimumOnEasyChain) {
+  // Uniform chain where the greedy choice is optimal at every step.
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 10, 10, 10});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(4);
+  for (int i = 0; i + 1 < 4; ++i) {
+    ASSERT_TRUE(graph.AddPredicate(i, i + 1, 0.05).ok());
+  }
+  Result<GreedyResult> greedy = OptimizeGreedy(
+      *catalog, graph, CostModelKind::kNaive,
+      GreedyCriterion::kMinOutputCardinality);
+  Result<BruteForceResult> brute =
+      OptimizeBruteForce(*catalog, graph, CostModelKind::kNaive);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_NEAR(greedy->cost, brute->cost, 1e-9 * brute->cost);
+}
+
+// --------------------------------------------------------------------------
+// Random plan generation / sampling.
+// --------------------------------------------------------------------------
+
+TEST(RandomPlansTest, RandomBushyPlanIsValid) {
+  Rng rng(5);
+  const RelSet all = RelSet::FirstN(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Plan plan = RandomBushyPlan(all, &rng);
+    EXPECT_EQ(plan.relations(), all);
+    EXPECT_EQ(plan.NumLeaves(), 9);
+  }
+}
+
+TEST(RandomPlansTest, RandomBushyPlansVary) {
+  Rng rng(6);
+  const RelSet all = RelSet::FirstN(8);
+  const Plan first = RandomBushyPlan(all, &rng);
+  bool saw_different = false;
+  for (int trial = 0; trial < 20 && !saw_different; ++trial) {
+    saw_different = !first.StructurallyEquals(RandomBushyPlan(all, &rng));
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(RandomPlansTest, RandomLeftDeepPlanIsLeftDeep) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Plan plan = RandomLeftDeepPlan(RelSet::FirstN(7), &rng);
+    EXPECT_TRUE(plan.IsLeftDeep());
+    EXPECT_EQ(plan.NumLeaves(), 7);
+  }
+}
+
+TEST(RandomPlansTest, SamplingImprovesWithMoreSamples) {
+  const auto instance = MakeRandomInstance(9, 8);
+  Rng rng1(1);
+  Rng rng2(1);
+  Result<RandomSamplingResult> few = OptimizeByRandomSampling(
+      instance.catalog, instance.graph, CostModelKind::kNaive, 5, &rng1);
+  Result<RandomSamplingResult> many = OptimizeByRandomSampling(
+      instance.catalog, instance.graph, CostModelKind::kNaive, 500, &rng2);
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  // With the same starting stream, the 500-sample run has seen a superset
+  // of the candidate plans drawn by the 5-sample run.
+  EXPECT_LE(many->cost, few->cost);
+  EXPECT_GE(many->cost, 0.0);
+}
+
+TEST(RandomPlansTest, SamplingNeverBeatsExhaustive) {
+  const auto instance = MakeRandomInstance(8, 9);
+  Rng rng(3);
+  Result<RandomSamplingResult> sampled = OptimizeByRandomSampling(
+      instance.catalog, instance.graph, CostModelKind::kNaive, 200, &rng);
+  Result<BruteForceResult> brute = OptimizeBruteForce(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_GE(sampled->cost, brute->cost * (1 - 1e-9));
+}
+
+TEST(RandomPlansTest, RejectsBadArguments) {
+  const auto instance = MakeRandomInstance(4, 1);
+  Rng rng(1);
+  EXPECT_FALSE(OptimizeByRandomSampling(instance.catalog, instance.graph,
+                                        CostModelKind::kNaive, 0, &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,179 @@
+#include "textio/bjq.h"
+
+#include "query/equivalence.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+constexpr char kSample[] = R"(# sample query
+costmodel dnl
+threshold 1e9
+
+relation orders 15000 128
+relation lineitem 60000 96
+relation customer 1500   # trailing comment
+
+predicate orders lineitem 0.0000666
+predicate customer orders 0.000666
+)";
+
+TEST(BjqTest, ParsesSample) {
+  Result<QuerySpec> spec = ParseBjq(kSample);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->catalog.num_relations(), 3);
+  EXPECT_EQ(spec->catalog.relation(0).name, "orders");
+  EXPECT_DOUBLE_EQ(spec->catalog.cardinality(1), 60000);
+  EXPECT_EQ(spec->catalog.relation(0).tuple_bytes, 128);
+  EXPECT_EQ(spec->catalog.relation(2).tuple_bytes, 64);  // default
+  EXPECT_EQ(spec->graph.num_predicates(), 2);
+  EXPECT_DOUBLE_EQ(spec->graph.Selectivity(0, 1), 0.0000666);
+  EXPECT_EQ(spec->cost_model, CostModelKind::kDiskNestedLoops);
+  ASSERT_TRUE(spec->threshold.has_value());
+  EXPECT_FLOAT_EQ(*spec->threshold, 1e9f);
+}
+
+TEST(BjqTest, DefaultsWithoutOptionalDirectives) {
+  Result<QuerySpec> spec = ParseBjq("relation a 10\nrelation b 20\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->cost_model, CostModelKind::kNaive);
+  EXPECT_FALSE(spec->threshold.has_value());
+  EXPECT_EQ(spec->graph.num_predicates(), 0);
+}
+
+TEST(BjqTest, ErrorsCarryLineNumbers) {
+  Result<QuerySpec> bad = ParseBjq("relation a 10\nbogus directive\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST(BjqTest, RejectsUnknownRelationInPredicate) {
+  Result<QuerySpec> bad =
+      ParseBjq("relation a 10\nrelation b 10\npredicate a zz 0.5\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("zz"), std::string::npos);
+}
+
+TEST(BjqTest, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseBjq("relation a ten\n").ok());
+  EXPECT_FALSE(ParseBjq("relation a 10\nrelation b 10\n"
+                        "predicate a b fast\n")
+                   .ok());
+  EXPECT_FALSE(ParseBjq("threshold -5\nrelation a 10\n").ok());
+}
+
+TEST(BjqTest, RejectsWrongArity) {
+  EXPECT_FALSE(ParseBjq("relation a\n").ok());
+  EXPECT_FALSE(ParseBjq("relation a 10 64 extra\n").ok());
+  EXPECT_FALSE(ParseBjq("costmodel\nrelation a 1\n").ok());
+}
+
+TEST(BjqTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(ParseBjq("").ok());
+  EXPECT_FALSE(ParseBjq("# only a comment\n").ok());
+}
+
+TEST(BjqTest, WriteRoundTrips) {
+  Result<QuerySpec> spec = ParseBjq(kSample);
+  ASSERT_TRUE(spec.ok());
+  const std::string text = WriteBjq(*spec);
+  Result<QuerySpec> reparsed = ParseBjq(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->catalog.num_relations(), spec->catalog.num_relations());
+  EXPECT_EQ(reparsed->cost_model, spec->cost_model);
+  ASSERT_TRUE(reparsed->threshold.has_value());
+  EXPECT_FLOAT_EQ(*reparsed->threshold, *spec->threshold);
+  for (int i = 0; i < spec->catalog.num_relations(); ++i) {
+    EXPECT_EQ(reparsed->catalog.relation(i).name,
+              spec->catalog.relation(i).name);
+    EXPECT_DOUBLE_EQ(reparsed->catalog.cardinality(i),
+                     spec->catalog.cardinality(i));
+  }
+  ASSERT_EQ(reparsed->graph.num_predicates(), spec->graph.num_predicates());
+  for (int p = 0; p < spec->graph.num_predicates(); ++p) {
+    EXPECT_DOUBLE_EQ(reparsed->graph.predicates()[p].selectivity,
+                     spec->graph.predicates()[p].selectivity);
+  }
+}
+
+TEST(BjqTest, EquivalenceDirectiveClosesClass) {
+  Result<QuerySpec> spec = ParseBjq(
+      "relation a 100\nrelation b 5000\nrelation c 100\n"
+      "equivalence a b c : 100 5000 100\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph.num_predicates(), 3);  // closed: ab, bc, ac
+  EXPECT_TRUE(spec->graph.HasEdge(0, 2));
+}
+
+TEST(BjqTest, EquivalencePolicySelectable) {
+  const char* base =
+      "relation a 100\nrelation b 5000\nrelation c 100\n"
+      "equivalence a b c : 100 5000 100\n";
+  Result<QuerySpec> calibrated = ParseBjq(std::string("policy calibrated\n") +
+                                          base);
+  Result<QuerySpec> pairwise = ParseBjq(std::string("policy pairwise\n") +
+                                        base);
+  ASSERT_TRUE(calibrated.ok());
+  ASSERT_TRUE(pairwise.ok());
+  // Pairwise: every pair gets 1/max of its distinct counts.
+  EXPECT_DOUBLE_EQ(pairwise->graph.Selectivity(0, 2), 1.0 / 100);
+  EXPECT_DOUBLE_EQ(pairwise->graph.Selectivity(0, 1), 1.0 / 5000);
+  // Calibrated sorts by distinct count (a, c, b): the sorted-consecutive
+  // pairs carry the mass, the remaining implied edge (a-b or c-b,
+  // whichever is non-consecutive) is pure connectivity. Either way the
+  // class's full product equals the exact 3-way factor.
+  EXPECT_NEAR(calibrated->graph.PiInduced(RelSet::FirstN(3)),
+              EquivalenceClassJoinFactor({100, 5000, 100}), 1e-15);
+  EXPECT_DOUBLE_EQ(calibrated->graph.Selectivity(0, 2), 1.0 / 100);
+}
+
+TEST(BjqTest, EquivalenceErrors) {
+  EXPECT_FALSE(ParseBjq("relation a 1\nrelation b 1\n"
+                        "equivalence a b 10 20\n")
+                   .ok());  // missing ':'
+  EXPECT_FALSE(ParseBjq("relation a 1\nrelation b 1\n"
+                        "equivalence a b : 10\n")
+                   .ok());  // count mismatch
+  EXPECT_FALSE(ParseBjq("relation a 1\n"
+                        "equivalence a zz : 10 20\n")
+                   .ok());  // unknown relation
+  EXPECT_FALSE(ParseBjq("relation a 1\nrelation b 1\n"
+                        "equivalence a b : 10 frog\n")
+                   .ok());  // bad count
+  EXPECT_FALSE(ParseBjq("policy sideways\nrelation a 1\n").ok());
+}
+
+TEST(BjqTest, ParallelPredicatesNowMerge) {
+  Result<QuerySpec> spec = ParseBjq(
+      "relation a 10\nrelation b 10\n"
+      "predicate a b 0.5\npredicate a b 0.1\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->graph.num_predicates(), 1);
+  EXPECT_DOUBLE_EQ(spec->graph.Selectivity(0, 1), 0.05);
+}
+
+TEST(BjqTest, LoadBjqFile) {
+  const std::string path = ::testing::TempDir() + "/query.bjq";
+  {
+    std::ofstream out(path);
+    out << kSample;
+  }
+  Result<QuerySpec> spec = LoadBjqFile(path);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->catalog.num_relations(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(BjqTest, LoadMissingFileFails) {
+  Result<QuerySpec> spec = LoadBjqFile("/nonexistent/nope.bjq");
+  EXPECT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace blitz

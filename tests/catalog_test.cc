@@ -1,0 +1,92 @@
+#include "catalog/catalog.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(CatalogTest, CreateBasics) {
+  Result<Catalog> catalog = Catalog::Create({
+      {"orders", 1000, 128},
+      {"lineitem", 6000, 96},
+  });
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->num_relations(), 2);
+  EXPECT_EQ(catalog->relation(0).name, "orders");
+  EXPECT_DOUBLE_EQ(catalog->cardinality(1), 6000);
+  EXPECT_EQ(catalog->AllRelations(), RelSet::FirstN(2));
+}
+
+TEST(CatalogTest, FromCardinalitiesNamesRelations) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 20, 30});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->relation(0).name, "R0");
+  EXPECT_EQ(catalog->relation(2).name, "R2");
+}
+
+TEST(CatalogTest, EmptyNameGetsDefault) {
+  Result<Catalog> catalog = Catalog::Create({{"", 5, 64}});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->relation(0).name, "R0");
+}
+
+TEST(CatalogTest, RejectsEmpty) {
+  EXPECT_FALSE(Catalog::Create({}).ok());
+}
+
+TEST(CatalogTest, RejectsTooManyRelations) {
+  std::vector<RelationStats> relations(kMaxRelations + 1);
+  for (size_t i = 0; i < relations.size(); ++i) {
+    relations[i] = {"r" + std::to_string(i), 10, 64};
+  }
+  Result<Catalog> catalog = Catalog::Create(std::move(relations));
+  EXPECT_FALSE(catalog.ok());
+  EXPECT_EQ(catalog.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, RejectsBadCardinality) {
+  EXPECT_FALSE(Catalog::FromCardinalities({0}).ok());
+  EXPECT_FALSE(Catalog::FromCardinalities({-5}).ok());
+  EXPECT_FALSE(
+      Catalog::FromCardinalities({std::numeric_limits<double>::infinity()})
+          .ok());
+  EXPECT_FALSE(
+      Catalog::FromCardinalities({std::nan("")}).ok());
+}
+
+TEST(CatalogTest, FractionalCardinalityAllowed) {
+  // Cardinalities are estimates and may be fractional.
+  EXPECT_TRUE(Catalog::FromCardinalities({0.5}).ok());
+}
+
+TEST(CatalogTest, RejectsDuplicateNames) {
+  Result<Catalog> catalog = Catalog::Create({{"x", 1, 64}, {"x", 2, 64}});
+  EXPECT_FALSE(catalog.ok());
+}
+
+TEST(CatalogTest, RejectsBadTupleWidth) {
+  EXPECT_FALSE(Catalog::Create({{"x", 1, 0}}).ok());
+  EXPECT_FALSE(Catalog::Create({{"x", 1, -8}}).ok());
+}
+
+TEST(CatalogTest, FindByName) {
+  Result<Catalog> catalog = Catalog::Create({{"a", 1, 64}, {"b", 2, 64}});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->FindByName("a"), 0);
+  EXPECT_EQ(catalog->FindByName("b"), 1);
+  EXPECT_EQ(catalog->FindByName("zzz"), -1);
+}
+
+TEST(CatalogTest, GeometricMean) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({1, 100});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_NEAR(catalog->GeometricMeanCardinality(), 10.0, 1e-12);
+  Result<Catalog> same = Catalog::FromCardinalities({50, 50, 50});
+  ASSERT_TRUE(same.ok());
+  EXPECT_NEAR(same->GeometricMeanCardinality(), 50.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,178 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(CostModelTest, NaiveIsOutputCardinality) {
+  // kappa_0(R_out, R_lhs, R_rhs) = |R_out|.
+  EXPECT_DOUBLE_EQ(EvalJoinCost(CostModelKind::kNaive, 240000, 400, 600),
+                   240000);
+  EXPECT_DOUBLE_EQ(EvalKappaPrime(CostModelKind::kNaive, 5), 5);
+  EXPECT_DOUBLE_EQ(
+      EvalKappaDoublePrime(CostModelKind::kNaive, 240000, 400, 600), 0);
+}
+
+TEST(CostModelTest, SortMergeFormula) {
+  // kappa_sm = |L|(1+log|L|) + |R|(1+log|R|), natural log.
+  const double lhs = 100;
+  const double rhs = 50;
+  const double expected =
+      lhs * (1 + std::log(lhs)) + rhs * (1 + std::log(rhs));
+  EXPECT_NEAR(EvalJoinCost(CostModelKind::kSortMerge, 12345, lhs, rhs),
+              expected, 1e-9);
+  // Split-independent part is zero: cost does not depend on the output.
+  EXPECT_DOUBLE_EQ(EvalKappaPrime(CostModelKind::kSortMerge, 1e12), 0);
+}
+
+TEST(CostModelTest, SortMergeClampsSubUnitCardinalities) {
+  // Estimated cardinalities below 1 would make log negative; the model
+  // clamps to 1 so kappa'' stays non-negative (required for the nested-if
+  // short-circuiting to be sound).
+  EXPECT_DOUBLE_EQ(SortMergeCostModel::Aux(0.001), 1.0);
+  EXPECT_DOUBLE_EQ(SortMergeCostModel::Aux(1.0), 1.0);
+  EXPECT_GE(EvalKappaDoublePrime(CostModelKind::kSortMerge, 1, 0.01, 0.02),
+            0.0);
+}
+
+TEST(CostModelTest, DiskNestedLoopsFormula) {
+  // kappa_dnl = 2|out|/K + |L||R|/(K^2 (M-1)) + min(|L|,|R|)/K.
+  const double out = 1000;
+  const double lhs = 200;
+  const double rhs = 300;
+  const double k = kDnlBlockingFactor;
+  const double m = kDnlMemoryBlocks;
+  const double expected =
+      2 * out / k + lhs * rhs / (k * k * (m - 1)) + std::min(lhs, rhs) / k;
+  EXPECT_NEAR(EvalJoinCost(CostModelKind::kDiskNestedLoops, out, lhs, rhs),
+              expected, 1e-9);
+  EXPECT_NEAR(EvalKappaPrime(CostModelKind::kDiskNestedLoops, out),
+              2 * out / k, 1e-12);
+}
+
+TEST(CostModelTest, MinModelIsMinOfSmAndDnl) {
+  const double out = 5000;
+  const double lhs = 120;
+  const double rhs = 340;
+  const double sm = EvalJoinCost(CostModelKind::kSortMerge, out, lhs, rhs);
+  const double dnl =
+      EvalJoinCost(CostModelKind::kDiskNestedLoops, out, lhs, rhs);
+  EXPECT_NEAR(EvalJoinCost(CostModelKind::kMinSmDnl, out, lhs, rhs),
+              std::min(sm, dnl), 1e-9);
+}
+
+TEST(CostModelTest, MinModelSwitchesWinnerWithShape) {
+  // Tiny inputs, huge output: dnl pays 2|out|/K, sm does not — sm wins.
+  const double sm_win = EvalJoinCost(CostModelKind::kMinSmDnl, 1e9, 10, 10);
+  EXPECT_NEAR(sm_win, EvalJoinCost(CostModelKind::kSortMerge, 1e9, 10, 10),
+              1e-6);
+  // Small output, small inputs: dnl's terms are tiny, sm pays the sort.
+  const double dnl_win =
+      EvalJoinCost(CostModelKind::kMinSmDnl, 1, 1000, 1000);
+  EXPECT_NEAR(dnl_win,
+              EvalJoinCost(CostModelKind::kDiskNestedLoops, 1, 1000, 1000),
+              1e-6);
+}
+
+TEST(CostModelTest, HashModelFormula) {
+  // kappa_h = |L| + |R| + |out|; kappa' = |out|.
+  EXPECT_DOUBLE_EQ(EvalJoinCost(CostModelKind::kHash, 500, 30, 70), 600);
+  EXPECT_DOUBLE_EQ(EvalKappaPrime(CostModelKind::kHash, 500), 500);
+  EXPECT_DOUBLE_EQ(EvalKappaDoublePrime(CostModelKind::kHash, 500, 30, 70),
+                   100);
+}
+
+TEST(CostModelTest, MinAllIsMinOfThree) {
+  const double out = 5000;
+  const double lhs = 120;
+  const double rhs = 340;
+  const double sm = EvalJoinCost(CostModelKind::kSortMerge, out, lhs, rhs);
+  const double dnl =
+      EvalJoinCost(CostModelKind::kDiskNestedLoops, out, lhs, rhs);
+  const double hash = EvalJoinCost(CostModelKind::kHash, out, lhs, rhs);
+  EXPECT_NEAR(EvalJoinCost(CostModelKind::kMinAll, out, lhs, rhs),
+              std::min({sm, dnl, hash}), 1e-9);
+}
+
+TEST(CostModelTest, MinAllNeverAboveMinSmDnl) {
+  const double cards[] = {1, 50, 1e4, 1e8};
+  for (double out : cards) {
+    for (double lhs : cards) {
+      for (double rhs : cards) {
+        EXPECT_LE(EvalJoinCost(CostModelKind::kMinAll, out, lhs, rhs),
+                  EvalJoinCost(CostModelKind::kMinSmDnl, out, lhs, rhs) *
+                      (1 + 1e-12));
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, DecompositionSumsToTotal) {
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl,
+        CostModelKind::kHash, CostModelKind::kMinAll}) {
+    const double out = 777;
+    const double lhs = 33;
+    const double rhs = 44;
+    EXPECT_NEAR(EvalKappaPrime(kind, out) +
+                    EvalKappaDoublePrime(kind, out, lhs, rhs),
+                EvalJoinCost(kind, out, lhs, rhs), 1e-9)
+        << CostModelKindToString(kind);
+  }
+}
+
+TEST(CostModelTest, KappaComponentsAreNonNegative) {
+  // Required by the nested-if pruning (Section 3.2 assumes kappa'' >= 0).
+  const double cards[] = {0.0001, 0.5, 1, 10, 1e6, 1e12};
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl,
+        CostModelKind::kHash, CostModelKind::kMinAll}) {
+    for (double out : cards) {
+      for (double lhs : cards) {
+        for (double rhs : cards) {
+          EXPECT_GE(EvalKappaPrime(kind, out), 0.0);
+          EXPECT_GE(EvalKappaDoublePrime(kind, out, lhs, rhs), 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, RoundTripNames) {
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl,
+        CostModelKind::kHash, CostModelKind::kMinAll}) {
+    Result<CostModelKind> parsed =
+        ParseCostModelKind(CostModelKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(CostModelTest, ParseAliases) {
+  EXPECT_TRUE(ParseCostModelKind("sortmerge").ok());
+  EXPECT_TRUE(ParseCostModelKind("disk-nested-loops").ok());
+  EXPECT_TRUE(ParseCostModelKind("k0").ok());
+  EXPECT_FALSE(ParseCostModelKind("bogus").ok());
+  EXPECT_FALSE(ParseCostModelKind("").ok());
+}
+
+TEST(CostModelTest, AuxMemoMatchesSortMergeTerm) {
+  // The Appendix notes x(1+log x) can be memoized; the aux column must equal
+  // the per-operand term of kappa_sm.
+  const double card = 12345.0;
+  EXPECT_DOUBLE_EQ(SortMergeCostModel::Aux(card),
+                   card * (1 + std::log(card)));
+  EXPECT_DOUBLE_EQ(MinSmDnlCostModel::Aux(card),
+                   SortMergeCostModel::Aux(card));
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,127 @@
+// Differential testing over the paper's own workload grid: for every
+// (topology, mean cardinality, variability) point of the Appendix
+// parameterization at n = 10, all independent exhaustive optimizers must
+// agree on the optimum, the product-free optimizers must agree with each
+// other, and the restricted searches must never win.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baseline/dpccp.h"
+#include "baseline/dpsize.h"
+#include "baseline/dpsub.h"
+#include "baseline/leftdeep.h"
+#include "baseline/topdown.h"
+#include "core/optimizer.h"
+#include "query/workload.h"
+
+namespace blitz {
+namespace {
+
+using GridPoint = std::tuple<Topology, double, double>;
+
+class WorkloadGridTest : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  WorkloadGridTest() {
+    WorkloadSpec spec;
+    spec.num_relations = 10;
+    spec.topology = std::get<0>(GetParam());
+    spec.mean_cardinality = std::get<1>(GetParam());
+    spec.variability = std::get<2>(GetParam());
+    Result<Workload> workload = MakeWorkload(spec);
+    BLITZ_CHECK(workload.ok());
+    workload_ = std::move(workload).value();
+  }
+
+  Workload workload_{Catalog{}, JoinGraph{1}};
+};
+
+TEST_P(WorkloadGridTest, ExhaustiveOptimizersAgree) {
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops}) {
+    OptimizerOptions options;
+    options.cost_model = kind;
+    Result<OptimizeOutcome> blitz =
+        OptimizeJoin(workload_.catalog, workload_.graph, options);
+    ASSERT_TRUE(blitz.ok());
+    ASSERT_TRUE(blitz->found_plan()) << CostModelKindToString(kind);
+
+    Result<DpSizeResult> dpsize = OptimizeDpSize(
+        workload_.catalog, workload_.graph, kind, DpSizeOptions{});
+    ASSERT_TRUE(dpsize.ok());
+    EXPECT_NEAR(dpsize->cost, blitz->cost,
+                1e-4 * std::max(1.0f, blitz->cost))
+        << CostModelKindToString(kind);
+
+    Result<TopDownResult> topdown = OptimizeTopDown(
+        workload_.catalog, workload_.graph, kind, TopDownOptions{});
+    ASSERT_TRUE(topdown.ok());
+    EXPECT_NEAR(topdown->cost, blitz->cost,
+                1e-4 * std::max(1.0f, blitz->cost))
+        << CostModelKindToString(kind);
+  }
+}
+
+TEST_P(WorkloadGridTest, ProductFreeOptimizersAgree) {
+  Result<DpSubResult> dpsub = OptimizeDpSubNoProducts(
+      workload_.catalog, workload_.graph, CostModelKind::kNaive);
+  Result<DpCcpResult> dpccp = OptimizeDpCcp(
+      workload_.catalog, workload_.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(dpsub.ok());
+  ASSERT_TRUE(dpccp.ok());
+  EXPECT_NEAR(dpccp->cost, dpsub->cost, 1e-9 * dpsub->cost);
+}
+
+TEST_P(WorkloadGridTest, RestrictionsNeverWin) {
+  Result<OptimizeOutcome> blitz = OptimizeJoin(
+      workload_.catalog, workload_.graph, OptimizerOptions{});
+  ASSERT_TRUE(blitz.ok());
+  const double optimum = blitz->cost;
+
+  Result<LeftDeepResult> left_deep = OptimizeLeftDeep(
+      workload_.catalog, workload_.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(left_deep.ok());
+  EXPECT_GE(left_deep->cost, optimum * (1 - 1e-4));
+
+  Result<DpSubResult> dpsub = OptimizeDpSubNoProducts(
+      workload_.catalog, workload_.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(dpsub.ok());
+  EXPECT_GE(dpsub->cost, optimum * (1 - 1e-4));
+}
+
+TEST_P(WorkloadGridTest, ThresholdLadderReachesTheOptimum) {
+  Result<OptimizeOutcome> blitz = OptimizeJoin(
+      workload_.catalog, workload_.graph, OptimizerOptions{});
+  ASSERT_TRUE(blitz.ok());
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = 10.0f;
+  ladder.growth_factor = 100.0f;
+  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+      workload_.catalog, workload_.graph, OptimizerOptions{}, ladder);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->outcome.cost, blitz->cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, WorkloadGridTest,
+    ::testing::Combine(::testing::Values(Topology::kChain,
+                                         Topology::kCyclePlus3,
+                                         Topology::kStar, Topology::kClique),
+                       ::testing::Values(1.0, 21.5, 1e4),
+                       ::testing::Values(0.0, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      const char* topology = TopologyToString(std::get<0>(info.param));
+      std::string name = topology;
+      if (name == "cycle+3") name = "cycle3";
+      name += "_m" + std::to_string(
+                         static_cast<int>(std::get<1>(info.param)));
+      name += "_v" + std::to_string(
+                         static_cast<int>(std::get<2>(info.param) * 100));
+      return name;
+    });
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,77 @@
+#include "core/dp_table.h"
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(DpTableTest, CreateAllocatesRequestedColumns) {
+  Result<DpTable> table = DpTable::Create(4, true, true);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_relations(), 4);
+  EXPECT_EQ(table->size(), 16u);
+  EXPECT_TRUE(table->has_pi_fan());
+  EXPECT_TRUE(table->has_aux());
+  EXPECT_EQ(table->AllRelations(), RelSet::FirstN(4));
+}
+
+TEST(DpTableTest, OptionalColumnsAbsentWhenNotRequested) {
+  Result<DpTable> table = DpTable::Create(3, false, false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->has_pi_fan());
+  EXPECT_FALSE(table->has_aux());
+}
+
+TEST(DpTableTest, FreshTableHasAllSetsRejected) {
+  Result<DpTable> table = DpTable::Create(3, false, false);
+  ASSERT_TRUE(table.ok());
+  for (std::uint64_t s = 1; s < table->size(); ++s) {
+    EXPECT_TRUE(table->rejected(RelSet::FromWord(s)));
+  }
+}
+
+TEST(DpTableTest, RejectsOutOfRangeN) {
+  EXPECT_FALSE(DpTable::Create(0, false, false).ok());
+  EXPECT_FALSE(DpTable::Create(-1, false, false).ok());
+  EXPECT_FALSE(DpTable::Create(kMaxRelations + 1, false, false).ok());
+  EXPECT_EQ(DpTable::Create(99, false, false).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DpTableTest, MemoryEstimateScalesWithColumns) {
+  Result<DpTable> small = DpTable::Create(8, false, false);
+  Result<DpTable> big = DpTable::Create(8, true, true);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big->MemoryBytes(), small->MemoryBytes());
+  // Base columns: cost (4) + card (8) + best_lhs (4) = 16 bytes per row —
+  // the paper's Section 4.1 row size.
+  EXPECT_EQ(small->MemoryBytes(), 16u * 256u);
+}
+
+TEST(DpTableTest, ColumnsAreWritableThroughRawPointers) {
+  Result<DpTable> table = DpTable::Create(2, true, true);
+  ASSERT_TRUE(table.ok());
+  table->cost_data()[3] = 42.0f;
+  table->card_data()[3] = 7.0;
+  table->best_lhs_data()[3] = 1;
+  table->pi_fan_data()[3] = 0.5;
+  const RelSet both = RelSet::FirstN(2);
+  EXPECT_EQ(table->cost(both), 42.0f);
+  EXPECT_DOUBLE_EQ(table->card(both), 7.0);
+  EXPECT_EQ(table->best_lhs(both), RelSet::Singleton(0));
+  EXPECT_DOUBLE_EQ(table->pi_fan(both), 0.5);
+  EXPECT_FALSE(table->rejected(both));
+}
+
+TEST(DpTableTest, MoveTransfersOwnership) {
+  Result<DpTable> table = DpTable::Create(3, true, false);
+  ASSERT_TRUE(table.ok());
+  table->cost_data()[5] = 1.5f;
+  DpTable moved = std::move(table).value();
+  EXPECT_EQ(moved.num_relations(), 3);
+  EXPECT_EQ(moved.cost(RelSet::FromWord(5)), 1.5f);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,162 @@
+#include "baseline/dpccp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/dpsub.h"
+#include "core/subset_enum.h"
+#include "query/workload.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::MakeRandomInstance;
+
+/// Reference count of unordered csg-cmp pairs by brute force: connected
+/// sets split into two connected halves with a spanning edge.
+std::uint64_t BruteForceCcpPairs(const JoinGraph& graph) {
+  const int n = graph.num_relations();
+  std::uint64_t pairs = 0;
+  for (std::uint64_t s = 1; s < (std::uint64_t{1} << n); ++s) {
+    const RelSet set = RelSet::FromWord(s);
+    if (set.IsSingleton() || !graph.IsConnected(set)) continue;
+    ForEachProperSplit(set, [&](RelSet lhs, RelSet rhs) {
+      if (graph.IsConnected(lhs) && graph.IsConnected(rhs)) ++pairs;
+    });
+  }
+  return pairs / 2;  // each unordered pair was seen in both orientations
+}
+
+TEST(DpCcpTest, MatchesDpSubAcrossTopologies) {
+  for (const Topology topology : kPaperTopologies) {
+    WorkloadSpec spec;
+    spec.num_relations = 10;
+    spec.topology = topology;
+    spec.mean_cardinality = 464;
+    spec.variability = 0.5;
+    Result<Workload> workload = MakeWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    for (const CostModelKind kind :
+         {CostModelKind::kNaive, CostModelKind::kSortMerge,
+          CostModelKind::kDiskNestedLoops}) {
+      Result<DpCcpResult> dpccp =
+          OptimizeDpCcp(workload->catalog, workload->graph, kind);
+      Result<DpSubResult> dpsub = OptimizeDpSubNoProducts(
+          workload->catalog, workload->graph, kind);
+      ASSERT_TRUE(dpccp.ok()) << TopologyToString(topology);
+      ASSERT_TRUE(dpsub.ok());
+      EXPECT_NEAR(dpccp->cost, dpsub->cost, 1e-9 * dpsub->cost)
+          << TopologyToString(topology) << " " << CostModelKindToString(kind);
+    }
+  }
+}
+
+TEST(DpCcpTest, MatchesDpSubOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto instance = MakeRandomInstance(9, seed + 200,
+                                             /*extra_edge_prob=*/0.25);
+    Result<DpCcpResult> dpccp = OptimizeDpCcp(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    Result<DpSubResult> dpsub = OptimizeDpSubNoProducts(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    ASSERT_TRUE(dpccp.ok()) << "seed " << seed;
+    ASSERT_TRUE(dpsub.ok());
+    EXPECT_NEAR(dpccp->cost, dpsub->cost, 1e-9 * dpsub->cost)
+        << "seed " << seed;
+  }
+}
+
+TEST(DpCcpTest, EmitsEveryCcpPairExactlyOnce) {
+  for (const Topology topology : kPaperTopologies) {
+    WorkloadSpec spec;
+    spec.num_relations = 9;
+    spec.topology = topology;
+    spec.mean_cardinality = 100;
+    spec.variability = 0;
+    Result<Workload> workload = MakeWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    Result<DpCcpResult> dpccp = OptimizeDpCcp(
+        workload->catalog, workload->graph, CostModelKind::kNaive);
+    ASSERT_TRUE(dpccp.ok());
+    EXPECT_EQ(dpccp->ccp_pairs, BruteForceCcpPairs(workload->graph))
+        << TopologyToString(topology);
+  }
+}
+
+TEST(DpCcpTest, EmitsEveryCcpPairExactlyOnceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed + 300,
+                                             /*extra_edge_prob=*/0.35);
+    Result<DpCcpResult> dpccp = OptimizeDpCcp(
+        instance.catalog, instance.graph, CostModelKind::kNaive);
+    ASSERT_TRUE(dpccp.ok());
+    EXPECT_EQ(dpccp->ccp_pairs, BruteForceCcpPairs(instance.graph))
+        << "seed " << seed;
+  }
+}
+
+TEST(DpCcpTest, ChainPairCountIsCubic) {
+  // Chains have (n^3 - n) / 6 unordered ccp pairs — the polynomial regime
+  // [OL90] report for Starburst on chain queries.
+  for (int n : {4, 8, 12}) {
+    WorkloadSpec spec;
+    spec.num_relations = n;
+    spec.topology = Topology::kChain;
+    spec.mean_cardinality = 100;
+    spec.variability = 0;
+    Result<Workload> workload = MakeWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    Result<DpCcpResult> dpccp = OptimizeDpCcp(
+        workload->catalog, workload->graph, CostModelKind::kNaive);
+    ASSERT_TRUE(dpccp.ok());
+    EXPECT_EQ(dpccp->ccp_pairs,
+              static_cast<std::uint64_t>(n) * (n - 1) * (n + 1) / 6)
+        << n;
+  }
+}
+
+TEST(DpCcpTest, CliquePairCountIsExponential) {
+  // Cliques: every split of every subset is valid; unordered pairs =
+  // (3^n - 2^(n+1) + 1) / 2.
+  WorkloadSpec spec;
+  spec.num_relations = 9;
+  spec.topology = Topology::kClique;
+  spec.mean_cardinality = 100;
+  spec.variability = 0;
+  Result<Workload> workload = MakeWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  Result<DpCcpResult> dpccp = OptimizeDpCcp(
+      workload->catalog, workload->graph, CostModelKind::kNaive);
+  ASSERT_TRUE(dpccp.ok());
+  std::uint64_t pow3 = 1;
+  for (int i = 0; i < 9; ++i) pow3 *= 3;
+  EXPECT_EQ(dpccp->ccp_pairs, (pow3 - (std::uint64_t{1} << 10) + 1) / 2);
+}
+
+TEST(DpCcpTest, FailsOnDisconnectedGraph) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 10, 10});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.5).ok());
+  Result<DpCcpResult> result =
+      OptimizeDpCcp(*catalog, graph, CostModelKind::kNaive);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DpCcpTest, TwoRelations) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({6, 7});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(2);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.5).ok());
+  Result<DpCcpResult> result =
+      OptimizeDpCcp(*catalog, graph, CostModelKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ccp_pairs, 1u);
+  EXPECT_DOUBLE_EQ(result->cost, 21.0);  // 6 * 7 * 0.5
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,150 @@
+#include "query/equivalence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/dpsub.h"
+#include "core/optimizer.h"
+#include "plan/plan.h"
+
+namespace blitz {
+namespace {
+
+TEST(EquivalenceFactorTest, TwoWayIsOneOverMax) {
+  EXPECT_DOUBLE_EQ(EquivalenceClassJoinFactor({10, 100}), 1.0 / 100);
+  EXPECT_DOUBLE_EQ(EquivalenceClassJoinFactor({100, 10}), 1.0 / 100);
+  EXPECT_DOUBLE_EQ(EquivalenceClassJoinFactor({7, 7}), 1.0 / 7);
+}
+
+TEST(EquivalenceFactorTest, KWayMatchesContainmentFormula) {
+  // d_min / prod(d).
+  EXPECT_DOUBLE_EQ(EquivalenceClassJoinFactor({10, 100, 1000}),
+                   10.0 / (10.0 * 100 * 1000));
+  EXPECT_DOUBLE_EQ(EquivalenceClassJoinFactor({5, 5, 5, 5}),
+                   5.0 / 625.0);
+}
+
+TEST(JoinSpecBuilderTest, PlainPredicatesPassThrough) {
+  JoinSpecBuilder builder(3);
+  ASSERT_TRUE(builder.AddPredicate(0, 1, 0.25).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_predicates(), 1);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 1), 0.25);
+}
+
+TEST(JoinSpecBuilderTest, ParallelPredicatesMergeByMultiplication) {
+  JoinSpecBuilder builder(2);
+  ASSERT_TRUE(builder.AddPredicate(0, 1, 0.5).ok());
+  ASSERT_TRUE(builder.AddPredicate(1, 0, 0.1).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_predicates(), 1);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 1), 0.05);
+}
+
+TEST(JoinSpecBuilderTest, EquivalenceClassClosesTransitively) {
+  // Class {R0, R1, R2}: all three pairwise edges appear, including the
+  // implied R0-R2 edge.
+  JoinSpecBuilder builder(4);
+  ASSERT_TRUE(builder.AddEquivalenceClass({0, 1, 2}, {10, 20, 40}).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_predicates(), 3);
+  EXPECT_TRUE(graph->HasEdge(0, 2));
+  EXPECT_FALSE(graph->HasEdge(0, 3));
+}
+
+TEST(JoinSpecBuilderTest, CalibratedClassProductEqualsJoinFactor) {
+  const std::vector<double> distinct = {30, 10, 500};
+  JoinSpecBuilder builder(3, EquivalencePolicy::kCalibrated);
+  ASSERT_TRUE(builder.AddEquivalenceClass({0, 1, 2}, distinct).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const double product = graph->PiInduced(RelSet::FirstN(3));
+  EXPECT_NEAR(product, EquivalenceClassJoinFactor(distinct),
+              1e-15 * EquivalenceClassJoinFactor(distinct));
+}
+
+TEST(JoinSpecBuilderTest, PairwisePolicyGivesTextbookPairSelectivities) {
+  JoinSpecBuilder builder(3, EquivalencePolicy::kPairwise);
+  ASSERT_TRUE(builder.AddEquivalenceClass({0, 1, 2}, {10, 20, 40}).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 1), 1.0 / 20);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(1, 2), 1.0 / 40);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 2), 1.0 / 40);
+  // And the known bias: the induced 3-way product underestimates the true
+  // factor.
+  EXPECT_LT(graph->PiInduced(RelSet::FirstN(3)),
+            EquivalenceClassJoinFactor({10, 20, 40}));
+}
+
+TEST(JoinSpecBuilderTest, CalibratedChainEdgesAreExactPairwise) {
+  // Sorted by distinct count, consecutive members carry 1/(larger d).
+  JoinSpecBuilder builder(3, EquivalencePolicy::kCalibrated);
+  ASSERT_TRUE(builder.AddEquivalenceClass({2, 0, 1}, {40, 10, 20}).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  // Sorted order by d: R0 (10), R1 (20), R2 (40).
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 1), 1.0 / 20);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(1, 2), 1.0 / 40);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 2), 1.0);  // implied, connectivity
+}
+
+TEST(JoinSpecBuilderTest, ImpliedEdgeUnlocksProductFreePlan) {
+  // Without closure, R0-R2 has no edge and the no-products optimizer
+  // cannot join them directly; with the implied edge it can.
+  Result<Catalog> catalog = Catalog::FromCardinalities({100, 10000, 100});
+  ASSERT_TRUE(catalog.ok());
+
+  JoinGraph literal(3);
+  ASSERT_TRUE(literal.AddPredicate(0, 1, 1e-4).ok());
+  ASSERT_TRUE(literal.AddPredicate(1, 2, 1e-4).ok());
+
+  JoinSpecBuilder builder(3);
+  ASSERT_TRUE(
+      builder.AddEquivalenceClass({0, 1, 2}, {100, 10000, 100}).ok());
+  Result<JoinGraph> closed = builder.Build();
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->HasEdge(0, 2));
+
+  // The closed graph admits the (R0 x R2) shape as a predicate join.
+  Result<DpSubResult> closed_plan =
+      OptimizeDpSubNoProducts(*catalog, *closed, CostModelKind::kNaive);
+  ASSERT_TRUE(closed_plan.ok());
+
+  // Both graphs still optimize fine under blitzsplit (which never needed
+  // the edge for connectivity).
+  Result<OptimizeOutcome> literal_outcome =
+      OptimizeJoin(*catalog, literal, OptimizerOptions{});
+  ASSERT_TRUE(literal_outcome.ok());
+  EXPECT_TRUE(literal_outcome->found_plan());
+}
+
+TEST(JoinSpecBuilderTest, OverlappingClassesMergeEdges) {
+  // Two classes sharing the pair (0,1): their selectivities multiply.
+  JoinSpecBuilder builder(2);
+  ASSERT_TRUE(builder.AddEquivalenceClass({0, 1}, {10, 10}).ok());
+  ASSERT_TRUE(builder.AddEquivalenceClass({0, 1}, {5, 20}).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_predicates(), 1);
+  EXPECT_DOUBLE_EQ(graph->Selectivity(0, 1), (1.0 / 10) * (1.0 / 20));
+}
+
+TEST(JoinSpecBuilderTest, RejectsBadInput) {
+  JoinSpecBuilder builder(3);
+  EXPECT_FALSE(builder.AddPredicate(0, 0, 0.5).ok());
+  EXPECT_FALSE(builder.AddPredicate(0, 5, 0.5).ok());
+  EXPECT_FALSE(builder.AddPredicate(0, 1, 0.0).ok());
+  EXPECT_FALSE(builder.AddEquivalenceClass({0}, {10}).ok());
+  EXPECT_FALSE(builder.AddEquivalenceClass({0, 1}, {10}).ok());
+  EXPECT_FALSE(builder.AddEquivalenceClass({0, 0}, {10, 10}).ok());
+  EXPECT_FALSE(builder.AddEquivalenceClass({0, 7}, {10, 10}).ok());
+  EXPECT_FALSE(builder.AddEquivalenceClass({0, 1}, {10, 0.5}).ok());
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,114 @@
+#include "plan/evaluate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::Figure3Graph;
+using ::blitz::testing::MakeRandomInstance;
+using ::blitz::testing::Table1Catalog;
+
+TEST(EvaluateTest, LeafCostsNothing) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph(4);
+  const Plan leaf = Plan::Leaf(2);
+  EXPECT_DOUBLE_EQ(
+      EvaluateCost(leaf, catalog, graph, CostModelKind::kNaive), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateCardinality(leaf.root(), catalog, graph), 30.0);
+}
+
+TEST(EvaluateTest, NaiveCostSumsOutputCardinalities) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph(4);  // pure products
+  // ((A x B) x C): cost = 200 + 6000 = 6200 (matches Table 1).
+  const Plan plan = Plan::Join(
+      Plan::Join(Plan::Leaf(0), Plan::Leaf(1)), Plan::Leaf(2));
+  EXPECT_DOUBLE_EQ(
+      EvaluateCost(plan, catalog, graph, CostModelKind::kNaive), 6200.0);
+}
+
+TEST(EvaluateTest, SelectivitiesShrinkCardinalities) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph(0.1, 0.05, 0.02, 0.01);
+  const Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  EXPECT_DOUBLE_EQ(EvaluateCardinality(plan.root(), catalog, graph),
+                   10 * 20 * 0.1);
+  EXPECT_DOUBLE_EQ(
+      EvaluateCost(plan, catalog, graph, CostModelKind::kNaive), 20.0);
+}
+
+TEST(EvaluateTest, CostIsCommutativeForSymmetricModels) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph();
+  const Plan ab = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  const Plan ba = Plan::Join(Plan::Leaf(1), Plan::Leaf(0));
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl}) {
+    EXPECT_DOUBLE_EQ(EvaluateCost(ab, catalog, graph, kind),
+                     EvaluateCost(ba, catalog, graph, kind));
+  }
+}
+
+TEST(EvaluateTest, FloatEvaluationTracksDpTableForExtractedPlans) {
+  // For plans extracted from the DP table, the float evaluator reproduces
+  // the table's cost column almost exactly (tiny drift is possible because
+  // the evaluator multiplies selectivities in a different order).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed);
+    for (const CostModelKind kind :
+         {CostModelKind::kNaive, CostModelKind::kSortMerge,
+          CostModelKind::kDiskNestedLoops}) {
+      OptimizerOptions options;
+      options.cost_model = kind;
+      Result<OptimizeOutcome> outcome =
+          OptimizeJoin(instance.catalog, instance.graph, options);
+      ASSERT_TRUE(outcome.ok());
+      if (!outcome->found_plan()) continue;
+      Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+      ASSERT_TRUE(plan.ok());
+      const float evaluated =
+          EvaluateCostFloat(*plan, instance.catalog, instance.graph, kind);
+      EXPECT_NEAR(evaluated, outcome->cost,
+                  2e-5f * std::max(1.0f, outcome->cost))
+          << "seed=" << seed << " model=" << CostModelKindToString(kind);
+    }
+  }
+}
+
+TEST(EvaluateTest, DoubleAndFloatEvaluationsAgreeToFloatPrecision) {
+  const auto instance = MakeRandomInstance(7, 42);
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  ASSERT_TRUE(plan.ok());
+  const double d = EvaluateCost(*plan, instance.catalog, instance.graph,
+                                CostModelKind::kNaive);
+  const float f = EvaluateCostFloat(*plan, instance.catalog, instance.graph,
+                                    CostModelKind::kNaive);
+  EXPECT_NEAR(f, d, 1e-5 * std::max(1.0, d));
+}
+
+TEST(EvaluateTest, CartesianProductPlanCost) {
+  // With an edgeless graph every join is a product and cardinalities are
+  // plain products of base cardinalities.
+  Result<Catalog> catalog = Catalog::FromCardinalities({2, 3, 5});
+  ASSERT_TRUE(catalog.ok());
+  const JoinGraph graph(3);
+  const Plan plan = Plan::Join(
+      Plan::Join(Plan::Leaf(0), Plan::Leaf(1)), Plan::Leaf(2));
+  EXPECT_DOUBLE_EQ(EvaluateCardinality(plan.root(), *catalog, graph), 30.0);
+  EXPECT_DOUBLE_EQ(
+      EvaluateCost(plan, *catalog, graph, CostModelKind::kNaive),
+      6.0 + 30.0);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,146 @@
+// Edge cases for the execution engine: empty inputs, empty results,
+// duplicate-heavy keys, single-row tables, and selectivity-1 predicates.
+
+#include <gtest/gtest.h>
+
+#include "exec/datagen.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+namespace {
+
+/// Two tiny hand-built tables joined on predicate 0, with full control of
+/// the key columns.
+struct HandBuilt {
+  HandBuilt(std::vector<std::uint32_t> lhs_keys,
+            std::vector<std::uint32_t> rhs_keys)
+      : graph(2) {
+    BLITZ_CHECK(graph.AddPredicate(0, 1, 0.5).ok());
+    tables.emplace_back(0, static_cast<std::uint32_t>(lhs_keys.size()));
+    tables.emplace_back(1, static_cast<std::uint32_t>(rhs_keys.size()));
+    BLITZ_CHECK(tables[0].AddJoinColumn(0, std::move(lhs_keys)).ok());
+    BLITZ_CHECK(tables[1].AddJoinColumn(0, std::move(rhs_keys)).ok());
+  }
+
+  RowSet Join(JoinAlgorithm algorithm) {
+    const RowSet lhs = ScanTable(tables[0]);
+    const RowSet rhs = ScanTable(tables[1]);
+    const auto predicates =
+        BindSpanningPredicates(graph, lhs.relations, rhs.relations);
+    return JoinRowSets(lhs, rhs, predicates, algorithm, tables);
+  }
+
+  JoinGraph graph;
+  std::vector<ExecTable> tables;
+};
+
+TEST(ExecEdgeTest, EmptyJoinResult) {
+  HandBuilt fx({1, 2, 3}, {4, 5, 6});  // no common keys
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kNestedLoops, JoinAlgorithm::kHash,
+        JoinAlgorithm::kSortMerge}) {
+    EXPECT_EQ(fx.Join(algorithm).num_rows(), 0u);
+  }
+}
+
+TEST(ExecEdgeTest, AllDuplicateKeysProduceCrossProduct) {
+  HandBuilt fx({7, 7, 7}, {7, 7});  // every pair matches
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kNestedLoops, JoinAlgorithm::kHash,
+        JoinAlgorithm::kSortMerge}) {
+    EXPECT_EQ(fx.Join(algorithm).num_rows(), 6u);
+  }
+}
+
+TEST(ExecEdgeTest, MixedDuplicateRuns) {
+  // lhs keys: 1,1,2,3; rhs keys: 1,2,2,9 -> matches: 2*1 + 1*2 = 4.
+  HandBuilt fx({1, 1, 2, 3}, {1, 2, 2, 9});
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kNestedLoops, JoinAlgorithm::kHash,
+        JoinAlgorithm::kSortMerge}) {
+    const RowSet out = fx.Join(algorithm);
+    EXPECT_EQ(out.num_rows(), 4u);
+  }
+}
+
+TEST(ExecEdgeTest, AllAlgorithmsAgreeOnDuplicateHeavyData) {
+  HandBuilt fx({0, 0, 1, 1, 1, 2}, {0, 1, 1, 3, 0});
+  const auto nl = ResultFingerprint(fx.Join(JoinAlgorithm::kNestedLoops));
+  EXPECT_EQ(ResultFingerprint(fx.Join(JoinAlgorithm::kHash)), nl);
+  EXPECT_EQ(ResultFingerprint(fx.Join(JoinAlgorithm::kSortMerge)), nl);
+}
+
+TEST(ExecEdgeTest, SingleRowTables) {
+  HandBuilt match({5}, {5});
+  HandBuilt miss({5}, {6});
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kNestedLoops, JoinAlgorithm::kHash,
+        JoinAlgorithm::kSortMerge}) {
+    EXPECT_EQ(match.Join(algorithm).num_rows(), 1u);
+    EXPECT_EQ(miss.Join(algorithm).num_rows(), 0u);
+  }
+}
+
+TEST(ExecEdgeTest, RowSetSlotOf) {
+  RowSet rows;
+  rows.relations = RelSet::Singleton(1) | RelSet::Singleton(4) |
+                   RelSet::Singleton(6);
+  EXPECT_EQ(rows.SlotOf(1), 0);
+  EXPECT_EQ(rows.SlotOf(4), 1);
+  EXPECT_EQ(rows.SlotOf(6), 2);
+}
+
+TEST(ExecEdgeTest, SelectivityOnePredicateKeepsEverything) {
+  // Selectivity 1 => key domain of size 1 => every pair matches.
+  Result<Catalog> catalog = Catalog::FromCardinalities({4, 5});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(2);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 1.0).ok());
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+  const Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  Result<ExecutionResult> result = ExecutePlan(plan, *tables, graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 20u);
+}
+
+TEST(ExecEdgeTest, ThreeWayPlanWithEmptyIntermediate) {
+  // Force an empty intermediate result and verify the rest of the plan
+  // still executes cleanly to an empty final result.
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.5).ok());
+  ASSERT_TRUE(graph.AddPredicate(1, 2, 0.5).ok());
+  std::vector<ExecTable> tables;
+  tables.emplace_back(0, 2u);
+  tables.emplace_back(1, 2u);
+  tables.emplace_back(2, 2u);
+  ASSERT_TRUE(tables[0].AddJoinColumn(0, {1, 2}).ok());
+  ASSERT_TRUE(tables[1].AddJoinColumn(0, {3, 4}).ok());  // never matches
+  ASSERT_TRUE(tables[1].AddJoinColumn(1, {0, 0}).ok());
+  ASSERT_TRUE(tables[2].AddJoinColumn(1, {0, 0}).ok());
+  const Plan plan = Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(1)),
+                               Plan::Leaf(2));
+  Result<ExecutionResult> result = ExecutePlan(plan, tables, graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 0u);
+  ASSERT_EQ(result->node_stats.size(), 2u);
+  EXPECT_EQ(result->node_stats[1].output_rows, 0u);  // the inner join
+}
+
+TEST(ExecEdgeTest, ProductOfEmptyIntermediateIsEmpty) {
+  JoinGraph graph(2);  // no predicates: pure product
+  std::vector<ExecTable> tables;
+  tables.emplace_back(0, 0u);  // empty table
+  tables.emplace_back(1, 3u);
+  const Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  Result<ExecutionResult> result = ExecutePlan(plan, tables, graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,303 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/random_plans.h"
+#include "exec/datagen.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "exec/relation.h"
+#include "plan/algorithm_choice.h"
+#include "plan/plan.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+// --------------------------------------------------------------------------
+// ExecTable.
+// --------------------------------------------------------------------------
+
+TEST(ExecTableTest, ColumnsAttachAndRead) {
+  ExecTable table(0, 3);
+  EXPECT_EQ(table.relation_index(), 0);
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_FALSE(table.HasColumn(0));
+  ASSERT_TRUE(table.AddJoinColumn(0, {5, 6, 7}).ok());
+  EXPECT_TRUE(table.HasColumn(0));
+  EXPECT_EQ(table.Column(0)[1], 6u);
+}
+
+TEST(ExecTableTest, RejectsWrongSizeAndDuplicates) {
+  ExecTable table(0, 3);
+  EXPECT_FALSE(table.AddJoinColumn(0, {1, 2}).ok());
+  ASSERT_TRUE(table.AddJoinColumn(0, {1, 2, 3}).ok());
+  EXPECT_FALSE(table.AddJoinColumn(0, {4, 5, 6}).ok());
+}
+
+// --------------------------------------------------------------------------
+// Data generation.
+// --------------------------------------------------------------------------
+
+TEST(DataGenTest, TablesMatchCatalogCardinalities) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 25, 3});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.1).ok());
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 3u);
+  EXPECT_EQ((*tables)[0].num_rows(), 10u);
+  EXPECT_EQ((*tables)[1].num_rows(), 25u);
+  EXPECT_EQ((*tables)[2].num_rows(), 3u);
+  // Only the endpoints of predicate 0 carry its column.
+  EXPECT_TRUE((*tables)[0].HasColumn(0));
+  EXPECT_TRUE((*tables)[1].HasColumn(0));
+  EXPECT_FALSE((*tables)[2].HasColumn(0));
+}
+
+TEST(DataGenTest, KeysStayInDomain) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({1000, 1000});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(2);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.05).ok());  // domain 20
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+  for (const std::uint32_t v : (*tables)[0].Column(0)) {
+    EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(DataGenTest, DeterministicForSeed) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({50, 50});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(2);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.1).ok());
+  DataGenOptions options;
+  options.seed = 42;
+  Result<std::vector<ExecTable>> a = GenerateTables(*catalog, graph, options);
+  Result<std::vector<ExecTable>> b = GenerateTables(*catalog, graph, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)[0].Column(0), (*b)[0].Column(0));
+}
+
+TEST(DataGenTest, MaxRowsCapApplies) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({1e9});
+  ASSERT_TRUE(catalog.ok());
+  DataGenOptions options;
+  options.max_rows_per_table = 128;
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, JoinGraph(1), options);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ((*tables)[0].num_rows(), 128u);
+}
+
+TEST(DataGenTest, RealizedSelectivityApproximatesRequested) {
+  // Join two 400-row tables on a selectivity-0.02 predicate; the realized
+  // match fraction should be near 0.02.
+  Result<Catalog> catalog = Catalog::FromCardinalities({400, 400});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(2);
+  const double selectivity = 0.02;
+  ASSERT_TRUE(graph.AddPredicate(0, 1, selectivity).ok());
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+  std::uint64_t matches = 0;
+  for (const std::uint32_t a : (*tables)[0].Column(0)) {
+    for (const std::uint32_t b : (*tables)[1].Column(0)) {
+      if (a == b) ++matches;
+    }
+  }
+  const double realized = static_cast<double>(matches) / (400.0 * 400.0);
+  EXPECT_NEAR(realized, selectivity, 0.01);
+}
+
+// --------------------------------------------------------------------------
+// Operators.
+// --------------------------------------------------------------------------
+
+struct TwoTableFixture {
+  TwoTableFixture() : graph(2) {
+    Result<Catalog> c = Catalog::FromCardinalities({60, 80});
+    BLITZ_CHECK(c.ok());
+    catalog = std::move(c).value();
+    BLITZ_CHECK(graph.AddPredicate(0, 1, 0.1).ok());
+    Result<std::vector<ExecTable>> t =
+        GenerateTables(catalog, graph, DataGenOptions{});
+    BLITZ_CHECK(t.ok());
+    tables = std::move(t).value();
+  }
+
+  Catalog catalog;
+  JoinGraph graph;
+  std::vector<ExecTable> tables;
+};
+
+TEST(OperatorsTest, ScanProducesOneRowPerTuple) {
+  const TwoTableFixture fx;
+  const RowSet scan = ScanTable(fx.tables[0]);
+  EXPECT_EQ(scan.num_rows(), 60u);
+  EXPECT_EQ(scan.relations, RelSet::Singleton(0));
+  EXPECT_EQ(scan.rows[17][0], 17u);
+}
+
+TEST(OperatorsTest, AllJoinAlgorithmsAgree) {
+  const TwoTableFixture fx;
+  const RowSet lhs = ScanTable(fx.tables[0]);
+  const RowSet rhs = ScanTable(fx.tables[1]);
+  const auto predicates =
+      BindSpanningPredicates(fx.graph, lhs.relations, rhs.relations);
+  ASSERT_EQ(predicates.size(), 1u);
+
+  const RowSet nl = JoinRowSets(lhs, rhs, predicates,
+                                JoinAlgorithm::kNestedLoops, fx.tables);
+  const RowSet hash =
+      JoinRowSets(lhs, rhs, predicates, JoinAlgorithm::kHash, fx.tables);
+  const RowSet sm = JoinRowSets(lhs, rhs, predicates,
+                                JoinAlgorithm::kSortMerge, fx.tables);
+  EXPECT_EQ(ResultFingerprint(nl), ResultFingerprint(hash));
+  EXPECT_EQ(ResultFingerprint(nl), ResultFingerprint(sm));
+  EXPECT_GT(nl.num_rows(), 0u);
+}
+
+TEST(OperatorsTest, ProductProducesFullCrossProduct) {
+  const TwoTableFixture fx;
+  const RowSet lhs = ScanTable(fx.tables[0]);
+  const RowSet rhs = ScanTable(fx.tables[1]);
+  const RowSet product = JoinRowSets(
+      lhs, rhs, {}, JoinAlgorithm::kCartesianProduct, fx.tables);
+  EXPECT_EQ(product.num_rows(), 60u * 80u);
+}
+
+TEST(OperatorsTest, BindSpanningPredicatesOrientsEndpoints) {
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 2, 0.5).ok());
+  // Predicate stored as (0,2); binding with 2 on the left must flip it.
+  const auto bound = BindSpanningPredicates(graph, RelSet::Singleton(2),
+                                            RelSet::Singleton(0));
+  ASSERT_EQ(bound.size(), 1u);
+  EXPECT_EQ(bound[0].lhs_relation, 2);
+  EXPECT_EQ(bound[0].rhs_relation, 0);
+  // Non-spanning predicates are not bound.
+  EXPECT_TRUE(BindSpanningPredicates(graph, RelSet::Singleton(1),
+                                     RelSet::Singleton(0))
+                  .empty());
+}
+
+TEST(OperatorsTest, MultiPredicateJoinVerifiesAllPredicates) {
+  // Two predicates between the same pair of relations is not allowed in a
+  // JoinGraph, so span two predicates across a three-way join instead:
+  // join {R0,R1} with {R2} where R0-R2 and R1-R2 both have predicates.
+  Result<Catalog> catalog = Catalog::FromCardinalities({30, 30, 30});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 2, 0.2).ok());
+  ASSERT_TRUE(graph.AddPredicate(1, 2, 0.2).ok());
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+
+  const RowSet r0 = ScanTable((*tables)[0]);
+  const RowSet r1 = ScanTable((*tables)[1]);
+  const RowSet r01 =
+      JoinRowSets(r0, r1, {}, JoinAlgorithm::kCartesianProduct, *tables);
+  const RowSet r2 = ScanTable((*tables)[2]);
+  const auto predicates =
+      BindSpanningPredicates(graph, r01.relations, r2.relations);
+  ASSERT_EQ(predicates.size(), 2u);
+
+  const RowSet hash =
+      JoinRowSets(r01, r2, predicates, JoinAlgorithm::kHash, *tables);
+  const RowSet nl =
+      JoinRowSets(r01, r2, predicates, JoinAlgorithm::kNestedLoops, *tables);
+  const RowSet sm =
+      JoinRowSets(r01, r2, predicates, JoinAlgorithm::kSortMerge, *tables);
+  EXPECT_EQ(ResultFingerprint(hash), ResultFingerprint(nl));
+  EXPECT_EQ(ResultFingerprint(sm), ResultFingerprint(nl));
+  // Every output row satisfies both predicates.
+  for (const auto& row : hash.rows) {
+    const std::uint32_t k0 = (*tables)[0].Column(0)[row[0]];
+    const std::uint32_t k2a = (*tables)[2].Column(0)[row[2]];
+    const std::uint32_t k1 = (*tables)[1].Column(1)[row[1]];
+    const std::uint32_t k2b = (*tables)[2].Column(1)[row[2]];
+    EXPECT_EQ(k0, k2a);
+    EXPECT_EQ(k1, k2b);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Executor.
+// --------------------------------------------------------------------------
+
+TEST(ExecutorTest, DifferentJoinOrdersProduceIdenticalResults) {
+  const auto instance = blitz::testing::MakeRandomInstance(
+      5, /*seed=*/3, /*extra_edge_prob=*/0.4, /*card_max=*/15,
+      /*sel_min=*/0.05);
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(instance.catalog, instance.graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+
+  Rng rng(8);
+  const Plan first = RandomBushyPlan(RelSet::FirstN(5), &rng);
+  Result<ExecutionResult> reference =
+      ExecutePlan(first, *tables, instance.graph);
+  ASSERT_TRUE(reference.ok());
+  const auto expected = ResultFingerprint(reference->result);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const Plan other = RandomBushyPlan(RelSet::FirstN(5), &rng);
+    Result<ExecutionResult> result =
+        ExecutePlan(other, *tables, instance.graph);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ResultFingerprint(result->result), expected)
+        << other.ToString();
+  }
+}
+
+TEST(ExecutorTest, NodeStatsCoverEveryJoin) {
+  const TwoTableFixture fx;
+  Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  Result<ExecutionResult> result = ExecutePlan(plan, fx.tables, fx.graph);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->node_stats.size(), 1u);
+  EXPECT_EQ(result->node_stats[0].set, RelSet::FirstN(2));
+  EXPECT_EQ(result->node_stats[0].output_rows, result->result.num_rows());
+}
+
+TEST(ExecutorTest, ObservedCardinalityNearEstimate) {
+  // The estimated join cardinality |L||R|s should predict the observed
+  // output within sampling noise.
+  const TwoTableFixture fx;
+  Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  Result<ExecutionResult> result = ExecutePlan(plan, fx.tables, fx.graph);
+  ASSERT_TRUE(result.ok());
+  const double expected = 60.0 * 80.0 * 0.1;
+  const double observed = static_cast<double>(result->result.num_rows());
+  EXPECT_NEAR(observed, expected, 0.5 * expected);
+}
+
+TEST(ExecutorTest, AnnotatedAlgorithmsAreUsed) {
+  const TwoTableFixture fx;
+  Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  plan.mutable_root().algorithm = JoinAlgorithm::kSortMerge;
+  Result<ExecutionResult> result = ExecutePlan(plan, fx.tables, fx.graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->node_stats[0].algorithm, JoinAlgorithm::kSortMerge);
+}
+
+TEST(ExecutorTest, RejectsEmptyPlanAndBadTables) {
+  const TwoTableFixture fx;
+  EXPECT_FALSE(ExecutePlan(Plan(), fx.tables, fx.graph).ok());
+  const Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  std::vector<ExecTable> too_few;
+  too_few.emplace_back(0, 1u);
+  EXPECT_FALSE(ExecutePlan(plan, too_few, fx.graph).ok());
+}
+
+}  // namespace
+}  // namespace blitz

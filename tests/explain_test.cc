@@ -1,0 +1,100 @@
+#include "plan/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "plan/evaluate.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::Figure3Graph;
+using ::blitz::testing::MakeRandomInstance;
+using ::blitz::testing::Table1Catalog;
+
+TEST(ExplainTest, SummaryMatchesEvaluator) {
+  const auto instance = MakeRandomInstance(8, 7);
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  ASSERT_TRUE(plan.ok());
+  const PlanSummary summary = SummarizePlan(
+      *plan, instance.catalog, instance.graph, CostModelKind::kNaive);
+  const double evaluated = EvaluateCost(*plan, instance.catalog,
+                                        instance.graph,
+                                        CostModelKind::kNaive);
+  EXPECT_DOUBLE_EQ(summary.total_cost, evaluated);
+  EXPECT_EQ(summary.joins, plan->NumJoins());
+  EXPECT_EQ(summary.depth, plan->Depth());
+  EXPECT_EQ(summary.left_deep, plan->IsLeftDeep());
+  EXPECT_EQ(summary.cartesian_products,
+            plan->CountCartesianProducts(instance.graph));
+  EXPECT_GE(summary.max_intermediate_cardinality,
+            summary.result_cardinality);
+}
+
+TEST(ExplainTest, Table1PlanRendering) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph(4);  // pure products
+  // The Table 1 optimum: (A x D) x (B x C), cost 241000.
+  const Plan plan = Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(3)),
+                               Plan::Join(Plan::Leaf(1), Plan::Leaf(2)));
+  const std::string text =
+      ExplainPlan(plan, catalog, graph, CostModelKind::kNaive);
+  EXPECT_NE(text.find("total cost 241000"), std::string::npos) << text;
+  EXPECT_NE(text.find("3 joins"), std::string::npos) << text;
+  EXPECT_NE(text.find("3 Cartesian products"), std::string::npos) << text;
+  EXPECT_NE(text.find("bushy (depth 2)"), std::string::npos) << text;
+  EXPECT_NE(text.find("scan A  rows 10"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows 240000"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, PredicatesListedAtTheirJoin) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph();  // AB, AC, BC, AD
+  // ((A x B) x C): AB at the inner join; AC and BC at the outer.
+  const Plan plan = Plan::Join(
+      Plan::Join(Plan::Leaf(0), Plan::Leaf(1)), Plan::Leaf(2));
+  const std::string text =
+      ExplainPlan(plan, catalog, graph, CostModelKind::kNaive);
+  EXPECT_NE(text.find("on A=B"), std::string::npos) << text;
+  EXPECT_NE(text.find("A=C AND B=C"), std::string::npos) << text;
+  EXPECT_EQ(text.find("(Cartesian product)"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, MarksCartesianProducts) {
+  const Catalog catalog = Table1Catalog();
+  const JoinGraph graph = Figure3Graph();
+  const Plan plan = Plan::Join(Plan::Leaf(1), Plan::Leaf(3));  // B x D
+  const std::string text =
+      ExplainPlan(plan, catalog, graph, CostModelKind::kNaive);
+  EXPECT_NE(text.find("(Cartesian product)"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 Cartesian product,"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, WorksForEveryCostModel) {
+  const auto instance = MakeRandomInstance(6, 3);
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  ASSERT_TRUE(plan.ok());
+  for (const CostModelKind kind :
+       {CostModelKind::kNaive, CostModelKind::kSortMerge,
+        CostModelKind::kDiskNestedLoops, CostModelKind::kMinSmDnl,
+        CostModelKind::kHash, CostModelKind::kMinAll}) {
+    const std::string text =
+        ExplainPlan(*plan, instance.catalog, instance.graph, kind);
+    EXPECT_NE(text.find(CostModelKindToString(kind)), std::string::npos);
+    const PlanSummary summary =
+        SummarizePlan(*plan, instance.catalog, instance.graph, kind);
+    EXPECT_NEAR(summary.total_cost,
+                EvaluateCost(*plan, instance.catalog, instance.graph, kind),
+                1e-9 * std::max(1.0, summary.total_cost));
+  }
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,75 @@
+#include "catalog/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "textio/bjq.h"
+
+namespace blitz {
+namespace {
+
+Catalog ThreeRelations() {
+  Result<Catalog> catalog = Catalog::Create({
+      {"fact", 1000000, 96},
+      {"dim_a", 10000, 64},
+      {"dim_b", 500, 64},
+  });
+  BLITZ_CHECK(catalog.ok());
+  return std::move(catalog).value();
+}
+
+TEST(FiltersTest, ScalesCardinalities) {
+  const Catalog catalog = ThreeRelations();
+  Result<Catalog> filtered =
+      ApplyFilters(catalog, {{1, 0.01}, {2, 0.5}});
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_DOUBLE_EQ(filtered->cardinality(0), 1000000);
+  EXPECT_DOUBLE_EQ(filtered->cardinality(1), 100);
+  EXPECT_DOUBLE_EQ(filtered->cardinality(2), 250);
+  // Names and widths preserved.
+  EXPECT_EQ(filtered->relation(1).name, "dim_a");
+  EXPECT_EQ(filtered->relation(0).tuple_bytes, 96);
+}
+
+TEST(FiltersTest, MultipleFiltersOnOneRelationMultiply) {
+  const Catalog catalog = ThreeRelations();
+  Result<Catalog> filtered = ApplyFilters(catalog, {{0, 0.1}, {0, 0.1}});
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_DOUBLE_EQ(filtered->cardinality(0), 10000);
+}
+
+TEST(FiltersTest, NoFiltersIsIdentity) {
+  const Catalog catalog = ThreeRelations();
+  Result<Catalog> filtered = ApplyFilters(catalog, {});
+  ASSERT_TRUE(filtered.ok());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    EXPECT_DOUBLE_EQ(filtered->cardinality(i), catalog.cardinality(i));
+  }
+}
+
+TEST(FiltersTest, RejectsBadFilters) {
+  const Catalog catalog = ThreeRelations();
+  EXPECT_FALSE(ApplyFilters(catalog, {{7, 0.5}}).ok());
+  EXPECT_FALSE(ApplyFilters(catalog, {{-1, 0.5}}).ok());
+  EXPECT_FALSE(ApplyFilters(catalog, {{0, 0.0}}).ok());
+  EXPECT_FALSE(ApplyFilters(catalog, {{0, 1.5}}).ok());
+  EXPECT_FALSE(ApplyFilters(catalog, {{0, -0.2}}).ok());
+}
+
+TEST(FiltersTest, BjqFilterDirective) {
+  Result<QuerySpec> spec = ParseBjq(
+      "relation fact 1000000\nrelation dim 10000\n"
+      "filter dim 0.001\n"
+      "predicate fact dim 0.0001\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->catalog.cardinality(1), 10);
+  EXPECT_DOUBLE_EQ(spec->catalog.cardinality(0), 1000000);
+}
+
+TEST(FiltersTest, BjqFilterErrors) {
+  EXPECT_FALSE(ParseBjq("relation a 10\nfilter zz 0.5\n").ok());
+  EXPECT_FALSE(ParseBjq("relation a 10\nfilter a 2.0\n").ok());
+  EXPECT_FALSE(ParseBjq("relation a 10\nfilter a\n").ok());
+}
+
+}  // namespace
+}  // namespace blitz

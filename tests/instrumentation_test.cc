@@ -1,0 +1,52 @@
+#include "core/instrumentation.h"
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(InstrumentationTest, NoInstrumentationIsDisabled) {
+  EXPECT_FALSE(NoInstrumentation::kEnabled);
+  NoInstrumentation instr;
+  instr.OnSubsetVisited();  // must compile and do nothing
+  instr.OnLoopIteration();
+}
+
+TEST(InstrumentationTest, CountingIncrements) {
+  CountingInstrumentation instr;
+  instr.OnSubsetVisited();
+  instr.OnLoopIteration();
+  instr.OnLoopIteration();
+  instr.OnOperandPass();
+  instr.OnKappa2Evaluated();
+  instr.OnImprovement();
+  instr.OnThresholdSkip();
+  EXPECT_EQ(instr.subsets_visited, 1u);
+  EXPECT_EQ(instr.loop_iterations, 2u);
+  EXPECT_EQ(instr.operand_passes, 1u);
+  EXPECT_EQ(instr.kappa2_evaluations, 1u);
+  EXPECT_EQ(instr.improvements, 1u);
+  EXPECT_EQ(instr.threshold_skips, 1u);
+}
+
+TEST(InstrumentationTest, Accumulate) {
+  CountingInstrumentation a;
+  a.OnLoopIteration();
+  CountingInstrumentation b;
+  b.OnLoopIteration();
+  b.OnImprovement();
+  a += b;
+  EXPECT_EQ(a.loop_iterations, 2u);
+  EXPECT_EQ(a.improvements, 1u);
+}
+
+TEST(InstrumentationTest, ToStringMentionsAllCounters) {
+  CountingInstrumentation instr;
+  instr.OnKappa2Evaluated();
+  const std::string s = instr.ToString();
+  EXPECT_NE(s.find("kappa2=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("subsets=0"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace blitz

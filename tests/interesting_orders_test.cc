@@ -1,0 +1,198 @@
+#include "api/interesting_orders.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "query/equivalence.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::MakeRandomInstance;
+
+double Aux(double card) { return std::max(card, 1.0) *
+                                 (1.0 + std::log(std::max(card, 1.0))); }
+
+float PlainSortMergeCost(const Catalog& catalog, const JoinGraph& graph) {
+  OptimizerOptions options;
+  options.cost_model = CostModelKind::kSortMerge;
+  Result<OptimizeOutcome> outcome = OptimizeJoin(catalog, graph, options);
+  BLITZ_CHECK(outcome.ok() && outcome->found_plan());
+  return outcome->cost;
+}
+
+TEST(InterestingOrdersTest, TwoRelationsMatchesHandComputation) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({100, 400});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(2);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.01).ok());
+  Result<InterestingOrdersResult> result = OptimizeWithInterestingOrders(
+      *catalog, graph, IdentityPredicateClasses(graph));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->cost, Aux(100) + Aux(400), 1e-2);
+  EXPECT_EQ(result->sorts_avoided, 0);
+  EXPECT_EQ(result->plan.root().algorithm, JoinAlgorithm::kSortMerge);
+  EXPECT_EQ(result->plan.root().sort_class, 0);
+}
+
+TEST(InterestingOrdersTest, IdentityClassesMatchPlainSortMergeDp) {
+  // With every predicate in its own class no order can ever be reused (a
+  // predicate spans exactly one join of any plan), so the order-aware
+  // optimum equals the plain kappa_sm optimum.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed);
+    Result<InterestingOrdersResult> result = OptimizeWithInterestingOrders(
+        instance.catalog, instance.graph,
+        IdentityPredicateClasses(instance.graph));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->sorts_avoided, 0) << "seed " << seed;
+    const float plain = PlainSortMergeCost(instance.catalog, instance.graph);
+    EXPECT_NEAR(result->cost, plain, 1e-4 * std::max(1.0f, plain))
+        << "seed " << seed;
+  }
+}
+
+TEST(InterestingOrdersTest, SharedClassEnablesReuse) {
+  // Three relations joined on one common attribute (a closed equivalence
+  // class): the middle result is already sorted on the class, so the top
+  // merge skips one sort.
+  Result<Catalog> catalog = Catalog::FromCardinalities({1000, 1000, 1000});
+  ASSERT_TRUE(catalog.ok());
+  JoinSpecBuilder builder(3);
+  ASSERT_TRUE(
+      builder.AddEquivalenceClass({0, 1, 2}, {100, 100, 100}).ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  // All predicates join on the same attribute: one shared class.
+  const std::vector<int> classes(graph->num_predicates(), 0);
+
+  Result<InterestingOrdersResult> result =
+      OptimizeWithInterestingOrders(*catalog, *graph, classes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->sorts_avoided, 1) << result->explain;
+
+  const float plain = PlainSortMergeCost(*catalog, *graph);
+  EXPECT_LT(result->cost, plain) << result->explain;
+  EXPECT_NE(result->explain.find("pre-sorted"), std::string::npos)
+      << result->explain;
+}
+
+TEST(InterestingOrdersTest, NeverWorseThanPlainSortMerge) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed + 50);
+    // Group predicates into two attribute classes arbitrarily.
+    std::vector<int> classes(instance.graph.num_predicates());
+    for (size_t p = 0; p < classes.size(); ++p) classes[p] = p % 2;
+    Result<InterestingOrdersResult> result = OptimizeWithInterestingOrders(
+        instance.catalog, instance.graph, classes);
+    ASSERT_TRUE(result.ok());
+    const float plain = PlainSortMergeCost(instance.catalog, instance.graph);
+    EXPECT_LE(result->cost, plain * (1 + 1e-4)) << "seed " << seed;
+  }
+}
+
+TEST(InterestingOrdersTest, CoarserClassesNeverIncreaseCost) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed + 90);
+    Result<InterestingOrdersResult> fine = OptimizeWithInterestingOrders(
+        instance.catalog, instance.graph,
+        IdentityPredicateClasses(instance.graph));
+    const std::vector<int> one_class(instance.graph.num_predicates(), 0);
+    Result<InterestingOrdersResult> coarse = OptimizeWithInterestingOrders(
+        instance.catalog, instance.graph, one_class);
+    ASSERT_TRUE(fine.ok());
+    ASSERT_TRUE(coarse.ok());
+    EXPECT_LE(coarse->cost, fine->cost * (1 + 1e-4)) << "seed " << seed;
+  }
+}
+
+TEST(InterestingOrdersTest, SortClassAnnotationsAreConsistent) {
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities({500, 500, 500, 500});
+  ASSERT_TRUE(catalog.ok());
+  JoinSpecBuilder builder(4);
+  ASSERT_TRUE(builder.AddEquivalenceClass({0, 1, 2, 3},
+                                          {50, 50, 50, 50})
+                  .ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<int> classes(graph->num_predicates(), 0);
+  Result<InterestingOrdersResult> result =
+      OptimizeWithInterestingOrders(*catalog, *graph, classes);
+  ASSERT_TRUE(result.ok());
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    if (node.is_leaf()) {
+      EXPECT_EQ(node.sort_class, -1);
+      return;
+    }
+    if (node.algorithm == JoinAlgorithm::kSortMerge) {
+      EXPECT_EQ(node.sort_class, 0);
+    } else {
+      EXPECT_EQ(node.sort_class, -1);
+    }
+    check(*node.left);
+    check(*node.right);
+  };
+  check(result->plan.root());
+}
+
+TEST(InterestingOrdersTest, ProductsHandled) {
+  // Disconnected pair: the only join is a product; cost is both sort terms
+  // (kappa_sm's treatment) and the output is unordered.
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 20});
+  ASSERT_TRUE(catalog.ok());
+  const JoinGraph graph(2);
+  Result<InterestingOrdersResult> result = OptimizeWithInterestingOrders(
+      *catalog, graph, IdentityPredicateClasses(graph));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.root().algorithm,
+            JoinAlgorithm::kCartesianProduct);
+  EXPECT_NEAR(result->cost, Aux(10) + Aux(20), 1e-3);
+}
+
+TEST(InterestingOrdersTest, RejectsBadInput) {
+  const auto instance = MakeRandomInstance(5, 1);
+  std::vector<int> wrong_size(instance.graph.num_predicates() + 1, 0);
+  EXPECT_FALSE(OptimizeWithInterestingOrders(instance.catalog,
+                                             instance.graph, wrong_size)
+                   .ok());
+  std::vector<int> bad_class(instance.graph.num_predicates(), -1);
+  EXPECT_FALSE(OptimizeWithInterestingOrders(instance.catalog,
+                                             instance.graph, bad_class)
+                   .ok());
+  const JoinGraph mismatched(4);
+  EXPECT_FALSE(OptimizeWithInterestingOrders(
+                   instance.catalog, mismatched,
+                   IdentityPredicateClasses(mismatched))
+                   .ok());
+}
+
+TEST(InterestingOrdersTest, ReuseCanChangeTheWinningShape) {
+  // A star joined entirely on the hub key: with order reuse, chaining
+  // merges on the shared class (keeping the sorted stream) is cheap; the
+  // chosen plan must exploit at least one pre-sorted input and beat the
+  // order-oblivious optimum.
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities({2000, 2000, 2000, 2000, 50});
+  ASSERT_TRUE(catalog.ok());
+  JoinSpecBuilder builder(5);
+  ASSERT_TRUE(builder
+                  .AddEquivalenceClass({0, 1, 2, 3, 4},
+                                       {100, 100, 100, 100, 50})
+                  .ok());
+  Result<JoinGraph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<int> classes(graph->num_predicates(), 0);
+  Result<InterestingOrdersResult> result =
+      OptimizeWithInterestingOrders(*catalog, *graph, classes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->sorts_avoided, 2) << result->explain;
+  EXPECT_LT(result->cost, PlainSortMergeCost(*catalog, *graph));
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,152 @@
+#include "baseline/local_search.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bruteforce.h"
+#include "baseline/random_plans.h"
+#include "plan/evaluate.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::MakeRandomInstance;
+
+TEST(ApplyRandomMoveTest, PreservesRelationSet) {
+  Rng rng(3);
+  const RelSet all = RelSet::FirstN(8);
+  Plan plan = RandomBushyPlan(all, &rng);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ApplyRandomMove(&plan, &rng));
+    ASSERT_EQ(plan.relations(), all);
+    ASSERT_EQ(plan.NumLeaves(), 8);
+  }
+}
+
+TEST(ApplyRandomMoveTest, InternalSetsStayConsistent) {
+  Rng rng(5);
+  Plan plan = RandomBushyPlan(RelSet::FirstN(7), &rng);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ApplyRandomMove(&plan, &rng));
+    // Every internal node's set must be the union of its children's sets,
+    // and children must be disjoint.
+    std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+      if (node.is_leaf()) return;
+      ASSERT_FALSE(node.left->set.Intersects(node.right->set));
+      ASSERT_EQ(node.set, node.left->set | node.right->set);
+      check(*node.left);
+      check(*node.right);
+    };
+    check(plan.root());
+  }
+}
+
+TEST(ApplyRandomMoveTest, SingleLeafHasNoMoves) {
+  Rng rng(1);
+  Plan plan = Plan::Leaf(0);
+  EXPECT_FALSE(ApplyRandomMove(&plan, &rng));
+}
+
+TEST(ApplyRandomMoveTest, NeighborhoodReachesDifferentShapes) {
+  Rng rng(9);
+  Plan plan = RandomBushyPlan(RelSet::FirstN(5), &rng);
+  const Plan original = plan.Clone();
+  bool changed = false;
+  for (int i = 0; i < 20 && !changed; ++i) {
+    ApplyRandomMove(&plan, &rng);
+    changed = !plan.StructurallyEquals(original);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(IterativeImprovementTest, ReachesReasonableQuality) {
+  const auto instance = MakeRandomInstance(9, 21);
+  LocalSearchOptions options;
+  options.seed = 77;
+  options.max_moves = 8000;
+  options.restarts = 6;
+  Result<LocalSearchResult> result = OptimizeIterativeImprovement(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  Result<BruteForceResult> brute = OptimizeBruteForce(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_GE(result->cost, brute->cost * (1 - 1e-9));
+  // Local search should land within a couple of orders of magnitude on a
+  // 9-relation problem with a healthy move budget.
+  EXPECT_LE(result->cost, brute->cost * 100);
+  EXPECT_GT(result->moves_evaluated, 0);
+  const double evaluated = EvaluateCost(result->plan, instance.catalog,
+                                        instance.graph, CostModelKind::kNaive);
+  EXPECT_NEAR(evaluated, result->cost, 1e-9 * std::max(1.0, evaluated));
+}
+
+TEST(IterativeImprovementTest, RespectsMoveBudget) {
+  const auto instance = MakeRandomInstance(8, 5);
+  LocalSearchOptions options;
+  options.max_moves = 100;
+  Result<LocalSearchResult> result = OptimizeIterativeImprovement(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->moves_evaluated, 100);
+}
+
+TEST(IterativeImprovementTest, DeterministicForSeed) {
+  const auto instance = MakeRandomInstance(7, 6);
+  LocalSearchOptions options;
+  options.seed = 13;
+  options.max_moves = 1000;
+  Result<LocalSearchResult> a = OptimizeIterativeImprovement(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  Result<LocalSearchResult> b = OptimizeIterativeImprovement(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+  EXPECT_TRUE(a->plan.StructurallyEquals(b->plan));
+}
+
+TEST(SimulatedAnnealingTest, ReachesReasonableQuality) {
+  const auto instance = MakeRandomInstance(9, 31);
+  LocalSearchOptions options;
+  options.seed = 99;
+  options.max_moves = 8000;
+  Result<LocalSearchResult> result = OptimizeSimulatedAnnealing(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  Result<BruteForceResult> brute = OptimizeBruteForce(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_GE(result->cost, brute->cost * (1 - 1e-9));
+  EXPECT_LE(result->cost, brute->cost * 100);
+}
+
+TEST(SimulatedAnnealingTest, BestPlanCostMatchesEvaluator) {
+  const auto instance = MakeRandomInstance(8, 14);
+  LocalSearchOptions options;
+  options.max_moves = 2000;
+  Result<LocalSearchResult> result = OptimizeSimulatedAnnealing(
+      instance.catalog, instance.graph, CostModelKind::kSortMerge, options);
+  ASSERT_TRUE(result.ok());
+  const double evaluated =
+      EvaluateCost(result->plan, instance.catalog, instance.graph,
+                   CostModelKind::kSortMerge);
+  EXPECT_NEAR(evaluated, result->cost, 1e-9 * std::max(1.0, evaluated));
+}
+
+TEST(LocalSearchTest, MismatchedGraphRejected) {
+  const auto instance = MakeRandomInstance(5, 1);
+  const JoinGraph wrong(4);
+  EXPECT_FALSE(OptimizeIterativeImprovement(instance.catalog, wrong,
+                                            CostModelKind::kNaive, {})
+                   .ok());
+  EXPECT_FALSE(OptimizeSimulatedAnnealing(instance.catalog, wrong,
+                                          CostModelKind::kNaive, {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,119 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(HarmonicTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(HarmonicTest, LargeValuesMatchApproximation) {
+  // H_k ~ ln k + gamma (the Section 3.3 approximation from [Knu73]).
+  const std::uint64_t k = 1u << 20;
+  EXPECT_NEAR(HarmonicNumber(k), std::log(static_cast<double>(k)) +
+                                     kEulerGamma,
+              1e-5);
+}
+
+TEST(HarmonicTest, ExactAndApproximateAgreeAtBoundary) {
+  // The implementation switches methods at 1024; both must agree there.
+  double exact = 0;
+  for (int i = 1; i <= 1025; ++i) exact += 1.0 / i;
+  EXPECT_NEAR(HarmonicNumber(1025), exact, 1e-6);
+}
+
+TEST(PowTest, Basics) {
+  EXPECT_DOUBLE_EQ(Pow2(0), 1.0);
+  EXPECT_DOUBLE_EQ(Pow2(10), 1024.0);
+  EXPECT_DOUBLE_EQ(Pow3(0), 1.0);
+  EXPECT_DOUBLE_EQ(Pow3(3), 27.0);
+}
+
+TEST(Formula3Test, ComputesWeightedSum) {
+  // 3^n t_loop + (ln2/2) n 2^n t_cond + 2^n t_subset.
+  const int n = 4;
+  const double expected = 81 * 2.0 + 0.5 * std::log(2.0) * 4 * 16 * 3.0 +
+                          16 * 5.0;
+  EXPECT_NEAR(Formula3(n, 2.0, 3.0, 5.0), expected, 1e-9);
+}
+
+TEST(ExpectedCondCountTest, MatchesClosedForm) {
+  const int n = 10;
+  const double expected =
+      0.5 * std::log(2.0) * n * 1024 + kEulerGamma * 1024;
+  EXPECT_NEAR(ExpectedCondCount(n), expected, 1e-9);
+}
+
+TEST(GeometricMeanTest, Basics) {
+  const double values[] = {1, 100};
+  EXPECT_NEAR(GeometricMean(values, 2), 10.0, 1e-12);
+  const double same[] = {7, 7, 7};
+  EXPECT_NEAR(GeometricMean(same, 3), 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeometricMean(values, 0), 0.0);
+}
+
+TEST(Solve3x3Test, SolvesRegularSystem) {
+  double a[3][3] = {{2, 0, 0}, {0, 3, 0}, {0, 0, 4}};
+  double b[3] = {4, 9, 16};
+  double x[3];
+  ASSERT_TRUE(Solve3x3(a, b, x));
+  EXPECT_NEAR(x[0], 2, 1e-12);
+  EXPECT_NEAR(x[1], 3, 1e-12);
+  EXPECT_NEAR(x[2], 4, 1e-12);
+}
+
+TEST(Solve3x3Test, NeedsPivoting) {
+  double a[3][3] = {{0, 1, 0}, {1, 0, 0}, {0, 0, 1}};
+  double b[3] = {5, 7, 9};
+  double x[3];
+  ASSERT_TRUE(Solve3x3(a, b, x));
+  EXPECT_NEAR(x[0], 7, 1e-12);
+  EXPECT_NEAR(x[1], 5, 1e-12);
+  EXPECT_NEAR(x[2], 9, 1e-12);
+}
+
+TEST(Solve3x3Test, DetectsSingularSystem) {
+  double a[3][3] = {{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  double b[3] = {1, 2, 3};
+  double x[3];
+  EXPECT_FALSE(Solve3x3(a, b, x));
+}
+
+TEST(FitFormula3Test, RecoversExactCoefficients) {
+  // Generate synthetic timings from known constants and refit.
+  const double t_loop = 2e-9;
+  const double t_cond = 7e-9;
+  const double t_subset = 11e-9;
+  int ns[8];
+  double times[8];
+  for (int i = 0; i < 8; ++i) {
+    ns[i] = 6 + i;
+    times[i] = Formula3(ns[i], t_loop, t_cond, t_subset);
+  }
+  double fl = 0;
+  double fc = 0;
+  double fs = 0;
+  ASSERT_TRUE(FitFormula3(ns, times, 8, &fl, &fc, &fs));
+  EXPECT_NEAR(fl, t_loop, 1e-12);
+  EXPECT_NEAR(fc, t_cond, 1e-10);
+  EXPECT_NEAR(fs, t_subset, 1e-9);
+}
+
+TEST(FitFormula3Test, RejectsTooFewSamples) {
+  int ns[2] = {5, 6};
+  double times[2] = {1, 2};
+  double a = 0;
+  double b = 0;
+  double c = 0;
+  EXPECT_FALSE(FitFormula3(ns, times, 2, &a, &b, &c));
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,124 @@
+#include "api/optimize_query.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "plan/evaluate.h"
+#include "query/workload.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::MakeRandomInstance;
+
+TEST(OptimizeQueryTest, SmallQueriesAreExactAndMatchCoreOptimizer) {
+  const auto instance = MakeRandomInstance(9, 3);
+  QueryOptimizerOptions options;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exact);
+  EXPECT_EQ(result->passes, 1);
+
+  Result<OptimizeOutcome> core =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(core.ok());
+  EXPECT_NEAR(result->cost, core->cost,
+              1e-4 * std::max(1.0f, core->cost));
+}
+
+TEST(OptimizeQueryTest, LargeQueriesUseHybrid) {
+  WorkloadSpec spec;
+  spec.num_relations = 19;
+  spec.topology = Topology::kChain;
+  spec.mean_cardinality = 100;
+  spec.variability = 0.5;
+  Result<Workload> workload = MakeWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+
+  QueryOptimizerOptions options;
+  options.exhaustive_limit = 14;
+  options.hybrid.block_size = 8;
+  options.hybrid.restarts = 2;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(workload->catalog, workload->graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  EXPECT_EQ(result->plan.NumLeaves(), 19);
+  const double evaluated =
+      EvaluateCost(result->plan, workload->catalog, workload->graph,
+                   CostModelKind::kNaive);
+  EXPECT_NEAR(evaluated, result->cost, 1e-9 * std::max(1.0, evaluated));
+}
+
+TEST(OptimizeQueryTest, ThresholdLadderPathReportsPasses) {
+  const auto instance = MakeRandomInstance(8, 5);
+  QueryOptimizerOptions options;
+  options.initial_cost_threshold = 1e-3f;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exact);
+  EXPECT_GT(result->passes, 1);
+}
+
+TEST(OptimizeQueryTest, AlgorithmsAttachedByDefault) {
+  const auto instance = MakeRandomInstance(7, 7);
+  QueryOptimizerOptions options;
+  options.cost_model = CostModelKind::kMinAll;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok());
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    if (node.is_leaf()) return;
+    EXPECT_NE(node.algorithm, JoinAlgorithm::kUnspecified);
+    check(*node.left);
+    check(*node.right);
+  };
+  check(result->plan.root());
+}
+
+TEST(OptimizeQueryTest, AlgorithmsOptional) {
+  const auto instance = MakeRandomInstance(6, 9);
+  QueryOptimizerOptions options;
+  options.attach_algorithms = false;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.root().algorithm, JoinAlgorithm::kUnspecified);
+}
+
+TEST(OptimizeQueryTest, RejectsBadInput) {
+  const auto instance = MakeRandomInstance(5, 1);
+  const JoinGraph wrong(4);
+  EXPECT_FALSE(
+      OptimizeQuery(instance.catalog, wrong, QueryOptimizerOptions{}).ok());
+  QueryOptimizerOptions bad;
+  bad.exhaustive_limit = 0;
+  EXPECT_FALSE(OptimizeQuery(instance.catalog, instance.graph, bad).ok());
+}
+
+TEST(OptimizeQueryTest, ExactAndHybridAgreeOnModestSizes) {
+  const auto instance = MakeRandomInstance(11, 13, 0.25);
+  QueryOptimizerOptions exact_options;
+  exact_options.exhaustive_limit = 16;
+  QueryOptimizerOptions hybrid_options;
+  hybrid_options.exhaustive_limit = 5;  // force hybrid
+  hybrid_options.hybrid.block_size = 11;
+  hybrid_options.hybrid.restarts = 1;
+  hybrid_options.hybrid.polish = false;
+  Result<OptimizedQuery> exact =
+      OptimizeQuery(instance.catalog, instance.graph, exact_options);
+  Result<OptimizedQuery> hybrid =
+      OptimizeQuery(instance.catalog, instance.graph, hybrid_options);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(hybrid.ok());
+  // Hybrid with block covering everything is a single exact solve.
+  EXPECT_NEAR(hybrid->cost, exact->cost, 1e-4 * std::max(1.0, exact->cost));
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,91 @@
+#include "query/plan_space.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baseline/random_plans.h"
+#include "common/rng.h"
+#include "core/subset_enum.h"
+
+namespace blitz {
+namespace {
+
+TEST(PlanSpaceTest, LeftDeepCounts) {
+  EXPECT_DOUBLE_EQ(NumLeftDeepPlans(1), 1);
+  EXPECT_DOUBLE_EQ(NumLeftDeepPlans(2), 2);
+  EXPECT_DOUBLE_EQ(NumLeftDeepPlans(4), 24);
+  EXPECT_DOUBLE_EQ(NumLeftDeepPlans(10), 3628800);
+}
+
+TEST(PlanSpaceTest, BushyCountsMatchKnownSequence) {
+  // (2n-2)!/(n-1)!: 1, 2, 12, 120, 1680, ...
+  EXPECT_DOUBLE_EQ(NumBushyPlans(1), 1);
+  EXPECT_DOUBLE_EQ(NumBushyPlans(2), 2);
+  EXPECT_DOUBLE_EQ(NumBushyPlans(3), 12);
+  EXPECT_DOUBLE_EQ(NumBushyPlans(4), 120);
+  EXPECT_DOUBLE_EQ(NumBushyPlans(5), 1680);
+}
+
+TEST(PlanSpaceTest, CommutativityQuotient) {
+  // Each commutativity class contains 2^(n-1) ordered plans:
+  // (2n-3)!! * 2^(n-1) = (2n-2)! / (n-1)!.
+  EXPECT_DOUBLE_EQ(NumBushyPlansUpToCommutativity(2), 1);
+  EXPECT_DOUBLE_EQ(NumBushyPlansUpToCommutativity(3), 3);
+  EXPECT_DOUBLE_EQ(NumBushyPlansUpToCommutativity(4), 15);
+  for (int n = 2; n <= 12; ++n) {
+    EXPECT_NEAR(NumBushyPlansUpToCommutativity(n) * std::pow(2.0, n - 1),
+                NumBushyPlans(n), 1e-6 * NumBushyPlans(n));
+  }
+}
+
+TEST(PlanSpaceTest, BushyVastlyExceedsLeftDeep) {
+  // The [IK91] motivation: the bushy space dwarfs the left-deep space.
+  EXPECT_GT(NumBushyPlans(15) / NumLeftDeepPlans(15), 1e5);
+}
+
+TEST(PlanSpaceTest, DpSplitCountMatchesEnumeration) {
+  for (int n = 2; n <= 10; ++n) {
+    std::uint64_t total = 0;
+    for (std::uint64_t s = 1; s < (std::uint64_t{1} << n); ++s) {
+      if ((s & (s - 1)) == 0) continue;
+      ForEachProperSplit(RelSet::FromWord(s),
+                         [&](RelSet, RelSet) { ++total; });
+    }
+    EXPECT_DOUBLE_EQ(NumDpSplits(n), static_cast<double>(total)) << n;
+  }
+}
+
+TEST(PlanSpaceTest, LeftDeepDpJoinCount) {
+  // Sum over non-singleton subsets of |S|.
+  for (int n = 2; n <= 12; ++n) {
+    double total = 0;
+    for (std::uint64_t s = 1; s < (std::uint64_t{1} << n); ++s) {
+      if ((s & (s - 1)) == 0) continue;
+      total += RelSet::FromWord(s).size();
+    }
+    EXPECT_DOUBLE_EQ(NumLeftDeepDpJoins(n), total) << n;
+  }
+}
+
+TEST(PlanSpaceTest, TableRows) {
+  EXPECT_DOUBLE_EQ(NumDpTableRows(4), 15);
+  EXPECT_DOUBLE_EQ(NumDpTableRows(15), 32767);
+}
+
+TEST(PlanSpaceTest, RandomBushyGeneratorCanReachManyShapes) {
+  // Sanity link between the counting and the generator: for n = 4 there are
+  // 120 ordered bushy plans; sampling plenty should find many distinct ones.
+  Rng rng(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(RandomBushyPlan(RelSet::FirstN(4), &rng).ToString());
+  }
+  EXPECT_GT(seen.size(), 60u);
+  EXPECT_LE(seen.size(), 120u);
+}
+
+}  // namespace
+}  // namespace blitz

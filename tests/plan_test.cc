@@ -1,0 +1,141 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::Figure3Graph;
+using ::blitz::testing::Table1Catalog;
+
+Plan BushyFour() {
+  // (R0 x R1) x (R2 x R3)
+  return Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(1)),
+                    Plan::Join(Plan::Leaf(2), Plan::Leaf(3)));
+}
+
+Plan LeftDeepFour() {
+  // ((R0 x R1) x R2) x R3
+  return Plan::Join(
+      Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(1)), Plan::Leaf(2)),
+      Plan::Leaf(3));
+}
+
+TEST(PlanTest, LeafBasics) {
+  const Plan leaf = Plan::Leaf(3);
+  EXPECT_FALSE(leaf.empty());
+  EXPECT_TRUE(leaf.root().is_leaf());
+  EXPECT_EQ(leaf.root().relation(), 3);
+  EXPECT_EQ(leaf.relations(), RelSet::Singleton(3));
+  EXPECT_EQ(leaf.NumLeaves(), 1);
+  EXPECT_EQ(leaf.NumJoins(), 0);
+  EXPECT_EQ(leaf.Depth(), 0);
+  EXPECT_TRUE(leaf.IsLeftDeep());
+}
+
+TEST(PlanTest, JoinComposesSets) {
+  const Plan plan = BushyFour();
+  EXPECT_EQ(plan.relations(), RelSet::FirstN(4));
+  EXPECT_EQ(plan.NumLeaves(), 4);
+  EXPECT_EQ(plan.NumJoins(), 3);
+  EXPECT_EQ(plan.Depth(), 2);
+}
+
+TEST(PlanTest, LeftDeepDetection) {
+  EXPECT_TRUE(LeftDeepFour().IsLeftDeep());
+  EXPECT_FALSE(BushyFour().IsLeftDeep());
+  // A right-deep vine is not left-deep.
+  const Plan right_deep = Plan::Join(
+      Plan::Leaf(0), Plan::Join(Plan::Leaf(1), Plan::Leaf(2)));
+  EXPECT_FALSE(right_deep.IsLeftDeep());
+}
+
+TEST(PlanTest, CountCartesianProducts) {
+  const JoinGraph graph = Figure3Graph();  // edges AB, AC, BC, AD
+  // (A x D) x (B x C): A-D has an edge, B-C has an edge, and AB/AC span the
+  // top join — no products.
+  const Plan good = Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(3)),
+                               Plan::Join(Plan::Leaf(1), Plan::Leaf(2)));
+  EXPECT_EQ(good.CountCartesianProducts(graph), 0);
+  // (B x D) has no edge: one product.
+  const Plan with_product =
+      Plan::Join(Plan::Join(Plan::Leaf(1), Plan::Leaf(3)),
+                 Plan::Join(Plan::Leaf(0), Plan::Leaf(2)));
+  EXPECT_EQ(with_product.CountCartesianProducts(graph), 1);
+}
+
+TEST(PlanTest, CloneIsDeepAndEqual) {
+  const Plan plan = BushyFour();
+  const Plan copy = plan.Clone();
+  EXPECT_TRUE(plan.StructurallyEquals(copy));
+  EXPECT_NE(&plan.root(), &copy.root());
+}
+
+TEST(PlanTest, StructuralEquality) {
+  EXPECT_TRUE(BushyFour().StructurallyEquals(BushyFour()));
+  EXPECT_FALSE(BushyFour().StructurallyEquals(LeftDeepFour()));
+  // Commuted children differ structurally.
+  const Plan ab = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  const Plan ba = Plan::Join(Plan::Leaf(1), Plan::Leaf(0));
+  EXPECT_FALSE(ab.StructurallyEquals(ba));
+}
+
+TEST(PlanTest, ToStringInfix) {
+  EXPECT_EQ(BushyFour().ToString(), "((R0 x R1) x (R2 x R3))");
+  const Catalog catalog = Table1Catalog();
+  EXPECT_EQ(BushyFour().ToString(&catalog), "((A x B) x (C x D))");
+}
+
+TEST(PlanTest, ToTreeStringShowsStructure) {
+  Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  plan.mutable_root().algorithm = JoinAlgorithm::kHash;
+  const std::string tree = plan.ToTreeString();
+  EXPECT_NE(tree.find("hash {R0,R1}"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("  scan R0"), std::string::npos) << tree;
+}
+
+TEST(PlanTest, EmptyPlanRenders) {
+  const Plan empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.ToString(), "(empty)");
+  EXPECT_EQ(empty.NumLeaves(), 0);
+}
+
+TEST(PlanTest, ExtractFromTableRejectsBadSets) {
+  Result<OptimizeOutcome> outcome =
+      OptimizeCartesian(Table1Catalog(), OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(Plan::ExtractFromTable(outcome->table, RelSet()).ok());
+  EXPECT_FALSE(
+      Plan::ExtractFromTable(outcome->table, RelSet::Singleton(17)).ok());
+}
+
+TEST(PlanTest, ExtractSubsetPlan) {
+  Result<OptimizeOutcome> outcome =
+      OptimizeCartesian(Table1Catalog(), OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  const RelSet abc = RelSet::FirstN(3);
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table, abc);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->relations(), abc);
+  EXPECT_EQ(plan->NumJoins(), 2);
+  // Table 1: best LHS for {A,B,C} is {A,B}.
+  EXPECT_EQ(plan->ToString(), "((R0 x R1) x R2)");
+}
+
+TEST(PlanTest, JoinAlgorithmNames) {
+  EXPECT_STREQ(JoinAlgorithmToString(JoinAlgorithm::kHash), "hash");
+  EXPECT_STREQ(JoinAlgorithmToString(JoinAlgorithm::kSortMerge),
+               "sort-merge");
+  EXPECT_STREQ(JoinAlgorithmToString(JoinAlgorithm::kNestedLoops),
+               "nested-loops");
+  EXPECT_STREQ(JoinAlgorithmToString(JoinAlgorithm::kCartesianProduct),
+               "product");
+  EXPECT_STREQ(JoinAlgorithmToString(JoinAlgorithm::kUnspecified), "join");
+}
+
+}  // namespace
+}  // namespace blitz

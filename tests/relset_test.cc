@@ -1,0 +1,118 @@
+#include "core/relset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(RelSetTest, DefaultIsEmpty) {
+  RelSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.word(), 0u);
+}
+
+TEST(RelSetTest, SingletonBasics) {
+  const RelSet s = RelSet::Singleton(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.IsSingleton());
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Min(), 5);
+  EXPECT_EQ(s.Max(), 5);
+  EXPECT_EQ(s.word(), 32u);
+}
+
+TEST(RelSetTest, FirstN) {
+  EXPECT_EQ(RelSet::FirstN(0).word(), 0u);
+  EXPECT_EQ(RelSet::FirstN(1).word(), 1u);
+  EXPECT_EQ(RelSet::FirstN(4).word(), 0b1111u);
+  EXPECT_EQ(RelSet::FirstN(4).size(), 4);
+}
+
+TEST(RelSetTest, SetOperations) {
+  const RelSet a = RelSet::Singleton(0) | RelSet::Singleton(2);
+  const RelSet b = RelSet::Singleton(2) | RelSet::Singleton(3);
+  EXPECT_EQ((a | b).word(), 0b1101u);
+  EXPECT_EQ((a & b).word(), 0b0100u);
+  EXPECT_EQ((a - b).word(), 0b0001u);
+  EXPECT_EQ((a ^ b).word(), 0b1001u);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(RelSet::Singleton(1)));
+}
+
+TEST(RelSetTest, ContainsAllAndProperSubset) {
+  const RelSet big = RelSet::FromWord(0b1110);
+  const RelSet small = RelSet::FromWord(0b0110);
+  EXPECT_TRUE(big.ContainsAll(small));
+  EXPECT_FALSE(small.ContainsAll(big));
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_FALSE(big.IsProperSubsetOf(big));
+  EXPECT_TRUE(big.ContainsAll(big));
+}
+
+TEST(RelSetTest, MinMaxAndLowest) {
+  const RelSet s = RelSet::FromWord(0b101100);
+  EXPECT_EQ(s.Min(), 2);
+  EXPECT_EQ(s.Max(), 5);
+  EXPECT_EQ(s.LowestSingleton().word(), 0b100u);
+  EXPECT_EQ(s.WithoutLowest().word(), 0b101000u);
+}
+
+TEST(RelSetTest, WithWithout) {
+  RelSet s = RelSet::FirstN(3);
+  EXPECT_EQ(s.With(5).word(), 0b100111u);
+  EXPECT_EQ(s.Without(1).word(), 0b101u);
+  // With an existing member / without a non-member are no-ops.
+  EXPECT_EQ(s.With(0), s);
+  EXPECT_EQ(s.Without(9), s);
+}
+
+TEST(RelSetTest, ForEachAscending) {
+  const RelSet s = RelSet::FromWord(0b101101);
+  std::vector<int> members;
+  s.ForEach([&](int i) { members.push_back(i); });
+  EXPECT_EQ(members, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(RelSetTest, ToString) {
+  EXPECT_EQ(RelSet().ToString(), "{}");
+  EXPECT_EQ((RelSet::Singleton(0) | RelSet::Singleton(3)).ToString(),
+            "{R0,R3}");
+}
+
+TEST(RelSetTest, SingletonIsNotEmptyAndPairIsNotSingleton) {
+  EXPECT_FALSE(RelSet().IsSingleton());
+  EXPECT_TRUE(RelSet::Singleton(0).IsSingleton());
+  EXPECT_FALSE(RelSet::FirstN(2).IsSingleton());
+}
+
+TEST(RelSetTest, IntegerOrderContainsAllSubsetsFirst) {
+  // Section 4.2: processing sets in integer order guarantees every proper
+  // subset of S is processed before S — i.e. subset word < set word.
+  for (std::uint64_t s = 1; s < 64; ++s) {
+    for (std::uint64_t sub = 1; sub < s; ++sub) {
+      if ((sub & s) == sub) {
+        EXPECT_LT(sub, s);
+      }
+    }
+    // And conversely any subset's word never exceeds the set's word.
+    const RelSet set = RelSet::FromWord(s);
+    set.ForEach([&](int i) {
+      EXPECT_LE(RelSet::Singleton(i).word(), set.word());
+    });
+  }
+}
+
+TEST(RelSetTest, SixtyThreeBitSafety) {
+  // kMaxRelations is 30, but the representation itself handles high bits.
+  const RelSet s = RelSet::Singleton(29);
+  EXPECT_EQ(s.Min(), 29);
+  EXPECT_EQ(s.word(), std::uint64_t{1} << 29);
+}
+
+}  // namespace
+}  // namespace blitz

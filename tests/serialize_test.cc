@@ -1,0 +1,116 @@
+#include "plan/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/random_plans.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::Table1Catalog;
+
+TEST(SerializeTest, LeafOnly) {
+  EXPECT_EQ(SerializePlan(Plan::Leaf(3)), "R3");
+  const Catalog catalog = Table1Catalog();
+  EXPECT_EQ(SerializePlan(Plan::Leaf(0), &catalog), "A");
+}
+
+TEST(SerializeTest, NestedJoins) {
+  const Plan plan = Plan::Join(Plan::Join(Plan::Leaf(0), Plan::Leaf(3)),
+                               Plan::Join(Plan::Leaf(1), Plan::Leaf(2)));
+  EXPECT_EQ(SerializePlan(plan), "((R0 R3) (R1 R2))");
+  const Catalog catalog = Table1Catalog();
+  EXPECT_EQ(SerializePlan(plan, &catalog), "((A D) (B C))");
+}
+
+TEST(SerializeTest, AlgorithmSuffix) {
+  Plan plan = Plan::Join(Plan::Leaf(0), Plan::Leaf(1));
+  plan.mutable_root().algorithm = JoinAlgorithm::kHash;
+  EXPECT_EQ(SerializePlan(plan), "(R0 R1)@hash");
+}
+
+TEST(SerializeTest, EmptyPlan) {
+  EXPECT_EQ(SerializePlan(Plan()), "()");
+}
+
+TEST(ParsePlanTest, ParsesLeafAndJoin) {
+  Result<Plan> leaf = ParsePlan("R5");
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->relations(), RelSet::Singleton(5));
+
+  Result<Plan> join = ParsePlan("(R0 (R1 R2))");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->NumLeaves(), 3);
+  EXPECT_FALSE(join->IsLeftDeep());
+}
+
+TEST(ParsePlanTest, ResolvesCatalogNames) {
+  const Catalog catalog = Table1Catalog();
+  Result<Plan> plan = ParsePlan("((A D) (B C))", &catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->relations(), RelSet::FirstN(4));
+  EXPECT_EQ(plan->root().left->set,
+            RelSet::Singleton(0) | RelSet::Singleton(3));
+}
+
+TEST(ParsePlanTest, ParsesAlgorithmAnnotations) {
+  Result<Plan> plan = ParsePlan("((R0 R1)@sort-merge R2)@nested-loops");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root().algorithm, JoinAlgorithm::kNestedLoops);
+  EXPECT_EQ(plan->root().left->algorithm, JoinAlgorithm::kSortMerge);
+}
+
+TEST(ParsePlanTest, RoundTripsRandomPlans) {
+  Rng rng(17);
+  const Catalog catalog = Table1Catalog();
+  for (int trial = 0; trial < 30; ++trial) {
+    const Plan plan = RandomBushyPlan(RelSet::FirstN(4), &rng);
+    Result<Plan> reparsed = ParsePlan(SerializePlan(plan));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_TRUE(plan.StructurallyEquals(*reparsed));
+    // Also through catalog names.
+    Result<Plan> named =
+        ParsePlan(SerializePlan(plan, &catalog), &catalog);
+    ASSERT_TRUE(named.ok());
+    EXPECT_TRUE(plan.StructurallyEquals(*named));
+  }
+}
+
+TEST(ParsePlanTest, RoundTripsLargerRandomPlans) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Plan plan = RandomBushyPlan(RelSet::FirstN(12), &rng);
+    Result<Plan> reparsed = ParsePlan(SerializePlan(plan));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_TRUE(plan.StructurallyEquals(*reparsed));
+  }
+}
+
+TEST(ParsePlanTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParsePlan("").ok());
+  EXPECT_FALSE(ParsePlan("(R0").ok());
+  EXPECT_FALSE(ParsePlan("(R0 R1) extra").ok());
+  EXPECT_FALSE(ParsePlan("(R0 R1)@warp-speed").ok());
+  EXPECT_FALSE(ParsePlan("(R0 R0)").ok());       // duplicate relation
+  EXPECT_FALSE(ParsePlan("(R0 )").ok());
+  EXPECT_FALSE(ParsePlan("bogus").ok());         // no catalog, not R<i>
+  EXPECT_FALSE(ParsePlan("R99").ok());           // beyond kMaxRelations
+}
+
+TEST(ParsePlanTest, UnknownNameWithoutCatalogFails) {
+  const Catalog catalog = Table1Catalog();
+  EXPECT_TRUE(ParsePlan("(A B)", &catalog).ok());
+  EXPECT_FALSE(ParsePlan("(A B)").ok());
+  EXPECT_FALSE(ParsePlan("(A zz)", &catalog).ok());
+}
+
+TEST(ParsePlanTest, WhitespaceTolerant) {
+  Result<Plan> plan = ParsePlan("  ( R0   ( R1  R2 ) )  ");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumLeaves(), 3);
+}
+
+}  // namespace
+}  // namespace blitz

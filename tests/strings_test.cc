@@ -1,0 +1,90 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("n=%d t=%s", 5, "chain"), "n=5 t=chain");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  const std::string long_arg(1000, 'x');
+  const std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrSplitTest, BasicSplit) {
+  EXPECT_EQ(StrSplit("a b c", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, DropsEmptyFieldsByDefault) {
+  EXPECT_EQ(StrSplit("a  b   c ", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ' '), (std::vector<std::string>{}));
+}
+
+TEST(StrSplitTest, KeepsEmptyFieldsWhenAsked) {
+  EXPECT_EQ(StrSplit("a,,b", ',', /*keep_empty=*/true),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  hello\t "), "hello");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("relation A", "relation"));
+  EXPECT_FALSE(StartsWith("rel", "relation"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+}
+
+TEST(ParseDoubleTest, AcceptsValidNumbers) {
+  double value = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &value));
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e9", &value));
+  EXPECT_DOUBLE_EQ(value, -1e9);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double value = 0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("12x", &value));
+  EXPECT_FALSE(ParseDouble("x12", &value));
+  EXPECT_FALSE(ParseDouble(std::string(100, '1'), &value));
+}
+
+TEST(ParseIntTest, AcceptsValidNumbers) {
+  int value = 0;
+  EXPECT_TRUE(ParseInt("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt("0", &value));
+  EXPECT_EQ(value, 0);
+}
+
+TEST(ParseIntTest, RejectsGarbageAndNegatives) {
+  int value = 0;
+  EXPECT_FALSE(ParseInt("", &value));
+  EXPECT_FALSE(ParseInt("4.2", &value));
+  EXPECT_FALSE(ParseInt("-3", &value));
+  EXPECT_FALSE(ParseInt("99999999999999", &value));
+}
+
+}  // namespace
+}  // namespace blitz

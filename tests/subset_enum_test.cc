@@ -1,0 +1,154 @@
+#include "core/subset_enum.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(DilateContractTest, PaperExamples) {
+  // Section 4.2: delta_11001(abc) = ab00c.
+  EXPECT_EQ(Dilate(0b11001, 0b101), 0b10001u);
+  EXPECT_EQ(Dilate(0b11001, 0b111), 0b11001u);
+  EXPECT_EQ(Dilate(0b11001, 0b100), 0b10000u);
+  // gamma_11001(abcde) = abe.
+  EXPECT_EQ(Contract(0b11001, 0b10001), 0b101u);
+  EXPECT_EQ(Contract(0b11001, 0b11001), 0b111u);
+}
+
+TEST(DilateContractTest, ContractIsLeftInverseOfDilate) {
+  const std::uint64_t s = 0b1011010;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(Contract(s, Dilate(s, i)), i);
+  }
+}
+
+TEST(DilateContractTest, Equation5) {
+  // delta(gamma(w)) = S & w.
+  const std::uint64_t s = 0b110101;
+  for (std::uint64_t w = 0; w < 64; ++w) {
+    EXPECT_EQ(Dilate(s, Contract(s, w)), s & w);
+  }
+}
+
+TEST(DilateContractTest, Equation6) {
+  // delta(-1) = S, where -1 has all low |S| bits set.
+  const std::uint64_t s = 0b10110;
+  const int m = 3;
+  EXPECT_EQ(Dilate(s, (std::uint64_t{1} << m) - 1), s);
+}
+
+TEST(SubsetSuccTest, MatchesDilatedCounting) {
+  // succ(delta(i)) == delta(i + 1) for every i.
+  const std::uint64_t s = 0b1101001;
+  const int m = 4;
+  for (std::uint64_t i = 0; i + 1 < (std::uint64_t{1} << m); ++i) {
+    EXPECT_EQ(SubsetSucc(s, Dilate(s, i)), Dilate(s, i + 1))
+        << "at i=" << i;
+  }
+}
+
+TEST(SubsetSuccTest, StartsAtLowestBit) {
+  const std::uint64_t s = 0b101000;
+  EXPECT_EQ(SubsetSucc(s, 0), 0b001000u);  // delta(1) = S & -S
+}
+
+TEST(SubsetSuccTest, EndsAtFullSet) {
+  const std::uint64_t s = 0b1110;
+  std::uint64_t lhs = 0;
+  int steps = 0;
+  do {
+    lhs = SubsetSucc(s, lhs);
+    ++steps;
+  } while (lhs != s);
+  EXPECT_EQ(steps, 7);  // delta(1)..delta(7): 2^3 - 1 values, last is S.
+}
+
+TEST(ForEachProperSplitTest, VisitsEverySplitExactlyOnce) {
+  const RelSet s = RelSet::FromWord(0b110110);
+  std::set<std::uint64_t> seen;
+  ForEachProperSplit(s, [&](RelSet lhs, RelSet rhs) {
+    EXPECT_FALSE(lhs.empty());
+    EXPECT_FALSE(rhs.empty());
+    EXPECT_EQ((lhs | rhs), s);
+    EXPECT_FALSE(lhs.Intersects(rhs));
+    EXPECT_TRUE(seen.insert(lhs.word()).second) << "duplicate split";
+  });
+  // 2^4 - 2 proper nonempty subsets.
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(ForEachProperSubsetTest, CountsMatchForAllSmallSets) {
+  for (std::uint64_t word = 1; word < 256; ++word) {
+    const RelSet s = RelSet::FromWord(word);
+    int count = 0;
+    ForEachProperSubset(s, [&](RelSet sub) {
+      EXPECT_TRUE(sub.IsProperSubsetOf(s));
+      EXPECT_FALSE(sub.empty());
+      ++count;
+    });
+    EXPECT_EQ(count, (1 << s.size()) - 2);
+  }
+}
+
+TEST(ForEachProperSplitTest, SingletonHasNoSplit) {
+  int count = 0;
+  ForEachProperSplit(RelSet::Singleton(3), [&](RelSet, RelSet) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(StridedSplitTest, VisitsSameSetForOddStrides) {
+  const RelSet s = RelSet::FromWord(0b1011010);
+  std::set<std::uint64_t> reference;
+  ForEachProperSplit(s, [&](RelSet lhs, RelSet) {
+    reference.insert(lhs.word());
+  });
+  for (const std::uint64_t stride : {1ull, 3ull, 5ull, 7ull, 11ull, 13ull}) {
+    std::set<std::uint64_t> seen;
+    ForEachProperSplitStrided(s, stride, [&](RelSet lhs, RelSet rhs) {
+      EXPECT_EQ((lhs | rhs), s);
+      EXPECT_FALSE(lhs.Intersects(rhs));
+      EXPECT_TRUE(seen.insert(lhs.word()).second);
+    });
+    EXPECT_EQ(seen, reference) << "stride " << stride;
+  }
+}
+
+TEST(StridedSplitTest, StrideThreeVisitsDifferentOrderThanStrideOne) {
+  const RelSet s = RelSet::FromWord(0b11110);
+  std::vector<std::uint64_t> order1;
+  std::vector<std::uint64_t> order3;
+  ForEachProperSplitStrided(s, 1, [&](RelSet lhs, RelSet) {
+    order1.push_back(lhs.word());
+  });
+  ForEachProperSplitStrided(s, 3, [&](RelSet lhs, RelSet) {
+    order3.push_back(lhs.word());
+  });
+  EXPECT_EQ(order1.size(), order3.size());
+  EXPECT_NE(order1, order3);
+}
+
+// The aggregate loop count over all subsets of an n-set is ~3^n (Section
+// 3.3): sum over S of (2^|S| - 2) = 3^n - 2*2^n + 1 for subsets |S| >= 2.
+TEST(SubsetSuccTest, AggregateLoopCountIsThreeToTheN) {
+  const int n = 10;
+  std::uint64_t total = 0;
+  for (std::uint64_t s = 1; s < (std::uint64_t{1} << n); ++s) {
+    if ((s & (s - 1)) == 0) continue;
+    std::uint64_t lhs = 0;
+    do {
+      lhs = SubsetSucc(s, lhs);
+      if (lhs != s) ++total;
+    } while (lhs != s);
+  }
+  std::uint64_t expected = 1;  // 3^n
+  for (int i = 0; i < n; ++i) expected *= 3;
+  expected = expected - 2 * (std::uint64_t{1} << n) + 1;
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,74 @@
+#ifndef BLITZ_TESTS_TEST_UTIL_H_
+#define BLITZ_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "query/join_graph.h"
+#include "query/topology.h"
+
+namespace blitz::testing {
+
+/// The worked example of Table 1: relations A, B, C, D with cardinalities
+/// 10, 20, 30, 40 (a pure Cartesian-product problem).
+inline Catalog Table1Catalog() {
+  Result<Catalog> catalog = Catalog::Create({
+      {"A", 10, 64},
+      {"B", 20, 64},
+      {"C", 30, 64},
+      {"D", 40, 64},
+  });
+  BLITZ_CHECK(catalog.ok());
+  return std::move(catalog).value();
+}
+
+/// The Section 5.1 example join graph over A, B, C, D with edges AB, AC,
+/// BC, AD carrying the given selectivities.
+inline JoinGraph Figure3Graph(double s_ab = 0.1, double s_ac = 0.05,
+                              double s_bc = 0.02, double s_ad = 0.01) {
+  JoinGraph graph(4);
+  BLITZ_CHECK(graph.AddPredicate(0, 1, s_ab).ok());
+  BLITZ_CHECK(graph.AddPredicate(0, 2, s_ac).ok());
+  BLITZ_CHECK(graph.AddPredicate(1, 2, s_bc).ok());
+  BLITZ_CHECK(graph.AddPredicate(0, 3, s_ad).ok());
+  return graph;
+}
+
+/// A deterministic random optimization instance for property tests:
+/// cardinalities log-uniform in [1, card_max], a random connected graph with
+/// the given extra-edge probability, selectivities log-uniform in
+/// [sel_min, 1].
+struct RandomInstance {
+  Catalog catalog;
+  JoinGraph graph;
+};
+
+inline RandomInstance MakeRandomInstance(int n, std::uint64_t seed,
+                                         double extra_edge_prob = 0.3,
+                                         double card_max = 1e6,
+                                         double sel_min = 1e-6) {
+  Rng rng(seed);
+  std::vector<double> cards(n);
+  for (double& c : cards) {
+    c = std::exp(rng.NextDouble() * std::log(card_max));
+  }
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  BLITZ_CHECK(catalog.ok());
+  JoinGraph graph(n);
+  if (n >= 2) {
+    for (const auto& [a, b] :
+         MakeRandomConnectedEdges(n, extra_edge_prob, &rng)) {
+      const double selectivity =
+          std::exp(rng.NextDouble() * std::log(sel_min));
+      BLITZ_CHECK(graph.AddPredicate(a, b, selectivity).ok());
+    }
+  }
+  return RandomInstance{std::move(catalog).value(), std::move(graph)};
+}
+
+}  // namespace blitz::testing
+
+#endif  // BLITZ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "plan/plan.h"
+#include "query/workload.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::MakeRandomInstance;
+
+TEST(ThresholdTest, GenerousThresholdReproducesUnboundedOptimum) {
+  const auto instance = MakeRandomInstance(9, /*seed=*/11);
+  OptimizerOptions unbounded;
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, unbounded);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reference->found_plan());
+
+  OptimizerOptions thresholded = unbounded;
+  thresholded.cost_threshold = reference->cost * 10.0f;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, thresholded);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->found_plan());
+  EXPECT_EQ(outcome->cost, reference->cost);
+}
+
+TEST(ThresholdTest, TightThresholdFailsOptimization) {
+  const auto instance = MakeRandomInstance(9, /*seed=*/11);
+  OptimizerOptions unbounded;
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, unbounded);
+  ASSERT_TRUE(reference.ok());
+
+  OptimizerOptions thresholded = unbounded;
+  thresholded.cost_threshold = reference->cost * 0.5f;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, thresholded);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->found_plan());
+}
+
+TEST(ThresholdTest, ThresholdEqualToOptimumRejects) {
+  // Plans costing >= the threshold are rejected ("simulate the effect of
+  // overflow at a plan-cost threshold"), so a threshold exactly at the
+  // optimum must fail.
+  const auto instance = MakeRandomInstance(7, /*seed=*/5);
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(reference.ok());
+  OptimizerOptions thresholded;
+  thresholded.cost_threshold = reference->cost;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, thresholded);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->found_plan());
+}
+
+TEST(ThresholdTest, ThresholdSkipsBestSplitLoops) {
+  // With a tight threshold on a chain query, most subsets have
+  // kappa'(S) over the threshold and their loops are skipped entirely
+  // (Section 6.4: "Best-split searches can then be avoided for a larger
+  // proportion of subsets S").
+  WorkloadSpec spec;
+  spec.num_relations = 12;
+  spec.topology = Topology::kChain;
+  spec.mean_cardinality = 10000;
+  spec.variability = 0;
+  Result<Workload> workload = MakeWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+
+  OptimizerOptions counting;
+  counting.count_operations = true;
+  Result<OptimizeOutcome> unbounded =
+      OptimizeJoin(workload->catalog, workload->graph, counting);
+  ASSERT_TRUE(unbounded.ok());
+  ASSERT_TRUE(unbounded->found_plan());
+
+  OptimizerOptions thresholded = counting;
+  thresholded.cost_threshold = unbounded->cost * 2.0f;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(workload->catalog, workload->graph, thresholded);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->found_plan());
+  EXPECT_EQ(outcome->cost, unbounded->cost);
+  EXPECT_GT(outcome->counters.threshold_skips, 0u);
+  EXPECT_LT(outcome->counters.loop_iterations,
+            unbounded->counters.loop_iterations);
+}
+
+TEST(ThresholdTest, LadderSucceedsAfterFailedPasses) {
+  const auto instance = MakeRandomInstance(8, /*seed=*/21);
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(reference.ok());
+
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = reference->cost / 1e6f;
+  ladder.growth_factor = 10.0f;
+  ladder.max_thresholded_passes = 12;
+  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+      instance.catalog, instance.graph, OptimizerOptions{}, ladder);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->outcome.found_plan());
+  EXPECT_EQ(outcome->outcome.cost, reference->cost);
+  EXPECT_GT(outcome->passes, 1);
+  EXPECT_EQ(outcome->passes,
+            static_cast<int>(outcome->thresholds_tried.size()));
+}
+
+TEST(ThresholdTest, LadderSingleBigThresholdSucceedsFirstPass) {
+  const auto instance = MakeRandomInstance(8, /*seed=*/21);
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(reference.ok());
+
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = reference->cost * 100.0f;
+  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+      instance.catalog, instance.graph, OptimizerOptions{}, ladder);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->passes, 1);
+  EXPECT_EQ(outcome->outcome.cost, reference->cost);
+}
+
+TEST(ThresholdTest, LadderFallsBackToUnboundedPass) {
+  const auto instance = MakeRandomInstance(8, /*seed=*/21);
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(reference.ok());
+
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = 1e-20f;
+  ladder.growth_factor = 1.5f;  // will never reach the optimum in 2 passes
+  ladder.max_thresholded_passes = 2;
+  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+      instance.catalog, instance.graph, OptimizerOptions{}, ladder);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->outcome.found_plan());
+  EXPECT_EQ(outcome->outcome.cost, reference->cost);
+  EXPECT_EQ(outcome->passes, 3);  // 2 failed thresholded + 1 unbounded
+  EXPECT_EQ(outcome->thresholds_tried.back(), kRejectedCost);
+}
+
+TEST(ThresholdTest, LadderRejectsBadParameters) {
+  const auto instance = MakeRandomInstance(4, /*seed=*/2);
+  ThresholdLadderOptions bad;
+  bad.initial_threshold = -1.0f;
+  EXPECT_FALSE(OptimizeJoinWithThresholds(instance.catalog, instance.graph,
+                                          OptimizerOptions{}, bad)
+                   .ok());
+  bad.initial_threshold = 1.0f;
+  bad.growth_factor = 0.5f;
+  EXPECT_FALSE(OptimizeJoinWithThresholds(instance.catalog, instance.graph,
+                                          OptimizerOptions{}, bad)
+                   .ok());
+}
+
+TEST(ThresholdTest, PlanExtractionFailsForRejectedSets) {
+  const auto instance = MakeRandomInstance(7, /*seed=*/5);
+  Result<OptimizeOutcome> reference =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(reference.ok());
+  OptimizerOptions thresholded;
+  thresholded.cost_threshold = reference->cost * 0.9f;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, thresholded);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->found_plan());
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace blitz

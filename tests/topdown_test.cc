@@ -1,0 +1,151 @@
+#include "baseline/topdown.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bruteforce.h"
+#include "baseline/dpsub.h"
+#include "core/optimizer.h"
+#include "plan/evaluate.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::testing::MakeRandomInstance;
+
+TEST(TopDownTest, MatchesBruteForceAcrossModelsAndSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed);
+    for (const CostModelKind kind :
+         {CostModelKind::kNaive, CostModelKind::kSortMerge,
+          CostModelKind::kDiskNestedLoops}) {
+      Result<TopDownResult> topdown =
+          OptimizeTopDown(instance.catalog, instance.graph, kind,
+                          TopDownOptions{});
+      Result<BruteForceResult> brute =
+          OptimizeBruteForce(instance.catalog, instance.graph, kind);
+      ASSERT_TRUE(topdown.ok());
+      ASSERT_TRUE(brute.ok());
+      EXPECT_NEAR(topdown->cost, brute->cost,
+                  1e-9 * std::max(1.0, brute->cost))
+          << "seed " << seed << " model " << CostModelKindToString(kind);
+    }
+  }
+}
+
+TEST(TopDownTest, ExtractedPlanCostsWhatItReports) {
+  const auto instance = MakeRandomInstance(9, 4);
+  Result<TopDownResult> result = OptimizeTopDown(
+      instance.catalog, instance.graph, CostModelKind::kNaive,
+      TopDownOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.relations(), instance.catalog.AllRelations());
+  const double evaluated = EvaluateCost(result->plan, instance.catalog,
+                                        instance.graph,
+                                        CostModelKind::kNaive);
+  EXPECT_NEAR(evaluated, result->cost, 1e-9 * std::max(1.0, evaluated));
+}
+
+TEST(TopDownTest, BoundsOnAndOffAgreeOnTheOptimum) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto instance = MakeRandomInstance(8, seed + 30);
+    TopDownOptions with_bounds;
+    TopDownOptions without_bounds;
+    without_bounds.use_cost_bounds = false;
+    Result<TopDownResult> pruned = OptimizeTopDown(
+        instance.catalog, instance.graph, CostModelKind::kNaive,
+        with_bounds);
+    Result<TopDownResult> plain = OptimizeTopDown(
+        instance.catalog, instance.graph, CostModelKind::kNaive,
+        without_bounds);
+    ASSERT_TRUE(pruned.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_NEAR(pruned->cost, plain->cost, 1e-9 * plain->cost)
+        << "seed " << seed;
+    // Without bounds every group is explored exactly once and the split
+    // count equals the bottom-up DP's aggregate loop count,
+    // 3^n - 2^(n+1) + 1 (n = 8 here). With bounds, groups pruned under a
+    // tight budget are *re-explored* when a later caller offers a larger
+    // one, so the count can exceed it — a genuine cost of top-down
+    // branch-and-bound that the benches surface.
+    EXPECT_EQ(plain->splits_costed, 6561u - 512u + 1u);
+    EXPECT_EQ(plain->groups_explored, 256u - 8u - 1u);
+  }
+}
+
+TEST(TopDownTest, BoundsPruneWorkOnEasyQueries) {
+  // Wide cost spread (large cardinalities) gives the bounds traction.
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities({10, 100, 1000, 10000, 100000, 1000000});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(6);
+  for (int i = 0; i + 1 < 6; ++i) {
+    ASSERT_TRUE(graph.AddPredicate(i, i + 1, 1e-3).ok());
+  }
+  TopDownOptions with_bounds;
+  TopDownOptions without_bounds;
+  without_bounds.use_cost_bounds = false;
+  Result<TopDownResult> pruned =
+      OptimizeTopDown(*catalog, graph, CostModelKind::kNaive, with_bounds);
+  Result<TopDownResult> plain =
+      OptimizeTopDown(*catalog, graph, CostModelKind::kNaive,
+                      without_bounds);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(pruned->splits_pruned, 0u);
+}
+
+TEST(TopDownTest, NoProductsModeMatchesDpSub) {
+  const auto instance = MakeRandomInstance(8, 44, /*extra_edge_prob=*/0.3);
+  TopDownOptions options;
+  options.allow_cartesian_products = false;
+  Result<TopDownResult> topdown = OptimizeTopDown(
+      instance.catalog, instance.graph, CostModelKind::kNaive, options);
+  Result<DpSubResult> dpsub = OptimizeDpSubNoProducts(
+      instance.catalog, instance.graph, CostModelKind::kNaive);
+  ASSERT_TRUE(topdown.ok());
+  ASSERT_TRUE(dpsub.ok());
+  EXPECT_NEAR(topdown->cost, dpsub->cost, 1e-9 * dpsub->cost);
+}
+
+TEST(TopDownTest, NoProductsModeFailsOnDisconnectedGraph) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 10});
+  ASSERT_TRUE(catalog.ok());
+  TopDownOptions options;
+  options.allow_cartesian_products = false;
+  Result<TopDownResult> result = OptimizeTopDown(
+      *catalog, JoinGraph(2), CostModelKind::kNaive, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TopDownTest, MatchesBlitzsplitOnPaperWorkload) {
+  const auto instance = MakeRandomInstance(10, 77, 0.25);
+  Result<TopDownResult> topdown = OptimizeTopDown(
+      instance.catalog, instance.graph, CostModelKind::kDiskNestedLoops,
+      TopDownOptions{});
+  OptimizerOptions options;
+  options.cost_model = CostModelKind::kDiskNestedLoops;
+  Result<OptimizeOutcome> bottom_up =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(topdown.ok());
+  ASSERT_TRUE(bottom_up.ok());
+  EXPECT_NEAR(topdown->cost, bottom_up->cost,
+              1e-4 * std::max(1.0f, bottom_up->cost));
+}
+
+TEST(TopDownTest, CountersAreCoherent) {
+  const auto instance = MakeRandomInstance(7, 2);
+  Result<TopDownResult> result = OptimizeTopDown(
+      instance.catalog, instance.graph, CostModelKind::kNaive,
+      TopDownOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->groups_explored, 0u);
+  EXPECT_GT(result->splits_costed, 0u);
+  EXPECT_LE(result->splits_pruned, result->splits_costed);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,147 @@
+#include "query/topology.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/join_graph.h"
+
+namespace blitz {
+namespace {
+
+JoinGraph GraphFromEdges(int n, const std::vector<std::pair<int, int>>& edges) {
+  JoinGraph graph(n);
+  for (const auto& [a, b] : edges) {
+    EXPECT_TRUE(graph.AddPredicate(a, b, 0.5).ok());
+  }
+  return graph;
+}
+
+TEST(TopologyTest, ChainOrderMatchesAppendixForN15) {
+  // R0-R8-R1-R9-R2-R10-R3-R11-R4-R12-R5-R13-R6-R14-R7.
+  EXPECT_EQ(ChainOrder(15),
+            (std::vector<int>{0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14,
+                              7}));
+}
+
+TEST(TopologyTest, ChainOrderIsAPermutation) {
+  for (int n = 1; n <= 20; ++n) {
+    std::vector<int> order = ChainOrder(n);
+    ASSERT_EQ(static_cast<int>(order.size()), n);
+    std::sort(order.begin(), order.end());
+    for (int i = 0; i < n; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(TopologyTest, ChainHasNMinusOneEdgesAndIsConnected) {
+  for (int n = 2; n <= 16; ++n) {
+    Result<std::vector<std::pair<int, int>>> edges =
+        MakeTopologyEdges(Topology::kChain, n);
+    ASSERT_TRUE(edges.ok());
+    EXPECT_EQ(static_cast<int>(edges->size()), n - 1);
+    const JoinGraph graph = GraphFromEdges(n, *edges);
+    EXPECT_TRUE(graph.IsConnected(RelSet::FirstN(n)));
+    // Chains have exactly two degree-1 nodes.
+    int degree_one = 0;
+    for (int i = 0; i < n; ++i) {
+      if (graph.Degree(i) == 1) ++degree_one;
+    }
+    EXPECT_EQ(degree_one, n == 2 ? 2 : 2);
+  }
+}
+
+TEST(TopologyTest, CycleHasNEdgesAllDegreeTwo) {
+  Result<std::vector<std::pair<int, int>>> edges =
+      MakeTopologyEdges(Topology::kCycle, 10);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 10u);
+  const JoinGraph graph = GraphFromEdges(10, *edges);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(graph.Degree(i), 2);
+}
+
+TEST(TopologyTest, CyclePlus3MatchesAppendixForN15) {
+  Result<std::vector<std::pair<int, int>>> edges =
+      MakeTopologyEdges(Topology::kCyclePlus3, 15);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 18u);  // 14 chain + closure + 3 cross
+  std::set<std::pair<int, int>> edge_set(edges->begin(), edges->end());
+  // The Appendix's extra connections: R0-R7, R8-R14, R1-R6, R9-R13.
+  EXPECT_TRUE(edge_set.count({0, 7}));
+  EXPECT_TRUE(edge_set.count({8, 14}));
+  EXPECT_TRUE(edge_set.count({1, 6}));
+  EXPECT_TRUE(edge_set.count({9, 13}));
+}
+
+TEST(TopologyTest, StarHubIsLastRelation) {
+  Result<std::vector<std::pair<int, int>>> edges =
+      MakeTopologyEdges(Topology::kStar, 8);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 7u);
+  const JoinGraph graph = GraphFromEdges(8, *edges);
+  EXPECT_EQ(graph.Degree(7), 7);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(graph.Degree(i), 1);
+}
+
+TEST(TopologyTest, CliqueHasAllPairs) {
+  Result<std::vector<std::pair<int, int>>> edges =
+      MakeTopologyEdges(Topology::kClique, 6);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 15u);  // C(6,2)
+  const JoinGraph graph = GraphFromEdges(6, *edges);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(graph.Degree(i), 5);
+}
+
+TEST(TopologyTest, GridIsConnectedWithBoundedDegree) {
+  for (int n : {4, 9, 12, 16}) {
+    Result<std::vector<std::pair<int, int>>> edges =
+        MakeTopologyEdges(Topology::kGrid, n);
+    ASSERT_TRUE(edges.ok());
+    const JoinGraph graph = GraphFromEdges(n, *edges);
+    EXPECT_TRUE(graph.IsConnected(RelSet::FirstN(n))) << n;
+    for (int i = 0; i < n; ++i) EXPECT_LE(graph.Degree(i), 4);
+  }
+}
+
+TEST(TopologyTest, TooSmallNRejected) {
+  EXPECT_FALSE(MakeTopologyEdges(Topology::kChain, 1).ok());
+  EXPECT_FALSE(MakeTopologyEdges(Topology::kCycle, 2).ok());
+  EXPECT_FALSE(MakeTopologyEdges(Topology::kCyclePlus3, 8).ok());
+  EXPECT_FALSE(MakeTopologyEdges(Topology::kStar, 1).ok());
+  EXPECT_FALSE(MakeTopologyEdges(Topology::kGrid, 3).ok());
+}
+
+TEST(TopologyTest, NamesRoundTrip) {
+  for (const Topology t :
+       {Topology::kChain, Topology::kCycle, Topology::kCyclePlus3,
+        Topology::kStar, Topology::kClique, Topology::kGrid}) {
+    Result<Topology> parsed = ParseTopology(TopologyToString(t));
+    ASSERT_TRUE(parsed.ok()) << TopologyToString(t);
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ParseTopology("pentagram").ok());
+}
+
+TEST(TopologyTest, RandomConnectedGraphsAreConnected) {
+  Rng rng(99);
+  for (int n : {2, 5, 9, 14}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto edges = MakeRandomConnectedEdges(n, 0.2, &rng);
+      const JoinGraph graph = GraphFromEdges(n, edges);
+      EXPECT_TRUE(graph.IsConnected(RelSet::FirstN(n)));
+      EXPECT_GE(edges.size(), static_cast<size_t>(n - 1));
+    }
+  }
+}
+
+TEST(TopologyTest, RandomGraphExtraEdgesScaleWithProbability) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto sparse = MakeRandomConnectedEdges(12, 0.0, &rng1);
+  const auto dense = MakeRandomConnectedEdges(12, 1.0, &rng2);
+  EXPECT_EQ(sparse.size(), 11u);        // spanning tree only
+  EXPECT_EQ(dense.size(), 66u);         // clique
+}
+
+}  // namespace
+}  // namespace blitz
