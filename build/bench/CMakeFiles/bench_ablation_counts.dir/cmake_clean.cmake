@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_counts.dir/bench_ablation_counts.cc.o"
+  "CMakeFiles/bench_ablation_counts.dir/bench_ablation_counts.cc.o.d"
+  "bench_ablation_counts"
+  "bench_ablation_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

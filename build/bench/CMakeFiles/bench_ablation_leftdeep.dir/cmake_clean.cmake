@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_leftdeep.dir/bench_ablation_leftdeep.cc.o"
+  "CMakeFiles/bench_ablation_leftdeep.dir/bench_ablation_leftdeep.cc.o.d"
+  "bench_ablation_leftdeep"
+  "bench_ablation_leftdeep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leftdeep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

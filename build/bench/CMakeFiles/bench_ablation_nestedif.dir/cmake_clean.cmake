@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nestedif.dir/bench_ablation_nestedif.cc.o"
+  "CMakeFiles/bench_ablation_nestedif.dir/bench_ablation_nestedif.cc.o.d"
+  "bench_ablation_nestedif"
+  "bench_ablation_nestedif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nestedif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

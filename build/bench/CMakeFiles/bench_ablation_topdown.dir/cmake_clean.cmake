@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_topdown.dir/bench_ablation_topdown.cc.o"
+  "CMakeFiles/bench_ablation_topdown.dir/bench_ablation_topdown.cc.o.d"
+  "bench_ablation_topdown"
+  "bench_ablation_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

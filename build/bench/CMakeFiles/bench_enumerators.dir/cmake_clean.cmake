@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enumerators.dir/bench_enumerators.cc.o"
+  "CMakeFiles/bench_enumerators.dir/bench_enumerators.cc.o.d"
+  "bench_enumerators"
+  "bench_enumerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enumerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

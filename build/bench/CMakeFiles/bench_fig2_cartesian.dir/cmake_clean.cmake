@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cartesian.dir/bench_fig2_cartesian.cc.o"
+  "CMakeFiles/bench_fig2_cartesian.dir/bench_fig2_cartesian.cc.o.d"
+  "bench_fig2_cartesian"
+  "bench_fig2_cartesian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cartesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_closeups.dir/bench_fig5_closeups.cc.o"
+  "CMakeFiles/bench_fig5_closeups.dir/bench_fig5_closeups.cc.o.d"
+  "bench_fig5_closeups"
+  "bench_fig5_closeups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_closeups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_scaling.dir/bench_hybrid_scaling.cc.o"
+  "CMakeFiles/bench_hybrid_scaling.dir/bench_hybrid_scaling.cc.o.d"
+  "bench_hybrid_scaling"
+  "bench_hybrid_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

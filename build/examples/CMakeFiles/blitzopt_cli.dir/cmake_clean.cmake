@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitzopt_cli.dir/blitzopt_cli.cpp.o"
+  "CMakeFiles/blitzopt_cli.dir/blitzopt_cli.cpp.o.d"
+  "blitzopt"
+  "blitzopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitzopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

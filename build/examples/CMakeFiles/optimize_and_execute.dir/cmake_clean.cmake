@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_and_execute.dir/optimize_and_execute.cpp.o"
+  "CMakeFiles/optimize_and_execute.dir/optimize_and_execute.cpp.o.d"
+  "optimize_and_execute"
+  "optimize_and_execute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_and_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for optimize_and_execute.
+# This may be replaced when dependencies are built.

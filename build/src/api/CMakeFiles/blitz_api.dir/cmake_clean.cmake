@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_api.dir/interesting_orders.cc.o"
+  "CMakeFiles/blitz_api.dir/interesting_orders.cc.o.d"
+  "CMakeFiles/blitz_api.dir/optimize_query.cc.o"
+  "CMakeFiles/blitz_api.dir/optimize_query.cc.o.d"
+  "libblitz_api.a"
+  "libblitz_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bruteforce.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/bruteforce.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/bruteforce.cc.o.d"
+  "/root/repo/src/baseline/dpccp.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/dpccp.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/dpccp.cc.o.d"
+  "/root/repo/src/baseline/dpsize.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/dpsize.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/dpsize.cc.o.d"
+  "/root/repo/src/baseline/dpsub.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/dpsub.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/dpsub.cc.o.d"
+  "/root/repo/src/baseline/greedy.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/greedy.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/greedy.cc.o.d"
+  "/root/repo/src/baseline/hybrid.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/hybrid.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/hybrid.cc.o.d"
+  "/root/repo/src/baseline/leftdeep.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/leftdeep.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/leftdeep.cc.o.d"
+  "/root/repo/src/baseline/local_search.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/local_search.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/local_search.cc.o.d"
+  "/root/repo/src/baseline/random_plans.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/random_plans.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/random_plans.cc.o.d"
+  "/root/repo/src/baseline/topdown.cc" "src/baseline/CMakeFiles/blitz_baseline.dir/topdown.cc.o" "gcc" "src/baseline/CMakeFiles/blitz_baseline.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blitz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blitz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/blitz_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/blitz_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/blitz_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/blitz_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_baseline.dir/bruteforce.cc.o"
+  "CMakeFiles/blitz_baseline.dir/bruteforce.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/dpccp.cc.o"
+  "CMakeFiles/blitz_baseline.dir/dpccp.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/dpsize.cc.o"
+  "CMakeFiles/blitz_baseline.dir/dpsize.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/dpsub.cc.o"
+  "CMakeFiles/blitz_baseline.dir/dpsub.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/greedy.cc.o"
+  "CMakeFiles/blitz_baseline.dir/greedy.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/hybrid.cc.o"
+  "CMakeFiles/blitz_baseline.dir/hybrid.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/leftdeep.cc.o"
+  "CMakeFiles/blitz_baseline.dir/leftdeep.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/local_search.cc.o"
+  "CMakeFiles/blitz_baseline.dir/local_search.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/random_plans.cc.o"
+  "CMakeFiles/blitz_baseline.dir/random_plans.cc.o.d"
+  "CMakeFiles/blitz_baseline.dir/topdown.cc.o"
+  "CMakeFiles/blitz_baseline.dir/topdown.cc.o.d"
+  "libblitz_baseline.a"
+  "libblitz_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_benchlib.dir/sweep.cc.o"
+  "CMakeFiles/blitz_benchlib.dir/sweep.cc.o.d"
+  "CMakeFiles/blitz_benchlib.dir/table_out.cc.o"
+  "CMakeFiles/blitz_benchlib.dir/table_out.cc.o.d"
+  "CMakeFiles/blitz_benchlib.dir/timing.cc.o"
+  "CMakeFiles/blitz_benchlib.dir/timing.cc.o.d"
+  "libblitz_benchlib.a"
+  "libblitz_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

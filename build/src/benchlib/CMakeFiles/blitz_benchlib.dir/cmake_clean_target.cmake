@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblitz_benchlib.a"
+)

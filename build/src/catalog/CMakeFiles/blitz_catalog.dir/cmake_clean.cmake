@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_catalog.dir/catalog.cc.o"
+  "CMakeFiles/blitz_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/blitz_catalog.dir/filters.cc.o"
+  "CMakeFiles/blitz_catalog.dir/filters.cc.o.d"
+  "libblitz_catalog.a"
+  "libblitz_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

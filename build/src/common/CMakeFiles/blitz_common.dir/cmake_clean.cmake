@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_common.dir/math_util.cc.o"
+  "CMakeFiles/blitz_common.dir/math_util.cc.o.d"
+  "CMakeFiles/blitz_common.dir/status.cc.o"
+  "CMakeFiles/blitz_common.dir/status.cc.o.d"
+  "CMakeFiles/blitz_common.dir/strings.cc.o"
+  "CMakeFiles/blitz_common.dir/strings.cc.o.d"
+  "libblitz_common.a"
+  "libblitz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dp_table.cc" "src/core/CMakeFiles/blitz_core.dir/dp_table.cc.o" "gcc" "src/core/CMakeFiles/blitz_core.dir/dp_table.cc.o.d"
+  "/root/repo/src/core/instrumentation.cc" "src/core/CMakeFiles/blitz_core.dir/instrumentation.cc.o" "gcc" "src/core/CMakeFiles/blitz_core.dir/instrumentation.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/blitz_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/blitz_core.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blitz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/blitz_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/blitz_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/blitz_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_core.dir/dp_table.cc.o"
+  "CMakeFiles/blitz_core.dir/dp_table.cc.o.d"
+  "CMakeFiles/blitz_core.dir/instrumentation.cc.o"
+  "CMakeFiles/blitz_core.dir/instrumentation.cc.o.d"
+  "CMakeFiles/blitz_core.dir/optimizer.cc.o"
+  "CMakeFiles/blitz_core.dir/optimizer.cc.o.d"
+  "libblitz_core.a"
+  "libblitz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_cost.dir/cost_model.cc.o"
+  "CMakeFiles/blitz_cost.dir/cost_model.cc.o.d"
+  "libblitz_cost.a"
+  "libblitz_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_exec.dir/datagen.cc.o"
+  "CMakeFiles/blitz_exec.dir/datagen.cc.o.d"
+  "CMakeFiles/blitz_exec.dir/executor.cc.o"
+  "CMakeFiles/blitz_exec.dir/executor.cc.o.d"
+  "CMakeFiles/blitz_exec.dir/operators.cc.o"
+  "CMakeFiles/blitz_exec.dir/operators.cc.o.d"
+  "CMakeFiles/blitz_exec.dir/relation.cc.o"
+  "CMakeFiles/blitz_exec.dir/relation.cc.o.d"
+  "libblitz_exec.a"
+  "libblitz_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

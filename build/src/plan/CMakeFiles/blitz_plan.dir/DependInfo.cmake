@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/algorithm_choice.cc" "src/plan/CMakeFiles/blitz_plan.dir/algorithm_choice.cc.o" "gcc" "src/plan/CMakeFiles/blitz_plan.dir/algorithm_choice.cc.o.d"
+  "/root/repo/src/plan/evaluate.cc" "src/plan/CMakeFiles/blitz_plan.dir/evaluate.cc.o" "gcc" "src/plan/CMakeFiles/blitz_plan.dir/evaluate.cc.o.d"
+  "/root/repo/src/plan/explain.cc" "src/plan/CMakeFiles/blitz_plan.dir/explain.cc.o" "gcc" "src/plan/CMakeFiles/blitz_plan.dir/explain.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/blitz_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/blitz_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/serialize.cc" "src/plan/CMakeFiles/blitz_plan.dir/serialize.cc.o" "gcc" "src/plan/CMakeFiles/blitz_plan.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blitz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blitz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/blitz_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/blitz_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/blitz_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

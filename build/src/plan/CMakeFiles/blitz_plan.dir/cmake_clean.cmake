@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_plan.dir/algorithm_choice.cc.o"
+  "CMakeFiles/blitz_plan.dir/algorithm_choice.cc.o.d"
+  "CMakeFiles/blitz_plan.dir/evaluate.cc.o"
+  "CMakeFiles/blitz_plan.dir/evaluate.cc.o.d"
+  "CMakeFiles/blitz_plan.dir/explain.cc.o"
+  "CMakeFiles/blitz_plan.dir/explain.cc.o.d"
+  "CMakeFiles/blitz_plan.dir/plan.cc.o"
+  "CMakeFiles/blitz_plan.dir/plan.cc.o.d"
+  "CMakeFiles/blitz_plan.dir/serialize.cc.o"
+  "CMakeFiles/blitz_plan.dir/serialize.cc.o.d"
+  "libblitz_plan.a"
+  "libblitz_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/equivalence.cc" "src/query/CMakeFiles/blitz_query.dir/equivalence.cc.o" "gcc" "src/query/CMakeFiles/blitz_query.dir/equivalence.cc.o.d"
+  "/root/repo/src/query/join_graph.cc" "src/query/CMakeFiles/blitz_query.dir/join_graph.cc.o" "gcc" "src/query/CMakeFiles/blitz_query.dir/join_graph.cc.o.d"
+  "/root/repo/src/query/plan_space.cc" "src/query/CMakeFiles/blitz_query.dir/plan_space.cc.o" "gcc" "src/query/CMakeFiles/blitz_query.dir/plan_space.cc.o.d"
+  "/root/repo/src/query/topology.cc" "src/query/CMakeFiles/blitz_query.dir/topology.cc.o" "gcc" "src/query/CMakeFiles/blitz_query.dir/topology.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/blitz_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/blitz_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blitz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/blitz_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_query.dir/equivalence.cc.o"
+  "CMakeFiles/blitz_query.dir/equivalence.cc.o.d"
+  "CMakeFiles/blitz_query.dir/join_graph.cc.o"
+  "CMakeFiles/blitz_query.dir/join_graph.cc.o.d"
+  "CMakeFiles/blitz_query.dir/plan_space.cc.o"
+  "CMakeFiles/blitz_query.dir/plan_space.cc.o.d"
+  "CMakeFiles/blitz_query.dir/topology.cc.o"
+  "CMakeFiles/blitz_query.dir/topology.cc.o.d"
+  "CMakeFiles/blitz_query.dir/workload.cc.o"
+  "CMakeFiles/blitz_query.dir/workload.cc.o.d"
+  "libblitz_query.a"
+  "libblitz_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

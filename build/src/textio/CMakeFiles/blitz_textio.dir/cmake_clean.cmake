@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitz_textio.dir/bjq.cc.o"
+  "CMakeFiles/blitz_textio.dir/bjq.cc.o.d"
+  "libblitz_textio.a"
+  "libblitz_textio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitz_textio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

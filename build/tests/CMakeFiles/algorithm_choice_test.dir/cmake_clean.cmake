@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_choice_test.dir/algorithm_choice_test.cc.o"
+  "CMakeFiles/algorithm_choice_test.dir/algorithm_choice_test.cc.o.d"
+  "algorithm_choice_test"
+  "algorithm_choice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_choice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bjq_test.dir/bjq_test.cc.o"
+  "CMakeFiles/bjq_test.dir/bjq_test.cc.o.d"
+  "bjq_test"
+  "bjq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bjq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

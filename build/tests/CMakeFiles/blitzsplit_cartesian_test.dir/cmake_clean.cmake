@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitzsplit_cartesian_test.dir/blitzsplit_cartesian_test.cc.o"
+  "CMakeFiles/blitzsplit_cartesian_test.dir/blitzsplit_cartesian_test.cc.o.d"
+  "blitzsplit_cartesian_test"
+  "blitzsplit_cartesian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitzsplit_cartesian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blitzsplit_join_test.dir/blitzsplit_join_test.cc.o"
+  "CMakeFiles/blitzsplit_join_test.dir/blitzsplit_join_test.cc.o.d"
+  "blitzsplit_join_test"
+  "blitzsplit_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blitzsplit_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

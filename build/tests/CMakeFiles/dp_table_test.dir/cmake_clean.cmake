@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_table_test.dir/dp_table_test.cc.o"
+  "CMakeFiles/dp_table_test.dir/dp_table_test.cc.o.d"
+  "dp_table_test"
+  "dp_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

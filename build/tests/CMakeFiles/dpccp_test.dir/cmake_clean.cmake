@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpccp_test.dir/dpccp_test.cc.o"
+  "CMakeFiles/dpccp_test.dir/dpccp_test.cc.o.d"
+  "dpccp_test"
+  "dpccp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpccp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumentation_test.dir/instrumentation_test.cc.o"
+  "CMakeFiles/instrumentation_test.dir/instrumentation_test.cc.o.d"
+  "instrumentation_test"
+  "instrumentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

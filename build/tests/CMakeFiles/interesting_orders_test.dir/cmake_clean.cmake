@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interesting_orders_test.dir/interesting_orders_test.cc.o"
+  "CMakeFiles/interesting_orders_test.dir/interesting_orders_test.cc.o.d"
+  "interesting_orders_test"
+  "interesting_orders_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interesting_orders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_graph_test.dir/join_graph_test.cc.o"
+  "CMakeFiles/join_graph_test.dir/join_graph_test.cc.o.d"
+  "join_graph_test"
+  "join_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

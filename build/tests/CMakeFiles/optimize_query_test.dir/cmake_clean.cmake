@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_query_test.dir/optimize_query_test.cc.o"
+  "CMakeFiles/optimize_query_test.dir/optimize_query_test.cc.o.d"
+  "optimize_query_test"
+  "optimize_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relset_test.dir/relset_test.cc.o"
+  "CMakeFiles/relset_test.dir/relset_test.cc.o.d"
+  "relset_test"
+  "relset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

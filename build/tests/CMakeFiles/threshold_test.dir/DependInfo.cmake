@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threshold_test.cc" "tests/CMakeFiles/threshold_test.dir/threshold_test.cc.o" "gcc" "tests/CMakeFiles/threshold_test.dir/threshold_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/blitz_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/blitz_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/blitz_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/textio/CMakeFiles/blitz_textio.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/blitz_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/blitz_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blitz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/blitz_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/blitz_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/blitz_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
