@@ -19,6 +19,8 @@
 #include "benchlib/timing.h"
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace blitz {
 namespace {
@@ -46,6 +48,21 @@ int Run() {
     std::fprintf(stderr, "sweep failed: %s\n",
                  points.status().ToString().c_str());
     return 1;
+  }
+
+  // One gauge per grid point so BLITZ_METRICS_OUT=BENCH_fig4.json captures
+  // the whole surface mechanically.
+  MetricsRegistry metrics;
+  SetGlobalMetrics(&metrics);
+  metrics.SetGauge("fig4.n", config.num_relations);
+  for (const SweepPoint& point : *points) {
+    metrics.SetGauge(
+        StrFormat("fig4.%s.%s.var%.2f.mean%.3g.ms",
+                  CostModelKindToString(point.model),
+                  TopologyToString(point.topology), point.variability,
+                  point.mean_cardinality),
+        point.seconds * 1e3);
+    metrics.RecordLatency("fig4.point_seconds", point.seconds);
   }
 
   const size_t means = config.mean_cardinalities.size();
@@ -80,6 +97,9 @@ int Run() {
       "Expected shape (paper Section 6.2): times rise as mean cardinality\n"
       "approaches 1; cost-model differences shrink as cardinality grows;\n"
       "clique is the most expensive topology.\n");
+
+  WriteMetricsJsonIfRequested();
+  SetGlobalMetrics(nullptr);
   return 0;
 }
 

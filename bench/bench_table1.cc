@@ -14,6 +14,8 @@
 #include "common/check.h"
 #include "common/strings.h"
 #include "core/optimizer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "plan/plan.h"
 
 namespace blitz {
@@ -31,6 +33,12 @@ std::string SetName(RelSet s, const Catalog& catalog) {
 }
 
 int Run() {
+  // Export the run as JSON when BLITZ_METRICS_OUT is set (e.g.
+  // BLITZ_METRICS_OUT=BENCH_table1.json) so result trajectories can be
+  // captured mechanically.
+  MetricsRegistry metrics;
+  SetGlobalMetrics(&metrics);
+
   Result<Catalog> catalog = Catalog::Create({
       {"A", 10, 64},
       {"B", 20, 64},
@@ -39,8 +47,9 @@ int Run() {
   });
   BLITZ_CHECK(catalog.ok());
 
-  Result<OptimizeOutcome> outcome =
-      OptimizeCartesian(*catalog, OptimizerOptions{});
+  OptimizerOptions options;
+  options.count_operations = true;
+  Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, options);
   BLITZ_CHECK(outcome.ok());
   const DpTable& table = outcome->table;
 
@@ -64,6 +73,10 @@ int Run() {
     out.AddRow({SetName(s, *catalog), StrFormat("%.0f", table.card(s)),
                 best.empty() ? "none" : SetName(best, *catalog),
                 StrFormat("%.0f", static_cast<double>(table.cost(s)))});
+    metrics.SetGauge(StrFormat("table1.cost.%s", SetName(s, *catalog).c_str()),
+                     static_cast<double>(table.cost(s)));
+    metrics.SetGauge(StrFormat("table1.card.%s", SetName(s, *catalog).c_str()),
+                     table.card(s));
   }
   std::printf("%s\n", out.ToString().c_str());
 
@@ -75,6 +88,10 @@ int Run() {
   std::printf(
       "Paper reports (A x D) x (B x C) at cost 241000; our enumeration\n"
       "meets the commuted, equal-cost split first.\n");
+
+  metrics.SetGauge("table1.best_cost", static_cast<double>(outcome->cost));
+  WriteMetricsJsonIfRequested();
+  SetGlobalMetrics(nullptr);
   return 0;
 }
 

@@ -2,6 +2,12 @@
 //
 // Usage:
 //   blitzopt <query.bjq> [--execute] [--counts] [--tree] [--explain]
+//           [--trace-out=<file>] [--metrics-out=<file>]
+//
+// --trace-out writes a Chrome trace-viewer JSON (open in chrome://tracing
+// or https://ui.perfetto.dev) spanning the optimize->plan->execute
+// pipeline; --metrics-out writes the metrics registry (counters, gauges,
+// latency percentiles) as JSON.
 //
 // The .bjq format (see src/textio/bjq.h):
 //   relation <name> <cardinality> [<tuple_bytes>]
@@ -18,6 +24,9 @@
 #include "core/optimizer.h"
 #include "exec/datagen.h"
 #include "exec/executor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/algorithm_choice.h"
 #include "plan/explain.h"
 #include "plan/plan.h"
@@ -28,9 +37,54 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: blitzopt <query.bjq> [--execute] [--counts] "
-               "[--tree] [--explain]\n");
+               "[--tree] [--explain] [--trace-out=<file>] "
+               "[--metrics-out=<file>]\n");
   return 2;
 }
+
+/// Installs/uninstalls the global trace recorder and metrics registry for
+/// the duration of the run and writes the requested files at exit.
+class ObsSession {
+ public:
+  ObsSession(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
+    if (!trace_path_.empty()) blitz::SetGlobalTraceRecorder(&recorder_);
+    if (!metrics_path_.empty()) blitz::SetGlobalMetrics(&metrics_);
+  }
+
+  ~ObsSession() {
+    blitz::SetGlobalTraceRecorder(nullptr);
+    blitz::SetGlobalMetrics(nullptr);
+    if (!trace_path_.empty()) {
+      const blitz::Status status =
+          blitz::WriteChromeTraceFile(recorder_, trace_path_);
+      if (status.ok()) {
+        std::printf("trace written to %s (%zu spans)\n", trace_path_.c_str(),
+                    recorder_.num_events());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      const blitz::Status status =
+          blitz::WriteMetricsJsonFile(metrics_, metrics_path_);
+      if (status.ok()) {
+        std::printf("metrics written to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  blitz::TraceRecorder recorder_;
+  blitz::MetricsRegistry metrics_;
+};
 
 }  // namespace
 
@@ -39,6 +93,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
 
   std::string path;
+  std::string trace_out;
+  std::string metrics_out;
   bool execute = false;
   bool counts = false;
   bool tree = false;
@@ -52,6 +108,10 @@ int main(int argc, char** argv) {
       tree = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -59,6 +119,12 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Usage();
+  if ((!trace_out.empty() && trace_out == metrics_out)) {
+    std::fprintf(stderr,
+                 "error: --trace-out and --metrics-out must differ\n");
+    return 2;
+  }
+  ObsSession obs(trace_out, metrics_out);
 
   Result<QuerySpec> spec = LoadBjqFile(path);
   if (!spec.ok()) {

@@ -2,10 +2,55 @@
 
 #include <utility>
 
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/algorithm_choice.h"
 #include "plan/evaluate.h"
 
 namespace blitz {
+
+namespace {
+
+/// Phase timing helper: accumulates into `*slot` only when a report is
+/// being collected, so the default path pays no clock reads per phase.
+class PhaseTimer {
+ public:
+  PhaseTimer(bool enabled, double* slot) : slot_(enabled ? slot : nullptr) {}
+
+  ~PhaseTimer() {
+    if (slot_ != nullptr) *slot_ += timer_.ElapsedSeconds();
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* slot_;
+  MetricTimer timer_;
+};
+
+}  // namespace
+
+std::string OptimizeReport::ToString() const {
+  std::string out = StrFormat(
+      "total %.3f ms (optimize %.3f, extract %.3f, evaluate %.3f, "
+      "attach %.3f); path %s; peak DP table %llu bytes",
+      total_seconds * 1e3, optimize_seconds * 1e3, extract_seconds * 1e3,
+      evaluate_seconds * 1e3, attach_seconds * 1e3,
+      used_hybrid ? "hybrid" : "exhaustive",
+      static_cast<unsigned long long>(peak_dp_table_bytes));
+  if (!thresholds_tried.empty()) {
+    out += "; thresholds";
+    for (const float threshold : thresholds_tried) {
+      out += StrFormat(" %g", static_cast<double>(threshold));
+    }
+  }
+  if (counters.loop_iterations > 0) {
+    out += "; counts " + counters.ToString();
+  }
+  return out;
+}
 
 Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
                                      const JoinGraph& graph,
@@ -17,40 +62,75 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     return Status::InvalidArgument("exhaustive_limit must be >= 1");
   }
 
+  const MetricTimer total_timer;
+  TraceSpan span("OptimizeQuery", "api");
+  span.AddArg("n", catalog.num_relations());
+
   OptimizedQuery result;
+  OptimizeReport report;
   if (catalog.num_relations() <= options.exhaustive_limit) {
     OptimizerOptions dp_options;
     dp_options.cost_model = options.cost_model;
+    dp_options.count_operations =
+        options.collect_report && options.count_operations;
     Result<OptimizeOutcome> outcome = Status::Internal("unset");
-    if (options.initial_cost_threshold.has_value()) {
-      ThresholdLadderOptions ladder;
-      ladder.initial_threshold = *options.initial_cost_threshold;
-      Result<LadderOutcome> laddered =
-          OptimizeJoinWithThresholds(catalog, graph, dp_options, ladder);
-      if (!laddered.ok()) return laddered.status();
-      result.passes = laddered->passes;
-      outcome = std::move(laddered->outcome);
-    } else {
-      outcome = OptimizeJoin(catalog, graph, dp_options);
-      if (!outcome.ok()) return outcome.status();
+    {
+      PhaseTimer phase(options.collect_report, &report.optimize_seconds);
+      if (options.initial_cost_threshold.has_value()) {
+        ThresholdLadderOptions ladder;
+        ladder.initial_threshold = *options.initial_cost_threshold;
+        Result<LadderOutcome> laddered =
+            OptimizeJoinWithThresholds(catalog, graph, dp_options, ladder);
+        if (!laddered.ok()) return laddered.status();
+        result.passes = laddered->passes;
+        report.thresholds_tried = std::move(laddered->thresholds_tried);
+        outcome = std::move(laddered->outcome);
+      } else {
+        outcome = OptimizeJoin(catalog, graph, dp_options);
+        if (!outcome.ok()) return outcome.status();
+      }
     }
+    report.counters = outcome->counters;
+    report.peak_dp_table_bytes = outcome->table.MemoryBytes();
+    PhaseTimer phase(options.collect_report, &report.extract_seconds);
+    TraceSpan extract_span("extract_plan", "api");
     Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
     if (!plan.ok()) return plan.status();
     result.plan = std::move(plan).value();
     result.exact = true;
   } else {
+    PhaseTimer phase(options.collect_report, &report.optimize_seconds);
     HybridOptions hybrid = options.hybrid;
     hybrid.cost_model = options.cost_model;
     Result<HybridResult> outcome = OptimizeHybrid(catalog, graph, hybrid);
     if (!outcome.ok()) return outcome.status();
     result.plan = std::move(outcome->plan);
     result.exact = false;
+    report.used_hybrid = true;
   }
 
-  result.cost =
-      EvaluateCost(result.plan, catalog, graph, options.cost_model);
+  {
+    PhaseTimer phase(options.collect_report, &report.evaluate_seconds);
+    result.cost =
+        EvaluateCost(result.plan, catalog, graph, options.cost_model);
+  }
   if (options.attach_algorithms) {
+    PhaseTimer phase(options.collect_report, &report.attach_seconds);
+    TraceSpan attach_span("choose_algorithms", "api");
     ChooseAlgorithms(&result.plan, catalog, graph, options.cost_model);
+  }
+
+  span.AddArg("cost", result.cost);
+  span.AddArg("passes", result.passes);
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("api.queries");
+    metrics->AddCounter(result.exact ? "api.exhaustive_queries"
+                                     : "api.hybrid_queries");
+    metrics->RecordLatency("api.query_seconds", total_timer.ElapsedSeconds());
+  }
+  if (options.collect_report) {
+    report.total_seconds = total_timer.ElapsedSeconds();
+    result.report = std::move(report);
   }
   return result;
 }

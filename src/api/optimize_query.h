@@ -1,7 +1,10 @@
 #ifndef BLITZ_API_OPTIMIZE_QUERY_H_
 #define BLITZ_API_OPTIMIZE_QUERY_H_
 
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "baseline/hybrid.h"
 #include "catalog/catalog.h"
@@ -31,6 +34,43 @@ struct QueryOptimizerOptions {
 
   /// Attach physical join algorithms to the plan (Section 6.5 post-pass).
   bool attach_algorithms = true;
+
+  /// Fill OptimizedQuery::report with per-phase wall times and optimizer
+  /// bookkeeping (small constant overhead per query).
+  bool collect_report = false;
+
+  /// Tally the Section 3.3 / 6.2 operation counters into the report
+  /// (requires collect_report; adds the counting-policy overhead to the
+  /// exhaustive path).
+  bool count_operations = false;
+};
+
+/// Per-query observability report (attached when collect_report is set).
+/// Wall times are phase-exclusive: total_seconds covers the whole call,
+/// the phase fields its non-overlapping stages.
+struct OptimizeReport {
+  double total_seconds = 0;
+  double optimize_seconds = 0;   ///< DP passes or hybrid search.
+  double extract_seconds = 0;    ///< Plan extraction from the DP table.
+  double evaluate_seconds = 0;   ///< Independent cost re-evaluation.
+  double attach_seconds = 0;     ///< Algorithm attachment post-pass.
+
+  /// One entry per threshold-ladder pass (empty when no ladder ran);
+  /// +inf marks the last-resort unbounded pass.
+  std::vector<float> thresholds_tried;
+
+  /// Section 3.3 / 6.2 operation counters (all zero unless
+  /// count_operations was set; exhaustive path only).
+  CountingInstrumentation counters;
+
+  /// Peak DP-table footprint (0 on the hybrid path, which sizes its
+  /// tables per block inside OptimizeJoin).
+  std::uint64_t peak_dp_table_bytes = 0;
+
+  /// True when the hybrid fallback optimized this query.
+  bool used_hybrid = false;
+
+  std::string ToString() const;
 };
 
 /// The result of OptimizeQuery.
@@ -47,6 +87,9 @@ struct OptimizedQuery {
 
   /// Optimizer passes (> 1 only when a threshold ladder re-optimized).
   int passes = 1;
+
+  /// Observability report; engaged iff options.collect_report was set.
+  std::optional<OptimizeReport> report;
 };
 
 /// The library's front door: optimizes the join of all catalog relations

@@ -11,6 +11,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/evaluate.h"
 
 namespace blitz {
@@ -91,6 +93,11 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
     return Status::InvalidArgument("need at least one restart");
   }
 
+  const MetricTimer timer;
+  TraceSpan span("OptimizeHybrid");
+  span.AddArg("n", n);
+  span.AddArg("restarts", options.restarts);
+
   std::vector<double> base_cards(n);
   for (int i = 0; i < n; ++i) base_cards[i] = catalog.cardinality(i);
 
@@ -128,6 +135,8 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   }
 
   for (int restart = 0; restart < options.restarts; ++restart) {
+    TraceSpan restart_span("hybrid_restart");
+    restart_span.AddArg("restart", restart);
     std::vector<Unit> units;
     units.reserve(n);
     for (int i = 0; i < n; ++i) {
@@ -193,10 +202,21 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
     // Short first-improvement descent around the decomposed solution.
     polish(&plan, &cost);
 
+    restart_span.AddArg("cost", cost);
     if (cost < best.cost) {
       best.cost = cost;
       best.plan = std::move(plan);
     }
+  }
+  span.AddArg("cost", best.cost);
+  span.AddArg("dp_invocations", best.dp_invocations);
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("hybrid.calls");
+    metrics->AddCounter("hybrid.restarts",
+                        static_cast<std::uint64_t>(options.restarts));
+    metrics->AddCounter("hybrid.dp_invocations",
+                        static_cast<std::uint64_t>(best.dp_invocations));
+    metrics->RecordLatency("hybrid.seconds", timer.ElapsedSeconds());
   }
   return best;
 }

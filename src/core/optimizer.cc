@@ -4,10 +4,26 @@
 
 #include "common/strings.h"
 #include "core/blitzsplit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace blitz {
 
 namespace {
+
+/// Folds one pass's operation counters into the global metrics registry
+/// (no-op unless a registry is installed and counting was requested).
+void FoldCountersIntoMetrics(const CountingInstrumentation& counters) {
+  MetricsRegistry* metrics = GlobalMetrics();
+  if (metrics == nullptr) return;
+  metrics->AddCounter("optimizer.subsets_visited", counters.subsets_visited);
+  metrics->AddCounter("optimizer.loop_iterations", counters.loop_iterations);
+  metrics->AddCounter("optimizer.operand_passes", counters.operand_passes);
+  metrics->AddCounter("optimizer.kappa2_evaluations",
+                      counters.kappa2_evaluations);
+  metrics->AddCounter("optimizer.improvements", counters.improvements);
+  metrics->AddCounter("optimizer.threshold_skips", counters.threshold_skips);
+}
 
 std::vector<double> BaseCards(const Catalog& catalog) {
   std::vector<double> cards(catalog.num_relations());
@@ -64,6 +80,10 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
         "graph has %d relations but catalog has %d", graph.num_relations(),
         catalog.num_relations()));
   }
+  const MetricTimer timer;
+  TraceSpan span("OptimizeJoin");
+  span.AddArg("n", catalog.num_relations());
+  span.AddArg("threshold", options.cost_threshold);
   Result<DpTable> table =
       DpTable::Create(catalog.num_relations(), /*with_pi_fan=*/true,
                       ModelNeedsAux(options.cost_model));
@@ -71,11 +91,22 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<true>(options, BaseCards(catalog), &graph,
                                 &outcome.table, &outcome.counters);
+  span.AddArg("cost", outcome.cost);
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("optimizer.join_calls");
+    metrics->MaxGauge("optimizer.peak_dp_table_bytes",
+                      static_cast<double>(outcome.table.MemoryBytes()));
+    metrics->RecordLatency("optimizer.join_seconds", timer.ElapsedSeconds());
+    if (options.count_operations) FoldCountersIntoMetrics(outcome.counters);
+  }
   return outcome;
 }
 
 Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
                                           const OptimizerOptions& options) {
+  const MetricTimer timer;
+  TraceSpan span("OptimizeCartesian");
+  span.AddArg("n", catalog.num_relations());
   Result<DpTable> table =
       DpTable::Create(catalog.num_relations(), /*with_pi_fan=*/false,
                       ModelNeedsAux(options.cost_model));
@@ -83,6 +114,15 @@ Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<false>(options, BaseCards(catalog), nullptr,
                                  &outcome.table, &outcome.counters);
+  span.AddArg("cost", outcome.cost);
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("optimizer.cartesian_calls");
+    metrics->MaxGauge("optimizer.peak_dp_table_bytes",
+                      static_cast<double>(outcome.table.MemoryBytes()));
+    metrics->RecordLatency("optimizer.cartesian_seconds",
+                           timer.ElapsedSeconds());
+    if (options.count_operations) FoldCountersIntoMetrics(outcome.counters);
+  }
   return outcome;
 }
 
@@ -100,7 +140,22 @@ Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
     return Status::FailedPrecondition(
         "table columns do not match the requested configuration");
   }
-  return Dispatch<true>(options, BaseCards(catalog), &graph, table, counters);
+  const MetricTimer timer;
+  TraceSpan span("ReoptimizeJoinInPlace");
+  span.AddArg("n", catalog.num_relations());
+  span.AddArg("threshold", options.cost_threshold);
+  // `counters` accumulates across calls; fold only this pass's delta.
+  CountingInstrumentation pass_counters;
+  const float cost = Dispatch<true>(options, BaseCards(catalog), &graph,
+                                    table, &pass_counters);
+  span.AddArg("cost", cost);
+  if (counters != nullptr) *counters += pass_counters;
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("optimizer.reoptimize_calls");
+    metrics->RecordLatency("optimizer.join_seconds", timer.ElapsedSeconds());
+    if (options.count_operations) FoldCountersIntoMetrics(pass_counters);
+  }
+  return cost;
 }
 
 Result<LadderOutcome> OptimizeJoinWithThresholds(
@@ -110,18 +165,36 @@ Result<LadderOutcome> OptimizeJoinWithThresholds(
     return Status::InvalidArgument(
         "threshold ladder requires positive threshold and growth factor > 1");
   }
+  const MetricTimer timer;
+  TraceSpan ladder_span("OptimizeJoinWithThresholds");
+  ladder_span.AddArg("n", catalog.num_relations());
   LadderOutcome result;
   OptimizerOptions pass_options = options;
   pass_options.cost_threshold = ladder.initial_threshold;
+  const auto finish = [&](LadderOutcome finished) {
+    ladder_span.AddArg("passes", finished.passes);
+    if (MetricsRegistry* metrics = GlobalMetrics()) {
+      metrics->AddCounter("optimizer.ladder_calls");
+      metrics->AddCounter("optimizer.ladder_passes",
+                          static_cast<std::uint64_t>(finished.passes));
+      metrics->RecordLatency("optimizer.ladder_seconds",
+                             timer.ElapsedSeconds());
+    }
+    return finished;
+  };
   for (int pass = 0; pass < ladder.max_thresholded_passes; ++pass) {
+    TraceSpan pass_span("ladder_pass");
+    pass_span.AddArg("pass", pass);
+    pass_span.AddArg("threshold", pass_options.cost_threshold);
     Result<OptimizeOutcome> outcome =
         OptimizeJoin(catalog, graph, pass_options);
     if (!outcome.ok()) return outcome.status();
     result.thresholds_tried.push_back(pass_options.cost_threshold);
     ++result.passes;
+    pass_span.AddArg("found_plan", outcome->found_plan() ? 1 : 0);
     if (outcome->found_plan()) {
       result.outcome = std::move(outcome).value();
-      return result;
+      return finish(std::move(result));
     }
     pass_options.cost_threshold *= ladder.growth_factor;
     // Once the threshold stops being representable there is no point in
@@ -130,12 +203,16 @@ Result<LadderOutcome> OptimizeJoinWithThresholds(
   }
   // Last resort: unbounded pass (Section 6.3 overflow rejection only).
   pass_options.cost_threshold = kRejectedCost;
+  TraceSpan pass_span("ladder_pass");
+  pass_span.AddArg("pass", result.passes);
+  pass_span.AddArg("threshold", pass_options.cost_threshold);
   Result<OptimizeOutcome> outcome = OptimizeJoin(catalog, graph, pass_options);
   if (!outcome.ok()) return outcome.status();
   result.thresholds_tried.push_back(kRejectedCost);
   ++result.passes;
+  pass_span.AddArg("found_plan", 1);
   result.outcome = std::move(outcome).value();
-  return result;
+  return finish(std::move(result));
 }
 
 }  // namespace blitz

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace blitz {
 
@@ -13,9 +15,11 @@ RowSet ExecuteNode(const PlanNode& node, const std::vector<ExecTable>& tables,
   if (node.is_leaf()) {
     return ScanTable(tables[node.relation()]);
   }
+  const MetricTimer timer;
+  TraceSpan span("join", "exec");
   // Record stats in pre-order (reserve the slot before recursing).
   const size_t stat_index = stats->size();
-  stats->push_back(NodeStats{node.set, 0, node.algorithm});
+  stats->push_back(NodeStats{node.set, 0, node.algorithm, 0});
   const RowSet lhs = ExecuteNode(*node.left, tables, graph, stats);
   const RowSet rhs = ExecuteNode(*node.right, tables, graph, stats);
   const std::vector<BoundPredicate> predicates =
@@ -26,7 +30,17 @@ RowSet ExecuteNode(const PlanNode& node, const std::vector<ExecTable>& tables,
     algorithm = JoinAlgorithm::kUnspecified;
   }
   RowSet out = JoinRowSets(lhs, rhs, predicates, algorithm, tables);
-  (*stats)[stat_index].output_rows = out.num_rows();
+  NodeStats& node_stats = (*stats)[stat_index];
+  node_stats.output_rows = out.num_rows();
+  node_stats.seconds = timer.ElapsedSeconds();
+  span.AddArg("set", static_cast<double>(node.set.word()));
+  span.AddArg("rows", static_cast<double>(out.num_rows()));
+  span.AddArg("algorithm", static_cast<int>(algorithm));
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("exec.joins");
+    metrics->AddCounter("exec.rows_produced", out.num_rows());
+    metrics->RecordLatency("exec.join_seconds", node_stats.seconds);
+  }
   return out;
 }
 
@@ -48,8 +62,15 @@ Result<ExecutionResult> ExecutePlan(const Plan& plan,
         "tables vector does not cover the plan's relations (tables[i] must "
         "be relation i)");
   }
+  const MetricTimer timer;
+  TraceSpan span("ExecutePlan", "exec");
   ExecutionResult result;
   result.result = ExecuteNode(plan.root(), tables, graph, &result.node_stats);
+  span.AddArg("rows", static_cast<double>(result.result.num_rows()));
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("exec.plans");
+    metrics->RecordLatency("exec.plan_seconds", timer.ElapsedSeconds());
+  }
   return result;
 }
 

@@ -16,6 +16,9 @@ struct NodeStats {
   RelSet set;
   std::uint64_t output_rows = 0;
   JoinAlgorithm algorithm = JoinAlgorithm::kUnspecified;
+
+  /// Wall time of this join including its inputs (subtree time).
+  double seconds = 0;
 };
 
 /// Result of executing a plan.

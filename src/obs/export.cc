@@ -1,0 +1,46 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+Status WriteTextFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != contents.size() || !closed) {
+    return Status::Internal(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Status WriteChromeTraceFile(const TraceRecorder& recorder,
+                            const std::string& path) {
+  return WriteTextFile(path, recorder.ToChromeTraceJson());
+}
+
+Status WriteMetricsJsonFile(const MetricsRegistry& metrics,
+                            const std::string& path) {
+  return WriteTextFile(path, metrics.ToJson());
+}
+
+bool WriteMetricsJsonIfRequested() {
+  const char* path = std::getenv("BLITZ_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return false;
+  const Status status = WriteTextFile(path, DumpMetricsJson());
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace blitz

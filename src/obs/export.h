@@ -1,0 +1,33 @@
+#ifndef BLITZ_OBS_EXPORT_H_
+#define BLITZ_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace blitz {
+
+/// Writes `contents` to `path`, overwriting any existing file.
+Status WriteTextFile(const std::string& path, std::string_view contents);
+
+/// Writes the recorder's Chrome traceEvents JSON to `path` (open the file
+/// in chrome://tracing or https://ui.perfetto.dev).
+Status WriteChromeTraceFile(const TraceRecorder& recorder,
+                            const std::string& path);
+
+/// Writes the registry's JSON dump to `path`.
+Status WriteMetricsJsonFile(const MetricsRegistry& metrics,
+                            const std::string& path);
+
+/// If the BLITZ_METRICS_OUT environment variable is set, writes the global
+/// metrics registry as JSON to that path (for mechanical capture of bench
+/// results, e.g. BENCH_table1.json). Returns true if a file was written;
+/// failures are reported on stderr and return false.
+bool WriteMetricsJsonIfRequested();
+
+}  // namespace blitz
+
+#endif  // BLITZ_OBS_EXPORT_H_

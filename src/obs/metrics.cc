@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+/// JSON numbers cannot be inf/nan; clamp to the quoted strings Chrome and
+/// jq both tolerate as values.
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  return StrFormat("%.17g", v);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  BLITZ_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    BLITZ_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 100.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  bounds.push_back(100.0);
+  return bounds;
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (size_t bucket = 0; bucket < counts_.size(); ++bucket) {
+    if (counts_[bucket] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[bucket];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate within [lo, hi); open-ended edge buckets clamp to the
+    // observed extrema so percentiles never leave the data range.
+    double lo = bucket == 0 ? min_ : bounds_[bucket - 1];
+    double hi = bucket == counts_.size() - 1 ? max_ : bounds_[bucket];
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (hi <= lo) return lo;
+    const double fraction =
+        (rank - before) / static_cast<double>(counts_[bucket]);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return max_;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, std::uint64_t delta) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::MaxGauge(std::string_view name, double value) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      Histogram(Histogram::DefaultLatencyBounds()))
+             .first;
+  }
+  it->second.Record(seconds);
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.assign(counters_.begin(), counters_.end());
+  snapshot.gauges.assign(gauges_.begin(), gauges_.end());
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram.count();
+    h.sum = histogram.sum();
+    h.min = histogram.min();
+    h.max = histogram.max();
+    h.p50 = histogram.Percentile(50);
+    h.p95 = histogram.Percentile(95);
+    h.p99 = histogram.Percentile(99);
+    snapshot.histograms.emplace_back(name, h);
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const MetricsSnapshot snapshot = TakeSnapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%llu", JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%s", JsonEscape(name).c_str(),
+                     JsonNumber(value).c_str());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s,"
+        "\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+        JsonEscape(name).c_str(), static_cast<unsigned long long>(h.count),
+        JsonNumber(h.sum).c_str(), JsonNumber(h.min).c_str(),
+        JsonNumber(h.max).c_str(), JsonNumber(h.p50).c_str(),
+        JsonNumber(h.p95).c_str(), JsonNumber(h.p99).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  const MetricsSnapshot snapshot = TakeSnapshot();
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("counter %s = %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("gauge %s = %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += StrFormat(
+        "histogram %s: count=%llu mean=%g p50=%g p95=%g p99=%g max=%g\n",
+        name.c_str(), static_cast<unsigned long long>(h.count),
+        h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count), h.p50,
+        h.p95, h.p99, h.max);
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+}  // namespace
+
+MetricsRegistry* GlobalMetrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+void SetGlobalMetrics(MetricsRegistry* registry) {
+  g_metrics.store(registry, std::memory_order_release);
+}
+
+std::string DumpMetricsJson() {
+  MetricsRegistry* metrics = GlobalMetrics();
+  if (metrics == nullptr) return "{}";
+  return metrics->ToJson();
+}
+
+}  // namespace blitz

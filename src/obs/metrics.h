@@ -1,0 +1,152 @@
+#ifndef BLITZ_OBS_METRICS_H_
+#define BLITZ_OBS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace blitz {
+
+/// Minimal monotonic timer for feeding RecordLatency at instrumentation
+/// sites below benchlib in the dependency order (benchlib's Stopwatch
+/// depends on core). Costs one clock read at construction.
+class MetricTimer {
+ public:
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Fixed-bucket histogram with percentile summaries. Bucket boundaries are
+/// immutable after construction; Record is O(log buckets). Values at or
+/// above the last boundary land in an unbounded overflow bucket.
+///
+/// Not internally synchronized — MetricsRegistry serializes access; a
+/// standalone Histogram is single-threaded.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty. Bucket i covers
+  /// [bounds[i-1], bounds[i]) with bucket 0 covering (-inf, bounds[0]).
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Exponential 1us..100s boundaries suited to wall-clock latencies in
+  /// seconds (roughly 1-2-5 per decade).
+  static std::vector<double> DefaultLatencyBounds();
+
+  void Record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  /// Estimated value at percentile `p` in [0, 100], linearly interpolated
+  /// inside the containing bucket (clamped to the observed min/max so a
+  /// single sample reports itself at every percentile). 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries.
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Point-in-time copy of one histogram's summary statistics.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Point-in-time copy of a whole registry, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Thread-safe registry of named counters (monotonic), gauges (last/max
+/// value), and latency histograms. Mirrors the NoInstrumentation policy
+/// pattern at the registry level: a disabled registry ignores every write
+/// and never materializes a metric, so instrumented code paths stay cheap
+/// without compile-time specialization.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Adds `delta` to the named monotonic counter (created at first touch).
+  void AddCounter(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets the named gauge to `value`.
+  void SetGauge(std::string_view name, double value);
+
+  /// Raises the named gauge to `value` if larger (peak tracking).
+  void MaxGauge(std::string_view name, double value);
+
+  /// Records one latency observation (seconds) into the named histogram.
+  void RecordLatency(std::string_view name, double seconds);
+
+  MetricsSnapshot TakeSnapshot() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,p50,p95,p99},...}} — always a valid JSON object, {} when empty.
+  std::string ToJson() const;
+
+  /// One metric per line, for terminal output.
+  std::string ToString() const;
+
+  void Reset();
+
+ private:
+  const bool enabled_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Process-global registry hook. Instrumented library code writes through
+/// GlobalMetrics() when non-null and pays one atomic load otherwise, so the
+/// default (no registry installed) is near-zero-cost. Not owned; the caller
+/// keeps the registry alive while installed and uninstalls (nullptr) before
+/// destroying it.
+MetricsRegistry* GlobalMetrics();
+void SetGlobalMetrics(MetricsRegistry* registry);
+
+/// JSON dump of the global registry ("{}" when none is installed).
+std::string DumpMetricsJson();
+
+}  // namespace blitz
+
+#endif  // BLITZ_OBS_METRICS_H_

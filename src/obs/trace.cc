@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+/// Dense thread ids in first-span order, so exported tids are small and
+/// stable within one process run.
+std::atomic<int> g_next_thread_id{0};
+thread_local int tls_thread_id = -1;
+thread_local int tls_depth = 0;
+
+int CurrentThreadId() {
+  if (tls_thread_id < 0) {
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Arg values may legitimately be +inf (e.g. the unbounded ladder
+/// threshold); JSON numbers cannot, so those become quoted strings.
+std::string JsonArgValue(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+        JsonEscape(event.name).c_str(), JsonEscape(event.category).c_str(),
+        event.start_us, event.duration_us, event.thread_id);
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += StrFormat("\"%s\":%s", JsonEscape(key).c_str(),
+                         JsonArgValue(value).c_str());
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string TraceRecorder::ToText() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out;
+  int thread = -1;
+  for (const TraceEvent& event : events) {
+    if (event.thread_id != thread) {
+      thread = event.thread_id;
+      out += StrFormat("thread %d:\n", thread);
+    }
+    out += StrFormat("%*s%s %.3f ms", 2 + event.depth * 2, "",
+                     event.name.c_str(), event.duration_us / 1e3);
+    for (const auto& [key, value] : event.args) {
+      out += StrFormat(" %s=%g", key.c_str(), value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TraceRecorder* GlobalTraceRecorder() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void SetGlobalTraceRecorder(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name,
+                     const char* category)
+    : recorder_(recorder), name_(name), category_(category) {
+  if (recorder_ == nullptr) return;
+  depth_ = tls_depth++;
+  start_us_ = recorder_->NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  --tls_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_us = start_us_;
+  event.duration_us = recorder_->NowMicros() - start_us_;
+  event.thread_id = CurrentThreadId();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  recorder_->Record(std::move(event));
+}
+
+void TraceSpan::AddArg(const char* key, double value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, value);
+}
+
+double TraceSpan::ElapsedSeconds() const {
+  if (recorder_ == nullptr) return 0;
+  return (recorder_->NowMicros() - start_us_) / 1e6;
+}
+
+}  // namespace blitz

@@ -1,0 +1,110 @@
+#ifndef BLITZ_OBS_TRACE_H_
+#define BLITZ_OBS_TRACE_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace blitz {
+
+/// One completed span, timed in microseconds relative to the recorder's
+/// creation. `depth` is the nesting level at entry within `thread_id`
+/// (dense 0-based ids in first-span order).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0;
+  double duration_us = 0;
+  int thread_id = 0;
+  int depth = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Thread-safe sink for completed spans. Export either as human-readable
+/// indented text or as Chrome trace-viewer JSON (the `traceEvents` array of
+/// complete "ph":"X" events, loadable in chrome://tracing and Perfetto).
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(TraceEvent event);
+
+  /// Microseconds elapsed since this recorder was constructed.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  std::size_t num_events() const;
+
+  /// Copy of the recorded events, sorted by (thread, start time, depth) —
+  /// i.e. parents before their children.
+  std::vector<TraceEvent> Events() const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — valid JSON.
+  std::string ToChromeTraceJson() const;
+
+  /// Indented per-thread span tree with millisecond durations.
+  std::string ToText() const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-global recorder hook, mirroring GlobalMetrics(): spans created
+/// without an explicit recorder write here, and become near-zero-cost
+/// no-ops (one atomic load, no clock read) while no recorder is installed.
+/// Not owned; uninstall (nullptr) before destroying the recorder.
+TraceRecorder* GlobalTraceRecorder();
+void SetGlobalTraceRecorder(TraceRecorder* recorder);
+
+/// RAII tracing span: captures the start time at construction and records
+/// one TraceEvent into the recorder at destruction. Nesting is tracked per
+/// thread, so spans created inside an active span become its children in
+/// the exported tree. `name`/`category` must outlive the span (string
+/// literals in practice).
+class TraceSpan {
+ public:
+  /// Span against the global recorder (inactive when none is installed).
+  explicit TraceSpan(const char* name, const char* category = "optimizer")
+      : TraceSpan(GlobalTraceRecorder(), name, category) {}
+
+  /// Span against an explicit recorder (nullptr = inactive).
+  TraceSpan(TraceRecorder* recorder, const char* name,
+            const char* category = "optimizer");
+
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+
+  /// Attaches a numeric argument to the recorded event. No-op when
+  /// inactive.
+  void AddArg(const char* key, double value);
+
+  /// Seconds since construction (0 when inactive). Usable before the span
+  /// closes, e.g. to feed a latency histogram alongside the trace.
+  double ElapsedSeconds() const;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0;
+  int depth_ = 0;
+  std::vector<std::pair<std::string, double>> args_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_OBS_TRACE_H_

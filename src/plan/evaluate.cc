@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace blitz {
 
@@ -83,7 +85,13 @@ float EvaluateCostFloat(const PlanNode& node, const Catalog& catalog,
 double EvaluateCost(const Plan& plan, const Catalog& catalog,
                     const JoinGraph& graph, CostModelKind kind) {
   BLITZ_CHECK(!plan.empty());
-  return EvaluateCost(plan.root(), catalog, graph, kind);
+  TraceSpan span("EvaluateCost", "plan");
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("plan.cost_evaluations");
+  }
+  const double cost = EvaluateCost(plan.root(), catalog, graph, kind);
+  span.AddArg("cost", cost);
+  return cost;
 }
 
 float EvaluateCostFloat(const Plan& plan, const Catalog& catalog,

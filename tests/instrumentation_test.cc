@@ -48,5 +48,62 @@ TEST(InstrumentationTest, ToStringMentionsAllCounters) {
   EXPECT_NE(s.find("subsets=0"), std::string::npos) << s;
 }
 
+TEST(InstrumentationTest, ToStringRendersEveryFieldWithItsValue) {
+  CountingInstrumentation instr;
+  instr.subsets_visited = 1;
+  instr.loop_iterations = 22;
+  instr.operand_passes = 333;
+  instr.kappa2_evaluations = 4444;
+  instr.improvements = 55555;
+  instr.threshold_skips = 666666;
+  const std::string s = instr.ToString();
+  EXPECT_NE(s.find("subsets=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("loop_iters=22"), std::string::npos) << s;
+  EXPECT_NE(s.find("operand_passes=333"), std::string::npos) << s;
+  EXPECT_NE(s.find("kappa2=4444"), std::string::npos) << s;
+  EXPECT_NE(s.find("improvements=55555"), std::string::npos) << s;
+  EXPECT_NE(s.find("threshold_skips=666666"), std::string::npos) << s;
+}
+
+TEST(InstrumentationTest, ToStringHandlesLargeCounts) {
+  CountingInstrumentation instr;
+  // Larger than 2^32: the %llu formatting must not truncate.
+  instr.loop_iterations = 0x1'0000'0001ULL;
+  EXPECT_NE(instr.ToString().find("loop_iters=4294967297"),
+            std::string::npos);
+}
+
+TEST(InstrumentationTest, AccumulateCoversEveryFieldAndChains) {
+  CountingInstrumentation a;
+  a.subsets_visited = 1;
+  a.loop_iterations = 2;
+  a.operand_passes = 3;
+  a.kappa2_evaluations = 4;
+  a.improvements = 5;
+  a.threshold_skips = 6;
+  CountingInstrumentation b = a;
+  b.threshold_skips = 10;
+  CountingInstrumentation c;
+  // operator+= returns *this, so accumulation chains.
+  (c += a) += b;
+  EXPECT_EQ(c.subsets_visited, 2u);
+  EXPECT_EQ(c.loop_iterations, 4u);
+  EXPECT_EQ(c.operand_passes, 6u);
+  EXPECT_EQ(c.kappa2_evaluations, 8u);
+  EXPECT_EQ(c.improvements, 10u);
+  EXPECT_EQ(c.threshold_skips, 16u);
+}
+
+TEST(InstrumentationTest, AccumulateFromDefaultIsIdentity) {
+  CountingInstrumentation a;
+  a.OnImprovement();
+  a.OnThresholdSkip();
+  const CountingInstrumentation before = a;
+  a += CountingInstrumentation{};
+  EXPECT_EQ(a.improvements, before.improvements);
+  EXPECT_EQ(a.threshold_skips, before.threshold_skips);
+  EXPECT_EQ(a.loop_iterations, 0u);
+}
+
 }  // namespace
 }  // namespace blitz

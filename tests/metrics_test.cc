@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);
+  h.Record(5.0);
+  h.Record(50.0);
+  h.Record(500.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+}
+
+TEST(HistogramTest, PercentilesLandInTheRightBucket) {
+  Histogram h({1.0, 2.0, 5.0, 10.0});
+  // 90 samples in [1,2), 10 in [5,10): p50 must interpolate inside [1,2),
+  // p95 and p99 inside [5,10).
+  for (int i = 0; i < 90; ++i) h.Record(1.5);
+  for (int i = 0; i < 10; ++i) h.Record(7.0);
+  const double p50 = h.Percentile(50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LT(p50, 2.0);
+  const double p95 = h.Percentile(95);
+  EXPECT_GE(p95, 5.0);
+  EXPECT_LE(p95, 10.0);
+  const double p99 = h.Percentile(99);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 10.0);
+  // Percentiles are monotone in p.
+  EXPECT_LE(h.Percentile(0), p50);
+  EXPECT_LE(p50, p95);
+}
+
+TEST(HistogramTest, SingleSampleReportsItselfEverywhere) {
+  Histogram h(Histogram::DefaultLatencyBounds());
+  h.Record(0.0123);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0123);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0123);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0123);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, UniformSpreadApproximatesQuantiles) {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(i);
+  Histogram h(bounds);
+  for (int i = 0; i < 1000; ++i) h.Record(i / 10.0);  // uniform on [0, 100)
+  EXPECT_NEAR(h.Percentile(50), 50.0, 2.0);
+  EXPECT_NEAR(h.Percentile(95), 95.0, 2.0);
+  EXPECT_NEAR(h.Percentile(99), 99.0, 2.0);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry metrics;
+  metrics.AddCounter("a");
+  metrics.AddCounter("a", 2);
+  metrics.AddCounter("b", 7);
+  const MetricsSnapshot snapshot = metrics.TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a");
+  EXPECT_EQ(snapshot.counters[0].second, 3u);
+  EXPECT_EQ(snapshot.counters[1].second, 7u);
+}
+
+TEST(MetricsRegistryTest, GaugesSetAndMax) {
+  MetricsRegistry metrics;
+  metrics.SetGauge("g", 5.0);
+  metrics.SetGauge("g", 3.0);
+  metrics.MaxGauge("peak", 10.0);
+  metrics.MaxGauge("peak", 4.0);
+  metrics.MaxGauge("peak", 12.0);
+  const MetricsSnapshot snapshot = metrics.TakeSnapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 3.0);   // last write wins
+  EXPECT_DOUBLE_EQ(snapshot.gauges[1].second, 12.0);           // peak
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryAddsNoMetrics) {
+  MetricsRegistry metrics(/*enabled=*/false);
+  EXPECT_FALSE(metrics.enabled());
+  metrics.AddCounter("a");
+  metrics.SetGauge("g", 1.0);
+  metrics.MaxGauge("m", 2.0);
+  metrics.RecordLatency("l", 0.5);
+  EXPECT_TRUE(metrics.TakeSnapshot().empty());
+  EXPECT_EQ(metrics.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryTest, JsonDumpIsWellFormed) {
+  MetricsRegistry metrics;
+  metrics.AddCounter("optimizer.calls", 3);
+  metrics.SetGauge("bytes", 16384);
+  metrics.RecordLatency("seconds", 0.002);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"optimizer.calls\":3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bytes\":16384"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seconds\":{\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+  // Balanced braces, no trailing comma before a closing brace.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.find(",}"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, NonFiniteGaugeSerializesAsString) {
+  MetricsRegistry metrics;
+  metrics.SetGauge("inf", std::numeric_limits<double>::infinity());
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"inf\":\"inf\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ResetClears) {
+  MetricsRegistry metrics;
+  metrics.AddCounter("a");
+  metrics.RecordLatency("l", 1.0);
+  metrics.Reset();
+  EXPECT_TRUE(metrics.TakeSnapshot().empty());
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersDoNotLoseCounts) {
+  MetricsRegistry metrics;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.AddCounter("shared");
+        metrics.RecordLatency("lat", 1e-4);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = metrics.TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GlobalMetricsTest, InstallAndDump) {
+  EXPECT_EQ(GlobalMetrics(), nullptr);
+  EXPECT_EQ(DumpMetricsJson(), "{}");
+  MetricsRegistry metrics;
+  SetGlobalMetrics(&metrics);
+  EXPECT_EQ(GlobalMetrics(), &metrics);
+  metrics.AddCounter("x");
+  EXPECT_NE(DumpMetricsJson().find("\"x\":1"), std::string::npos);
+  SetGlobalMetrics(nullptr);
+  EXPECT_EQ(GlobalMetrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,235 @@
+// End-to-end checks that the observability layer sees the real pipeline:
+// spans per ladder pass out of the core optimizer, counters folded into the
+// registry, executor row/timing stats, and the OptimizeQuery report.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/optimize_query.h"
+#include "catalog/catalog.h"
+#include "core/optimizer.h"
+#include "exec/datagen.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+namespace {
+
+/// RAII install/uninstall of the global obs hooks so a failing test cannot
+/// leak them into later tests.
+class ScopedObs {
+ public:
+  ScopedObs() {
+    SetGlobalTraceRecorder(&recorder);
+    SetGlobalMetrics(&metrics);
+  }
+  ~ScopedObs() {
+    SetGlobalTraceRecorder(nullptr);
+    SetGlobalMetrics(nullptr);
+  }
+  TraceRecorder recorder;
+  MetricsRegistry metrics;
+};
+
+int CountEvents(const std::vector<TraceEvent>& events,
+                const std::string& name) {
+  return static_cast<int>(
+      std::count_if(events.begin(), events.end(),
+                    [&](const TraceEvent& e) { return e.name == name; }));
+}
+
+TEST(ObsIntegrationTest, LadderEmitsOneSpanPerPass) {
+  ScopedObs obs;
+  Result<Catalog> catalog = Catalog::FromCardinalities({100, 200, 300, 400});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(4);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.01).ok());
+  ASSERT_TRUE(graph.AddPredicate(1, 2, 0.01).ok());
+  ASSERT_TRUE(graph.AddPredicate(2, 3, 0.01).ok());
+
+  // A hopeless initial threshold forces several ladder passes.
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = 1e-3f;
+  ladder.growth_factor = 10.0f;
+  ladder.max_thresholded_passes = 3;
+  Result<LadderOutcome> outcome =
+      OptimizeJoinWithThresholds(*catalog, graph, OptimizerOptions{}, ladder);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GE(outcome->passes, 2);
+
+  const std::vector<TraceEvent> events = obs.recorder.Events();
+  EXPECT_EQ(CountEvents(events, "OptimizeJoinWithThresholds"), 1);
+  EXPECT_EQ(CountEvents(events, "ladder_pass"), outcome->passes);
+  EXPECT_EQ(CountEvents(events, "OptimizeJoin"), outcome->passes);
+  // Nesting: ladder at depth 0, passes at depth 1, OptimizeJoin at depth 2.
+  for (const TraceEvent& event : events) {
+    if (event.name == "ladder_pass") {
+      EXPECT_EQ(event.depth, 1);
+    }
+    if (event.name == "OptimizeJoin") {
+      EXPECT_EQ(event.depth, 2);
+    }
+  }
+  // Counters landed in the registry.
+  const MetricsSnapshot snapshot = obs.metrics.TakeSnapshot();
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter("optimizer.ladder_calls"), 1u);
+  EXPECT_EQ(counter("optimizer.ladder_passes"),
+            static_cast<std::uint64_t>(outcome->passes));
+  EXPECT_EQ(counter("optimizer.join_calls"),
+            static_cast<std::uint64_t>(outcome->passes));
+}
+
+TEST(ObsIntegrationTest, CountersFoldIntoRegistryWhenRequested) {
+  ScopedObs obs;
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 20, 30, 40, 50});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(5);
+  OptimizerOptions options;
+  options.count_operations = true;
+  Result<OptimizeOutcome> outcome = OptimizeJoin(*catalog, graph, options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GT(outcome->counters.loop_iterations, 0u);
+
+  const MetricsSnapshot snapshot = obs.metrics.TakeSnapshot();
+  bool found = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "optimizer.loop_iterations") {
+      found = true;
+      EXPECT_EQ(value, outcome->counters.loop_iterations);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsIntegrationTest, DisabledModeRecordsNothing) {
+  // No global recorder/registry installed: same optimization, no events.
+  ASSERT_EQ(GlobalTraceRecorder(), nullptr);
+  ASSERT_EQ(GlobalMetrics(), nullptr);
+  Result<Catalog> catalog = Catalog::FromCardinalities({10, 20, 30});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(*catalog, graph, OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->found_plan());
+}
+
+TEST(ObsIntegrationTest, ExecutorRecordsRowsAndTimings) {
+  ScopedObs obs;
+  Result<Catalog> catalog = Catalog::FromCardinalities({20, 30, 40});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(3);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.1).ok());
+  ASSERT_TRUE(graph.AddPredicate(1, 2, 0.1).ok());
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(*catalog, graph, OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+  ASSERT_TRUE(plan.ok());
+  Result<std::vector<ExecTable>> tables =
+      GenerateTables(*catalog, graph, DataGenOptions{});
+  ASSERT_TRUE(tables.ok());
+  Result<ExecutionResult> result = ExecutePlan(*plan, *tables, graph);
+  ASSERT_TRUE(result.ok());
+
+  // Node stats carry wall times; the root subtree dominates its children.
+  ASSERT_EQ(result->node_stats.size(), 2u);
+  EXPECT_GE(result->node_stats[0].seconds, result->node_stats[1].seconds);
+
+  const std::vector<TraceEvent> events = obs.recorder.Events();
+  EXPECT_EQ(CountEvents(events, "ExecutePlan"), 1);
+  EXPECT_EQ(CountEvents(events, "join"), 2);
+
+  const MetricsSnapshot snapshot = obs.metrics.TakeSnapshot();
+  std::uint64_t rows = 0;
+  std::uint64_t joins = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "exec.rows_produced") rows = value;
+    if (name == "exec.joins") joins = value;
+  }
+  EXPECT_EQ(joins, 2u);
+  std::uint64_t stats_rows = 0;
+  for (const NodeStats& stats : result->node_stats) {
+    stats_rows += stats.output_rows;
+  }
+  EXPECT_EQ(rows, stats_rows);
+}
+
+TEST(ObsIntegrationTest, OptimizeQueryReportExhaustive) {
+  Result<Catalog> catalog = Catalog::FromCardinalities({100, 200, 300, 400, 500});
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(5);
+  ASSERT_TRUE(graph.AddPredicate(0, 1, 0.01).ok());
+  ASSERT_TRUE(graph.AddPredicate(1, 2, 0.01).ok());
+  ASSERT_TRUE(graph.AddPredicate(2, 3, 0.01).ok());
+  ASSERT_TRUE(graph.AddPredicate(3, 4, 0.01).ok());
+
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.count_operations = true;
+  options.initial_cost_threshold = 1.0f;  // force at least one re-pass
+  Result<OptimizedQuery> result = OptimizeQuery(*catalog, graph, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->report.has_value());
+  const OptimizeReport& report = *result->report;
+  EXPECT_FALSE(report.used_hybrid);
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.optimize_seconds, 0.0);
+  EXPECT_LE(report.optimize_seconds + report.extract_seconds +
+                report.evaluate_seconds + report.attach_seconds,
+            report.total_seconds * 1.5);
+  EXPECT_EQ(report.thresholds_tried.size(),
+            static_cast<size_t>(result->passes));
+  EXPECT_GT(report.counters.loop_iterations, 0u);
+  EXPECT_GT(report.peak_dp_table_bytes, 0u);
+  EXPECT_NE(report.ToString().find("exhaustive"), std::string::npos);
+
+  // Without the flag the report stays disengaged.
+  QueryOptimizerOptions no_report;
+  Result<OptimizedQuery> plain = OptimizeQuery(*catalog, graph, no_report);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->report.has_value());
+  EXPECT_EQ(plain->cost, result->cost);
+}
+
+TEST(ObsIntegrationTest, OptimizeQueryReportHybrid) {
+  ScopedObs obs;
+  const int n = 6;
+  std::vector<double> cards;
+  for (int i = 0; i < n; ++i) cards.push_back(50 + 10 * i);
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  ASSERT_TRUE(catalog.ok());
+  JoinGraph graph(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(graph.AddPredicate(i, i + 1, 0.05).ok());
+  }
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.exhaustive_limit = 4;  // force the hybrid path at n = 6
+  Result<OptimizedQuery> result = OptimizeQuery(*catalog, graph, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->report.has_value());
+  EXPECT_TRUE(result->report->used_hybrid);
+  EXPECT_FALSE(result->exact);
+  EXPECT_NE(result->report->ToString().find("hybrid"), std::string::npos);
+
+  const std::vector<TraceEvent> events = obs.recorder.Events();
+  EXPECT_EQ(CountEvents(events, "OptimizeQuery"), 1);
+  EXPECT_GE(CountEvents(events, "OptimizeHybrid"), 1);
+  EXPECT_GE(CountEvents(events, "hybrid_restart"), 1);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace blitz {
+namespace {
+
+TEST(TraceSpanTest, InactiveWithoutRecorder) {
+  ASSERT_EQ(GlobalTraceRecorder(), nullptr);
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.AddArg("ignored", 1.0);
+  EXPECT_DOUBLE_EQ(span.ElapsedSeconds(), 0.0);
+}
+
+TEST(TraceSpanTest, RecordsOneEventPerSpan) {
+  TraceRecorder recorder;
+  {
+    TraceSpan span(&recorder, "work");
+    EXPECT_TRUE(span.active());
+    span.AddArg("items", 3);
+  }
+  ASSERT_EQ(recorder.num_events(), 1u);
+  const TraceEvent event = recorder.Events()[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_EQ(event.category, "optimizer");
+  EXPECT_EQ(event.depth, 0);
+  EXPECT_GE(event.duration_us, 0.0);
+  ASSERT_EQ(event.args.size(), 1u);
+  EXPECT_EQ(event.args[0].first, "items");
+  EXPECT_DOUBLE_EQ(event.args[0].second, 3.0);
+}
+
+TEST(TraceSpanTest, NestingDepthsAndContainment) {
+  TraceRecorder recorder;
+  {
+    TraceSpan outer(&recorder, "outer");
+    {
+      TraceSpan middle(&recorder, "middle");
+      TraceSpan inner(&recorder, "inner");
+    }
+    TraceSpan sibling(&recorder, "sibling");
+  }
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted parents-first: outer precedes its children.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 2);
+  EXPECT_EQ(events[3].name, "sibling");
+  EXPECT_EQ(events[3].depth, 1);
+  // Children start within the parent and end before it closes.
+  const TraceEvent& outer = events[0];
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_us, outer.start_us);
+    EXPECT_LE(events[i].start_us + events[i].duration_us,
+              outer.start_us + outer.duration_us + 1.0);
+  }
+  // Depth restored: a fresh span is a root again.
+  {
+    TraceSpan fresh(&recorder, "fresh");
+  }
+  EXPECT_EQ(recorder.Events().back().depth, 0);
+}
+
+TEST(TraceSpanTest, ThreadsGetDistinctIds) {
+  TraceRecorder recorder;
+  {
+    TraceSpan main_span(&recorder, "main");
+    std::thread worker([&recorder] {
+      TraceSpan span(&recorder, "worker");
+    });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+  // Each thread's depth counter is independent.
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+TEST(TraceRecorderTest, ChromeJsonShape) {
+  TraceRecorder recorder;
+  {
+    TraceSpan outer(&recorder, "outer", "api");
+    outer.AddArg("n", 15);
+    TraceSpan inner(&recorder, "ladder_pass");
+    inner.AddArg("threshold", 1e9);
+  }
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"ladder_pass\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"api\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"threshold\":1e+09}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << json;
+  // Structurally valid JSON object: balanced delimiters, no bare inf.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceRecorderTest, InfiniteArgBecomesQuotedString) {
+  TraceRecorder recorder;
+  {
+    TraceSpan span(&recorder, "unbounded");
+    span.AddArg("threshold", std::numeric_limits<double>::infinity());
+  }
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"threshold\":\"inf\""), std::string::npos) << json;
+  EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
+}
+
+TEST(TraceRecorderTest, EmptyRecorderStillValidJson) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.ToChromeTraceJson(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(TraceRecorderTest, TextTreeIndentsByDepth) {
+  TraceRecorder recorder;
+  {
+    TraceSpan outer(&recorder, "outer");
+    TraceSpan inner(&recorder, "inner");
+  }
+  const std::string text = recorder.ToText();
+  EXPECT_NE(text.find("  outer"), std::string::npos) << text;
+  EXPECT_NE(text.find("    inner"), std::string::npos) << text;
+  EXPECT_NE(text.find("thread "), std::string::npos) << text;
+}
+
+TEST(TraceRecorderTest, NamesAreJsonEscaped) {
+  TraceRecorder recorder;
+  TraceEvent event;
+  event.name = "with \"quotes\" and \\slash";
+  recorder.Record(event);
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"), std::string::npos)
+      << json;
+}
+
+TEST(GlobalTraceRecorderTest, SpansUseInstalledRecorder) {
+  TraceRecorder recorder;
+  SetGlobalTraceRecorder(&recorder);
+  {
+    TraceSpan span("global_span");
+    EXPECT_TRUE(span.active());
+  }
+  SetGlobalTraceRecorder(nullptr);
+  ASSERT_EQ(recorder.num_events(), 1u);
+  EXPECT_EQ(recorder.Events()[0].name, "global_span");
+  // Uninstalled again: spans revert to no-ops.
+  {
+    TraceSpan span("after");
+  }
+  EXPECT_EQ(recorder.num_events(), 1u);
+}
+
+}  // namespace
+}  // namespace blitz
