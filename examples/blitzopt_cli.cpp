@@ -2,7 +2,23 @@
 //
 // Usage:
 //   blitzopt <query.bjq> [--execute] [--counts] [--tree] [--explain]
+//           [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>]
+//           [--no-degrade] [--exhaustive-limit=<n>]
 //           [--trace-out=<file>] [--metrics-out=<file>]
+//
+// Runs the library's front door (OptimizeQuery): exhaustive blitzsplit up
+// to --exhaustive-limit relations, the hybrid optimizer beyond, under the
+// optional resource budget. When a budget is armed and a tier exhausts it,
+// the optimizer degrades exhaustive -> hybrid -> greedy and the output
+// names the tier that served the query; --no-degrade surfaces the budget
+// error instead.
+//
+// Exit codes:
+//   0  success
+//   1  optimizer or execution error
+//   2  usage error
+//   3  query parse/validation error
+//   4  resource budget exhausted (deadline, memory cap, or cancellation)
 //
 // --trace-out writes a Chrome trace-viewer JSON (open in chrome://tracing
 // or https://ui.perfetto.dev) spanning the optimize->plan->execute
@@ -20,26 +36,49 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <vector>
 
-#include "core/optimizer.h"
+#include "api/optimize_query.h"
+#include "common/strings.h"
 #include "exec/datagen.h"
 #include "exec/executor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "plan/algorithm_choice.h"
 #include "plan/explain.h"
 #include "plan/plan.h"
 #include "textio/bjq.h"
 
 namespace {
 
+// Exit codes; parse, optimizer, and budget failures are distinguishable so
+// scripts can react (e.g. re-queue a budget-exhausted query off-peak).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitBudget = 4;
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: blitzopt <query.bjq> [--execute] [--counts] "
-               "[--tree] [--explain] [--trace-out=<file>] "
-               "[--metrics-out=<file>]\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: blitzopt <query.bjq> [--execute] [--counts] [--tree] "
+      "[--explain] [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>] "
+      "[--no-degrade] [--exhaustive-limit=<n>] [--trace-out=<file>] "
+      "[--metrics-out=<file>]\n");
+  return kExitUsage;
+}
+
+bool IsBudgetExhaustion(const blitz::Status& status) {
+  switch (status.code()) {
+    case blitz::StatusCode::kResourceExhausted:
+    case blitz::StatusCode::kDeadlineExceeded:
+    case blitz::StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
 }
 
 /// Installs/uninstalls the global trace recorder and metrics registry for
@@ -99,21 +138,52 @@ int main(int argc, char** argv) {
   bool counts = false;
   bool tree = false;
   bool explain = false;
+  bool show_report = false;
+  bool degrade = true;
+  double deadline_ms = 0;
+  double max_table_mb = 0;
+  int exhaustive_limit = 16;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--execute") == 0) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&](std::string_view prefix) -> std::string_view {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--execute") {
       execute = true;
-    } else if (std::strcmp(argv[i], "--counts") == 0) {
+    } else if (arg == "--counts") {
       counts = true;
-    } else if (std::strcmp(argv[i], "--tree") == 0) {
+    } else if (arg == "--tree") {
       tree = true;
-    } else if (std::strcmp(argv[i], "--explain") == 0) {
+    } else if (arg == "--explain") {
       explain = true;
-    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
-      trace_out = argv[i] + 12;
-    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      metrics_out = argv[i] + 14;
+    } else if (arg == "--report") {
+      show_report = true;
+    } else if (arg == "--no-degrade") {
+      degrade = false;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseDouble(value_of("--deadline-ms="), &deadline_ms) ||
+          !(deadline_ms > 0)) {
+        std::fprintf(stderr, "error: bad --deadline-ms value\n");
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--max-table-mb=", 0) == 0) {
+      if (!ParseDouble(value_of("--max-table-mb="), &max_table_mb) ||
+          !(max_table_mb > 0)) {
+        std::fprintf(stderr, "error: bad --max-table-mb value\n");
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--exhaustive-limit=", 0) == 0) {
+      if (!ParseInt(value_of("--exhaustive-limit="), &exhaustive_limit) ||
+          exhaustive_limit < 1) {
+        std::fprintf(stderr, "error: bad --exhaustive-limit value\n");
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = value_of("--trace-out=");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = value_of("--metrics-out=");
     } else if (path.empty()) {
-      path = argv[i];
+      path = arg;
     } else {
       return Usage();
     }
@@ -122,68 +192,74 @@ int main(int argc, char** argv) {
   if ((!trace_out.empty() && trace_out == metrics_out)) {
     std::fprintf(stderr,
                  "error: --trace-out and --metrics-out must differ\n");
-    return 2;
+    return kExitUsage;
   }
   ObsSession obs(trace_out, metrics_out);
 
   Result<QuerySpec> spec = LoadBjqFile(path);
   if (!spec.ok()) {
     std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
-    return 1;
+    return kExitParse;
   }
   std::printf("%d relations, %d predicates, cost model %s\n",
               spec->catalog.num_relations(), spec->graph.num_predicates(),
               CostModelKindToString(spec->cost_model));
 
-  OptimizerOptions options;
+  QueryOptimizerOptions options;
   options.cost_model = spec->cost_model;
+  options.exhaustive_limit = exhaustive_limit;
+  options.initial_cost_threshold = spec->threshold;
+  options.collect_report = true;
   options.count_operations = counts;
-
-  Result<OptimizeOutcome> outcome = Status::Internal("unset");
-  int passes = 1;
-  if (spec->threshold.has_value()) {
-    ThresholdLadderOptions ladder;
-    ladder.initial_threshold = *spec->threshold;
-    Result<LadderOutcome> laddered = OptimizeJoinWithThresholds(
-        spec->catalog, spec->graph, options, ladder);
-    if (!laddered.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   laddered.status().ToString().c_str());
-      return 1;
-    }
-    passes = laddered->passes;
-    outcome = std::move(laddered->outcome);
-  } else {
-    outcome = OptimizeJoin(spec->catalog, spec->graph, options);
-  }
-  if (!outcome.ok()) {
-    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
-    return 1;
+  options.degrade_on_budget = degrade;
+  if (deadline_ms > 0) options.budget.deadline_seconds = deadline_ms * 1e-3;
+  if (max_table_mb > 0) {
+    // A positive flag always arms the cap: tiny values must not truncate to
+    // 0 bytes, which ResourceBudget treats as "no cap".
+    options.budget.max_dp_table_bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(max_table_mb * 1024.0 * 1024.0));
   }
 
-  Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
-    return 1;
+  Result<OptimizedQuery> optimized =
+      OptimizeQuery(spec->catalog, spec->graph, options);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 optimized.status().ToString().c_str());
+    return IsBudgetExhaustion(optimized.status()) ? kExitBudget : kExitError;
   }
-  ChooseAlgorithms(&plan.value(), spec->catalog, spec->graph,
-                   spec->cost_model);
 
-  std::printf("plan: %s\n", plan->ToString(&spec->catalog).c_str());
-  if (tree) std::printf("%s", plan->ToTreeString(&spec->catalog).c_str());
+  std::printf("plan: %s\n", optimized->plan.ToString(&spec->catalog).c_str());
+  if (tree) {
+    std::printf("%s", optimized->plan.ToTreeString(&spec->catalog).c_str());
+  }
   if (explain) {
-    std::printf("%s", ExplainPlan(*plan, spec->catalog, spec->graph,
-                                  spec->cost_model)
+    std::printf("%s", ExplainPlan(optimized->plan, spec->catalog,
+                                  spec->graph, spec->cost_model)
                           .c_str());
   }
-  std::printf("cost: %g (%d optimizer pass%s)\n",
-              static_cast<double>(outcome->cost), passes,
-              passes == 1 ? "" : "es");
+  std::printf("cost: %g (%d optimizer pass%s, tier %s%s)\n", optimized->cost,
+              optimized->passes, optimized->passes == 1 ? "" : "es",
+              OptimizerTierName(optimized->tier),
+              optimized->exact ? ", exact" : "");
+  if (optimized->report.has_value() &&
+      !optimized->report->degradations.empty()) {
+    for (const std::string& step : optimized->report->degradations) {
+      std::printf("degraded: %s\n", step.c_str());
+    }
+  }
+  std::vector<double> base_cards(spec->catalog.num_relations());
+  for (int i = 0; i < spec->catalog.num_relations(); ++i) {
+    base_cards[i] = spec->catalog.cardinality(i);
+  }
   std::printf("estimated result cardinality: %g\n",
-              outcome->table.card(spec->catalog.AllRelations()));
-  if (counts) {
+              spec->graph.JoinCardinality(spec->catalog.AllRelations(),
+                                          base_cards));
+  if (counts && optimized->report.has_value()) {
     std::printf("operation counts: %s\n",
-                outcome->counters.ToString().c_str());
+                optimized->report->counters.ToString().c_str());
+  }
+  if (show_report && optimized->report.has_value()) {
+    std::printf("report: %s\n", optimized->report->ToString().c_str());
   }
 
   if (execute) {
@@ -192,36 +268,37 @@ int main(int argc, char** argv) {
     constexpr double kMaxRows = 5e6;
     double biggest = 0;
     std::function<void(const PlanNode&)> scan = [&](const PlanNode& node) {
-      biggest = std::max(biggest, outcome->table.card(node.set));
+      biggest = std::max(biggest,
+                         spec->graph.JoinCardinality(node.set, base_cards));
       if (!node.is_leaf()) {
         scan(*node.left);
         scan(*node.right);
       }
     };
-    scan(plan->root());
+    scan(optimized->plan.root());
     if (biggest > kMaxRows) {
       std::printf(
           "skipping --execute: an intermediate result is estimated at %g "
           "rows (limit %g)\n",
           biggest, kMaxRows);
-      return 0;
+      return kExitOk;
     }
     Result<std::vector<ExecTable>> tables =
         GenerateTables(spec->catalog, spec->graph, DataGenOptions{});
     if (!tables.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    tables.status().ToString().c_str());
-      return 1;
+      return kExitError;
     }
     Result<ExecutionResult> result =
-        ExecutePlan(*plan, *tables, spec->graph);
+        ExecutePlan(optimized->plan, *tables, spec->graph);
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    result.status().ToString().c_str());
-      return 1;
+      return kExitError;
     }
     std::printf("executed on synthetic data: %llu result rows\n",
                 static_cast<unsigned long long>(result->result.num_rows()));
   }
-  return 0;
+  return kExitOk;
 }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "baseline/greedy.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -30,16 +31,40 @@ class PhaseTimer {
   MetricTimer timer_;
 };
 
+/// True for the status codes that step the degradation ladder down one
+/// tier. Cancellation is deliberately excluded: a caller that cancelled
+/// wants the call to stop, not to burn more time in a cheaper tier.
+bool IsDegradable(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
 }  // namespace
+
+const char* OptimizerTierName(OptimizerTier tier) {
+  switch (tier) {
+    case OptimizerTier::kExhaustive:
+      return "exhaustive";
+    case OptimizerTier::kHybrid:
+      return "hybrid";
+    case OptimizerTier::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
 
 std::string OptimizeReport::ToString() const {
   std::string out = StrFormat(
       "total %.3f ms (optimize %.3f, extract %.3f, evaluate %.3f, "
-      "attach %.3f); path %s; peak DP table %llu bytes",
+      "attach %.3f); tier %s; peak DP table %llu bytes",
       total_seconds * 1e3, optimize_seconds * 1e3, extract_seconds * 1e3,
-      evaluate_seconds * 1e3, attach_seconds * 1e3,
-      used_hybrid ? "hybrid" : "exhaustive",
+      evaluate_seconds * 1e3, attach_seconds * 1e3, OptimizerTierName(tier),
       static_cast<unsigned long long>(peak_dp_table_bytes));
+  if (tiers_attempted > 1) {
+    out += StrFormat(" (%d tier attempts", tiers_attempted);
+    for (const std::string& step : degradations) out += "; " + step;
+    out += ")";
+  }
   if (!thresholds_tried.empty()) {
     out += "; thresholds";
     for (const float threshold : thresholds_tried) {
@@ -68,19 +93,35 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
 
   OptimizedQuery result;
   OptimizeReport report;
+
+  // The degradation ladder: the natural tier for this problem size first,
+  // then each cheaper tier. Budget exhaustion (deadline, memory cap) steps
+  // down; cancellation and genuine errors return immediately. Each tier
+  // attempt is governed by a fresh copy of the budget — the ladder is what
+  // bounds the total, and the last-resort greedy tier is polynomial.
+  std::vector<OptimizerTier> ladder;
   if (catalog.num_relations() <= options.exhaustive_limit) {
+    ladder.push_back(OptimizerTier::kExhaustive);
+  }
+  ladder.push_back(OptimizerTier::kHybrid);
+  ladder.push_back(OptimizerTier::kGreedy);
+  if (!options.degrade_on_budget) ladder.resize(1);
+
+  const auto run_exhaustive = [&]() -> Status {
     OptimizerOptions dp_options;
     dp_options.cost_model = options.cost_model;
     dp_options.count_operations =
         options.collect_report && options.count_operations;
+    dp_options.budget = options.budget;
     Result<OptimizeOutcome> outcome = Status::Internal("unset");
     {
       PhaseTimer phase(options.collect_report, &report.optimize_seconds);
       if (options.initial_cost_threshold.has_value()) {
-        ThresholdLadderOptions ladder;
-        ladder.initial_threshold = *options.initial_cost_threshold;
+        ThresholdLadderOptions thresholds;
+        thresholds.initial_threshold = *options.initial_cost_threshold;
         Result<LadderOutcome> laddered =
-            OptimizeJoinWithThresholds(catalog, graph, dp_options, ladder);
+            OptimizeJoinWithThresholds(catalog, graph, dp_options,
+                                       thresholds);
         if (!laddered.ok()) return laddered.status();
         result.passes = laddered->passes;
         report.thresholds_tried = std::move(laddered->thresholds_tried);
@@ -98,16 +139,63 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     if (!plan.ok()) return plan.status();
     result.plan = std::move(plan).value();
     result.exact = true;
-  } else {
+    return Status::OK();
+  };
+
+  const auto run_hybrid = [&]() -> Status {
     PhaseTimer phase(options.collect_report, &report.optimize_seconds);
     HybridOptions hybrid = options.hybrid;
     hybrid.cost_model = options.cost_model;
+    hybrid.budget = options.budget;
     Result<HybridResult> outcome = OptimizeHybrid(catalog, graph, hybrid);
     if (!outcome.ok()) return outcome.status();
     result.plan = std::move(outcome->plan);
     result.exact = false;
-    report.used_hybrid = true;
+    return Status::OK();
+  };
+
+  const auto run_greedy = [&]() -> Status {
+    PhaseTimer phase(options.collect_report, &report.optimize_seconds);
+    Result<GreedyResult> outcome =
+        OptimizeGreedy(catalog, graph, options.cost_model,
+                       GreedyCriterion::kMinOutputCardinality);
+    if (!outcome.ok()) return outcome.status();
+    result.plan = std::move(outcome->plan);
+    result.exact = false;
+    return Status::OK();
+  };
+
+  for (size_t attempt = 0; attempt < ladder.size(); ++attempt) {
+    const OptimizerTier tier = ladder[attempt];
+    report.tiers_attempted = static_cast<int>(attempt) + 1;
+    Status tier_status;
+    switch (tier) {
+      case OptimizerTier::kExhaustive:
+        tier_status = run_exhaustive();
+        break;
+      case OptimizerTier::kHybrid:
+        tier_status = run_hybrid();
+        break;
+      case OptimizerTier::kGreedy:
+        tier_status = run_greedy();
+        break;
+    }
+    if (tier_status.ok()) {
+      result.tier = tier;
+      report.tier = tier;
+      break;
+    }
+    if (attempt + 1 == ladder.size() || !IsDegradable(tier_status)) {
+      return tier_status;
+    }
+    report.degradations.push_back(
+        StrFormat("%s: %s", OptimizerTierName(tier),
+                  tier_status.ToString().c_str()));
+    if (MetricsRegistry* metrics = GlobalMetrics()) {
+      metrics->AddCounter("api.degradations");
+    }
   }
+  report.used_hybrid = report.tier == OptimizerTier::kHybrid;
 
   {
     PhaseTimer phase(options.collect_report, &report.evaluate_seconds);
@@ -122,10 +210,22 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
 
   span.AddArg("cost", result.cost);
   span.AddArg("passes", result.passes);
+  span.AddArg("tier", static_cast<double>(result.tier));
   if (MetricsRegistry* metrics = GlobalMetrics()) {
     metrics->AddCounter("api.queries");
     metrics->AddCounter(result.exact ? "api.exhaustive_queries"
                                      : "api.hybrid_queries");
+    switch (result.tier) {
+      case OptimizerTier::kExhaustive:
+        metrics->AddCounter("api.tier_exhaustive");
+        break;
+      case OptimizerTier::kHybrid:
+        metrics->AddCounter("api.tier_hybrid");
+        break;
+      case OptimizerTier::kGreedy:
+        metrics->AddCounter("api.tier_greedy");
+        break;
+    }
     metrics->RecordLatency("api.query_seconds", total_timer.ElapsedSeconds());
   }
   if (options.collect_report) {

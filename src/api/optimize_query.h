@@ -16,6 +16,18 @@
 
 namespace blitz {
 
+/// Which optimizer tier produced a query's plan. Tiers are ordered from
+/// most to least thorough; the degradation ladder walks them downward when
+/// the resource budget runs out.
+enum class OptimizerTier {
+  kExhaustive = 0,  ///< Full blitzsplit DP (exact optimum).
+  kHybrid,          ///< Randomized block decomposition + per-block DP.
+  kGreedy,          ///< O(n^3) greedy operator ordering (last resort).
+};
+
+/// Short lowercase name ("exhaustive", "hybrid", "greedy").
+const char* OptimizerTierName(OptimizerTier tier);
+
 /// One-call configuration for the top-level entry point.
 struct QueryOptimizerOptions {
   CostModelKind cost_model = CostModelKind::kNaive;
@@ -43,6 +55,20 @@ struct QueryOptimizerOptions {
   /// (requires collect_report; adds the counting-policy overhead to the
   /// exhaustive path).
   bool count_operations = false;
+
+  /// Resource limits (inactive by default; see governor/budget.h). The
+  /// deadline and memory cap govern each tier attempt individually — the
+  /// ladder bounds the number of attempts and the last-resort greedy tier
+  /// is polynomial and ungoverned, so a governed call always terminates
+  /// promptly, with or without degradation.
+  ResourceBudget budget;
+
+  /// Graceful degradation: when a tier exhausts the budget (deadline or
+  /// memory cap), retry with the next cheaper tier (exhaustive -> hybrid ->
+  /// greedy) instead of failing. Cancellation never degrades — a cancelled
+  /// call returns kCancelled immediately. With degradation off the first
+  /// tier's budget error is returned as-is.
+  bool degrade_on_budget = true;
 };
 
 /// Per-query observability report (attached when collect_report is set).
@@ -67,8 +93,19 @@ struct OptimizeReport {
   /// tables per block inside OptimizeJoin).
   std::uint64_t peak_dp_table_bytes = 0;
 
-  /// True when the hybrid fallback optimized this query.
+  /// True when the hybrid tier optimized this query (legacy alias of
+  /// tier == OptimizerTier::kHybrid).
   bool used_hybrid = false;
+
+  /// The tier that produced the plan.
+  OptimizerTier tier = OptimizerTier::kExhaustive;
+
+  /// Tier attempts consumed (1 = no degradation).
+  int tiers_attempted = 1;
+
+  /// One human-readable entry per degradation step: the abandoned tier and
+  /// the budget error that forced the step down.
+  std::vector<std::string> degradations;
 
   std::string ToString() const;
 };
@@ -85,6 +122,9 @@ struct OptimizedQuery {
   /// True if the plan is a guaranteed optimum (exhaustive path).
   bool exact = false;
 
+  /// The tier that produced the plan (always set, report or not).
+  OptimizerTier tier = OptimizerTier::kExhaustive;
+
   /// Optimizer passes (> 1 only when a threshold ladder re-optimized).
   int passes = 1;
 
@@ -94,8 +134,12 @@ struct OptimizedQuery {
 
 /// The library's front door: optimizes the join of all catalog relations
 /// under `graph`, choosing exhaustive blitzsplit or the hybrid fallback by
-/// problem size, applying the optional threshold ladder, and attaching
-/// physical algorithms. This is the call a downstream system embeds.
+/// problem size, applying the optional threshold ladder, enforcing the
+/// resource budget (degrading exhaustive -> hybrid -> greedy on exhaustion
+/// rather than failing), and attaching physical algorithms. This is the
+/// call a downstream system embeds: under an armed budget it never hangs
+/// and, with degradation on, always returns *some* plan — OptimizedQuery
+/// and OptimizeReport name the tier that produced it.
 Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
                                      const JoinGraph& graph,
                                      const QueryOptimizerOptions& options);

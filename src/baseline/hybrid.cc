@@ -11,6 +11,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/optimizer.h"
+#include "governor/faultpoints.h"
+#include "governor/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/evaluate.h"
@@ -92,6 +94,15 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   if (options.restarts < 1) {
     return Status::InvalidArgument("need at least one restart");
   }
+  // Fault point: fail the whole hybrid tier deterministically so the
+  // degradation ladder's hybrid -> greedy step is testable.
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultHybridRun)) {
+    if (fault->kind == FaultKind::kFailStatus) return fault->status;
+  }
+  // One shared clock for every restart, block solve, and polish loop.
+  const ResourceBudget budget = options.budget.Resolved();
+  GovernorState governor(budget);
+  if (governor.active() && governor.CheckNow()) return governor.status();
 
   const MetricTimer timer;
   TraceSpan span("OptimizeHybrid");
@@ -104,6 +115,7 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   Rng rng(options.seed);
   HybridResult best;
   best.cost = std::numeric_limits<double>::infinity();
+  bool budget_exhausted = false;
 
   auto polish = [&](Plan* plan, double* cost) {
     if (!options.polish || n < 3) return;
@@ -135,6 +147,12 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   }
 
   for (int restart = 0; restart < options.restarts; ++restart) {
+    // If the budget ran out, return what the finished restarts found (a
+    // valid plan beats an error) — fail only when nothing completed yet.
+    if (governor.active() && governor.CheckNow()) {
+      if (best.cost < std::numeric_limits<double>::infinity()) break;
+      return governor.status();
+    }
     TraceSpan restart_span("hybrid_restart");
     restart_span.AddArg("restart", restart);
     std::vector<Unit> units;
@@ -171,12 +189,27 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
         }
       }
 
-      // Exact bushy-with-products solve of the block.
+      // Exact bushy-with-products solve of the block, governed by the
+      // run-wide budget (absolute deadline, per-table memory cap).
       OptimizerOptions dp_options;
       dp_options.cost_model = options.cost_model;
+      dp_options.budget = budget;
       Result<OptimizeOutcome> outcome =
           OptimizeJoin(*block_catalog, block_graph, dp_options);
-      if (!outcome.ok()) return outcome.status();
+      if (!outcome.ok()) {
+        // A budget abort mid-restart falls back to the best finished
+        // restart if there is one; anything else propagates.
+        const StatusCode code = outcome.status().code();
+        const bool budget_abort = code == StatusCode::kDeadlineExceeded ||
+                                  code == StatusCode::kCancelled ||
+                                  code == StatusCode::kResourceExhausted;
+        if (budget_abort &&
+            best.cost < std::numeric_limits<double>::infinity()) {
+          budget_exhausted = true;
+          break;
+        }
+        return outcome.status();
+      }
       ++best.dp_invocations;
       Result<Plan> block_plan = Plan::ExtractFromTable(outcome->table);
       if (!block_plan.ok()) return block_plan.status();
@@ -196,6 +229,8 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
       }
       units.push_back(std::move(fused));
     }
+
+    if (budget_exhausted) break;
 
     Plan plan = std::move(units[0].plan);
     double cost = EvaluateCost(plan, catalog, graph, options.cost_model);

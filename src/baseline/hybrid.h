@@ -6,6 +6,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "governor/budget.h"
 #include "plan/plan.h"
 #include "query/join_graph.h"
 
@@ -33,6 +34,14 @@ struct HybridOptions {
   /// restarts) as one more candidate, so the hybrid never loses to the
   /// plain greedy heuristic.
   bool seed_with_greedy = true;
+
+  /// Resource limits for the whole hybrid run (inactive by default). The
+  /// deadline is resolved once at entry and shared by every restart, block
+  /// solve, and polish loop; the memory cap governs each block's DP table.
+  /// On exhaustion the call returns DeadlineExceeded / ResourceExhausted /
+  /// Cancelled — it does not fall back itself (OptimizeQuery's degradation
+  /// ladder owns that policy).
+  ResourceBudget budget;
 };
 
 /// Result of a hybrid optimization.

@@ -9,6 +9,7 @@
 #include "core/dp_table.h"
 #include "core/instrumentation.h"
 #include "core/relset.h"
+#include "governor/governor.h"
 #include "query/join_graph.h"
 
 namespace blitz {
@@ -41,6 +42,16 @@ namespace blitz {
 /// same code path (overflowed costs compare >= +infinity... they *are*
 /// +infinity).
 ///
+/// `governor` (nullable) is the resource governor's cooperative-cancellation
+/// hook: when non-null, the outer subset loop calls GovernorState::Tick()
+/// once per visited subset — a counter decrement that performs the real
+/// deadline/cancellation check only every kCheckStride subsets, keeping the
+/// O(3^n) inner loop at paper speed — and returns kRejectedCost as soon as
+/// the governor aborts. The caller distinguishes a governed abort from a
+/// genuine all-plans-rejected outcome via governor->aborted(); an aborted
+/// table is partially filled but safe to reuse for a fresh in-place pass,
+/// which rewrites every row in the same integer order.
+///
 /// Requirements: base_cards.size() == n in [1, kMaxRelations]; graph non-null
 /// iff kWithPredicates; the table must have been created with matching
 /// columns (pi_fan iff kWithPredicates, aux iff CostModel::kNeedsAux).
@@ -49,7 +60,8 @@ template <typename CostModel, bool kWithPredicates, bool kNestedIfs = true,
 float RunBlitzSplit(const CostModel& model,
                     const std::vector<double>& base_cards,
                     const JoinGraph* graph, float cost_threshold,
-                    DpTable* table, Instr* instr) {
+                    DpTable* table, Instr* instr,
+                    GovernorState* governor = nullptr) {
   static_assert(kWithPredicates || true);
   const int n = static_cast<int>(base_cards.size());
   BLITZ_CHECK(n >= 1 && n <= kMaxRelations);
@@ -84,6 +96,7 @@ float RunBlitzSplit(const CostModel& model,
   // Integer order guarantees all subsets of S are filled in before S.
   for (std::uint64_t s = 3; s <= full; ++s) {
     if ((s & (s - 1)) == 0) continue;  // singleton — already initialized
+    if (governor != nullptr && governor->Tick()) return kRejectedCost;
     instr->OnSubsetVisited();
 
     // --- compute_properties(S) ---------------------------------------

@@ -3,6 +3,7 @@
 #include <new>
 
 #include "common/strings.h"
+#include "governor/faultpoints.h"
 
 namespace blitz {
 
@@ -10,6 +11,16 @@ Result<DpTable> DpTable::Create(int n, bool with_pi_fan, bool with_aux) {
   if (n < 1 || n > kMaxRelations) {
     return Status::InvalidArgument(
         StrFormat("relation count %d outside [1, %d]", n, kMaxRelations));
+  }
+  // Fault point: simulate allocation failure (kBadAlloc) or inject an
+  // arbitrary status, so out-of-memory handling is testable without
+  // actually exhausting memory.
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultDpTableAlloc)) {
+    if (fault->kind == FaultKind::kBadAlloc) {
+      return Status::ResourceExhausted(
+          StrFormat("injected allocation failure for DP table (n=%d)", n));
+    }
+    if (fault->kind == FaultKind::kFailStatus) return fault->status;
   }
   DpTable table;
   table.n_ = n;
@@ -26,6 +37,16 @@ Result<DpTable> DpTable::Create(int n, bool with_pi_fan, bool with_aux) {
                   static_cast<unsigned long long>(rows)));
   }
   return table;
+}
+
+std::uint64_t DpTable::EstimateBytes(int n, bool with_pi_fan, bool with_aux) {
+  if (n < 1 || n > kMaxRelations) return 0;
+  const std::uint64_t rows = std::uint64_t{1} << n;
+  std::uint64_t per_row =
+      sizeof(float) + sizeof(double) + sizeof(std::uint32_t);
+  if (with_pi_fan) per_row += sizeof(double);
+  if (with_aux) per_row += sizeof(double);
+  return rows * per_row;
 }
 
 std::uint64_t DpTable::MemoryBytes() const {

@@ -33,6 +33,11 @@ class DpTable {
   /// memo column (e.g. x(1+log x) for the sort-merge model).
   static Result<DpTable> Create(int n, bool with_pi_fan, bool with_aux);
 
+  /// Exact byte footprint a Create(n, with_pi_fan, with_aux) table will
+  /// allocate, computable without allocating — the resource governor's
+  /// admission-control estimate. 0 for n outside [1, kMaxRelations].
+  static std::uint64_t EstimateBytes(int n, bool with_pi_fan, bool with_aux);
+
   /// An empty (zero-relation) table; useful only as a placeholder to be
   /// move-assigned into.
   DpTable() = default;

@@ -4,12 +4,36 @@
 
 #include "common/strings.h"
 #include "core/blitzsplit.h"
+#include "governor/faultpoints.h"
+#include "governor/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace blitz {
 
 namespace {
+
+/// Tallies a governor abort into the metrics registry and returns the
+/// abort status for propagation.
+Status RecordGovernorAbort(Status status) {
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    switch (status.code()) {
+      case StatusCode::kDeadlineExceeded:
+        metrics->AddCounter("governor.deadline_exceeded");
+        break;
+      case StatusCode::kCancelled:
+        metrics->AddCounter("governor.cancelled");
+        break;
+      case StatusCode::kResourceExhausted:
+        metrics->AddCounter("governor.admission_rejected");
+        break;
+      default:
+        metrics->AddCounter("governor.aborts");
+        break;
+    }
+  }
+  return status;
+}
 
 /// Folds one pass's operation counters into the global metrics registry
 /// (no-op unless a registry is installed and counting was requested).
@@ -38,7 +62,8 @@ std::vector<double> BaseCards(const Catalog& catalog) {
 template <bool kWithPredicates>
 float Dispatch(const OptimizerOptions& options,
                const std::vector<double>& base_cards, const JoinGraph* graph,
-               DpTable* table, CountingInstrumentation* counters) {
+               DpTable* table, CountingInstrumentation* counters,
+               GovernorState* governor) {
   return DispatchCostModel(options.cost_model, [&](auto model) -> float {
     using Model = decltype(model);
     if (options.count_operations) {
@@ -46,10 +71,12 @@ float Dispatch(const OptimizerOptions& options,
       float cost;
       if (options.nested_ifs) {
         cost = RunBlitzSplit<Model, kWithPredicates, true>(
-            model, base_cards, graph, options.cost_threshold, table, &instr);
+            model, base_cards, graph, options.cost_threshold, table, &instr,
+            governor);
       } else {
         cost = RunBlitzSplit<Model, kWithPredicates, false>(
-            model, base_cards, graph, options.cost_threshold, table, &instr);
+            model, base_cards, graph, options.cost_threshold, table, &instr,
+            governor);
       }
       if (counters != nullptr) *counters += instr;
       return cost;
@@ -57,11 +84,29 @@ float Dispatch(const OptimizerOptions& options,
     NoInstrumentation no_instr;
     if (options.nested_ifs) {
       return RunBlitzSplit<Model, kWithPredicates, true>(
-          model, base_cards, graph, options.cost_threshold, table, &no_instr);
+          model, base_cards, graph, options.cost_threshold, table, &no_instr,
+          governor);
     }
     return RunBlitzSplit<Model, kWithPredicates, false>(
-        model, base_cards, graph, options.cost_threshold, table, &no_instr);
+        model, base_cards, graph, options.cost_threshold, table, &no_instr,
+        governor);
   });
+}
+
+/// Shared entry gate for the three governed entry points: fault injection
+/// (kFaultOptimizePass, kFailStatus only), then an immediate governor check
+/// so an already-expired deadline or pre-cancelled token fails fast even
+/// for problems too small to reach an amortized in-loop check.
+Status AdmitPass(GovernorState* governor) {
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultOptimizePass)) {
+    if (fault->kind == FaultKind::kFailStatus) {
+      return RecordGovernorAbort(fault->status);
+    }
+  }
+  if (governor->active() && governor->CheckNow()) {
+    return RecordGovernorAbort(governor->status());
+  }
+  return Status::OK();
 }
 
 bool ModelNeedsAux(CostModelKind kind) {
@@ -84,13 +129,22 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
   TraceSpan span("OptimizeJoin");
   span.AddArg("n", catalog.num_relations());
   span.AddArg("threshold", options.cost_threshold);
-  Result<DpTable> table =
-      DpTable::Create(catalog.num_relations(), /*with_pi_fan=*/true,
-                      ModelNeedsAux(options.cost_model));
+  GovernorState governor(options.budget);
+  BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
+  const bool needs_aux = ModelNeedsAux(options.cost_model);
+  if (governor.active()) {
+    Status admitted = governor.AdmitAllocation(DpTable::EstimateBytes(
+        catalog.num_relations(), /*with_pi_fan=*/true, needs_aux));
+    if (!admitted.ok()) return RecordGovernorAbort(std::move(admitted));
+  }
+  Result<DpTable> table = DpTable::Create(catalog.num_relations(),
+                                          /*with_pi_fan=*/true, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<true>(options, BaseCards(catalog), &graph,
-                                &outcome.table, &outcome.counters);
+                                &outcome.table, &outcome.counters,
+                                governor.active() ? &governor : nullptr);
+  if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", outcome.cost);
   if (MetricsRegistry* metrics = GlobalMetrics()) {
     metrics->AddCounter("optimizer.join_calls");
@@ -107,13 +161,22 @@ Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
   const MetricTimer timer;
   TraceSpan span("OptimizeCartesian");
   span.AddArg("n", catalog.num_relations());
-  Result<DpTable> table =
-      DpTable::Create(catalog.num_relations(), /*with_pi_fan=*/false,
-                      ModelNeedsAux(options.cost_model));
+  GovernorState governor(options.budget);
+  BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
+  const bool needs_aux = ModelNeedsAux(options.cost_model);
+  if (governor.active()) {
+    Status admitted = governor.AdmitAllocation(DpTable::EstimateBytes(
+        catalog.num_relations(), /*with_pi_fan=*/false, needs_aux));
+    if (!admitted.ok()) return RecordGovernorAbort(std::move(admitted));
+  }
+  Result<DpTable> table = DpTable::Create(catalog.num_relations(),
+                                          /*with_pi_fan=*/false, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<false>(options, BaseCards(catalog), nullptr,
-                                 &outcome.table, &outcome.counters);
+                                 &outcome.table, &outcome.counters,
+                                 governor.active() ? &governor : nullptr);
+  if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", outcome.cost);
   if (MetricsRegistry* metrics = GlobalMetrics()) {
     metrics->AddCounter("optimizer.cartesian_calls");
@@ -144,10 +207,16 @@ Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
   TraceSpan span("ReoptimizeJoinInPlace");
   span.AddArg("n", catalog.num_relations());
   span.AddArg("threshold", options.cost_threshold);
+  GovernorState governor(options.budget);
+  BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
   // `counters` accumulates across calls; fold only this pass's delta.
   CountingInstrumentation pass_counters;
   const float cost = Dispatch<true>(options, BaseCards(catalog), &graph,
-                                    table, &pass_counters);
+                                    table, &pass_counters,
+                                    governor.active() ? &governor : nullptr);
+  // A governed abort leaves the table partially overwritten, which is safe:
+  // the next in-place pass rewrites every row in the same integer order.
+  if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", cost);
   if (counters != nullptr) *counters += pass_counters;
   if (MetricsRegistry* metrics = GlobalMetrics()) {
@@ -171,6 +240,9 @@ Result<LadderOutcome> OptimizeJoinWithThresholds(
   LadderOutcome result;
   OptimizerOptions pass_options = options;
   pass_options.cost_threshold = ladder.initial_threshold;
+  // Pin the deadline to an absolute time point so every ladder pass shares
+  // one clock — a re-optimization must not grant itself a fresh allowance.
+  pass_options.budget = options.budget.Resolved();
   const auto finish = [&](LadderOutcome finished) {
     ladder_span.AddArg("passes", finished.passes);
     if (MetricsRegistry* metrics = GlobalMetrics()) {

@@ -8,6 +8,7 @@
 #include "core/dp_table.h"
 #include "core/instrumentation.h"
 #include "cost/cost_model.h"
+#include "governor/budget.h"
 #include "query/join_graph.h"
 
 namespace blitz {
@@ -29,6 +30,13 @@ struct OptimizerOptions {
   /// much or more are rejected. +infinity disables thresholding (leaving
   /// only genuine float overflow, Section 6.3).
   float cost_threshold = kRejectedCost;
+
+  /// Resource limits for this pass (inactive by default). An armed memory
+  /// cap is enforced by admission control before the 2^n DP table is
+  /// allocated (ResourceExhausted); an armed deadline or cancellation token
+  /// is checked cooperatively every GovernorState::kCheckStride subsets
+  /// (DeadlineExceeded / Cancelled).
+  ResourceBudget budget;
 };
 
 /// The result of one optimizer pass: the filled DP table (from which plans

@@ -1,0 +1,91 @@
+#ifndef BLITZ_GOVERNOR_BUDGET_H_
+#define BLITZ_GOVERNOR_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace blitz {
+
+/// Cooperative cancellation flag. A caller keeps the token alive for the
+/// duration of the optimize call and may flip it from any thread; governed
+/// loops observe the flip at their next amortized check and unwind with
+/// StatusCode::kCancelled. Relaxed ordering suffices: the flag carries no
+/// payload, only the request to stop.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Re-arms the token for reuse across calls (tests, retry loops).
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resource limits for one governed optimizer call. Default-constructed
+/// budgets are inactive — nothing is checked and the optimizer runs at full
+/// paper speed. Each armed limit is enforced independently:
+///
+///   - deadline_seconds: wall-clock allowance for the call, checked
+///     cooperatively every GovernorState::kCheckStride subsets; exceeding it
+///     yields StatusCode::kDeadlineExceeded.
+///   - max_dp_table_bytes: admission control — the 2^n DP table's footprint
+///     is estimated *before* allocation and a table over the cap yields
+///     StatusCode::kResourceExhausted without allocating anything.
+///   - cancellation: external stop request, observed at the same amortized
+///     checkpoints; yields StatusCode::kCancelled.
+///
+/// The deadline is relative to the start of the governed call. Multi-pass
+/// drivers (the threshold ladder, the hybrid block loop) resolve it once at
+/// entry into `absolute_deadline` so their inner passes share one clock
+/// rather than each receiving a fresh allowance.
+struct ResourceBudget {
+  /// Wall-clock allowance in seconds; +infinity disables the deadline.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+
+  /// Absolute deadline on the steady clock; when set it takes precedence
+  /// over deadline_seconds. Set by multi-pass drivers, not by end users.
+  std::optional<std::chrono::steady_clock::time_point> absolute_deadline;
+
+  /// DP-table byte cap for admission control; 0 disables.
+  std::uint64_t max_dp_table_bytes = 0;
+
+  /// Optional external cancellation; not owned, may be null.
+  const CancellationToken* cancellation = nullptr;
+
+  bool has_deadline() const {
+    return absolute_deadline.has_value() ||
+           deadline_seconds < std::numeric_limits<double>::infinity();
+  }
+
+  bool has_memory_cap() const { return max_dp_table_bytes > 0; }
+
+  /// True if any limit is armed; inactive budgets skip governor setup
+  /// entirely.
+  bool active() const {
+    return has_deadline() || has_memory_cap() || cancellation != nullptr;
+  }
+
+  /// A copy of this budget whose deadline is pinned to an absolute time
+  /// point (now + deadline_seconds, unless already absolute). Pass the
+  /// resolved budget to sub-calls so they share the caller's clock.
+  ResourceBudget Resolved() const {
+    ResourceBudget resolved = *this;
+    if (!resolved.absolute_deadline.has_value() && has_deadline()) {
+      resolved.absolute_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadline_seconds));
+    }
+    return resolved;
+  }
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_GOVERNOR_BUDGET_H_

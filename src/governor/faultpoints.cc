@@ -1,0 +1,66 @@
+#include "governor/faultpoints.h"
+
+namespace blitz {
+
+namespace {
+std::atomic<FaultRegistry*> g_fault_registry{nullptr};
+}  // namespace
+
+FaultRegistry* GlobalFaultRegistry() {
+  return g_fault_registry.load(std::memory_order_acquire);
+}
+
+void SetGlobalFaultRegistry(FaultRegistry* registry) {
+  g_fault_registry.store(registry, std::memory_order_release);
+}
+
+void FaultRegistry::Arm(std::string_view point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Armed armed;
+  armed.remaining_skips = spec.after;
+  armed.remaining_fires = spec.times;
+  armed.spec = std::move(spec);
+  armed_.insert_or_assign(std::string(point), std::move(armed));
+}
+
+void FaultRegistry::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(point);
+  if (it != armed_.end()) armed_.erase(it);
+}
+
+void FaultRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  hit_counts_.clear();
+}
+
+std::uint64_t FaultRegistry::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hit_counts_.find(point);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+std::optional<FaultSpec> FaultRegistry::Hit(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto count = hit_counts_.find(point);
+  if (count == hit_counts_.end()) {
+    hit_counts_.emplace(std::string(point), 1);
+  } else {
+    ++count->second;
+  }
+  auto it = armed_.find(point);
+  if (it == armed_.end()) return std::nullopt;
+  Armed& armed = it->second;
+  if (armed.remaining_skips > 0) {
+    --armed.remaining_skips;
+    return std::nullopt;
+  }
+  if (armed.remaining_fires == 0) return std::nullopt;
+  if (armed.remaining_fires > 0) --armed.remaining_fires;
+  FaultSpec fired = armed.spec;
+  if (armed.remaining_fires == 0) armed_.erase(it);
+  return fired;
+}
+
+}  // namespace blitz

@@ -1,0 +1,146 @@
+#ifndef BLITZ_GOVERNOR_FAULTPOINTS_H_
+#define BLITZ_GOVERNOR_FAULTPOINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace blitz {
+
+/// Deterministic fault injection for the resource governor's failure paths.
+///
+/// Library code is sprinkled with *named fault points* (see the kFault*
+/// constants below). A test arms a point on a FaultRegistry, installs the
+/// registry globally, and the next time execution reaches the point the
+/// armed fault fires: a simulated allocation failure, a clock skip that
+/// forces a deadline, a spurious cancellation, or an arbitrary error Status.
+/// This makes every degradation path exercisable without real memory
+/// pressure, real multi-second stalls, or racy cancel threads.
+///
+/// Cost model (mirrors NoInstrumentation / the global metrics hook):
+///   - Compiled out (-DBLITZ_FAULT_INJECTION=OFF): every hook collapses to a
+///     `return std::nullopt` constant — zero code, zero branches.
+///   - Compiled in, no registry installed (production default): one relaxed
+///     atomic load and a predicted-not-taken branch per fault point. Fault
+///     points live on cold paths (allocation, amortized governor checks),
+///     never in the per-split inner loop.
+///
+/// The registry itself always compiles so tests can link against it and
+/// skip themselves when the hooks are compiled out (kFaultInjectionCompiled).
+
+/// What an armed fault does when it fires.
+enum class FaultKind {
+  kFailStatus,  ///< The point reports the armed error Status.
+  kBadAlloc,    ///< The point behaves as if allocation had failed.
+  kClockSkew,   ///< The governor's clock jumps forward by skew_seconds.
+  kCancel,      ///< The governor behaves as if the token had been cancelled.
+};
+
+/// One armed fault: what to inject and when.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kFailStatus;
+
+  /// Payload for kFailStatus.
+  Status status = Status::Internal("injected fault");
+
+  /// Payload for kClockSkew, in seconds.
+  double skew_seconds = 0;
+
+  /// Number of hits to let pass unharmed before the fault fires (0 fires on
+  /// the first hit) — e.g. after=1 on kFaultOptimizePass fails the *second*
+  /// ladder pass.
+  int after = 0;
+
+  /// Number of firings before the point disarms itself; -1 = every hit.
+  int times = 1;
+};
+
+/// Thread-safe collection of armed fault points, keyed by point name.
+class FaultRegistry {
+ public:
+  /// Arms (or re-arms) the named point.
+  void Arm(std::string_view point, FaultSpec spec);
+
+  /// Disarms the named point; hit counts are retained.
+  void Disarm(std::string_view point);
+
+  /// Disarms everything and zeroes all hit counters.
+  void Clear();
+
+  /// Total times the named point was reached (fired or not) since the last
+  /// Clear. Useful for asserting that a governed path was actually taken.
+  std::uint64_t hits(std::string_view point) const;
+
+  /// Called by instrumented code: records the hit and returns the armed
+  /// spec if the fault fires on this hit.
+  std::optional<FaultSpec> Hit(std::string_view point);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    int remaining_skips = 0;
+    int remaining_fires = 0;  ///< -1 = unlimited.
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed, std::less<>> armed_;
+  std::map<std::string, std::uint64_t, std::less<>> hit_counts_;
+};
+
+/// Process-global registry hook, GlobalMetrics-style: not owned; install
+/// nullptr before destroying the registry.
+FaultRegistry* GlobalFaultRegistry();
+void SetGlobalFaultRegistry(FaultRegistry* registry);
+
+/// RAII installer for tests: installs on construction, uninstalls (and
+/// clears the registry) on destruction.
+class ScopedFaultRegistry {
+ public:
+  explicit ScopedFaultRegistry(FaultRegistry* registry) {
+    SetGlobalFaultRegistry(registry);
+  }
+  ~ScopedFaultRegistry() {
+    if (FaultRegistry* r = GlobalFaultRegistry()) r->Clear();
+    SetGlobalFaultRegistry(nullptr);
+  }
+  ScopedFaultRegistry(const ScopedFaultRegistry&) = delete;
+  ScopedFaultRegistry& operator=(const ScopedFaultRegistry&) = delete;
+};
+
+// Named fault points. Sites document the FaultKinds they honor.
+inline constexpr std::string_view kFaultDpTableAlloc = "dp_table.alloc";
+inline constexpr std::string_view kFaultGovernorCheck = "governor.check";
+inline constexpr std::string_view kFaultOptimizePass = "optimizer.pass";
+inline constexpr std::string_view kFaultHybridRun = "hybrid.run";
+
+#ifdef BLITZ_FAULT_INJECTION
+
+inline constexpr bool kFaultInjectionCompiled = true;
+
+/// The hook instrumented code calls: nullopt unless a registry is installed
+/// and the named point fires on this hit.
+inline std::optional<FaultSpec> FaultHit(std::string_view point) {
+  FaultRegistry* registry = GlobalFaultRegistry();
+  if (registry == nullptr) return std::nullopt;
+  return registry->Hit(point);
+}
+
+#else  // !BLITZ_FAULT_INJECTION
+
+inline constexpr bool kFaultInjectionCompiled = false;
+
+inline std::optional<FaultSpec> FaultHit(std::string_view) {
+  return std::nullopt;
+}
+
+#endif  // BLITZ_FAULT_INJECTION
+
+}  // namespace blitz
+
+#endif  // BLITZ_GOVERNOR_FAULTPOINTS_H_

@@ -1,0 +1,73 @@
+#include "governor/governor.h"
+
+#include "common/strings.h"
+#include "governor/faultpoints.h"
+
+namespace blitz {
+
+GovernorState::GovernorState(const ResourceBudget& budget)
+    : active_(budget.active()),
+      max_dp_table_bytes_(budget.max_dp_table_bytes),
+      cancellation_(budget.cancellation) {
+  if (budget.absolute_deadline.has_value()) {
+    has_deadline_ = true;
+    deadline_ = *budget.absolute_deadline;
+    deadline_seconds_ = budget.deadline_seconds;
+  } else if (budget.has_deadline()) {
+    has_deadline_ = true;
+    deadline_seconds_ = budget.deadline_seconds;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(budget.deadline_seconds));
+  }
+}
+
+Status GovernorState::AdmitAllocation(std::uint64_t bytes) const {
+  if (max_dp_table_bytes_ == 0 || bytes <= max_dp_table_bytes_) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(
+      StrFormat("DP table needs %llu bytes but the budget caps it at %llu",
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(max_dp_table_bytes_)));
+}
+
+bool GovernorState::Abort(Status status) {
+  aborted_ = true;
+  status_ = std::move(status);
+  return true;
+}
+
+bool GovernorState::CheckNow() {
+  if (aborted_) return true;
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultGovernorCheck)) {
+    switch (fault->kind) {
+      case FaultKind::kClockSkew:
+        fault_skew_seconds_ += fault->skew_seconds;
+        break;
+      case FaultKind::kCancel:
+        return Abort(Status::Cancelled("injected cancellation"));
+      case FaultKind::kFailStatus:
+        return Abort(fault->status);
+      case FaultKind::kBadAlloc:
+        break;  // Meaningless at a check point; ignore.
+    }
+  }
+  if (cancellation_ != nullptr && cancellation_->cancelled()) {
+    return Abort(Status::Cancelled("optimization cancelled by caller"));
+  }
+  if (has_deadline_) {
+    const auto now =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(fault_skew_seconds_));
+    if (now >= deadline_) {
+      return Abort(Status::DeadlineExceeded(
+          StrFormat("optimization exceeded its %.3f ms deadline",
+                    deadline_seconds_ * 1e3)));
+    }
+  }
+  return false;
+}
+
+}  // namespace blitz

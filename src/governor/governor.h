@@ -1,0 +1,76 @@
+#ifndef BLITZ_GOVERNOR_GOVERNOR_H_
+#define BLITZ_GOVERNOR_GOVERNOR_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+#include "governor/budget.h"
+
+namespace blitz {
+
+/// Per-call enforcement state for a ResourceBudget: resolves the deadline
+/// once at construction, answers admission-control queries, and provides
+/// the amortized cooperative check the DP subset loop calls.
+///
+/// The hot-loop contract: Tick() is called once per visited subset. It is a
+/// counter decrement and a predicted branch; only every kCheckStride-th
+/// call performs the real check (clock read, token load, fault hook), so
+/// the O(3^n) inner split loop runs at paper speed while a stall is still
+/// noticed within ~kCheckStride subsets. Once aborted, the governor stays
+/// aborted and status() explains why.
+class GovernorState {
+ public:
+  /// Subset-loop ticks between real deadline/cancellation checks. At the
+  /// sizes where a deadline can bite at all (n >= 15, ~32k subsets) this
+  /// yields dozens of checks per pass; smaller tables finish in microseconds
+  /// and are handled by the entry check in the optimizer front ends.
+  static constexpr std::uint32_t kCheckStride = 1024;
+
+  explicit GovernorState(const ResourceBudget& budget);
+
+  /// True if any limit is armed; callers skip governor plumbing otherwise.
+  bool active() const { return active_; }
+
+  /// Admission control: OK if allocating `bytes` fits the budget's DP-table
+  /// cap, ResourceExhausted (naming both figures) otherwise. Does not
+  /// consume the budget — the table is the dominant allocation and each
+  /// governed call owns exactly one.
+  Status AdmitAllocation(std::uint64_t bytes) const;
+
+  /// Amortized cooperative check; true once the call must unwind.
+  bool Tick() {
+    if (--ticks_until_check_ > 0) return false;
+    ticks_until_check_ = kCheckStride;
+    return CheckNow();
+  }
+
+  /// Unamortized check (call entry, pass boundaries). True when aborted;
+  /// sets status() on the transition. Honors kFaultGovernorCheck faults:
+  /// kClockSkew advances the governor's view of the clock, kCancel fakes a
+  /// cancellation, kFailStatus aborts with the armed status.
+  bool CheckNow();
+
+  bool aborted() const { return aborted_; }
+
+  /// The abort reason; OK while not aborted.
+  const Status& status() const { return status_; }
+
+ private:
+  bool Abort(Status status);
+
+  bool active_ = false;
+  bool has_deadline_ = false;
+  bool aborted_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  double deadline_seconds_ = 0;  ///< For the DeadlineExceeded message.
+  double fault_skew_seconds_ = 0;
+  std::uint64_t max_dp_table_bytes_ = 0;
+  const CancellationToken* cancellation_ = nullptr;
+  std::uint32_t ticks_until_check_ = kCheckStride;
+  Status status_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_GOVERNOR_GOVERNOR_H_

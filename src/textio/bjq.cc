@@ -1,6 +1,8 @@
 #include "textio/bjq.h"
 
+#include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -16,6 +18,12 @@ namespace {
 Status LineError(int line, const std::string& message) {
   return Status::InvalidArgument(StrFormat("line %d: %s", line,
                                            message.c_str()));
+}
+
+/// A valid selectivity is a finite number in (0, 1]; NaN fails every
+/// comparison and is rejected along with 0, negatives, and infinities.
+bool ValidSelectivity(double s) {
+  return std::isfinite(s) && s > 0.0 && s <= 1.0;
 }
 
 }  // namespace
@@ -41,6 +49,7 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
     int line;
   };
   std::vector<PendingFilter> pending_filters;
+  std::set<std::string> seen_names;
   CostModelKind cost_model = CostModelKind::kNaive;
   EquivalencePolicy policy = EquivalencePolicy::kCalibrated;
   std::optional<float> threshold;
@@ -67,13 +76,33 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
         return LineError(line_number,
                          "expected: relation <name> <cardinality> [<bytes>]");
       }
+      if (static_cast<int>(relations.size()) >= kMaxRelations) {
+        return LineError(line_number,
+                         StrFormat("too many relations (max %d)",
+                                   kMaxRelations));
+      }
       RelationStats stats;
       stats.name = fields[1];
+      if (!seen_names.insert(stats.name).second) {
+        return LineError(line_number,
+                         "duplicate relation name: " + stats.name);
+      }
       if (!ParseDouble(fields[2], &stats.cardinality)) {
         return LineError(line_number, "bad cardinality: " + fields[2]);
       }
-      if (fields.size() == 4 && !ParseInt(fields[3], &stats.tuple_bytes)) {
-        return LineError(line_number, "bad tuple width: " + fields[3]);
+      if (!std::isfinite(stats.cardinality) || !(stats.cardinality > 0)) {
+        return LineError(line_number,
+                         "cardinality must be a positive finite number: " +
+                             fields[2]);
+      }
+      if (fields.size() == 4) {
+        if (!ParseInt(fields[3], &stats.tuple_bytes)) {
+          return LineError(line_number, "bad tuple width: " + fields[3]);
+        }
+        if (stats.tuple_bytes <= 0) {
+          return LineError(line_number,
+                           "tuple width must be positive: " + fields[3]);
+        }
       }
       relations.push_back(std::move(stats));
     } else if (directive == "predicate") {
@@ -85,6 +114,10 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
       if (!ParseDouble(fields[3], &selectivity)) {
         return LineError(line_number, "bad selectivity: " + fields[3]);
       }
+      if (!ValidSelectivity(selectivity)) {
+        return LineError(line_number,
+                         "selectivity must be in (0, 1]: " + fields[3]);
+      }
       pending.push_back({fields[1], fields[2], selectivity, line_number});
     } else if (directive == "filter") {
       if (fields.size() != 3) {
@@ -93,6 +126,10 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
       double selectivity = 0;
       if (!ParseDouble(fields[2], &selectivity)) {
         return LineError(line_number, "bad selectivity: " + fields[2]);
+      }
+      if (!ValidSelectivity(selectivity)) {
+        return LineError(line_number,
+                         "selectivity must be in (0, 1]: " + fields[2]);
       }
       pending_filters.push_back({fields[1], selectivity, line_number});
     } else if (directive == "equivalence") {
@@ -113,6 +150,12 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
         if (!ParseDouble(fields[field], &count)) {
           return LineError(line_number,
                            "bad distinct count: " + fields[field]);
+        }
+        if (!std::isfinite(count) || !(count > 0)) {
+          return LineError(line_number,
+                           "distinct count must be a positive finite "
+                           "number: " +
+                               fields[field]);
         }
         cls.distinct_counts.push_back(count);
       }
@@ -146,7 +189,8 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
         return LineError(line_number, "expected: threshold <value>");
       }
       double value = 0;
-      if (!ParseDouble(fields[1], &value) || !(value > 0)) {
+      if (!ParseDouble(fields[1], &value) || !(value > 0) ||
+          !std::isfinite(value)) {
         return LineError(line_number, "bad threshold: " + fields[1]);
       }
       threshold = static_cast<float>(value);

@@ -157,6 +157,74 @@ TEST(BjqTest, ParallelPredicatesNowMerge) {
   EXPECT_DOUBLE_EQ(spec->graph.Selectivity(0, 1), 0.05);
 }
 
+// Malformed statistics must be rejected at parse time with the offending
+// line number, not allowed to poison the optimizer's Pi_fan arithmetic.
+struct RejectionCase {
+  const char* text;
+  int line;
+  const char* needle;
+};
+
+TEST(BjqTest, RejectsGarbageStatisticsWithLineNumbers) {
+  const RejectionCase cases[] = {
+      {"relation a nan\n", 1, "positive finite"},
+      {"relation a inf\n", 1, "positive finite"},
+      {"relation a -10\n", 1, "positive finite"},
+      {"relation a 0\n", 1, "positive finite"},
+      {"relation a 10\nrelation a 20\n", 2, "duplicate relation name"},
+      {"relation a 10 0\n", 1, "tuple width must be positive"},
+      {"relation a 10 -8\n", 1, "tuple width"},
+      {"relation a 10\nrelation b 20\npredicate a b nan\n", 3, "(0, 1]"},
+      {"relation a 10\nrelation b 20\npredicate a b 0\n", 3, "(0, 1]"},
+      {"relation a 10\nrelation b 20\npredicate a b -0.5\n", 3, "(0, 1]"},
+      {"relation a 10\nrelation b 20\npredicate a b 1.5\n", 3, "(0, 1]"},
+      {"relation a 10\nrelation b 20\npredicate a b inf\n", 3, "(0, 1]"},
+      {"relation a 10\nfilter a nan\n", 2, "(0, 1]"},
+      {"relation a 10\nfilter a 2\n", 2, "(0, 1]"},
+      {"relation a 10\nrelation b 20\nequivalence a b : 10 nan\n", 3,
+       "positive finite"},
+      {"relation a 10\nrelation b 20\nequivalence a b : 0 10\n", 3,
+       "positive finite"},
+      {"threshold nan\n", 1, "bad threshold"},
+      {"threshold -1\n", 1, "bad threshold"},
+  };
+  for (const RejectionCase& c : cases) {
+    Result<QuerySpec> spec = ParseBjq(c.text);
+    ASSERT_FALSE(spec.ok()) << c.text;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << c.text;
+    const std::string message(spec.status().message());
+    const std::string line_tag = "line " + std::to_string(c.line) + ":";
+    EXPECT_NE(message.find(line_tag), std::string::npos)
+        << c.text << " -> " << message;
+    EXPECT_NE(message.find(c.needle), std::string::npos)
+        << c.text << " -> " << message;
+  }
+}
+
+TEST(BjqTest, RejectsRelationCountBeyondRelSetWidth) {
+  std::string text;
+  for (int i = 0; i <= kMaxRelations; ++i) {
+    text += "relation r" + std::to_string(i) + " 10\n";
+  }
+  Result<QuerySpec> spec = ParseBjq(text);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(spec.status().message().find("too many relations"),
+            std::string::npos);
+  // The line number names the first relation over the cap.
+  EXPECT_NE(
+      spec.status().message().find("line " +
+                                   std::to_string(kMaxRelations + 1)),
+      std::string::npos);
+}
+
+TEST(BjqTest, BoundarySelectivityOfOneIsAccepted) {
+  Result<QuerySpec> spec =
+      ParseBjq("relation a 10\nrelation b 20\npredicate a b 1\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->graph.Selectivity(0, 1), 1.0);
+}
+
 TEST(BjqTest, LoadBjqFile) {
   const std::string path = ::testing::TempDir() + "/query.bjq";
   {

@@ -1,0 +1,225 @@
+// Tests for the graceful-degradation ladder in OptimizeQuery and for
+// DP-table consistency after budget-aborted passes (the robustness
+// contract: an over-budget query never crashes or hangs — it returns a
+// fallback-tier plan and the report names the tier).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/optimize_query.h"
+#include "core/optimizer.h"
+#include "governor/faultpoints.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+std::uint64_t Counter(const MetricsSnapshot& snapshot,
+                      std::string_view name) {
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+TEST(OptimizerTierTest, Names) {
+  EXPECT_STREQ(OptimizerTierName(OptimizerTier::kExhaustive), "exhaustive");
+  EXPECT_STREQ(OptimizerTierName(OptimizerTier::kHybrid), "hybrid");
+  EXPECT_STREQ(OptimizerTierName(OptimizerTier::kGreedy), "greedy");
+}
+
+TEST(DegradationTest, MemoryCapDegradesToHybrid) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/21);
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.budget.max_dp_table_bytes = 1024;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier, OptimizerTier::kHybrid);
+  EXPECT_FALSE(result->exact);
+  EXPECT_GT(result->cost, 0);
+  ASSERT_TRUE(result->report.has_value());
+  EXPECT_EQ(result->report->tier, OptimizerTier::kHybrid);
+  EXPECT_TRUE(result->report->used_hybrid);
+  EXPECT_EQ(result->report->tiers_attempted, 2);
+  ASSERT_EQ(result->report->degradations.size(), 1u);
+  EXPECT_NE(result->report->degradations[0].find("exhaustive"),
+            std::string::npos);
+  EXPECT_NE(result->report->degradations[0].find("ResourceExhausted"),
+            std::string::npos);
+  // The report's ToString names the serving tier for operators.
+  EXPECT_NE(result->report->ToString().find("tier hybrid"),
+            std::string::npos);
+}
+
+TEST(DegradationTest, DeadlineDegradesAllTheWayToGreedy) {
+  // A zero deadline is already expired when each tier's entry gate runs;
+  // exhaustive and hybrid both fail fast and the polynomial greedy tier
+  // (last resort, ungoverned) still serves the query.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(9, /*seed=*/22);
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.budget.deadline_seconds = 0;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier, OptimizerTier::kGreedy);
+  EXPECT_FALSE(result->exact);
+  ASSERT_TRUE(result->report.has_value());
+  EXPECT_EQ(result->report->tiers_attempted, 3);
+  EXPECT_EQ(result->report->degradations.size(), 2u);
+}
+
+TEST(DegradationTest, ThresholdLadderUnderMemoryCapDegradesToo) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/23);
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.initial_cost_threshold = 100.0f;
+  options.budget.max_dp_table_bytes = 1024;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier, OptimizerTier::kHybrid);
+}
+
+TEST(DegradationTest, CancellationNeverDegrades) {
+  CancellationToken token;
+  token.Cancel();
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(8, /*seed=*/24);
+  QueryOptimizerOptions options;
+  options.budget.cancellation = &token;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(DegradationTest, DegradationOffSurfacesBudgetError) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/25);
+  QueryOptimizerOptions options;
+  options.degrade_on_budget = false;
+  options.budget.max_dp_table_bytes = 1024;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DegradationTest, UngovernedQueriesUnaffectedByLadderMachinery) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(8, /*seed=*/26);
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tier, OptimizerTier::kExhaustive);
+  EXPECT_TRUE(result->exact);
+  EXPECT_EQ(result->report->tiers_attempted, 1);
+  EXPECT_TRUE(result->report->degradations.empty());
+}
+
+TEST(DegradationTest, MetricsRecordDegradationAndServingTier) {
+  MetricsRegistry metrics;
+  SetGlobalMetrics(&metrics);
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/27);
+  QueryOptimizerOptions options;
+  options.budget.max_dp_table_bytes = 1024;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  SetGlobalMetrics(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MetricsSnapshot snapshot = metrics.TakeSnapshot();
+  EXPECT_GE(Counter(snapshot, "governor.admission_rejected"), 1u);
+  EXPECT_GE(Counter(snapshot, "api.degradations"), 1u);
+  EXPECT_GE(Counter(snapshot, "api.tier_hybrid"), 1u);
+  EXPECT_EQ(Counter(snapshot, "api.tier_exhaustive"), 0u);
+}
+
+// Satellite contract: a budget-aborted pass mid-threshold-ladder leaves the
+// DP table in a state ReoptimizeJoinInPlace can consume — the next clean
+// pass reproduces the clean-run optimum exactly.
+TEST(DegradationTest, AbortedPassLeavesTableReusable) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with BLITZ_FAULT_INJECTION=OFF";
+  }
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(12, /*seed=*/28);
+
+  // Clean run: the reference optimum and a fully-populated table.
+  Result<OptimizeOutcome> clean =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(clean.ok());
+  const float clean_cost = clean->cost;
+
+  // Governed re-optimization that dies mid-pass: after=1 passes the entry
+  // gate and fires a spurious cancellation at the first amortized stride
+  // check (subset kCheckStride of 4096). The pass also runs under a tight
+  // cost threshold so the rows it did rewrite genuinely differ from the
+  // clean table's.
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  FaultSpec spec;
+  spec.kind = FaultKind::kCancel;
+  spec.after = 1;
+  registry.Arm(kFaultGovernorCheck, spec);
+  OptimizerOptions aborted_options;
+  aborted_options.budget.deadline_seconds = 3600;
+  aborted_options.cost_threshold = clean_cost / 2;
+  Result<float> aborted =
+      ReoptimizeJoinInPlace(instance.catalog, instance.graph,
+                            aborted_options, &clean->table, nullptr);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(registry.hits(kFaultGovernorCheck), 2u);
+
+  // The partially-overwritten table is reusable: a clean in-place pass
+  // rewrites every row and lands back on the reference optimum, and plan
+  // extraction succeeds.
+  Result<float> recovered = ReoptimizeJoinInPlace(
+      instance.catalog, instance.graph, OptimizerOptions{}, &clean->table,
+      nullptr);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, clean_cost);
+  Result<Plan> plan = Plan::ExtractFromTable(clean->table);
+  EXPECT_TRUE(plan.ok());
+}
+
+// Full-ladder fault drill: hybrid is forced down too, so the query is
+// served by the greedy tier with two recorded degradation steps.
+TEST(DegradationTest, FaultedHybridFallsThroughToGreedy) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with BLITZ_FAULT_INJECTION=OFF";
+  }
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailStatus;
+  spec.status = Status::ResourceExhausted("injected block failure");
+  registry.Arm(kFaultHybridRun, spec);
+
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/29);
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.budget.max_dp_table_bytes = 1024;
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier, OptimizerTier::kGreedy);
+  EXPECT_EQ(result->report->tiers_attempted, 3);
+  EXPECT_EQ(result->report->degradations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace blitz

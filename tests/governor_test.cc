@@ -1,0 +1,257 @@
+// Tests for the resource governor: budgets, cancellation tokens, admission
+// control, and governed optimizer entry points (no fault injection here —
+// see faultpoints_test.cc and degradation_test.cc).
+
+#include "governor/governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/dp_table.h"
+#include "core/optimizer.h"
+#include "governor/budget.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+TEST(CancellationTokenTest, CancelAndReset) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ResourceBudgetTest, DefaultIsInactive) {
+  ResourceBudget budget;
+  EXPECT_FALSE(budget.active());
+  EXPECT_FALSE(budget.has_deadline());
+  EXPECT_FALSE(budget.has_memory_cap());
+}
+
+TEST(ResourceBudgetTest, EachLimitActivates) {
+  ResourceBudget deadline;
+  deadline.deadline_seconds = 1.5;
+  EXPECT_TRUE(deadline.active());
+  EXPECT_TRUE(deadline.has_deadline());
+
+  ResourceBudget cap;
+  cap.max_dp_table_bytes = 1 << 20;
+  EXPECT_TRUE(cap.active());
+  EXPECT_TRUE(cap.has_memory_cap());
+
+  CancellationToken token;
+  ResourceBudget cancellable;
+  cancellable.cancellation = &token;
+  EXPECT_TRUE(cancellable.active());
+}
+
+TEST(ResourceBudgetTest, ResolvedPinsAbsoluteDeadline) {
+  ResourceBudget budget;
+  budget.deadline_seconds = 10.0;
+  const auto before = std::chrono::steady_clock::now();
+  const ResourceBudget resolved = budget.Resolved();
+  ASSERT_TRUE(resolved.absolute_deadline.has_value());
+  EXPECT_GE(*resolved.absolute_deadline,
+            before + std::chrono::seconds(9));
+  // Resolving again keeps the pinned point instead of extending it.
+  const ResourceBudget twice = resolved.Resolved();
+  EXPECT_EQ(*twice.absolute_deadline, *resolved.absolute_deadline);
+}
+
+TEST(ResourceBudgetTest, ResolvedLeavesUnboundedBudgetAlone) {
+  ResourceBudget budget;
+  budget.max_dp_table_bytes = 1024;
+  EXPECT_FALSE(budget.Resolved().absolute_deadline.has_value());
+}
+
+TEST(EstimateBytesTest, MatchesActualTableFootprint) {
+  for (const int n : {1, 3, 8, 12}) {
+    for (const bool pi_fan : {false, true}) {
+      for (const bool aux : {false, true}) {
+        Result<DpTable> table = DpTable::Create(n, pi_fan, aux);
+        ASSERT_TRUE(table.ok());
+        EXPECT_EQ(DpTable::EstimateBytes(n, pi_fan, aux),
+                  table->MemoryBytes())
+            << "n=" << n << " pi_fan=" << pi_fan << " aux=" << aux;
+      }
+    }
+  }
+}
+
+TEST(EstimateBytesTest, OutOfRangeIsZero) {
+  EXPECT_EQ(DpTable::EstimateBytes(0, true, false), 0u);
+  EXPECT_EQ(DpTable::EstimateBytes(-3, true, false), 0u);
+  EXPECT_EQ(DpTable::EstimateBytes(kMaxRelations + 1, true, false), 0u);
+}
+
+TEST(EstimateBytesTest, EstimateIsCheapAtFullWidth) {
+  // The estimate for an unallocatable table must not itself allocate: 2^30
+  // rows is ~25 GiB, and this returns instantly with the exact figure.
+  const std::uint64_t bytes =
+      DpTable::EstimateBytes(kMaxRelations, true, true);
+  EXPECT_EQ(bytes, (std::uint64_t{1} << kMaxRelations) * 32);
+}
+
+TEST(GovernorStateTest, InactiveBudgetIsInert) {
+  GovernorState governor{ResourceBudget{}};
+  EXPECT_FALSE(governor.active());
+  EXPECT_TRUE(governor.AdmitAllocation(1ull << 40).ok());
+  EXPECT_FALSE(governor.CheckNow());
+  EXPECT_FALSE(governor.aborted());
+}
+
+TEST(GovernorStateTest, AdmissionControl) {
+  ResourceBudget budget;
+  budget.max_dp_table_bytes = 4096;
+  GovernorState governor(budget);
+  EXPECT_TRUE(governor.active());
+  EXPECT_TRUE(governor.AdmitAllocation(4096).ok());
+  const Status rejected = governor.AdmitAllocation(4097);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.message().find("4097"), std::string::npos);
+  EXPECT_NE(rejected.message().find("4096"), std::string::npos);
+}
+
+TEST(GovernorStateTest, ExpiredDeadlineAbortsAndStays) {
+  ResourceBudget budget;
+  budget.deadline_seconds = 0;
+  GovernorState governor(budget);
+  EXPECT_TRUE(governor.CheckNow());
+  EXPECT_TRUE(governor.aborted());
+  EXPECT_EQ(governor.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(governor.CheckNow());  // sticky
+}
+
+TEST(GovernorStateTest, CancellationObserved) {
+  CancellationToken token;
+  ResourceBudget budget;
+  budget.cancellation = &token;
+  GovernorState governor(budget);
+  EXPECT_FALSE(governor.CheckNow());
+  token.Cancel();
+  EXPECT_TRUE(governor.CheckNow());
+  EXPECT_EQ(governor.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernorStateTest, TickAmortizesToStride) {
+  CancellationToken token;
+  token.Cancel();
+  ResourceBudget budget;
+  budget.cancellation = &token;
+  GovernorState governor(budget);
+  // The first kCheckStride - 1 ticks are pure counter decrements; the
+  // stride-th performs the real check and observes the cancellation.
+  for (std::uint32_t i = 0; i + 1 < GovernorState::kCheckStride; ++i) {
+    EXPECT_FALSE(governor.Tick());
+  }
+  EXPECT_TRUE(governor.Tick());
+  EXPECT_EQ(governor.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernedOptimizeTest, MemoryCapRejectsOversizedTable) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/1);
+  OptimizerOptions options;
+  options.budget.max_dp_table_bytes = 1024;  // 2^10 rows need far more
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernedOptimizeTest, GenerousCapMatchesUngoverned) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(9, /*seed=*/7);
+  Result<OptimizeOutcome> plain =
+      OptimizeJoin(instance.catalog, instance.graph, OptimizerOptions{});
+  OptimizerOptions governed;
+  governed.budget.max_dp_table_bytes = 1ull << 30;
+  governed.budget.deadline_seconds = 3600;
+  Result<OptimizeOutcome> capped =
+      OptimizeJoin(instance.catalog, instance.graph, governed);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(plain->cost, capped->cost);
+}
+
+TEST(GovernedOptimizeTest, ExpiredDeadlineFailsFastEvenForTinyProblems) {
+  // n=4 never reaches an amortized stride check; the entry gate must
+  // still notice the dead deadline.
+  OptimizerOptions options;
+  options.budget.deadline_seconds = 0;
+  Result<OptimizeOutcome> outcome = OptimizeJoin(
+      testing::Table1Catalog(), testing::Figure3Graph(), options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernedOptimizeTest, PreCancelledTokenFailsFast) {
+  CancellationToken token;
+  token.Cancel();
+  OptimizerOptions options;
+  options.budget.cancellation = &token;
+  Result<OptimizeOutcome> outcome = OptimizeJoin(
+      testing::Table1Catalog(), testing::Figure3Graph(), options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernedOptimizeTest, CartesianPathIsGovernedToo) {
+  OptimizerOptions options;
+  options.budget.max_dp_table_bytes = 1;
+  Result<OptimizeOutcome> outcome =
+      OptimizeCartesian(testing::Table1Catalog(), options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernedOptimizeTest, ReoptimizeInPlaceHonorsCancellation) {
+  const Catalog catalog = testing::Table1Catalog();
+  const JoinGraph graph = testing::Figure3Graph();
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(catalog, graph, OptimizerOptions{});
+  ASSERT_TRUE(outcome.ok());
+
+  CancellationToken token;
+  token.Cancel();
+  OptimizerOptions options;
+  options.budget.cancellation = &token;
+  Result<float> cost = ReoptimizeJoinInPlace(catalog, graph, options,
+                                             &outcome->table, nullptr);
+  ASSERT_FALSE(cost.ok());
+  EXPECT_EQ(cost.status().code(), StatusCode::kCancelled);
+
+  // The aborted pass must leave the table reusable: the next clean
+  // in-place pass reproduces the original optimum.
+  token.Reset();
+  Result<float> clean = ReoptimizeJoinInPlace(
+      catalog, graph, OptimizerOptions{}, &outcome->table, nullptr);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, outcome->cost);
+}
+
+TEST(GovernedOptimizeTest, ThresholdLadderSharesOneDeadline) {
+  // An already-expired deadline fails the ladder's very first pass; the
+  // ladder must propagate the budget error instead of retrying forever
+  // with higher thresholds.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(8, /*seed=*/3);
+  OptimizerOptions options;
+  options.budget.deadline_seconds = 0;
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = 1.0f;
+  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+      instance.catalog, instance.graph, options, ladder);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -28,6 +28,16 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, GovernorCodesRenderDistinctly) {
+  EXPECT_EQ(Status::DeadlineExceeded("50 ms elapsed").ToString(),
+            "DeadlineExceeded: 50 ms elapsed");
+  EXPECT_EQ(Status::Cancelled("caller gave up").ToString(),
+            "Cancelled: caller gave up");
 }
 
 TEST(StatusTest, Equality) {
