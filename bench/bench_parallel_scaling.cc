@@ -1,0 +1,108 @@
+// Scaling of the rank-synchronous parallel optimizer: Figure 2's setting
+// (pure Cartesian product, equal base cardinalities of 100, naive cost
+// model) timed at several thread counts, reporting per-point speedup over
+// the sequential driver and emitting the table as JSON for plotting.
+//
+// Note the speedups are only meaningful on a machine with that many real
+// cores — on a single-core box every thread count times out to ~1x (plus
+// barrier overhead), which is itself the number to watch for regressions.
+//
+// Environment knobs: BLITZ_BENCH_MIN_SECONDS (timing floor per point,
+// default 0.05), BLITZ_SCALING_MIN_N / BLITZ_SCALING_MAX_N (default 15/18),
+// BLITZ_SCALING_JSON (path to also write the JSON to; stdout always gets
+// it).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "catalog/catalog.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+
+namespace blitz {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+int Run() {
+  const double min_seconds = BenchMinSeconds(0.05);
+  const int min_n = BenchEnvInt("BLITZ_SCALING_MIN_N", 15);
+  const int max_n = BenchEnvInt("BLITZ_SCALING_MAX_N", 18);
+
+  std::printf(
+      "Parallel rank-synchronous blitzsplit scaling (naive cost model,\n"
+      "equal base cardinalities of 100, Figure 2 setting)\n\n");
+
+  TextTable out;
+  out.SetHeader({"n", "threads", "time/opt (ms)", "speedup", "reps"});
+  std::string json = "{\"bench\": \"parallel_scaling\", \"points\": [";
+  bool first_point = true;
+
+  for (int n = min_n; n <= max_n; ++n) {
+    Result<Catalog> catalog =
+        Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+    BLITZ_CHECK(catalog.ok());
+    double sequential_seconds = 0;
+    for (const int threads : kThreadCounts) {
+      OptimizerOptions options;
+      options.parallel.num_threads = threads;
+      float cost = 0;
+      const TimingResult timing = TimeIt(
+          [&] {
+            Result<OptimizeOutcome> outcome =
+                OptimizeCartesian(*catalog, options);
+            BLITZ_CHECK(outcome.ok());
+            cost = outcome->cost;
+          },
+          min_seconds);
+      if (threads == 1) {
+        sequential_seconds = timing.seconds_per_run;
+      } else {
+        // Any thread count must reproduce the sequential optimum exactly.
+        OptimizerOptions sequential;
+        Result<OptimizeOutcome> check =
+            OptimizeCartesian(*catalog, sequential);
+        BLITZ_CHECK(check.ok());
+        BLITZ_CHECK(check->cost == cost);
+      }
+      const double speedup = timing.seconds_per_run > 0
+                                 ? sequential_seconds / timing.seconds_per_run
+                                 : 0;
+      out.AddRow({StrFormat("%d", n), StrFormat("%d", threads),
+                  StrFormat("%.3f", timing.seconds_per_run * 1e3),
+                  StrFormat("%.2f", speedup),
+                  StrFormat("%d", timing.repetitions)});
+      json += StrFormat(
+          "%s{\"n\": %d, \"threads\": %d, \"seconds\": %.6g, "
+          "\"speedup\": %.4g}",
+          first_point ? "" : ", ", n, threads, timing.seconds_per_run,
+          speedup);
+      first_point = false;
+    }
+  }
+  json += "]}";
+
+  std::printf("%s\n", out.ToString().c_str());
+  std::printf("%s\n", json.c_str());
+  if (const char* path = std::getenv("BLITZ_SCALING_JSON")) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("json written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "could not open %s\n", path);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

@@ -3,7 +3,7 @@
 // Usage:
 //   blitzopt <query.bjq> [--execute] [--counts] [--tree] [--explain]
 //           [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>]
-//           [--no-degrade] [--exhaustive-limit=<n>]
+//           [--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>]
 //           [--trace-out=<file>] [--metrics-out=<file>]
 //
 // Runs the library's front door (OptimizeQuery): exhaustive blitzsplit up
@@ -65,8 +65,8 @@ int Usage() {
       stderr,
       "usage: blitzopt <query.bjq> [--execute] [--counts] [--tree] "
       "[--explain] [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>] "
-      "[--no-degrade] [--exhaustive-limit=<n>] [--trace-out=<file>] "
-      "[--metrics-out=<file>]\n");
+      "[--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>] "
+      "[--trace-out=<file>] [--metrics-out=<file>]\n");
   return kExitUsage;
 }
 
@@ -143,6 +143,7 @@ int main(int argc, char** argv) {
   double deadline_ms = 0;
   double max_table_mb = 0;
   int exhaustive_limit = 16;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value_of = [&](std::string_view prefix) -> std::string_view {
@@ -176,6 +177,12 @@ int main(int argc, char** argv) {
       if (!ParseInt(value_of("--exhaustive-limit="), &exhaustive_limit) ||
           exhaustive_limit < 1) {
         std::fprintf(stderr, "error: bad --exhaustive-limit value\n");
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // 0 = one thread per hardware core (see ParallelOptimizerOptions).
+      if (!ParseInt(value_of("--threads="), &threads) || threads < 0) {
+        std::fprintf(stderr, "error: bad --threads value\n");
         return kExitUsage;
       }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -212,6 +219,7 @@ int main(int argc, char** argv) {
   options.collect_report = true;
   options.count_operations = counts;
   options.degrade_on_budget = degrade;
+  options.parallel.num_threads = threads;
   if (deadline_ms > 0) options.budget.deadline_seconds = deadline_ms * 1e-3;
   if (max_table_mb > 0) {
     // A positive flag always arms the cap: tiny values must not truncate to
@@ -240,7 +248,7 @@ int main(int argc, char** argv) {
   std::printf("cost: %g (%d optimizer pass%s, tier %s%s)\n", optimized->cost,
               optimized->passes, optimized->passes == 1 ? "" : "es",
               OptimizerTierName(optimized->tier),
-              optimized->exact ? ", exact" : "");
+              optimized->exact() ? ", exact" : "");
   if (optimized->report.has_value() &&
       !optimized->report->degradations.empty()) {
     for (const std::string& step : optimized->report->degradations) {
@@ -259,7 +267,7 @@ int main(int argc, char** argv) {
                 optimized->report->counters.ToString().c_str());
   }
   if (show_report && optimized->report.has_value()) {
-    std::printf("report: %s\n", optimized->report->ToString().c_str());
+    std::printf("report: %s\n", optimized->ReportToString().c_str());
   }
 
   if (execute) {

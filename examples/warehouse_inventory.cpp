@@ -59,7 +59,7 @@ int main() {
     return 1;
   }
   std::printf("=== min(sm,dnl,hash) plan (%s, %d pass%s) ===\n%s",
-              optimized->exact ? "exact" : "hybrid", optimized->passes,
+              optimized->exact() ? "exact" : "hybrid", optimized->passes,
               optimized->passes == 1 ? "" : "es",
               optimized->plan.ToTreeString(&catalog.value()).c_str());
   std::printf("cost %.4g, shape: %s\n\n", optimized->cost,

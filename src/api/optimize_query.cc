@@ -53,39 +53,69 @@ const char* OptimizerTierName(OptimizerTier tier) {
   return "unknown";
 }
 
-std::string OptimizeReport::ToString() const {
+std::string OptimizedQuery::ReportToString() const {
+  if (!report.has_value()) {
+    return StrFormat("tier %s (no report collected)", OptimizerTierName(tier));
+  }
+  const OptimizeReport& r = *report;
   std::string out = StrFormat(
       "total %.3f ms (optimize %.3f, extract %.3f, evaluate %.3f, "
       "attach %.3f); tier %s; peak DP table %llu bytes",
-      total_seconds * 1e3, optimize_seconds * 1e3, extract_seconds * 1e3,
-      evaluate_seconds * 1e3, attach_seconds * 1e3, OptimizerTierName(tier),
-      static_cast<unsigned long long>(peak_dp_table_bytes));
-  if (tiers_attempted > 1) {
-    out += StrFormat(" (%d tier attempts", tiers_attempted);
-    for (const std::string& step : degradations) out += "; " + step;
+      r.total_seconds * 1e3, r.optimize_seconds * 1e3,
+      r.extract_seconds * 1e3, r.evaluate_seconds * 1e3,
+      r.attach_seconds * 1e3, OptimizerTierName(tier),
+      static_cast<unsigned long long>(r.peak_dp_table_bytes));
+  if (r.tiers_attempted > 1) {
+    out += StrFormat(" (%d tier attempts", r.tiers_attempted);
+    for (const std::string& step : r.degradations) out += "; " + step;
     out += ")";
   }
-  if (!thresholds_tried.empty()) {
+  if (!r.thresholds_tried.empty()) {
     out += "; thresholds";
-    for (const float threshold : thresholds_tried) {
+    for (const float threshold : r.thresholds_tried) {
       out += StrFormat(" %g", static_cast<double>(threshold));
     }
   }
-  if (counters.loop_iterations > 0) {
-    out += "; counts " + counters.ToString();
+  if (r.counters.loop_iterations > 0) {
+    out += "; counts " + r.counters.ToString();
   }
+  return out;
+}
+
+Status QueryOptimizerOptions::Validate() const {
+  if (exhaustive_limit < 1) {
+    return Status::InvalidArgument("exhaustive_limit must be >= 1");
+  }
+  if (initial_cost_threshold.has_value() &&
+      !(*initial_cost_threshold > 0)) {
+    return Status::InvalidArgument(
+        "initial_cost_threshold must be positive when set");
+  }
+  BLITZ_RETURN_IF_ERROR(exhaustive.Validate());
+  BLITZ_RETURN_IF_ERROR(hybrid.Validate());
+  return parallel.Validate();
+}
+
+QueryOptimizerOptions QueryOptimizerOptions::Normalized() const {
+  QueryOptimizerOptions out = *this;
+  out.exhaustive.cost_model = cost_model;
+  out.exhaustive.count_operations = collect_report && count_operations;
+  out.exhaustive.budget = budget;
+  out.exhaustive.parallel = parallel;
+  out.hybrid.cost_model = cost_model;
+  out.hybrid.budget = budget;
+  out.hybrid.parallel = parallel;
   return out;
 }
 
 Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
                                      const JoinGraph& graph,
-                                     const QueryOptimizerOptions& options) {
+                                     const QueryOptimizerOptions& raw_options) {
   if (graph.num_relations() != catalog.num_relations()) {
     return Status::InvalidArgument("catalog/graph relation-count mismatch");
   }
-  if (options.exhaustive_limit < 1) {
-    return Status::InvalidArgument("exhaustive_limit must be >= 1");
-  }
+  BLITZ_RETURN_IF_ERROR(raw_options.Validate());
+  const QueryOptimizerOptions options = raw_options.Normalized();
 
   const MetricTimer total_timer;
   TraceSpan span("OptimizeQuery", "api");
@@ -108,26 +138,20 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
   if (!options.degrade_on_budget) ladder.resize(1);
 
   const auto run_exhaustive = [&]() -> Status {
-    OptimizerOptions dp_options;
-    dp_options.cost_model = options.cost_model;
-    dp_options.count_operations =
-        options.collect_report && options.count_operations;
-    dp_options.budget = options.budget;
     Result<OptimizeOutcome> outcome = Status::Internal("unset");
     {
       PhaseTimer phase(options.collect_report, &report.optimize_seconds);
       if (options.initial_cost_threshold.has_value()) {
         ThresholdLadderOptions thresholds;
         thresholds.initial_threshold = *options.initial_cost_threshold;
-        Result<LadderOutcome> laddered =
-            OptimizeJoinWithThresholds(catalog, graph, dp_options,
-                                       thresholds);
+        Result<LadderOutcome> laddered = OptimizeJoinWithThresholds(
+            catalog, graph, options.exhaustive, thresholds);
         if (!laddered.ok()) return laddered.status();
         result.passes = laddered->passes;
         report.thresholds_tried = std::move(laddered->thresholds_tried);
         outcome = std::move(laddered->outcome);
       } else {
-        outcome = OptimizeJoin(catalog, graph, dp_options);
+        outcome = OptimizeJoin(catalog, graph, options.exhaustive);
         if (!outcome.ok()) return outcome.status();
       }
     }
@@ -138,19 +162,15 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
     if (!plan.ok()) return plan.status();
     result.plan = std::move(plan).value();
-    result.exact = true;
     return Status::OK();
   };
 
   const auto run_hybrid = [&]() -> Status {
     PhaseTimer phase(options.collect_report, &report.optimize_seconds);
-    HybridOptions hybrid = options.hybrid;
-    hybrid.cost_model = options.cost_model;
-    hybrid.budget = options.budget;
-    Result<HybridResult> outcome = OptimizeHybrid(catalog, graph, hybrid);
+    Result<HybridResult> outcome =
+        OptimizeHybrid(catalog, graph, options.hybrid);
     if (!outcome.ok()) return outcome.status();
     result.plan = std::move(outcome->plan);
-    result.exact = false;
     return Status::OK();
   };
 
@@ -161,7 +181,6 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
                        GreedyCriterion::kMinOutputCardinality);
     if (!outcome.ok()) return outcome.status();
     result.plan = std::move(outcome->plan);
-    result.exact = false;
     return Status::OK();
   };
 
@@ -182,7 +201,6 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     }
     if (tier_status.ok()) {
       result.tier = tier;
-      report.tier = tier;
       break;
     }
     if (attempt + 1 == ladder.size() || !IsDegradable(tier_status)) {
@@ -195,8 +213,6 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
       metrics->AddCounter("api.degradations");
     }
   }
-  report.used_hybrid = report.tier == OptimizerTier::kHybrid;
-
   {
     PhaseTimer phase(options.collect_report, &report.evaluate_seconds);
     result.cost =
@@ -213,8 +229,8 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
   span.AddArg("tier", static_cast<double>(result.tier));
   if (MetricsRegistry* metrics = GlobalMetrics()) {
     metrics->AddCounter("api.queries");
-    metrics->AddCounter(result.exact ? "api.exhaustive_queries"
-                                     : "api.hybrid_queries");
+    metrics->AddCounter(result.exact() ? "api.exhaustive_queries"
+                                       : "api.hybrid_queries");
     switch (result.tier) {
       case OptimizerTier::kExhaustive:
         metrics->AddCounter("api.tier_exhaustive");

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/optimizer.h"
 #include "cost/cost_model.h"
+#include "parallel/parallel_options.h"
 #include "plan/plan.h"
 #include "query/join_graph.h"
 
@@ -29,6 +30,12 @@ enum class OptimizerTier {
 const char* OptimizerTierName(OptimizerTier tier);
 
 /// One-call configuration for the top-level entry point.
+///
+/// Cross-cutting knobs (cost_model, budget, parallel, count_operations) are
+/// declared once here and stamped into the embedded per-tier sub-structs by
+/// Normalized() — callers set them in one place and every tier sees the
+/// same values. Tier-specific knobs (nested_ifs, block_size, restarts, ...)
+/// live on the sub-structs and are honored as-is.
 struct QueryOptimizerOptions {
   CostModelKind cost_model = CostModelKind::kNaive;
 
@@ -40,9 +47,18 @@ struct QueryOptimizerOptions {
   /// ladder starting at this value.
   std::optional<float> initial_cost_threshold;
 
-  /// Configuration of the fallback for n > exhaustive_limit. (cost_model
-  /// and seed fields here are overridden to match this struct's.)
+  /// Tier-specific configuration of the exhaustive path (nested_ifs and
+  /// friends). Cross-cutting fields here are overwritten by Normalized().
+  OptimizerOptions exhaustive;
+
+  /// Tier-specific configuration of the fallback for n > exhaustive_limit
+  /// (block_size, restarts, seed, polish). Cross-cutting fields here are
+  /// overwritten by Normalized().
   HybridOptions hybrid;
+
+  /// Multicore configuration shared by every tier's DP passes (sequential
+  /// by default; see parallel/parallel_options.h).
+  ParallelOptimizerOptions parallel;
 
   /// Attach physical join algorithms to the plan (Section 6.5 post-pass).
   bool attach_algorithms = true;
@@ -69,6 +85,15 @@ struct QueryOptimizerOptions {
   /// call returns kCancelled immediately. With degradation off the first
   /// tier's budget error is returned as-is.
   bool degrade_on_budget = true;
+
+  /// Canonical validation of the whole option tree: the top-level knobs
+  /// plus (via one chain) OptimizerOptions::Validate(),
+  /// HybridOptions::Validate(), and ParallelOptimizerOptions::Validate().
+  Status Validate() const;
+
+  /// Returns a copy with the cross-cutting knobs stamped into the embedded
+  /// sub-structs — the single source of truth OptimizeQuery actually runs.
+  QueryOptimizerOptions Normalized() const;
 };
 
 /// Per-query observability report (attached when collect_report is set).
@@ -93,24 +118,17 @@ struct OptimizeReport {
   /// tables per block inside OptimizeJoin).
   std::uint64_t peak_dp_table_bytes = 0;
 
-  /// True when the hybrid tier optimized this query (legacy alias of
-  /// tier == OptimizerTier::kHybrid).
-  bool used_hybrid = false;
-
-  /// The tier that produced the plan.
-  OptimizerTier tier = OptimizerTier::kExhaustive;
-
   /// Tier attempts consumed (1 = no degradation).
   int tiers_attempted = 1;
 
   /// One human-readable entry per degradation step: the abandoned tier and
   /// the budget error that forced the step down.
   std::vector<std::string> degradations;
-
-  std::string ToString() const;
 };
 
-/// The result of OptimizeQuery.
+/// The result of OptimizeQuery. The tier that produced the plan lives here
+/// (and only here — OptimizeReport carries timings and counters, not a
+/// duplicate copy); exactness is derived from it.
 struct OptimizedQuery {
   Plan plan;
 
@@ -118,9 +136,6 @@ struct OptimizedQuery {
   /// by the independent plan evaluator, so it is comparable across the
   /// exhaustive and hybrid paths).
   double cost = 0;
-
-  /// True if the plan is a guaranteed optimum (exhaustive path).
-  bool exact = false;
 
   /// The tier that produced the plan (always set, report or not).
   OptimizerTier tier = OptimizerTier::kExhaustive;
@@ -130,6 +145,13 @@ struct OptimizedQuery {
 
   /// Observability report; engaged iff options.collect_report was set.
   std::optional<OptimizeReport> report;
+
+  /// True if the plan is a guaranteed optimum (exhaustive tier).
+  bool exact() const { return tier == OptimizerTier::kExhaustive; }
+
+  /// Human-readable summary of the tier, passes, and (when collected) the
+  /// report's timings, counters, and degradation history.
+  std::string ReportToString() const;
 };
 
 /// The library's front door: optimizes the join of all catalog relations

@@ -81,6 +81,19 @@ Plan ComposePlan(const PlanNode& node, std::vector<Unit>* units,
 
 }  // namespace
 
+Status HybridOptions::Validate() const {
+  if (block_size < 2 || block_size > kMaxRelations) {
+    return Status::InvalidArgument("block_size must be in [2, kMaxRelations]");
+  }
+  if (restarts < 1) {
+    return Status::InvalidArgument("need at least one restart");
+  }
+  if (polish_moves < 0) {
+    return Status::InvalidArgument("polish_moves must be non-negative");
+  }
+  return parallel.Validate();
+}
+
 Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
                                     const JoinGraph& graph,
                                     const HybridOptions& options) {
@@ -88,12 +101,7 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   if (graph.num_relations() != n) {
     return Status::InvalidArgument("catalog/graph relation-count mismatch");
   }
-  if (options.block_size < 2 || options.block_size > kMaxRelations) {
-    return Status::InvalidArgument("block_size must be in [2, kMaxRelations]");
-  }
-  if (options.restarts < 1) {
-    return Status::InvalidArgument("need at least one restart");
-  }
+  BLITZ_RETURN_IF_ERROR(options.Validate());
   // Fault point: fail the whole hybrid tier deterministically so the
   // degradation ladder's hybrid -> greedy step is testable.
   if (std::optional<FaultSpec> fault = FaultHit(kFaultHybridRun)) {
@@ -194,6 +202,7 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
       OptimizerOptions dp_options;
       dp_options.cost_model = options.cost_model;
       dp_options.budget = budget;
+      dp_options.parallel = options.parallel;
       Result<OptimizeOutcome> outcome =
           OptimizeJoin(*block_catalog, block_graph, dp_options);
       if (!outcome.ok()) {

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "cost/cost_model.h"
 #include "governor/budget.h"
+#include "parallel/parallel_options.h"
 #include "plan/plan.h"
 #include "query/join_graph.h"
 
@@ -42,6 +43,15 @@ struct HybridOptions {
   /// Cancelled — it does not fall back itself (OptimizeQuery's degradation
   /// ladder owns that policy).
   ResourceBudget budget;
+
+  /// Multicore configuration forwarded to every exact block solve; blocks
+  /// of the default size stay sequential (see ParallelOptimizerOptions).
+  ParallelOptimizerOptions parallel;
+
+  /// Canonical validation of every knob (block_size in [2, kMaxRelations],
+  /// at least one restart, non-negative polish budget, valid parallel
+  /// options); called by OptimizeHybrid before any work.
+  Status Validate() const;
 };
 
 /// Result of a hybrid optimization.

@@ -14,6 +14,176 @@
 
 namespace blitz {
 
+// The per-subset kernel must be inlined into each driver's subset loop so the
+// model, threshold, and column pointers stay in registers across iterations —
+// with two call sites (sequential + rank-parallel driver) the compiler
+// otherwise outlines it. The drivers themselves get the opposite treatment:
+// left to its own devices the inliner merges them into the large entry-point
+// functions, where register pressure from the surrounding tracing/governor
+// code degrades the split loop by ~20%; noinline keeps each instantiation a
+// standalone function whose registers belong to the hot loop alone.
+#if defined(__GNUC__) || defined(__clang__)
+#define BLITZ_ALWAYS_INLINE inline __attribute__((always_inline))
+#define BLITZ_NOINLINE __attribute__((noinline))
+#else
+#define BLITZ_ALWAYS_INLINE inline
+#define BLITZ_NOINLINE
+#endif
+
+namespace internal {
+
+/// The per-subset body of procedure blitzsplit — compute_properties(S)
+/// followed by find_best_split(S) — operating on raw DP-table columns.
+///
+/// Shared verbatim by the sequential integer-order driver below and the
+/// rank-synchronous parallel driver (parallel/blitzsplit_ranked.h). The DP
+/// recurrences read only rows of strictly smaller cardinality than S (every
+/// split side, and the pi_fan operands U|W and U|Z, is a proper subset), and
+/// write only row S itself — so any driver that completes all ranks < |S|
+/// before processing S may invoke this from any thread: distinct subsets
+/// touch disjoint rows, and bit-identical inputs give bit-identical rows
+/// regardless of the visit order across subsets of equal cardinality.
+template <typename CostModel, bool kWithPredicates, bool kNestedIfs,
+          typename Instr>
+BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
+    const CostModel& model, const JoinGraph* graph, float cost_threshold,
+    std::uint64_t s, float* cost, double* card, std::uint32_t* best,
+    double* pi_fan, double* aux, Instr* instr) {
+  instr->OnSubsetVisited();
+
+  // --- compute_properties(S) ---------------------------------------
+  // U = {min S} = delta_S(1) = S & -S; V = S - U.
+  const std::uint64_t u = s & (~s + 1);
+  const std::uint64_t v = s ^ u;
+  double out_card;
+  if constexpr (kWithPredicates) {
+    double fan;
+    if ((v & (v - 1)) == 0) {
+      // Doubleton {R,R'}: Pi_fan is the selectivity of the predicate
+      // connecting R and R', or 1 if there is none (Section 5.4).
+      fan = graph->Selectivity(std::countr_zero(u), std::countr_zero(v));
+    } else {
+      // Recurrence (10): split V into disjoint W and Z; we use W = {min V}.
+      const std::uint64_t w = v & (~v + 1);
+      const std::uint64_t z = v ^ w;
+      fan = pi_fan[u | w] * pi_fan[u | z];
+    }
+    pi_fan[s] = fan;
+    // Recurrence (11): card(S) = card(U) * card(V) * Pi_fan(S).
+    out_card = card[u] * card[v] * fan;
+  } else {
+    out_card = card[u] * card[v];
+  }
+  card[s] = out_card;
+  if constexpr (CostModel::kNeedsAux) aux[s] = CostModel::Aux(out_card);
+
+  // --- find_best_split(S) ------------------------------------------
+  // kappa'(S) is split-independent, so compute it before the loop; if it
+  // already overflows or reaches the plan-cost threshold, no plan for S
+  // can survive, and the loop is avoided entirely (Sections 6.3-6.4).
+  const float kappa_prime = static_cast<float>(model.KappaPrime(out_card));
+  if (!(kappa_prime < cost_threshold)) {
+    cost[s] = kRejectedCost;
+    best[s] = 0;
+    instr->OnThresholdSkip();
+    return;
+  }
+
+  float best_cost_so_far = kRejectedCost;
+  std::uint32_t best_lhs = 0;
+  // S_lhs ranges over all nonempty proper subsets of S via the successor
+  // operator succ(S_lhs) = S & (S_lhs - S); starting from 0 the first
+  // value is S & -S and the sequence ends when S itself is reached.
+  for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
+    instr->OnLoopIteration();
+    const std::uint64_t rhs = s ^ lhs;
+    if constexpr (kNestedIfs) {
+      // Nested ifs (Section 4.2): each comparison can dismiss the split
+      // before the next, increasingly expensive, quantity is computed.
+      const float lhs_cost = cost[lhs];
+      if (!(lhs_cost < best_cost_so_far)) continue;
+      const float oprnd_cost = lhs_cost + cost[rhs];
+      if (!(oprnd_cost < best_cost_so_far)) continue;
+      instr->OnOperandPass();
+      float kappa2;
+      if constexpr (CostModel::kNeedsAux) {
+        kappa2 = static_cast<float>(model.KappaDoublePrime(
+            out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
+      } else {
+        kappa2 = static_cast<float>(
+            model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
+      }
+      instr->OnKappa2Evaluated();
+      const float dpnd_cost = oprnd_cost + kappa2;
+      if (dpnd_cost < best_cost_so_far) {
+        best_cost_so_far = dpnd_cost;
+        best_lhs = static_cast<std::uint32_t>(lhs);
+        instr->OnImprovement();
+      }
+    } else {
+      // Flat variant for the nested-if ablation: kappa'' is evaluated on
+      // every one of the ~3^n iterations.
+      const float oprnd_cost = cost[lhs] + cost[rhs];
+      instr->OnOperandPass();
+      float kappa2;
+      if constexpr (CostModel::kNeedsAux) {
+        kappa2 = static_cast<float>(model.KappaDoublePrime(
+            out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
+      } else {
+        kappa2 = static_cast<float>(
+            model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
+      }
+      instr->OnKappa2Evaluated();
+      const float dpnd_cost = oprnd_cost + kappa2;
+      if (dpnd_cost < best_cost_so_far) {
+        best_cost_so_far = dpnd_cost;
+        best_lhs = static_cast<std::uint32_t>(lhs);
+        instr->OnImprovement();
+      }
+    }
+  }
+
+  float total = best_cost_so_far + kappa_prime;
+  // Reject plans whose cost overflows single precision (Section 6.3) or
+  // reaches the simulated-overflow threshold (Section 6.4).
+  if (!(total < cost_threshold)) total = kRejectedCost;
+  cost[s] = total;
+  best[s] = best_lhs;
+}
+
+/// First loop of procedure blitzsplit: init_singleton for each relation.
+/// Shared by the sequential and rank-parallel drivers.
+template <typename CostModel, bool kWithPredicates>
+inline void BlitzInitSingletons(const std::vector<double>& base_cards,
+                                float* cost, double* card,
+                                std::uint32_t* best, double* pi_fan,
+                                double* aux) {
+  const int n = static_cast<int>(base_cards.size());
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t w = std::uint64_t{1} << i;
+    card[w] = base_cards[i];
+    cost[w] = 0.0f;
+    best[w] = 0;
+    if constexpr (kWithPredicates) pi_fan[w] = 1.0;
+    if constexpr (CostModel::kNeedsAux) aux[w] = CostModel::Aux(base_cards[i]);
+  }
+}
+
+/// Validates the (problem, table, configuration) contract shared by both
+/// drivers. Checks are debug-build assertions via BLITZ_CHECK.
+template <typename CostModel, bool kWithPredicates>
+inline void BlitzCheckPass(const std::vector<double>& base_cards,
+                           const JoinGraph* graph, const DpTable& table) {
+  const int n = static_cast<int>(base_cards.size());
+  BLITZ_CHECK(n >= 1 && n <= kMaxRelations);
+  BLITZ_CHECK(table.num_relations() == n);
+  BLITZ_CHECK((graph != nullptr) == kWithPredicates);
+  BLITZ_CHECK(table.has_pi_fan() == kWithPredicates);
+  BLITZ_CHECK(table.has_aux() == CostModel::kNeedsAux);
+}
+
+}  // namespace internal
+
 /// The blitzsplit dynamic programming core (Figure 1 of the paper, with the
 /// Section 4 lightweight realization and the Section 5 join extension).
 ///
@@ -52,41 +222,31 @@ namespace blitz {
 /// table is partially filled but safe to reuse for a fresh in-place pass,
 /// which rewrites every row in the same integer order.
 ///
+/// For the multicore rank-synchronous variant of this driver see
+/// parallel/blitzsplit_ranked.h; both produce bit-identical tables.
+///
 /// Requirements: base_cards.size() == n in [1, kMaxRelations]; graph non-null
 /// iff kWithPredicates; the table must have been created with matching
 /// columns (pi_fan iff kWithPredicates, aux iff CostModel::kNeedsAux).
 template <typename CostModel, bool kWithPredicates, bool kNestedIfs = true,
           typename Instr = NoInstrumentation>
-float RunBlitzSplit(const CostModel& model,
+BLITZ_NOINLINE float RunBlitzSplit(const CostModel& model,
                     const std::vector<double>& base_cards,
                     const JoinGraph* graph, float cost_threshold,
                     DpTable* table, Instr* instr,
                     GovernorState* governor = nullptr) {
-  static_assert(kWithPredicates || true);
+  internal::BlitzCheckPass<CostModel, kWithPredicates>(base_cards, graph,
+                                                       *table);
   const int n = static_cast<int>(base_cards.size());
-  BLITZ_CHECK(n >= 1 && n <= kMaxRelations);
-  BLITZ_CHECK(table->num_relations() == n);
-  BLITZ_CHECK((graph != nullptr) == kWithPredicates);
-  BLITZ_CHECK(table->has_pi_fan() == kWithPredicates);
-  BLITZ_CHECK(table->has_aux() == CostModel::kNeedsAux);
 
   float* const cost = table->cost_data();
   double* const card = table->card_data();
   std::uint32_t* const best = table->best_lhs_data();
-  [[maybe_unused]] double* const pi_fan =
-      kWithPredicates ? table->pi_fan_data() : nullptr;
-  [[maybe_unused]] double* const aux =
-      CostModel::kNeedsAux ? table->aux_data() : nullptr;
+  double* const pi_fan = kWithPredicates ? table->pi_fan_data() : nullptr;
+  double* const aux = CostModel::kNeedsAux ? table->aux_data() : nullptr;
 
-  // First loop of procedure blitzsplit: init_singleton for each relation.
-  for (int i = 0; i < n; ++i) {
-    const std::uint64_t w = std::uint64_t{1} << i;
-    card[w] = base_cards[i];
-    cost[w] = 0.0f;
-    best[w] = 0;
-    if constexpr (kWithPredicates) pi_fan[w] = 1.0;
-    if constexpr (CostModel::kNeedsAux) aux[w] = CostModel::Aux(base_cards[i]);
-  }
+  internal::BlitzInitSingletons<CostModel, kWithPredicates>(
+      base_cards, cost, card, best, pi_fan, aux);
 
   const std::uint64_t full = (std::uint64_t{1} << n) - 1;
   if (n == 1) return cost[full];
@@ -97,106 +257,9 @@ float RunBlitzSplit(const CostModel& model,
   for (std::uint64_t s = 3; s <= full; ++s) {
     if ((s & (s - 1)) == 0) continue;  // singleton — already initialized
     if (governor != nullptr && governor->Tick()) return kRejectedCost;
-    instr->OnSubsetVisited();
-
-    // --- compute_properties(S) ---------------------------------------
-    // U = {min S} = delta_S(1) = S & -S; V = S - U.
-    const std::uint64_t u = s & (~s + 1);
-    const std::uint64_t v = s ^ u;
-    double out_card;
-    if constexpr (kWithPredicates) {
-      double fan;
-      if ((v & (v - 1)) == 0) {
-        // Doubleton {R,R'}: Pi_fan is the selectivity of the predicate
-        // connecting R and R', or 1 if there is none (Section 5.4).
-        fan = graph->Selectivity(std::countr_zero(u), std::countr_zero(v));
-      } else {
-        // Recurrence (10): split V into disjoint W and Z; we use W = {min V}.
-        const std::uint64_t w = v & (~v + 1);
-        const std::uint64_t z = v ^ w;
-        fan = pi_fan[u | w] * pi_fan[u | z];
-      }
-      pi_fan[s] = fan;
-      // Recurrence (11): card(S) = card(U) * card(V) * Pi_fan(S).
-      out_card = card[u] * card[v] * fan;
-    } else {
-      out_card = card[u] * card[v];
-    }
-    card[s] = out_card;
-    if constexpr (CostModel::kNeedsAux) aux[s] = CostModel::Aux(out_card);
-
-    // --- find_best_split(S) ------------------------------------------
-    // kappa'(S) is split-independent, so compute it before the loop; if it
-    // already overflows or reaches the plan-cost threshold, no plan for S
-    // can survive, and the loop is avoided entirely (Sections 6.3-6.4).
-    const float kappa_prime = static_cast<float>(model.KappaPrime(out_card));
-    if (!(kappa_prime < cost_threshold)) {
-      cost[s] = kRejectedCost;
-      best[s] = 0;
-      instr->OnThresholdSkip();
-      continue;
-    }
-
-    float best_cost_so_far = kRejectedCost;
-    std::uint32_t best_lhs = 0;
-    // S_lhs ranges over all nonempty proper subsets of S via the successor
-    // operator succ(S_lhs) = S & (S_lhs - S); starting from 0 the first
-    // value is S & -S and the sequence ends when S itself is reached.
-    for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
-      instr->OnLoopIteration();
-      const std::uint64_t rhs = s ^ lhs;
-      if constexpr (kNestedIfs) {
-        // Nested ifs (Section 4.2): each comparison can dismiss the split
-        // before the next, increasingly expensive, quantity is computed.
-        const float lhs_cost = cost[lhs];
-        if (!(lhs_cost < best_cost_so_far)) continue;
-        const float oprnd_cost = lhs_cost + cost[rhs];
-        if (!(oprnd_cost < best_cost_so_far)) continue;
-        instr->OnOperandPass();
-        float kappa2;
-        if constexpr (CostModel::kNeedsAux) {
-          kappa2 = static_cast<float>(model.KappaDoublePrime(
-              out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
-        } else {
-          kappa2 = static_cast<float>(
-              model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
-        }
-        instr->OnKappa2Evaluated();
-        const float dpnd_cost = oprnd_cost + kappa2;
-        if (dpnd_cost < best_cost_so_far) {
-          best_cost_so_far = dpnd_cost;
-          best_lhs = static_cast<std::uint32_t>(lhs);
-          instr->OnImprovement();
-        }
-      } else {
-        // Flat variant for the nested-if ablation: kappa'' is evaluated on
-        // every one of the ~3^n iterations.
-        const float oprnd_cost = cost[lhs] + cost[rhs];
-        instr->OnOperandPass();
-        float kappa2;
-        if constexpr (CostModel::kNeedsAux) {
-          kappa2 = static_cast<float>(model.KappaDoublePrime(
-              out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
-        } else {
-          kappa2 = static_cast<float>(
-              model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
-        }
-        instr->OnKappa2Evaluated();
-        const float dpnd_cost = oprnd_cost + kappa2;
-        if (dpnd_cost < best_cost_so_far) {
-          best_cost_so_far = dpnd_cost;
-          best_lhs = static_cast<std::uint32_t>(lhs);
-          instr->OnImprovement();
-        }
-      }
-    }
-
-    float total = best_cost_so_far + kappa_prime;
-    // Reject plans whose cost overflows single precision (Section 6.3) or
-    // reaches the simulated-overflow threshold (Section 6.4).
-    if (!(total < cost_threshold)) total = kRejectedCost;
-    cost[s] = total;
-    best[s] = best_lhs;
+    internal::BlitzProcessSubset<CostModel, kWithPredicates, kNestedIfs>(
+        model, graph, cost_threshold, s, cost, card, best, pi_fan, aux,
+        instr);
   }
   return cost[full];
 }

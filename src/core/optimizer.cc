@@ -1,5 +1,6 @@
 #include "core/optimizer.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/strings.h"
@@ -8,6 +9,7 @@
 #include "governor/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/blitzsplit_ranked.h"
 
 namespace blitz {
 
@@ -57,10 +59,33 @@ std::vector<double> BaseCards(const Catalog& catalog) {
   return cards;
 }
 
-/// Dispatches to the right RunBlitzSplit instantiation for the runtime
+/// Runs one pass with a fully compile-time configuration, choosing the
+/// sequential integer-order driver or the rank-synchronous parallel driver
+/// at runtime. `resolved` is options.budget pinned via Resolved() so the
+/// parallel workers' per-thread governors share the caller's clock.
+template <typename Model, bool kWithPredicates, bool kNestedIfs,
+          typename Instr>
+float RunConfigured(const Model& model, const OptimizerOptions& options,
+                    const ResourceBudget& resolved,
+                    const std::vector<double>& base_cards,
+                    const JoinGraph* graph, DpTable* table, Instr* instr,
+                    GovernorState* governor) {
+  if (options.parallel.ShouldParallelize(
+          static_cast<int>(base_cards.size()))) {
+    return RunBlitzSplitRanked<Model, kWithPredicates, kNestedIfs>(
+        model, base_cards, graph, options.cost_threshold, table, instr,
+        options.parallel, resolved, governor);
+  }
+  return RunBlitzSplit<Model, kWithPredicates, kNestedIfs>(
+      model, base_cards, graph, options.cost_threshold, table, instr,
+      governor);
+}
+
+/// Dispatches to the right blitzsplit instantiation for the runtime
 /// options. `graph` is null for the Cartesian-only variant.
 template <bool kWithPredicates>
 float Dispatch(const OptimizerOptions& options,
+               const ResourceBudget& resolved,
                const std::vector<double>& base_cards, const JoinGraph* graph,
                DpTable* table, CountingInstrumentation* counters,
                GovernorState* governor) {
@@ -70,12 +95,12 @@ float Dispatch(const OptimizerOptions& options,
       CountingInstrumentation instr;
       float cost;
       if (options.nested_ifs) {
-        cost = RunBlitzSplit<Model, kWithPredicates, true>(
-            model, base_cards, graph, options.cost_threshold, table, &instr,
+        cost = RunConfigured<Model, kWithPredicates, true>(
+            model, options, resolved, base_cards, graph, table, &instr,
             governor);
       } else {
-        cost = RunBlitzSplit<Model, kWithPredicates, false>(
-            model, base_cards, graph, options.cost_threshold, table, &instr,
+        cost = RunConfigured<Model, kWithPredicates, false>(
+            model, options, resolved, base_cards, graph, table, &instr,
             governor);
       }
       if (counters != nullptr) *counters += instr;
@@ -83,12 +108,12 @@ float Dispatch(const OptimizerOptions& options,
     }
     NoInstrumentation no_instr;
     if (options.nested_ifs) {
-      return RunBlitzSplit<Model, kWithPredicates, true>(
-          model, base_cards, graph, options.cost_threshold, table, &no_instr,
+      return RunConfigured<Model, kWithPredicates, true>(
+          model, options, resolved, base_cards, graph, table, &no_instr,
           governor);
     }
-    return RunBlitzSplit<Model, kWithPredicates, false>(
-        model, base_cards, graph, options.cost_threshold, table, &no_instr,
+    return RunConfigured<Model, kWithPredicates, false>(
+        model, options, resolved, base_cards, graph, table, &no_instr,
         governor);
   });
 }
@@ -117,9 +142,18 @@ bool ModelNeedsAux(CostModelKind kind) {
 
 }  // namespace
 
+Status OptimizerOptions::Validate() const {
+  if (std::isnan(cost_threshold) || cost_threshold <= 0.0f) {
+    return Status::InvalidArgument(
+        "cost_threshold must be positive (use kRejectedCost to disable)");
+  }
+  return parallel.Validate();
+}
+
 Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
                                      const JoinGraph& graph,
                                      const OptimizerOptions& options) {
+  BLITZ_RETURN_IF_ERROR(options.Validate());
   if (graph.num_relations() != catalog.num_relations()) {
     return Status::InvalidArgument(StrFormat(
         "graph has %d relations but catalog has %d", graph.num_relations(),
@@ -129,7 +163,10 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
   TraceSpan span("OptimizeJoin");
   span.AddArg("n", catalog.num_relations());
   span.AddArg("threshold", options.cost_threshold);
-  GovernorState governor(options.budget);
+  // Resolve the budget once so the pass governor and every parallel
+  // worker's governor share one absolute deadline.
+  const ResourceBudget resolved = options.budget.Resolved();
+  GovernorState governor(resolved);
   BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
   const bool needs_aux = ModelNeedsAux(options.cost_model);
   if (governor.active()) {
@@ -141,7 +178,7 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
                                           /*with_pi_fan=*/true, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
-  outcome.cost = Dispatch<true>(options, BaseCards(catalog), &graph,
+  outcome.cost = Dispatch<true>(options, resolved, BaseCards(catalog), &graph,
                                 &outcome.table, &outcome.counters,
                                 governor.active() ? &governor : nullptr);
   if (governor.aborted()) return RecordGovernorAbort(governor.status());
@@ -158,10 +195,12 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
 
 Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
                                           const OptimizerOptions& options) {
+  BLITZ_RETURN_IF_ERROR(options.Validate());
   const MetricTimer timer;
   TraceSpan span("OptimizeCartesian");
   span.AddArg("n", catalog.num_relations());
-  GovernorState governor(options.budget);
+  const ResourceBudget resolved = options.budget.Resolved();
+  GovernorState governor(resolved);
   BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
   const bool needs_aux = ModelNeedsAux(options.cost_model);
   if (governor.active()) {
@@ -173,8 +212,8 @@ Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
                                           /*with_pi_fan=*/false, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
-  outcome.cost = Dispatch<false>(options, BaseCards(catalog), nullptr,
-                                 &outcome.table, &outcome.counters,
+  outcome.cost = Dispatch<false>(options, resolved, BaseCards(catalog),
+                                 nullptr, &outcome.table, &outcome.counters,
                                  governor.active() ? &governor : nullptr);
   if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", outcome.cost);
@@ -203,19 +242,23 @@ Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
     return Status::FailedPrecondition(
         "table columns do not match the requested configuration");
   }
+  BLITZ_RETURN_IF_ERROR(options.Validate());
   const MetricTimer timer;
   TraceSpan span("ReoptimizeJoinInPlace");
   span.AddArg("n", catalog.num_relations());
   span.AddArg("threshold", options.cost_threshold);
-  GovernorState governor(options.budget);
+  const ResourceBudget resolved = options.budget.Resolved();
+  GovernorState governor(resolved);
   BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
   // `counters` accumulates across calls; fold only this pass's delta.
   CountingInstrumentation pass_counters;
-  const float cost = Dispatch<true>(options, BaseCards(catalog), &graph,
-                                    table, &pass_counters,
+  const float cost = Dispatch<true>(options, resolved, BaseCards(catalog),
+                                    &graph, table, &pass_counters,
                                     governor.active() ? &governor : nullptr);
   // A governed abort leaves the table partially overwritten, which is safe:
-  // the next in-place pass rewrites every row in the same integer order.
+  // whether a pass runs sequentially (integer order) or rank-parallel (every
+  // rank rewritten before the next is read), the next in-place pass rewrites
+  // every row before depending on it.
   if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", cost);
   if (counters != nullptr) *counters += pass_counters;

@@ -9,6 +9,7 @@
 #include "core/instrumentation.h"
 #include "cost/cost_model.h"
 #include "governor/budget.h"
+#include "parallel/parallel_options.h"
 #include "query/join_graph.h"
 
 namespace blitz {
@@ -37,6 +38,17 @@ struct OptimizerOptions {
   /// is checked cooperatively every GovernorState::kCheckStride subsets
   /// (DeadlineExceeded / Cancelled).
   ResourceBudget budget;
+
+  /// Multicore configuration (sequential by default). With num_threads > 1
+  /// the DP runs rank-synchronously — each cardinality rank sharded across
+  /// a thread pool with one barrier per rank — producing a bit-identical
+  /// table; see parallel/blitzsplit_ranked.h. Problems too small for any
+  /// rank to reach parallel.min_parallel_rank keep the sequential driver.
+  ParallelOptimizerOptions parallel;
+
+  /// Canonical validation of every knob, including the nested parallel
+  /// options; called by the optimizer entry points before a pass runs.
+  Status Validate() const;
 };
 
 /// The result of one optimizer pass: the filled DP table (from which plans

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <utility>
 
 #include "common/status.h"
 #include "governor/budget.h"
@@ -52,6 +53,16 @@ class GovernorState {
   bool CheckNow();
 
   bool aborted() const { return aborted_; }
+
+  /// Adopts an abort observed elsewhere — the rank-parallel driver's
+  /// first-error-wins path, where a *worker's* per-thread governor trips
+  /// the deadline or cancellation and the caller's governor must unwind
+  /// with that verdict. No-op if this governor already aborted (the first
+  /// recorded reason wins). Not thread-safe: call after the worker barrier,
+  /// from the owning thread.
+  void AdoptAbort(Status status) {
+    if (!aborted_) Abort(std::move(status));
+  }
 
   /// The abort reason; OK while not aborted.
   const Status& status() const { return status_; }

@@ -1,0 +1,71 @@
+#ifndef BLITZ_PARALLEL_PARALLEL_OPTIONS_H_
+#define BLITZ_PARALLEL_PARALLEL_OPTIONS_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+#include "parallel/rank_enum.h"
+
+namespace blitz {
+
+/// Multicore configuration for one blitzsplit DP pass. The paper's DP is
+/// embarrassingly parallel within a cardinality rank — every subset of
+/// cardinality k depends only on subsets of cardinality < k — so the
+/// rank-synchronous driver (parallel/blitzsplit_ranked.h) shards each rank
+/// across a fixed-size thread pool with one barrier per rank.
+///
+/// The default configuration (num_threads = 1) is exactly the sequential
+/// optimizer: no pool is created, no extra branch runs in the subset loop,
+/// and the classic integer-order driver is used unchanged.
+struct ParallelOptimizerOptions {
+  /// Total threads working on a pass, including the calling thread (which
+  /// always participates). 1 = sequential (default); 0 = one per hardware
+  /// thread.
+  int num_threads = 1;
+
+  /// Minimum number of subsets C(n,k) a cardinality-k rank must contain to
+  /// be fanned out; smaller ranks run on the calling thread, where the
+  /// dispatch barrier would cost more than it buys. This also gates the
+  /// whole pass: a problem too small for *any* rank to qualify (the widest
+  /// rank is C(n, n/2)) takes the sequential integer-order code path with
+  /// zero new overhead. The default keeps every n <= 13 sequential
+  /// (C(13,6) = 1716 < 2048) while n = 18 fans out ranks 4..14.
+  std::uint64_t min_parallel_rank = 2048;
+
+  /// num_threads with 0 resolved to the hardware thread count (at least 1).
+  int EffectiveThreads() const {
+    if (num_threads > 1) return num_threads;
+    if (num_threads == 1) return 1;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<int>(hw) : 1;
+  }
+
+  /// True when a pass over n relations should use the rank-synchronous
+  /// driver: more than one effective thread and at least one rank wide
+  /// enough to fan out.
+  bool ShouldParallelize(int n) const {
+    return EffectiveThreads() > 1 && n >= 2 &&
+           Binomial(n, n / 2) >= min_parallel_rank;
+  }
+
+  /// Canonical validation, folded into OptimizerOptions::Validate().
+  Status Validate() const {
+    if (num_threads < 0 || num_threads > kMaxNumThreads) {
+      return Status::InvalidArgument(
+          "parallel.num_threads must be in [0, 1024] (0 = auto)");
+    }
+    if (min_parallel_rank == 0) {
+      return Status::InvalidArgument(
+          "parallel.min_parallel_rank must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  /// Sanity cap on explicit thread requests.
+  static constexpr int kMaxNumThreads = 1024;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_PARALLEL_PARALLEL_OPTIONS_H_

@@ -1,0 +1,88 @@
+#ifndef BLITZ_PARALLEL_RANK_ENUM_H_
+#define BLITZ_PARALLEL_RANK_ENUM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace blitz {
+
+/// Enumeration and unranking of the cardinality-k "ranks" of the subset
+/// lattice, the unit of work the rank-synchronous parallel optimizer shards
+/// across threads. A rank is the C(n,k) bit-vectors of popcount k over n
+/// relations, ordered by integer value — which for fixed popcount is
+/// exactly colexicographic order on combinations, so the combinatorial
+/// number system unranks directly into the Section 4.1 set representation.
+
+/// Largest word width the rank enumeration supports. All C(n,k) with
+/// n <= 63 fit in a uint64 (the largest, C(63,31), is ~9.2e17).
+inline constexpr int kMaxRankBits = 63;
+
+namespace internal {
+
+/// Pascal's triangle up to kMaxRankBits, built once at compile time.
+struct BinomialTable {
+  std::array<std::array<std::uint64_t, kMaxRankBits + 1>, kMaxRankBits + 1>
+      c{};
+
+  constexpr BinomialTable() {
+    for (int n = 0; n <= kMaxRankBits; ++n) {
+      c[n][0] = 1;
+      for (int k = 1; k <= n; ++k) {
+        c[n][k] = c[n - 1][k - 1] + (k <= n - 1 ? c[n - 1][k] : 0);
+      }
+    }
+  }
+};
+
+inline constexpr BinomialTable kBinomial{};
+
+}  // namespace internal
+
+/// C(n, k) for 0 <= n <= 63; 0 when k is out of [0, n].
+constexpr std::uint64_t Binomial(int n, int k) {
+  if (n < 0 || n > kMaxRankBits || k < 0 || k > n) return 0;
+  return internal::kBinomial.c[static_cast<std::size_t>(n)]
+                             [static_cast<std::size_t>(k)];
+}
+
+/// The smallest k-subset in integer order: {R_0 .. R_{k-1}}.
+constexpr std::uint64_t FirstKSubset(int k) {
+  return (std::uint64_t{1} << k) - 1;
+}
+
+/// Gosper's hack: the next bit-vector with the same popcount in increasing
+/// integer order. `v` must be nonzero and not the rank's maximum (the
+/// driver bounds iteration by the rank's size instead of testing for
+/// wraparound).
+constexpr std::uint64_t NextKSubset(std::uint64_t v) {
+  const std::uint64_t c = v & (~v + 1);
+  const std::uint64_t r = v + c;
+  return r | (((v ^ r) >> 2) / c);
+}
+
+/// The r-th (0-based) k-subset of {0 .. n-1} in increasing integer order —
+/// the combinatorial number system unranking. With NextKSubset this lets
+/// each worker jump straight to its shard of a rank: start at
+/// NthKSubset(n, k, begin) and step NextKSubset (end - begin - 1) times.
+/// Requires 1 <= k <= n <= 63 and r < C(n, k).
+inline std::uint64_t NthKSubset(int n, int k, std::uint64_t r) {
+  BLITZ_CHECK(k >= 1 && k <= n && n <= kMaxRankBits);
+  BLITZ_CHECK(r < Binomial(n, k));
+  std::uint64_t out = 0;
+  int c = n - 1;
+  for (int i = k; i >= 1; --i) {
+    // Greedy digit of the combinatorial number system: the largest c with
+    // C(c, i) <= r. C(i-1, i) = 0 bounds the scan.
+    while (Binomial(c, i) > r) --c;
+    out |= std::uint64_t{1} << c;
+    r -= Binomial(c, i);
+    --c;
+  }
+  return out;
+}
+
+}  // namespace blitz
+
+#endif  // BLITZ_PARALLEL_RANK_ENUM_H_

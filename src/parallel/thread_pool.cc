@@ -1,0 +1,91 @@
+#include "parallel/thread_pool.h"
+
+#include "common/check.h"
+
+namespace blitz {
+
+ThreadPool::ThreadPool(int num_workers) {
+  BLITZ_CHECK(num_workers >= 0);
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    // The calling thread is participant 0; workers take 1..num_workers.
+    workers_.emplace_back([this, w] { WorkerLoop(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::RunShare(int participant, const std::function<void(int)>* fn,
+                         int num_tasks) {
+  const int stride = num_participants();
+  int done = 0;
+  for (int t = participant; t < num_tasks; t += stride) {
+    (*fn)(t);
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty()) {
+    for (int t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    completed_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  const int done = RunShare(0, &fn, num_tasks);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    completed_ += done;
+    done_cv_.wait(lock, [&] { return completed_ == num_tasks_; });
+    // Close the generation so a worker that wakes late sees no work.
+    fn_ = nullptr;
+    num_tasks_ = 0;
+  }
+}
+
+void ThreadPool::WorkerLoop(int participant) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn;
+    int num_tasks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = fn_;
+      num_tasks = num_tasks_;
+    }
+    // A late wake after the generation already completed (fn_ reset by
+    // Run) simply records the generation as seen and sleeps again.
+    if (fn == nullptr) continue;
+    const int done = RunShare(participant, fn, num_tasks);
+    if (done > 0) {
+      bool all_done;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        completed_ += done;
+        all_done = completed_ == num_tasks_;
+      }
+      if (all_done) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace blitz

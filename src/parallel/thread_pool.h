@@ -1,0 +1,73 @@
+#ifndef BLITZ_PARALLEL_THREAD_POOL_H_
+#define BLITZ_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blitz {
+
+/// A fixed-size pool of worker threads driving statically-sharded parallel
+/// loops with a full barrier per Run() — the execution substrate of the
+/// rank-synchronous optimizer (one Run per DP rank, dozens of Runs per
+/// pass).
+///
+/// Sharding is static: Run(num_tasks, fn) assigns task t to participant
+/// (t mod P) where P = num_workers() + 1 and the *calling thread is
+/// participant 0*, so a pool constructed with zero workers degenerates to a
+/// plain sequential loop on the caller. Static assignment keeps the
+/// dispatch path free of work-stealing atomics and makes the task →
+/// thread mapping deterministic, which the optimizer does not need for
+/// correctness (tasks write disjoint data) but which keeps perf runs
+/// reproducible.
+///
+/// `fn` must not throw. Run() may be called repeatedly; calls must not be
+/// nested or issued concurrently from several threads. Workers sleep
+/// between Runs (condition variable, no spinning), so an idle pool costs
+/// only memory.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (>= 0) in addition to the calling thread.
+  explicit ThreadPool(int num_workers);
+
+  /// Joins all workers. Must not race a Run() in progress.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Total participants per Run: workers plus the calling thread.
+  int num_participants() const { return num_workers() + 1; }
+
+  /// Invokes fn(t) for every t in [0, num_tasks), sharded across the
+  /// workers and the calling thread, and returns once every invocation has
+  /// finished (the barrier).
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int participant);
+
+  /// Executes participant `participant`'s share of the current generation's
+  /// tasks; returns the number executed.
+  int RunShare(int participant, const std::function<void(int)>* fn,
+               int num_tasks);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;  ///< Guarded by mu_.
+  int num_tasks_ = 0;                             ///< Guarded by mu_.
+  int completed_ = 0;                             ///< Guarded by mu_.
+  std::uint64_t generation_ = 0;                  ///< Guarded by mu_.
+  bool shutdown_ = false;                         ///< Guarded by mu_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_PARALLEL_THREAD_POOL_H_

@@ -184,7 +184,7 @@ TEST(ObsIntegrationTest, OptimizeQueryReportExhaustive) {
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->report.has_value());
   const OptimizeReport& report = *result->report;
-  EXPECT_FALSE(report.used_hybrid);
+  EXPECT_EQ(result->tier, OptimizerTier::kExhaustive);
   EXPECT_GT(report.total_seconds, 0.0);
   EXPECT_GT(report.optimize_seconds, 0.0);
   EXPECT_LE(report.optimize_seconds + report.extract_seconds +
@@ -194,7 +194,7 @@ TEST(ObsIntegrationTest, OptimizeQueryReportExhaustive) {
             static_cast<size_t>(result->passes));
   EXPECT_GT(report.counters.loop_iterations, 0u);
   EXPECT_GT(report.peak_dp_table_bytes, 0u);
-  EXPECT_NE(report.ToString().find("exhaustive"), std::string::npos);
+  EXPECT_NE(result->ReportToString().find("exhaustive"), std::string::npos);
 
   // Without the flag the report stays disengaged.
   QueryOptimizerOptions no_report;
@@ -221,9 +221,9 @@ TEST(ObsIntegrationTest, OptimizeQueryReportHybrid) {
   Result<OptimizedQuery> result = OptimizeQuery(*catalog, graph, options);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->report.has_value());
-  EXPECT_TRUE(result->report->used_hybrid);
-  EXPECT_FALSE(result->exact);
-  EXPECT_NE(result->report->ToString().find("hybrid"), std::string::npos);
+  EXPECT_EQ(result->tier, OptimizerTier::kHybrid);
+  EXPECT_FALSE(result->exact());
+  EXPECT_NE(result->ReportToString().find("hybrid"), std::string::npos);
 
   const std::vector<TraceEvent> events = obs.recorder.Events();
   EXPECT_EQ(CountEvents(events, "OptimizeQuery"), 1);

@@ -20,7 +20,7 @@ TEST(OptimizeQueryTest, SmallQueriesAreExactAndMatchCoreOptimizer) {
   Result<OptimizedQuery> result =
       OptimizeQuery(instance.catalog, instance.graph, options);
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->exact);
+  EXPECT_TRUE(result->exact());
   EXPECT_EQ(result->passes, 1);
 
   Result<OptimizeOutcome> core =
@@ -46,7 +46,7 @@ TEST(OptimizeQueryTest, LargeQueriesUseHybrid) {
   Result<OptimizedQuery> result =
       OptimizeQuery(workload->catalog, workload->graph, options);
   ASSERT_TRUE(result.ok());
-  EXPECT_FALSE(result->exact);
+  EXPECT_FALSE(result->exact());
   EXPECT_EQ(result->plan.NumLeaves(), 19);
   const double evaluated =
       EvaluateCost(result->plan, workload->catalog, workload->graph,
@@ -61,7 +61,7 @@ TEST(OptimizeQueryTest, ThresholdLadderPathReportsPasses) {
   Result<OptimizedQuery> result =
       OptimizeQuery(instance.catalog, instance.graph, options);
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->exact);
+  EXPECT_TRUE(result->exact());
   EXPECT_GT(result->passes, 1);
 }
 

@@ -1,0 +1,187 @@
+// Determinism contract of the rank-synchronous parallel optimizer: for any
+// thread count, the filled DP table — costs, cardinalities, and chosen
+// splits — is bit-identical to the sequential driver's, and the operation
+// counters fold to exactly the sequential totals.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/dp_table.h"
+#include "core/optimizer.h"
+#include "plan/plan.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+/// Asserts every allocated column of `a` and `b` is bitwise equal.
+void ExpectTablesBitIdentical(DpTable* a, DpTable* b) {
+  ASSERT_EQ(a->num_relations(), b->num_relations());
+  ASSERT_EQ(a->has_pi_fan(), b->has_pi_fan());
+  ASSERT_EQ(a->has_aux(), b->has_aux());
+  const std::size_t rows = static_cast<std::size_t>(a->size());
+  EXPECT_EQ(std::memcmp(a->cost_data(), b->cost_data(),
+                        rows * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(a->card_data(), b->card_data(),
+                        rows * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(a->best_lhs_data(), b->best_lhs_data(),
+                        rows * sizeof(std::uint32_t)),
+            0);
+  if (a->has_pi_fan()) {
+    EXPECT_EQ(std::memcmp(a->pi_fan_data(), b->pi_fan_data(),
+                          rows * sizeof(double)),
+              0);
+  }
+  if (a->has_aux()) {
+    EXPECT_EQ(std::memcmp(a->aux_data(), b->aux_data(),
+                          rows * sizeof(double)),
+              0);
+  }
+}
+
+OptimizerOptions ParallelOptions(CostModelKind model, int threads,
+                                 std::uint64_t min_rank = 4) {
+  OptimizerOptions options;
+  options.cost_model = model;
+  options.count_operations = true;
+  options.parallel.num_threads = threads;
+  // Lowered so the widest ranks of modest test problems actually fan out.
+  options.parallel.min_parallel_rank = min_rank;
+  return options;
+}
+
+constexpr CostModelKind kModels[] = {CostModelKind::kNaive,
+                                     CostModelKind::kSortMerge,
+                                     CostModelKind::kMinAll};
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+TEST(ParallelDeterminismTest, CartesianFig2StyleBitIdenticalAcrossThreads) {
+  // Figure 2's setup: equal cardinalities, pure Cartesian product.
+  const std::vector<double> cards(13, 100.0);
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  ASSERT_TRUE(catalog.ok());
+  for (const CostModelKind model : kModels) {
+    Result<OptimizeOutcome> baseline =
+        OptimizeCartesian(*catalog, ParallelOptions(model, 1));
+    ASSERT_TRUE(baseline.ok());
+    for (const int threads : kThreadCounts) {
+      Result<OptimizeOutcome> outcome =
+          OptimizeCartesian(*catalog, ParallelOptions(model, threads));
+      ASSERT_TRUE(outcome.ok()) << "threads=" << threads;
+      EXPECT_EQ(outcome->cost, baseline->cost);
+      ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+      EXPECT_EQ(outcome->counters.subsets_visited,
+                baseline->counters.subsets_visited);
+      EXPECT_EQ(outcome->counters.loop_iterations,
+                baseline->counters.loop_iterations);
+      EXPECT_EQ(outcome->counters.improvements,
+                baseline->counters.improvements);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, JoinGraphBitIdenticalAcrossThreads) {
+  // Figure 4's setting: predicates with varying selectivities.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(13, /*seed=*/42);
+  for (const CostModelKind model : kModels) {
+    Result<OptimizeOutcome> baseline =
+        OptimizeJoin(instance.catalog, instance.graph,
+                     ParallelOptions(model, 1));
+    ASSERT_TRUE(baseline.ok());
+    Result<Plan> baseline_plan = Plan::ExtractFromTable(baseline->table);
+    ASSERT_TRUE(baseline_plan.ok());
+    for (const int threads : kThreadCounts) {
+      Result<OptimizeOutcome> outcome =
+          OptimizeJoin(instance.catalog, instance.graph,
+                       ParallelOptions(model, threads));
+      ASSERT_TRUE(outcome.ok()) << "threads=" << threads;
+      EXPECT_EQ(outcome->cost, baseline->cost);
+      ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+      // Identical best_lhs columns imply identical extracted plans; check
+      // the visible artifact too.
+      Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+      ASSERT_TRUE(plan.ok());
+      EXPECT_EQ(plan->ToString(), baseline_plan->ToString());
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ThresholdRejectionIsDeterministicToo) {
+  // A biting cost threshold exercises the kappa' skip and rejection paths;
+  // the rejected-row pattern must not depend on the thread count.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(12, /*seed=*/7);
+  OptimizerOptions sequential = ParallelOptions(CostModelKind::kNaive, 1);
+  sequential.cost_threshold = 1e6f;
+  Result<OptimizeOutcome> baseline =
+      OptimizeJoin(instance.catalog, instance.graph, sequential);
+  ASSERT_TRUE(baseline.ok());
+  for (const int threads : {2, 8}) {
+    OptimizerOptions parallel = ParallelOptions(CostModelKind::kNaive, threads);
+    parallel.cost_threshold = 1e6f;
+    Result<OptimizeOutcome> outcome =
+        OptimizeJoin(instance.catalog, instance.graph, parallel);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->cost, baseline->cost);
+    ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+    EXPECT_EQ(outcome->counters.threshold_skips,
+              baseline->counters.threshold_skips);
+  }
+}
+
+TEST(ParallelDeterminismTest, TinyProblemForcedParallelMatchesPaperExample) {
+  // min_parallel_rank = 1 forces the rank driver even at n = 4, covering
+  // the degenerate chunks-smaller-than-threads paths against the worked
+  // Table 1 / Figure 3 example.
+  const Catalog catalog = testing::Table1Catalog();
+  const JoinGraph graph = testing::Figure3Graph();
+  Result<OptimizeOutcome> baseline =
+      OptimizeJoin(catalog, graph, OptimizerOptions{});
+  ASSERT_TRUE(baseline.ok());
+  for (const int threads : {2, 8}) {
+    Result<OptimizeOutcome> outcome = OptimizeJoin(
+        catalog, graph,
+        ParallelOptions(CostModelKind::kNaive, threads, /*min_rank=*/1));
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->cost, baseline->cost);
+    ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+  }
+}
+
+TEST(ParallelDeterminismTest, DefaultOptionsKeepSmallProblemsSequential) {
+  // The default min_parallel_rank leaves every n <= 13 on the sequential
+  // path even when threads are requested — the zero-new-overhead contract.
+  ParallelOptimizerOptions parallel;
+  parallel.num_threads = 8;
+  for (int n = 2; n <= 13; ++n) EXPECT_FALSE(parallel.ShouldParallelize(n));
+  EXPECT_TRUE(parallel.ShouldParallelize(14));  // C(14,7) = 3432 >= 2048
+  // And a single thread never parallelizes anything.
+  ParallelOptimizerOptions single;
+  for (int n = 2; n <= 30; ++n) EXPECT_FALSE(single.ShouldParallelize(n));
+}
+
+TEST(ParallelDeterminismTest, AutoThreadCountIsValidConfiguration) {
+  // num_threads = 0 resolves to the hardware thread count; on any machine
+  // the result must still be exact and bit-stable.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(12, /*seed=*/11);
+  Result<OptimizeOutcome> baseline = OptimizeJoin(
+      instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(baseline.ok());
+  OptimizerOptions automatic;
+  automatic.parallel.num_threads = 0;
+  automatic.parallel.min_parallel_rank = 4;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, automatic);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->cost, baseline->cost);
+  ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,0 +1,232 @@
+// Governor-under-parallelism: deadline expiry, cancellation, and injected
+// faults must abort all workers of a rank-parallel pass promptly, surface
+// the right status through the usual entry points, and leave the DP table
+// reusable — with every cross-thread interaction clean under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "governor/budget.h"
+#include "governor/faultpoints.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+/// Options that force the rank driver on mid-size problems with chunks
+/// large enough (> GovernorState::kCheckStride subsets) that worker-side
+/// governor checks actually fire.
+OptimizerOptions ForcedParallel(int threads = 4) {
+  OptimizerOptions options;
+  options.parallel.num_threads = threads;
+  options.parallel.min_parallel_rank = 4;
+  return options;
+}
+
+TEST(ParallelValidateTest, RejectsBadKnobs) {
+  const Catalog catalog = testing::Table1Catalog();
+  const JoinGraph graph = testing::Figure3Graph();
+
+  OptimizerOptions negative;
+  negative.parallel.num_threads = -1;
+  Result<OptimizeOutcome> r1 = OptimizeJoin(catalog, graph, negative);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  OptimizerOptions huge;
+  huge.parallel.num_threads = ParallelOptimizerOptions::kMaxNumThreads + 1;
+  EXPECT_FALSE(OptimizeJoin(catalog, graph, huge).ok());
+
+  OptimizerOptions zero_rank;
+  zero_rank.parallel.min_parallel_rank = 0;
+  EXPECT_FALSE(OptimizeCartesian(catalog, zero_rank).ok());
+
+  OptimizerOptions bad_threshold;
+  bad_threshold.cost_threshold = -1.0f;
+  EXPECT_FALSE(OptimizeJoin(catalog, graph, bad_threshold).ok());
+}
+
+TEST(ParallelGovernorTest, PreCancelledTokenFailsFastOnParallelPath) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(14, /*seed=*/3);
+  CancellationToken token;
+  token.Cancel();
+  OptimizerOptions options = ForcedParallel();
+  options.budget.cancellation = &token;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelGovernorTest, ConcurrentCancellationAbortsWorkers) {
+  // A real canceller thread flips the token while the rank-parallel pass is
+  // in flight; the workers' amortized checks must observe it and the pass
+  // must return kCancelled (or, if the pass wins the race outright, a
+  // complete result — accept both, require one).
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(15, /*seed=*/5);
+  CancellationToken token;
+  OptimizerOptions options = ForcedParallel();
+  options.budget.cancellation = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.Cancel();
+  });
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  canceller.join();
+  if (!outcome.ok()) {
+    EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ParallelGovernorTest, InjectedDeadlineExpiryMidRankAbortsPass) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  // Hit 0 is the entry gate's check; the skew then fires at the first
+  // amortized in-loop check — inside a worker's chunk-local governor —
+  // jumping its clock hours past the generous deadline.
+  FaultSpec skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.skew_seconds = 7200;
+  skew.after = 1;
+  registry.Arm(kFaultGovernorCheck, skew);
+
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(15, /*seed=*/9);
+  OptimizerOptions options = ForcedParallel();
+  options.budget.deadline_seconds = 3600;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  // The entry check plus at least one in-loop check actually ran.
+  EXPECT_GE(registry.hits(kFaultGovernorCheck), 2u);
+}
+
+TEST(ParallelGovernorTest, InjectedCancellationMidRankAbortsPass) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  FaultSpec cancel;
+  cancel.kind = FaultKind::kCancel;
+  cancel.after = 1;
+  registry.Arm(kFaultGovernorCheck, cancel);
+
+  const std::vector<double> cards(15, 50.0);
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  ASSERT_TRUE(catalog.ok());
+  OptimizerOptions options = ForcedParallel();
+  options.budget.deadline_seconds = 3600;  // arms the governor
+  Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelGovernorTest, InjectedErrorStatusPropagatesFirstErrorWins) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  FaultSpec fail;
+  fail.kind = FaultKind::kFailStatus;
+  fail.status = Status::Internal("worker fault for test");
+  fail.after = 1;
+  fail.times = -1;  // every subsequent check fails; first one must win
+  registry.Arm(kFaultGovernorCheck, fail);
+
+  // 4 threads, not more: a chunk must span at least kCheckStride subsets
+  // for its worker to reach an amortized check (C(15,7)/4 ≈ 1609 > 1024).
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(15, /*seed=*/13);
+  OptimizerOptions options = ForcedParallel(4);
+  options.budget.deadline_seconds = 3600;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInternal);
+  EXPECT_NE(outcome.status().message().find("worker fault"),
+            std::string::npos);
+}
+
+TEST(ParallelGovernorTest, AbortedParallelPassLeavesTableReusable) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(15, /*seed=*/21);
+  Result<OptimizeOutcome> clean =
+      OptimizeJoin(instance.catalog, instance.graph, ForcedParallel());
+  ASSERT_TRUE(clean.ok());
+  const float clean_cost = clean->cost;
+
+  {
+    FaultRegistry registry;
+    ScopedFaultRegistry scoped(&registry);
+    FaultSpec cancel;
+    cancel.kind = FaultKind::kCancel;
+    cancel.after = 1;
+    registry.Arm(kFaultGovernorCheck, cancel);
+    OptimizerOptions governed = ForcedParallel();
+    governed.budget.deadline_seconds = 3600;
+    Result<float> aborted = ReoptimizeJoinInPlace(
+        instance.catalog, instance.graph, governed, &clean->table, nullptr);
+    ASSERT_FALSE(aborted.ok());
+    EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  }
+
+  // The abort left some ranks rewritten and some stale; a clean in-place
+  // pass — parallel or sequential — must reproduce the optimum exactly.
+  Result<float> reparallel = ReoptimizeJoinInPlace(
+      instance.catalog, instance.graph, ForcedParallel(), &clean->table,
+      nullptr);
+  ASSERT_TRUE(reparallel.ok());
+  EXPECT_EQ(*reparallel, clean_cost);
+
+  Result<float> resequential = ReoptimizeJoinInPlace(
+      instance.catalog, instance.graph, OptimizerOptions{}, &clean->table,
+      nullptr);
+  ASSERT_TRUE(resequential.ok());
+  EXPECT_EQ(*resequential, clean_cost);
+}
+
+TEST(ParallelGovernorTest, MemoryAdmissionStillGovernsParallelPasses) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(14, /*seed=*/2);
+  OptimizerOptions options = ForcedParallel();
+  options.budget.max_dp_table_bytes = 1024;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelGovernorTest, GenerousBudgetCompletesAndMatchesSequential) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(14, /*seed=*/17);
+  Result<OptimizeOutcome> plain = OptimizeJoin(
+      instance.catalog, instance.graph, OptimizerOptions{});
+  ASSERT_TRUE(plain.ok());
+  OptimizerOptions governed = ForcedParallel();
+  governed.budget.deadline_seconds = 3600;
+  governed.budget.max_dp_table_bytes = 1ull << 30;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, governed);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->cost, plain->cost);
+}
+
+}  // namespace
+}  // namespace blitz
