@@ -5,10 +5,25 @@
 // reporting the fitted machine constants (the paper inferred T_loop of about
 // 180 ns on a SPARCstation 2 and 50 ns on an HP 9000/755).
 //
+// Modes:
+//   bench_fig2_cartesian                # the classic text table + fit
+//   bench_fig2_cartesian --json <path>  # machine-readable SIMD comparison
+//
+// The JSON mode is the recorded perf baseline for the SIMD split-filter
+// kernel (BENCH_fig2.json at the repo root): for each cost model in
+// {naive, sm, dnl} and each n it reports min-of-k per-optimization times
+// under --simd=scalar and under the auto-resolved SIMD kernel, plus the
+// speedup ratio. Minimum-of-k (not mean) is the standard perf-baseline
+// estimator: it discards scheduler noise, which is strictly additive.
+//
 // Environment knobs: BLITZ_BENCH_MIN_SECONDS (timing floor per point,
-// default 0.05), BLITZ_FIG2_MAX_N (default 17).
+// default 0.05), BLITZ_FIG2_MAX_N (default 17 text / 15 json),
+// BLITZ_FIG2_SAMPLES (min-of-k sample count in json mode, default 5).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "benchlib/table_out.h"
@@ -18,11 +33,12 @@
 #include "common/math_util.h"
 #include "common/strings.h"
 #include "core/optimizer.h"
+#include "simd/dispatch.h"
 
 namespace blitz {
 namespace {
 
-int Run() {
+int RunText() {
   const double min_seconds = BenchMinSeconds(0.05);
   const int min_n = 5;
   const int max_n = BenchEnvInt("BLITZ_FIG2_MAX_N", 17);
@@ -85,7 +101,106 @@ int Run() {
   return 0;
 }
 
+/// Min-of-k per-optimization seconds for one (catalog, model, simd) point.
+double MinOfK(const Catalog& catalog, CostModelKind model, SimdLevel simd,
+              int samples, double min_seconds) {
+  OptimizerOptions options;
+  options.cost_model = model;
+  options.simd = simd;
+  double best = 0;
+  for (int sample = 0; sample < samples; ++sample) {
+    const TimingResult timing = TimeIt(
+        [&] {
+          Result<OptimizeOutcome> outcome =
+              OptimizeCartesian(catalog, options);
+          BLITZ_CHECK(outcome.ok());
+        },
+        min_seconds);
+    if (sample == 0 || timing.seconds_per_run < best) {
+      best = timing.seconds_per_run;
+    }
+  }
+  return best;
+}
+
+int RunJson(const char* path) {
+  const double min_seconds = BenchMinSeconds(0.05);
+  const int min_n = 5;
+  const int max_n = BenchEnvInt("BLITZ_FIG2_MAX_N", 15);
+  const int samples = BenchEnvInt("BLITZ_FIG2_SAMPLES", 5);
+  const SimdLevel resolved = ResolveSimdLevel(SimdLevel::kAuto);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+
+  const struct {
+    CostModelKind kind;
+    const char* name;
+  } kModels[] = {{CostModelKind::kNaive, "naive"},
+                 {CostModelKind::kSortMerge, "sm"},
+                 {CostModelKind::kDiskNestedLoops, "dnl"}};
+
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig2_cartesian\",\n"
+               "  \"setup\": \"equal base cardinalities of 100, pure "
+               "Cartesian product\",\n"
+               "  \"estimator\": \"min of %d adaptive timings\",\n"
+               "  \"min_seconds_per_timing\": %g,\n"
+               "  \"simd_resolved\": \"%s\",\n"
+               "  \"points\": [\n",
+               samples, min_seconds, SimdLevelName(resolved));
+
+  bool first = true;
+  for (const auto& model : kModels) {
+    // The SIMD column *forces* the resolved kernel so every model's kernel
+    // cost is on record; auto_engages says whether kAuto would actually
+    // run it for this model (only gate-tight models — see
+    // CostModel::kSplitGateTight and DESIGN.md section 9).
+    OptimizerOptions auto_options;
+    auto_options.cost_model = model.kind;
+    const bool auto_engages =
+        EffectivePassSimdLevel(auto_options) != SimdLevel::kScalar;
+    for (int n = min_n; n <= max_n; ++n) {
+      Result<Catalog> catalog =
+          Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+      BLITZ_CHECK(catalog.ok());
+      const double scalar_s = MinOfK(*catalog, model.kind,
+                                     SimdLevel::kScalar, samples,
+                                     min_seconds);
+      const double simd_s =
+          MinOfK(*catalog, model.kind, resolved, samples, min_seconds);
+      const double speedup = simd_s > 0 ? scalar_s / simd_s : 0.0;
+      std::fprintf(f,
+                   "%s    {\"model\": \"%s\", \"n\": %d, "
+                   "\"scalar_ms\": %.6f, \"simd_ms\": %.6f, "
+                   "\"speedup\": %.3f, \"auto_engages\": %s}",
+                   first ? "" : ",\n", model.name, n, scalar_s * 1e3,
+                   simd_s * 1e3, speedup, auto_engages ? "true" : "false");
+      first = false;
+      // Progress to stderr so long runs are observable.
+      std::fprintf(stderr, "%s n=%-2d scalar %8.3f ms  %s %8.3f ms  %.2fx\n",
+                   model.name, n, scalar_s * 1e3, SimdLevelName(resolved),
+                   simd_s * 1e3, speedup);
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (simd level %s)\n", path, SimdLevelName(resolved));
+  return 0;
+}
+
 }  // namespace
 }  // namespace blitz
 
-int main() { return blitz::Run(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return blitz::RunJson(argv[i + 1]);
+    }
+  }
+  return blitz::RunText();
+}

@@ -5,12 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "common/check.h"
 #include "core/optimizer.h"
 #include "core/subset_enum.h"
 #include "cost/cost_model.h"
 #include "query/workload.h"
+#include "simd/dispatch.h"
 
 namespace blitz {
 namespace {
@@ -42,6 +47,29 @@ void BM_CartesianOptimize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CartesianOptimize)->Arg(8)->Arg(11)->Arg(14);
+
+void BM_CartesianOptimizeSimd(benchmark::State& state) {
+  // The split-filter kernel comparison at one n: arg 1 selects the forced
+  // dispatch level (unsupported levels clamp down, so the benchmark runs
+  // everywhere — compare against the scalar row on this machine).
+  const int n = static_cast<int>(state.range(0));
+  const SimdLevel level = static_cast<SimdLevel>(state.range(1));
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+  BLITZ_CHECK(catalog.ok());
+  OptimizerOptions options;
+  options.simd = level;
+  for (auto _ : state) {
+    Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, options);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetLabel(SimdLevelName(ResolveSimdLevel(level)));
+}
+BENCHMARK(BM_CartesianOptimizeSimd)
+    ->Args({14, static_cast<int>(SimdLevel::kScalar)})
+    ->Args({14, static_cast<int>(SimdLevel::kBlock)})
+    ->Args({14, static_cast<int>(SimdLevel::kAvx2)})
+    ->Args({14, static_cast<int>(SimdLevel::kAvx512)});
 
 void BM_JoinOptimize(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -153,4 +181,34 @@ BENCHMARK(BM_KappaKernels)
 }  // namespace
 }  // namespace blitz
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accepts the repo-wide
+// `--json <path>` convention (shared with bench_fig2_cartesian) by
+// translating it into google-benchmark's --benchmark_out flags; every
+// native --benchmark_* flag still works unchanged.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string format_flag;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      format_flag = "--benchmark_out_format=json";
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int translated_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&translated_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(translated_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

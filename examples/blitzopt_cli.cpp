@@ -4,6 +4,7 @@
 //   blitzopt <query.bjq> [--execute] [--counts] [--tree] [--explain]
 //           [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>]
 //           [--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>]
+//           [--simd=<auto|scalar|block|avx2|avx512>]
 //           [--trace-out=<file>] [--metrics-out=<file>]
 //
 // Runs the library's front door (OptimizeQuery): exhaustive blitzsplit up
@@ -66,6 +67,7 @@ int Usage() {
       "usage: blitzopt <query.bjq> [--execute] [--counts] [--tree] "
       "[--explain] [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>] "
       "[--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>] "
+      "[--simd=<auto|scalar|block|avx2|avx512>] "
       "[--trace-out=<file>] [--metrics-out=<file>]\n");
   return kExitUsage;
 }
@@ -144,6 +146,7 @@ int main(int argc, char** argv) {
   double max_table_mb = 0;
   int exhaustive_limit = 16;
   int threads = 1;
+  SimdLevel simd = SimdLevel::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value_of = [&](std::string_view prefix) -> std::string_view {
@@ -185,6 +188,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: bad --threads value\n");
         return kExitUsage;
       }
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      // auto = cpuid probe + BLITZ_SIMD env override; a forced level is
+      // clamped to what this machine supports (see simd/dispatch.h).
+      Result<SimdLevel> parsed = ParseSimdLevel(value_of("--simd="));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return kExitUsage;
+      }
+      simd = *parsed;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -220,6 +233,7 @@ int main(int argc, char** argv) {
   options.count_operations = counts;
   options.degrade_on_budget = degrade;
   options.parallel.num_threads = threads;
+  options.simd = simd;
   if (deadline_ms > 0) options.budget.deadline_seconds = deadline_ms * 1e-3;
   if (max_table_mb > 0) {
     // A positive flag always arms the cap: tiny values must not truncate to
@@ -245,10 +259,15 @@ int main(int argc, char** argv) {
                                   spec->graph, spec->cost_model)
                           .c_str());
   }
-  std::printf("cost: %g (%d optimizer pass%s, tier %s%s)\n", optimized->cost,
-              optimized->passes, optimized->passes == 1 ? "" : "es",
+  std::printf("cost: %g (%d optimizer pass%s, tier %s%s, simd %s)\n",
+              optimized->cost, optimized->passes,
+              optimized->passes == 1 ? "" : "es",
               OptimizerTierName(optimized->tier),
-              optimized->exact() ? ", exact" : "");
+              optimized->exact() ? ", exact" : "",
+              optimized->report.has_value()
+                  ? SimdLevelName(optimized->report->simd_level)
+                  : SimdLevelName(EffectivePassSimdLevel(
+                        options.Normalized().exhaustive)));
   if (optimized->report.has_value() &&
       !optimized->report->degradations.empty()) {
     for (const std::string& step : optimized->report->degradations) {

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "plan/algorithm_choice.h"
 #include "plan/evaluate.h"
+#include "simd/dispatch.h"
 
 namespace blitz {
 
@@ -60,10 +61,11 @@ std::string OptimizedQuery::ReportToString() const {
   const OptimizeReport& r = *report;
   std::string out = StrFormat(
       "total %.3f ms (optimize %.3f, extract %.3f, evaluate %.3f, "
-      "attach %.3f); tier %s; peak DP table %llu bytes",
+      "attach %.3f); tier %s; simd %s; peak DP table %llu bytes",
       r.total_seconds * 1e3, r.optimize_seconds * 1e3,
       r.extract_seconds * 1e3, r.evaluate_seconds * 1e3,
       r.attach_seconds * 1e3, OptimizerTierName(tier),
+      SimdLevelName(r.simd_level),
       static_cast<unsigned long long>(r.peak_dp_table_bytes));
   if (r.tiers_attempted > 1) {
     out += StrFormat(" (%d tier attempts", r.tiers_attempted);
@@ -102,9 +104,11 @@ QueryOptimizerOptions QueryOptimizerOptions::Normalized() const {
   out.exhaustive.count_operations = collect_report && count_operations;
   out.exhaustive.budget = budget;
   out.exhaustive.parallel = parallel;
+  out.exhaustive.simd = simd;
   out.hybrid.cost_model = cost_model;
   out.hybrid.budget = budget;
   out.hybrid.parallel = parallel;
+  out.hybrid.simd = simd;
   return out;
 }
 
@@ -123,6 +127,11 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
 
   OptimizedQuery result;
   OptimizeReport report;
+  // The per-pass kernel choice: every tier's DP passes share one resolved
+  // request, so resolve it once up front (the exhaustive tier re-reports
+  // its pass's actual level, which matches — including the flat-ablation
+  // and gate-tightness refinements folded into EffectivePassSimdLevel).
+  report.simd_level = EffectivePassSimdLevel(options.exhaustive);
 
   // The degradation ladder: the natural tier for this problem size first,
   // then each cheaper tier. Budget exhaustion (deadline, memory cap) steps
@@ -157,6 +166,7 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     }
     report.counters = outcome->counters;
     report.peak_dp_table_bytes = outcome->table.MemoryBytes();
+    report.simd_level = outcome->simd_level;
     PhaseTimer phase(options.collect_report, &report.extract_seconds);
     TraceSpan extract_span("extract_plan", "api");
     Result<Plan> plan = Plan::ExtractFromTable(outcome->table);

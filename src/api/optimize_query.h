@@ -60,6 +60,11 @@ struct QueryOptimizerOptions {
   /// by default; see parallel/parallel_options.h).
   ParallelOptimizerOptions parallel;
 
+  /// SIMD kernel request shared by every tier's DP passes (see
+  /// simd/dispatch.h). kAuto probes the CPU and honors BLITZ_SIMD; the
+  /// resolved per-pass choice is reported in OptimizeReport::simd_level.
+  SimdLevel simd = SimdLevel::kAuto;
+
   /// Attach physical join algorithms to the plan (Section 6.5 post-pass).
   bool attach_algorithms = true;
 
@@ -117,6 +122,11 @@ struct OptimizeReport {
   /// Peak DP-table footprint (0 on the hybrid path, which sizes its
   /// tables per block inside OptimizeJoin).
   std::uint64_t peak_dp_table_bytes = 0;
+
+  /// The SIMD dispatch level the DP passes ran (options.simd resolved
+  /// against the CPU and BLITZ_SIMD — the per-pass kernel choice; all
+  /// passes of one call share it). Never kAuto.
+  SimdLevel simd_level = SimdLevel::kScalar;
 
   /// Tier attempts consumed (1 = no degradation).
   int tiers_attempted = 1;

@@ -203,6 +203,7 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
       dp_options.cost_model = options.cost_model;
       dp_options.budget = budget;
       dp_options.parallel = options.parallel;
+      dp_options.simd = options.simd;
       Result<OptimizeOutcome> outcome =
           OptimizeJoin(*block_catalog, block_graph, dp_options);
       if (!outcome.ok()) {

@@ -10,6 +10,7 @@
 #include "parallel/parallel_options.h"
 #include "plan/plan.h"
 #include "query/join_graph.h"
+#include "simd/dispatch.h"
 
 namespace blitz {
 
@@ -47,6 +48,10 @@ struct HybridOptions {
   /// Multicore configuration forwarded to every exact block solve; blocks
   /// of the default size stay sequential (see ParallelOptimizerOptions).
   ParallelOptimizerOptions parallel;
+
+  /// SIMD kernel request forwarded to every exact block solve (see
+  /// simd/dispatch.h; kAuto = cpuid probe + BLITZ_SIMD override).
+  SimdLevel simd = SimdLevel::kAuto;
 
   /// Canonical validation of every knob (block_size in [2, kMaxRelations],
   /// at least one restart, non-negative polish budget, valid parallel

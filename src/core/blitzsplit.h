@@ -3,6 +3,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -11,6 +12,7 @@
 #include "core/relset.h"
 #include "governor/governor.h"
 #include "query/join_graph.h"
+#include "simd/split_filter.h"
 
 namespace blitz {
 
@@ -43,12 +45,34 @@ namespace internal {
 /// before processing S may invoke this from any thread: distinct subsets
 /// touch disjoint rows, and bit-identical inputs give bit-identical rows
 /// regardless of the visit order across subsets of equal cardinality.
+/// `split_kernel` (nullable, loop-invariant per pass) is the resolved SIMD
+/// build/filter pair from simd/dispatch.h, with `scratch` its dense
+/// compaction workspace (non-null iff split_kernel is, capacity >= 2^n).
+/// When null — or for subsets below kSimdMinPopcount, or in the flat
+/// kNestedIfs=false ablation — the classic scalar loop runs unchanged.
+/// When set, the nested-if best-split loop runs batched (simd/
+/// split_filter.h): the build stage materializes the successor order as
+/// the dense rank -> subset map idx[] and compacts the cost column into
+/// dc[] (one gather pass, prefetched); the filter stage then evaluates the
+/// model-independent gate
+///     cost[lhs] + cost[rhs] < best_cost_so_far
+/// as dc[r] + dc[full_rank - r] < best over kSplitFilterBlock-lane blocks
+/// of ranks — contiguous loads only — against the block-entry best, and
+/// only surviving lanes re-run the exact scalar nested-if body, in rank
+/// (= successor) order, against the live best. The filter is conservative
+/// (block-entry best >= live best), so survivors are a superset of the
+/// scalar loop's passes and the re-run makes identical decisions — the
+/// filled row, the best_lhs tie-break (first strict improvement in
+/// successor order wins), and the instrumentation counts are bit-identical
+/// for every cost model.
 template <typename CostModel, bool kWithPredicates, bool kNestedIfs,
           typename Instr>
 BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
     const CostModel& model, const JoinGraph* graph, float cost_threshold,
     std::uint64_t s, float* cost, double* card, std::uint32_t* best,
-    double* pi_fan, double* aux, Instr* instr) {
+    double* pi_fan, double* aux, Instr* instr,
+    const SplitKernel* split_kernel = nullptr,
+    SplitScratch* scratch = nullptr) {
   instr->OnSubsetVisited();
 
   // --- compute_properties(S) ---------------------------------------
@@ -91,38 +115,81 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
 
   float best_cost_so_far = kRejectedCost;
   std::uint32_t best_lhs = 0;
+
+  // The exact Section 4.2 nested-if body for one candidate split, against
+  // the live best — shared by the classic loop and the blocked filter's
+  // survivor re-run so both paths make bit-identical decisions.
+  const auto try_split_nested = [&](std::uint64_t lhs) {
+    const std::uint64_t rhs = s ^ lhs;
+    // Nested ifs (Section 4.2): each comparison can dismiss the split
+    // before the next, increasingly expensive, quantity is computed.
+    const float lhs_cost = cost[lhs];
+    if (!(lhs_cost < best_cost_so_far)) return;
+    const float oprnd_cost = lhs_cost + cost[rhs];
+    if (!(oprnd_cost < best_cost_so_far)) return;
+    instr->OnOperandPass();
+    float kappa2;
+    if constexpr (CostModel::kNeedsAux) {
+      kappa2 = static_cast<float>(model.KappaDoublePrime(
+          out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
+    } else {
+      kappa2 = static_cast<float>(
+          model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
+    }
+    instr->OnKappa2Evaluated();
+    const float dpnd_cost = oprnd_cost + kappa2;
+    if (dpnd_cost < best_cost_so_far) {
+      best_cost_so_far = dpnd_cost;
+      best_lhs = static_cast<std::uint32_t>(lhs);
+      instr->OnImprovement();
+    }
+  };
+
   // S_lhs ranges over all nonempty proper subsets of S via the successor
   // operator succ(S_lhs) = S & (S_lhs - S); starting from 0 the first
   // value is S & -S and the sequence ends when S itself is reached.
-  for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
-    instr->OnLoopIteration();
-    const std::uint64_t rhs = s ^ lhs;
-    if constexpr (kNestedIfs) {
-      // Nested ifs (Section 4.2): each comparison can dismiss the split
-      // before the next, increasingly expensive, quantity is computed.
-      const float lhs_cost = cost[lhs];
-      if (!(lhs_cost < best_cost_so_far)) continue;
-      const float oprnd_cost = lhs_cost + cost[rhs];
-      if (!(oprnd_cost < best_cost_so_far)) continue;
-      instr->OnOperandPass();
-      float kappa2;
-      if constexpr (CostModel::kNeedsAux) {
-        kappa2 = static_cast<float>(model.KappaDoublePrime(
-            out_card, card[lhs], card[rhs], aux[lhs], aux[rhs]));
-      } else {
-        kappa2 = static_cast<float>(
-            model.KappaDoublePrime(out_card, card[lhs], card[rhs], 0, 0));
-      }
-      instr->OnKappa2Evaluated();
-      const float dpnd_cost = oprnd_cost + kappa2;
-      if (dpnd_cost < best_cost_so_far) {
-        best_cost_so_far = dpnd_cost;
-        best_lhs = static_cast<std::uint32_t>(lhs);
-        instr->OnImprovement();
+  if constexpr (kNestedIfs) {
+    const int k = std::popcount(s);
+    if (split_kernel != nullptr && k >= kSimdMinPopcount) {
+      // Batched dense-compaction path (simd/split_filter.h). The proper
+      // splits of S are dense ranks 1 .. full_rank - 1, and the successor
+      // enumeration the scalar loop performs is exactly increasing rank —
+      // u = S & -S is rank 1 — so scanning ranks in blocks and replaying
+      // survivors in lane order preserves the visit order the tie-break
+      // depends on.
+      const std::uint32_t full_rank = (std::uint32_t{1} << k) - 1;
+      std::uint32_t* const idx = scratch->idx.data();
+      float* const dc = scratch->dc.data();
+      split_kernel->build(cost, s, k, idx, dc);
+      std::uint32_t r = 1;
+      while (r < full_rank) {
+        std::uint32_t c = full_rank - r;
+        if (c > static_cast<std::uint32_t>(kSplitFilterBlock)) {
+          c = static_cast<std::uint32_t>(kSplitFilterBlock);
+        }
+        instr->OnLoopIterationBlock(c);
+        std::uint64_t mask = split_kernel->filter(
+            dc, full_rank, r, static_cast<int>(c), best_cost_so_far);
+        while (mask != 0) {
+          const int lane = std::countr_zero(mask);
+          mask &= mask - 1;
+          try_split_nested(idx[r + static_cast<std::uint32_t>(lane)]);
+        }
+        r += c;
       }
     } else {
-      // Flat variant for the nested-if ablation: kappa'' is evaluated on
-      // every one of the ~3^n iterations.
+      for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
+        instr->OnLoopIteration();
+        try_split_nested(lhs);
+      }
+    }
+  } else {
+    // Flat variant for the nested-if ablation: kappa'' is evaluated on
+    // every one of the ~3^n iterations, so there is no cheap
+    // model-independent gate for a SIMD filter to batch.
+    for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
+      instr->OnLoopIteration();
+      const std::uint64_t rhs = s ^ lhs;
       const float oprnd_cost = cost[lhs] + cost[rhs];
       instr->OnOperandPass();
       float kappa2;
@@ -222,6 +289,15 @@ inline void BlitzCheckPass(const std::vector<double>& base_cards,
 /// table is partially filled but safe to reuse for a fresh in-place pass,
 /// which rewrites every row in the same integer order.
 ///
+/// `split_kernel` (nullable) is the resolved SIMD build/filter pair for
+/// the model-independent best-split gate, from simd/dispatch.h — resolved
+/// once per optimizer pass (cpuid probe, BLITZ_SIMD override) by the
+/// dispatch layer in core/optimizer.cc. Null runs the classic scalar
+/// loop; any kernel produces a bit-identical table and identical
+/// instrumentation counts (see BlitzProcessSubset). Meaningful only with
+/// kNestedIfs. The driver owns the kernel's dense-compaction scratch
+/// (2^n ranks at 8 bytes, allocated only when a kernel is active).
+///
 /// For the multicore rank-synchronous variant of this driver see
 /// parallel/blitzsplit_ranked.h; both produce bit-identical tables.
 ///
@@ -234,10 +310,22 @@ BLITZ_NOINLINE float RunBlitzSplit(const CostModel& model,
                     const std::vector<double>& base_cards,
                     const JoinGraph* graph, float cost_threshold,
                     DpTable* table, Instr* instr,
-                    GovernorState* governor = nullptr) {
+                    GovernorState* governor = nullptr,
+                    const SplitKernel* split_kernel = nullptr) {
   internal::BlitzCheckPass<CostModel, kWithPredicates>(base_cards, graph,
                                                        *table);
   const int n = static_cast<int>(base_cards.size());
+
+  SplitScratch scratch;
+  if constexpr (kNestedIfs) {
+    if (split_kernel != nullptr && n >= kSimdMinPopcount) {
+      scratch.EnsureCapacity(n);
+    } else {
+      split_kernel = nullptr;  // No subset can reach the popcount gate.
+    }
+  } else {
+    split_kernel = nullptr;  // The flat ablation has no gate to batch.
+  }
 
   float* const cost = table->cost_data();
   double* const card = table->card_data();
@@ -259,7 +347,7 @@ BLITZ_NOINLINE float RunBlitzSplit(const CostModel& model,
     if (governor != nullptr && governor->Tick()) return kRejectedCost;
     internal::BlitzProcessSubset<CostModel, kWithPredicates, kNestedIfs>(
         model, graph, cost_threshold, s, cost, card, best, pi_fan, aux,
-        instr);
+        instr, split_kernel, &scratch);
   }
   return cost[full];
 }

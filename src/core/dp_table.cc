@@ -50,6 +50,10 @@ std::uint64_t DpTable::EstimateBytes(int n, bool with_pi_fan, bool with_aux) {
 }
 
 std::uint64_t DpTable::MemoryBytes() const {
+  return EstimateBytes(n_, has_pi_fan(), has_aux());
+}
+
+std::uint64_t DpTable::AllocatedBytes() const {
   return cost_.capacity() * sizeof(float) +
          card_.capacity() * sizeof(double) +
          best_lhs_.capacity() * sizeof(std::uint32_t) +

@@ -35,7 +35,10 @@ class DpTable {
 
   /// Exact byte footprint a Create(n, with_pi_fan, with_aux) table will
   /// allocate, computable without allocating — the resource governor's
-  /// admission-control estimate. 0 for n outside [1, kMaxRelations].
+  /// admission-control estimate and the single source of truth for table
+  /// sizing (MemoryBytes() of a live table returns the same number, and a
+  /// test asserts both equal the vectors' actual capacity bytes). 0 for n
+  /// outside [1, kMaxRelations].
   static std::uint64_t EstimateBytes(int n, bool with_pi_fan, bool with_aux);
 
   /// An empty (zero-relation) table; useful only as a placeholder to be
@@ -77,8 +80,15 @@ class DpTable {
   double* aux_data() { return aux_.data(); }
   std::uint32_t* best_lhs_data() { return best_lhs_.data(); }
 
-  /// Approximate memory footprint in bytes.
+  /// Exact memory footprint in bytes: EstimateBytes() evaluated for this
+  /// table's shape, so pre-admission estimates and post-allocation
+  /// reporting can never disagree. 0 for a default-constructed table.
   std::uint64_t MemoryBytes() const;
+
+  /// Bytes actually reserved by the column vectors (capacity sum). Exists
+  /// so tests can pin MemoryBytes()/EstimateBytes() to reality; everything
+  /// else should use MemoryBytes().
+  std::uint64_t AllocatedBytes() const;
 
  private:
   int n_ = 0;

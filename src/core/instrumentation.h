@@ -13,6 +13,7 @@ struct NoInstrumentation {
 
   void OnSubsetVisited() {}
   void OnLoopIteration() {}
+  void OnLoopIterationBlock(std::uint64_t) {}
   void OnOperandPass() {}
   void OnKappa2Evaluated() {}
   void OnImprovement() {}
@@ -28,6 +29,9 @@ struct CountingInstrumentation {
 
   void OnSubsetVisited() { ++subsets_visited; }
   void OnLoopIteration() { ++loop_iterations; }
+  /// One blocked-filter batch of k split-loop iterations (SIMD kernel);
+  /// keeps loop_iterations exactly equal to the scalar driver's count.
+  void OnLoopIterationBlock(std::uint64_t k) { loop_iterations += k; }
   void OnOperandPass() { ++operand_passes; }
   void OnKappa2Evaluated() { ++kappa2_evaluations; }
   void OnImprovement() { ++improvements; }

@@ -69,26 +69,85 @@ float RunConfigured(const Model& model, const OptimizerOptions& options,
                     const ResourceBudget& resolved,
                     const std::vector<double>& base_cards,
                     const JoinGraph* graph, DpTable* table, Instr* instr,
-                    GovernorState* governor) {
+                    GovernorState* governor,
+                    const SplitKernel* split_kernel) {
   if (options.parallel.ShouldParallelize(
           static_cast<int>(base_cards.size()))) {
     return RunBlitzSplitRanked<Model, kWithPredicates, kNestedIfs>(
         model, base_cards, graph, options.cost_threshold, table, instr,
-        options.parallel, resolved, governor);
+        options.parallel, resolved, governor, split_kernel);
   }
   return RunBlitzSplit<Model, kWithPredicates, kNestedIfs>(
       model, base_cards, graph, options.cost_threshold, table, instr,
-      governor);
+      governor, split_kernel);
+}
+
+/// Whether the model's kappa'' is identically zero, making the batched
+/// operand gate the complete cost comparison (kSplitGateTight in
+/// cost/cost_model.h).
+bool ModelGateTight(CostModelKind kind) {
+  return DispatchCostModel(kind, [](auto model) {
+    return decltype(model)::kSplitGateTight;
+  });
+}
+
+/// Resolves the pass's SIMD kernel exactly once: cpuid probe plus the
+/// BLITZ_SIMD / options.simd override (simd/dispatch.h), folded into a
+/// build/filter pair every driver and worker of the pass shares. The flat
+/// nested_ifs = false ablation has no model-independent gate to batch, so
+/// it reports (and runs) kScalar regardless of the request. An auto-chosen
+/// level additionally engages only for gate-tight models (kappa'' = 0) —
+/// elsewhere the filter passes nearly every split and batching is pure
+/// overhead — while an explicit --simd= / BLITZ_SIMD request is always
+/// honored so ablations and benchmarks can measure any combination.
+SimdLevel ResolvePassSimd(const OptimizerOptions& options,
+                          const SplitKernel** split_kernel) {
+  if (!options.nested_ifs) {
+    *split_kernel = nullptr;
+    return SimdLevel::kScalar;
+  }
+  const SimdResolution res = ResolveSimdLevelDetailed(options.simd);
+  if (res.from_auto && !ModelGateTight(options.cost_model)) {
+    *split_kernel = nullptr;
+    return SimdLevel::kScalar;
+  }
+  *split_kernel = GetSplitKernel(res.level);
+  return res.level;
+}
+
+/// Tallies the per-pass kernel choice (one counter per dispatch level).
+void RecordSimdMetric(SimdLevel resolved) {
+  MetricsRegistry* metrics = GlobalMetrics();
+  if (metrics == nullptr) return;
+  switch (resolved) {
+    case SimdLevel::kAvx512:
+      metrics->AddCounter("optimizer.simd_avx512_passes");
+      break;
+    case SimdLevel::kAvx2:
+      metrics->AddCounter("optimizer.simd_avx2_passes");
+      break;
+    case SimdLevel::kBlock:
+      metrics->AddCounter("optimizer.simd_block_passes");
+      break;
+    default:
+      metrics->AddCounter("optimizer.simd_scalar_passes");
+      break;
+  }
 }
 
 /// Dispatches to the right blitzsplit instantiation for the runtime
-/// options. `graph` is null for the Cartesian-only variant.
+/// options. `graph` is null for the Cartesian-only variant. Returns the
+/// pass's resolved SIMD level through *simd_level (never kAuto).
 template <bool kWithPredicates>
 float Dispatch(const OptimizerOptions& options,
                const ResourceBudget& resolved,
                const std::vector<double>& base_cards, const JoinGraph* graph,
                DpTable* table, CountingInstrumentation* counters,
-               GovernorState* governor) {
+               GovernorState* governor, SimdLevel* simd_level) {
+  const SplitKernel* split_kernel = nullptr;
+  const SimdLevel simd = ResolvePassSimd(options, &split_kernel);
+  if (simd_level != nullptr) *simd_level = simd;
+  RecordSimdMetric(simd);
   return DispatchCostModel(options.cost_model, [&](auto model) -> float {
     using Model = decltype(model);
     if (options.count_operations) {
@@ -97,11 +156,11 @@ float Dispatch(const OptimizerOptions& options,
       if (options.nested_ifs) {
         cost = RunConfigured<Model, kWithPredicates, true>(
             model, options, resolved, base_cards, graph, table, &instr,
-            governor);
+            governor, split_kernel);
       } else {
         cost = RunConfigured<Model, kWithPredicates, false>(
             model, options, resolved, base_cards, graph, table, &instr,
-            governor);
+            governor, split_kernel);
       }
       if (counters != nullptr) *counters += instr;
       return cost;
@@ -110,11 +169,11 @@ float Dispatch(const OptimizerOptions& options,
     if (options.nested_ifs) {
       return RunConfigured<Model, kWithPredicates, true>(
           model, options, resolved, base_cards, graph, table, &no_instr,
-          governor);
+          governor, split_kernel);
     }
     return RunConfigured<Model, kWithPredicates, false>(
         model, options, resolved, base_cards, graph, table, &no_instr,
-        governor);
+        governor, split_kernel);
   });
 }
 
@@ -141,6 +200,11 @@ bool ModelNeedsAux(CostModelKind kind) {
 }
 
 }  // namespace
+
+SimdLevel EffectivePassSimdLevel(const OptimizerOptions& options) {
+  const SplitKernel* ignored = nullptr;
+  return ResolvePassSimd(options, &ignored);
+}
 
 Status OptimizerOptions::Validate() const {
   if (std::isnan(cost_threshold) || cost_threshold <= 0.0f) {
@@ -180,9 +244,11 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<true>(options, resolved, BaseCards(catalog), &graph,
                                 &outcome.table, &outcome.counters,
-                                governor.active() ? &governor : nullptr);
+                                governor.active() ? &governor : nullptr,
+                                &outcome.simd_level);
   if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", outcome.cost);
+  span.AddArg("simd", static_cast<double>(outcome.simd_level));
   if (MetricsRegistry* metrics = GlobalMetrics()) {
     metrics->AddCounter("optimizer.join_calls");
     metrics->MaxGauge("optimizer.peak_dp_table_bytes",
@@ -214,9 +280,11 @@ Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<false>(options, resolved, BaseCards(catalog),
                                  nullptr, &outcome.table, &outcome.counters,
-                                 governor.active() ? &governor : nullptr);
+                                 governor.active() ? &governor : nullptr,
+                                 &outcome.simd_level);
   if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", outcome.cost);
+  span.AddArg("simd", static_cast<double>(outcome.simd_level));
   if (MetricsRegistry* metrics = GlobalMetrics()) {
     metrics->AddCounter("optimizer.cartesian_calls");
     metrics->MaxGauge("optimizer.peak_dp_table_bytes",
@@ -254,7 +322,8 @@ Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
   CountingInstrumentation pass_counters;
   const float cost = Dispatch<true>(options, resolved, BaseCards(catalog),
                                     &graph, table, &pass_counters,
-                                    governor.active() ? &governor : nullptr);
+                                    governor.active() ? &governor : nullptr,
+                                    nullptr);
   // A governed abort leaves the table partially overwritten, which is safe:
   // whether a pass runs sequentially (integer order) or rank-parallel (every
   // rank rewritten before the next is read), the next in-place pass rewrites

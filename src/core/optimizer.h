@@ -11,6 +11,7 @@
 #include "governor/budget.h"
 #include "parallel/parallel_options.h"
 #include "query/join_graph.h"
+#include "simd/dispatch.h"
 
 namespace blitz {
 
@@ -46,6 +47,18 @@ struct OptimizerOptions {
   /// rank to reach parallel.min_parallel_rank keep the sequential driver.
   ParallelOptimizerOptions parallel;
 
+  /// SIMD realization of the best-split filter (see simd/dispatch.h).
+  /// kAuto (default) probes the CPU once, honors the BLITZ_SIMD
+  /// environment override, and engages the batched kernel only for
+  /// gate-tight cost models (kSplitGateTight — kappa'' = 0, where the
+  /// batched operand gate is the complete comparison); a concrete level
+  /// forces that kernel for any model (clamped to what the machine
+  /// supports). Resolved once per pass; every kernel fills a bit-identical
+  /// table, so this knob trades nothing but speed. Ignored by the flat
+  /// nested_ifs = false ablation, which has no model-independent gate to
+  /// batch.
+  SimdLevel simd = SimdLevel::kAuto;
+
   /// Canonical validation of every knob, including the nested parallel
   /// options; called by the optimizer entry points before a pass runs.
   Status Validate() const;
@@ -59,11 +72,22 @@ struct OptimizeOutcome {
   float cost = kRejectedCost;
   CountingInstrumentation counters;
 
+  /// The kernel the pass actually ran (options.simd resolved against the
+  /// CPU and BLITZ_SIMD; kScalar when the flat ablation bypassed the
+  /// blocked filter). Never kAuto.
+  SimdLevel simd_level = SimdLevel::kScalar;
+
   /// False if every complete plan was rejected by the cost threshold (the
   /// "optimization fails ... reoptimize with a higher threshold" case of
   /// Section 6.4).
   bool found_plan() const { return cost < kRejectedCost; }
 };
+
+/// The concrete kernel level a pass with these options would run, without
+/// running it — what OptimizeOutcome::simd_level will report: kScalar for
+/// the flat ablation and for kAuto over a gate-loose model; otherwise the
+/// resolved request (simd/dispatch.h).
+SimdLevel EffectivePassSimdLevel(const OptimizerOptions& options);
 
 /// Optimizes the join of all relations in `catalog` under the predicates of
 /// `graph` (Section 5). The graph must have the same relation count as the

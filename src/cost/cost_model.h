@@ -56,11 +56,23 @@ inline constexpr double kDnlMemoryBlocks = 100.0;   // M
 // programming table").
 // ---------------------------------------------------------------------------
 
+// Models additionally declare kSplitGateTight: whether kappa'' = 0, which
+// makes the model-independent operand gate of the best-split loop
+//     cost[lhs] + cost[rhs] < best
+// the *complete* cost comparison. The SIMD batch filter (simd/
+// split_filter.h) evaluates exactly that gate, so for tight models it
+// prunes to the true improvements and pays for itself; for models with a
+// large split-dependent kappa'' the gate passes nearly every split (best
+// tracks dpnd = oprnd + kappa'' minima, far above the operand sums) and
+// batching is pure overhead. Auto dispatch consults this trait; explicit
+// --simd= / BLITZ_SIMD requests override it (core/optimizer.cc).
+
 /// kappa_0(R_out, R_lhs, R_rhs) = |R_out|. Decomposes as kappa' = |R_out|,
 /// kappa'' = 0.
 struct NaiveCostModel {
   static constexpr CostModelKind kKind = CostModelKind::kNaive;
   static constexpr bool kNeedsAux = false;
+  static constexpr bool kSplitGateTight = true;
 
   static double Aux(double) { return 0.0; }
 
@@ -83,6 +95,7 @@ struct NaiveCostModel {
 struct SortMergeCostModel {
   static constexpr CostModelKind kKind = CostModelKind::kSortMerge;
   static constexpr bool kNeedsAux = true;
+  static constexpr bool kSplitGateTight = false;
 
   static double Aux(double card) {
     const double x = std::max(card, 1.0);
@@ -104,6 +117,7 @@ struct SortMergeCostModel {
 struct DiskNestedLoopsCostModel {
   static constexpr CostModelKind kKind = CostModelKind::kDiskNestedLoops;
   static constexpr bool kNeedsAux = false;
+  static constexpr bool kSplitGateTight = false;
 
   static double Aux(double) { return 0.0; }
 
@@ -131,6 +145,7 @@ struct DiskNestedLoopsCostModel {
 struct MinSmDnlCostModel {
   static constexpr CostModelKind kKind = CostModelKind::kMinSmDnl;
   static constexpr bool kNeedsAux = true;
+  static constexpr bool kSplitGateTight = false;
 
   static double Aux(double card) { return SortMergeCostModel::Aux(card); }
 
@@ -158,6 +173,7 @@ struct MinSmDnlCostModel {
 struct HashCostModel {
   static constexpr CostModelKind kKind = CostModelKind::kHash;
   static constexpr bool kNeedsAux = false;
+  static constexpr bool kSplitGateTight = false;
 
   static double Aux(double) { return 0.0; }
 
@@ -176,6 +192,7 @@ struct HashCostModel {
 struct MinAllCostModel {
   static constexpr CostModelKind kKind = CostModelKind::kMinAll;
   static constexpr bool kNeedsAux = true;
+  static constexpr bool kSplitGateTight = false;
 
   static double Aux(double card) { return SortMergeCostModel::Aux(card); }
 

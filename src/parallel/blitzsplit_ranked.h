@@ -107,6 +107,14 @@ struct alignas(64) PaddedInstr {
 /// that are folded into `*instr` at each rank barrier, so a completed pass
 /// reports exactly the sequential totals (uint64 sums commute).
 ///
+/// SIMD: `split_kernel` is the pass-wide resolved build/filter pair (see
+/// RunBlitzSplit); every worker runs the same kernel on its chunks, so the
+/// sequential driver and all thread counts share one kernel choice and the
+/// bit-identity contract above is unchanged. The kernel's dense-compaction
+/// build stage writes its scratch, so each chunk slot gets a private
+/// SplitScratch (threads x 2^n x 8 bytes, allocated once per pass and only
+/// when a kernel is active).
+///
 /// Requirements are those of RunBlitzSplit, plus
 /// options.EffectiveThreads() >= 1. Problems where no rank reaches
 /// min_parallel_rank fall back to the sequential driver wholesale.
@@ -118,11 +126,13 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
                           DpTable* table, Instr* instr,
                           const ParallelOptimizerOptions& options,
                           const ResourceBudget& budget,
-                          GovernorState* governor = nullptr) {
+                          GovernorState* governor = nullptr,
+                          const SplitKernel* split_kernel = nullptr) {
   const int n = static_cast<int>(base_cards.size());
   if (!options.ShouldParallelize(n)) {
     return RunBlitzSplit<CostModel, kWithPredicates, kNestedIfs>(
-        model, base_cards, graph, cost_threshold, table, instr, governor);
+        model, base_cards, graph, cost_threshold, table, instr, governor,
+        split_kernel);
   }
   internal::BlitzCheckPass<CostModel, kWithPredicates>(base_cards, graph,
                                                        *table);
@@ -143,9 +153,22 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
   std::vector<internal::PaddedInstr<Instr>> slots(
       static_cast<std::size_t>(threads));
 
-  const auto process = [&](std::uint64_t s, Instr* i) {
+  // One dense-compaction scratch per chunk slot: the build stage writes
+  // it, so workers cannot share. Slot 0 doubles as the inline-rank scratch
+  // (inline ranks run between barriers, never concurrently with workers).
+  std::vector<SplitScratch> scratches;
+  if constexpr (kNestedIfs) {
+    if (split_kernel != nullptr && n >= kSimdMinPopcount) {
+      scratches.resize(static_cast<std::size_t>(threads));
+      for (SplitScratch& sc : scratches) sc.EnsureCapacity(n);
+    }
+  }
+  if (scratches.empty()) split_kernel = nullptr;
+
+  const auto process = [&](std::uint64_t s, Instr* i, SplitScratch* sc) {
     internal::BlitzProcessSubset<CostModel, kWithPredicates, kNestedIfs>(
-        model, graph, cost_threshold, s, cost, card, best, pi_fan, aux, i);
+        model, graph, cost_threshold, s, cost, card, best, pi_fan, aux, i,
+        split_kernel, sc);
   };
 
   std::uint64_t ranks_fanned = 0;
@@ -161,9 +184,10 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
       ++ranks_inline;
       rank_span.AddArg("chunks", 0);
       std::uint64_t v = FirstKSubset(k);
+      SplitScratch* const sc = scratches.empty() ? nullptr : &scratches[0];
       for (std::uint64_t i = 0; i < count; ++i) {
         if (governor != nullptr && governor->Tick()) return kRejectedCost;
-        process(v, instr);
+        process(v, instr, sc);
         if (i + 1 < count) v = NextKSubset(v);
       }
       continue;
@@ -183,10 +207,13 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
           count * (static_cast<std::uint64_t>(c) + 1) /
           static_cast<std::uint64_t>(chunks);
       if (begin == end) return;
+      SplitScratch* const sc =
+          scratches.empty() ? nullptr
+                            : &scratches[static_cast<std::size_t>(c)];
       std::uint64_t v = NthKSubset(n, k, begin);
       if (governor == nullptr) {
         for (std::uint64_t i = begin; i < end; ++i) {
-          process(v, slot);
+          process(v, slot, sc);
           if (i + 1 < end) v = NextKSubset(v);
         }
         return;
@@ -205,7 +232,7 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
             return;
           }
         }
-        process(v, slot);
+        process(v, slot, sc);
         if (i + 1 < end) v = NextKSubset(v);
       }
     });

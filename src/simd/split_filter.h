@@ -1,0 +1,133 @@
+#ifndef BLITZ_SIMD_SPLIT_FILTER_H_
+#define BLITZ_SIMD_SPLIT_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace blitz {
+
+/// Lanes per filter call; the survivor mask is one std::uint64_t bit per
+/// lane, so this cannot exceed 64.
+inline constexpr int kSplitFilterBlock = 64;
+
+/// Minimum popcount(S) for the batched kernel to engage. A subset of
+/// cardinality k has 2^k - 2 proper splits; below 62 of them the dense
+/// build costs more than the scalar loop it replaces, and small subsets
+/// vastly outnumber large ones. Subsets below the gate take the classic
+/// scalar nested-if path, which is bit-identical by definition.
+inline constexpr int kSimdMinPopcount = 6;
+
+// The batched find_best_split kernel, in two stages built on one fact:
+// enumerating the proper subsets of S with the two's-complement successor
+//     succ(lhs) = S & (lhs - S)
+// visits them in increasing order of their *dense rank* — the k-bit
+// integer formed by compressing lhs onto the k set bits of S (rank r is
+// the subset whose binary digits are r's digits deposited onto S's set
+// bits, lowest first). Two consequences shape the kernel:
+//
+//   1. The successor sequence can be materialized without the serial
+//      two-cycle-latency successor chain: idx[r] for all 2^k ranks is
+//      built by doubling (idx[r + 2^t] = idx[r] | bit_t), a fully
+//      vectorizable pass of contiguous loads and stores.
+//   2. The complement's rank is full_rank - r (full_rank = 2^k - 1 is the
+//      rank of S itself), so once the costs are gathered into dense rank
+//      order (dc[r] = cost[idx[r]]) the model-independent split gate
+//          cost[lhs] + cost[S \ lhs] < best
+//      becomes dc[r] + dc[full_rank - r] < best — one contiguous forward
+//      load plus one contiguous reversed load per vector of lanes. No
+//      per-lane gathers in the hot loop, no successor chain, no branches.
+//
+// The build stage runs once per subset S and writes idx[0..2^k) and
+// dc[0..2^k); its scattered cost[idx[r]] reads are the single gather pass
+// (hardware gathers on AVX2/AVX-512), and the reversed half of dc it
+// produces is the cost[rhs] stream the filter consumes. The filter stage
+// scans dense ranks in blocks of up to kSplitFilterBlock lanes — software-
+// prefetching the next block of both dc streams — and returns the
+// survivor mask under the block-entry best; the caller re-runs survivors
+// through the exact scalar nested-if body, in rank (= successor) order,
+// against the live best. The filter never drops a lane the scalar gates
+// would have accepted: costs are non-negative and rejected rows are +inf,
+// so the sum compare is exactly the scalar gate conjunction, evaluated
+// against a best that is >= the live best (conservative). Hence the DP
+// table, the best_lhs tie-breaks (first strict improvement in successor
+// order), and the instrumentation counts are bit-identical to the classic
+// loop for every cost model.
+
+/// Builds the dense-rank compaction for subset `s` with popcount `k`:
+/// idx[r] = the rank-r subset of s (successor order), dc[r] =
+/// cost[idx[r]], for every r in [0, 2^k). idx and dc must each have 2^k
+/// writable entries (SplitScratch below).
+using SplitBuildFn = void (*)(const float* cost, std::uint64_t s, int k,
+                              std::uint32_t* idx, float* dc);
+
+/// Filters dense ranks [r0, r0 + count), count in [1, kSplitFilterBlock]:
+/// bit i of the returned mask is set iff
+///     dc[r0 + i] + dc[full_rank - (r0 + i)] < best,
+/// where full_rank = 2^k - 1 is the rank of s itself. The caller
+/// guarantees 1 <= r0 and r0 + count <= full_rank, so every touched rank
+/// and its complement index a proper nonempty subset. NaN never survives
+/// (ordered compare), matching the scalar !(x < y) rejection idiom.
+using SplitFilterFn = std::uint64_t (*)(const float* dc,
+                                        std::uint32_t full_rank,
+                                        std::uint32_t r0, int count,
+                                        float best);
+
+/// One resolved dispatch level: the build/filter pair the best-split loop
+/// runs. Obtained from GetSplitKernel (simd/dispatch.h); null kernel
+/// pointer means "run the classic scalar loop".
+struct SplitKernel {
+  SplitBuildFn build;
+  SplitFilterFn filter;
+};
+
+/// Reusable dense-compaction scratch — one per running thread (the build
+/// stage writes it, so workers of the rank-parallel driver cannot share).
+/// Sized for the largest subset of an n-relation problem: 2^n ranks at 8
+/// bytes each, on top of the DP table's 16-33 bytes per row.
+struct SplitScratch {
+  std::vector<std::uint32_t> idx;
+  std::vector<float> dc;
+
+  void EnsureCapacity(int n) {
+    const std::size_t rows = std::size_t{1} << n;
+    if (idx.size() < rows) {
+      idx.resize(rows);
+      dc.resize(rows);
+    }
+  }
+};
+
+// The three compiled realizations. The portable pair is plain C++ (any
+// target); the AVX2 / AVX-512 pairs live in per-TU -mavx2 / -mavx512f
+// translation units and forward to the portable bodies when the toolchain
+// cannot target the instruction set (the *Compiled() probes below report
+// which; the CPU side is checked at runtime by simd/dispatch.cc).
+void SplitBuildDensePortable(const float* cost, std::uint64_t s, int k,
+                             std::uint32_t* idx, float* dc);
+std::uint64_t SplitFilterDensePortable(const float* dc,
+                                       std::uint32_t full_rank,
+                                       std::uint32_t r0, int count,
+                                       float best);
+
+void SplitBuildDenseAvx2(const float* cost, std::uint64_t s, int k,
+                         std::uint32_t* idx, float* dc);
+std::uint64_t SplitFilterDenseAvx2(const float* dc, std::uint32_t full_rank,
+                                   std::uint32_t r0, int count, float best);
+
+void SplitBuildDenseAvx512(const float* cost, std::uint64_t s, int k,
+                           std::uint32_t* idx, float* dc);
+std::uint64_t SplitFilterDenseAvx512(const float* dc,
+                                     std::uint32_t full_rank,
+                                     std::uint32_t r0, int count,
+                                     float best);
+
+/// Whether the AVX2 / AVX-512 kernels above were actually compiled with
+/// their instruction sets (compile-time capability; runtime dispatch also
+/// requires the CPU to report the feature — see simd/dispatch.h).
+bool SplitFilterAvx2Compiled();
+bool SplitFilterAvx512Compiled();
+
+}  // namespace blitz
+
+#endif  // BLITZ_SIMD_SPLIT_FILTER_H_

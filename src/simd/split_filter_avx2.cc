@@ -1,0 +1,116 @@
+// Compiled with -mavx2 when the toolchain supports it (see
+// src/simd/CMakeLists.txt); the kernels are only ever invoked after the
+// runtime dispatcher has confirmed the CPU reports AVX2, so emitting VEX
+// instructions in this one TU is safe even on a baseline build.
+
+#include "simd/split_filter.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace blitz {
+
+#if defined(__AVX2__)
+
+bool SplitFilterAvx2Compiled() { return true; }
+
+void SplitBuildDenseAvx2(const float* cost, std::uint64_t s, int k,
+                         std::uint32_t* idx, float* dc) {
+  // Doubling construction of the rank -> subset map (see the portable
+  // kernel for the invariant). The first three levels are scalar; from
+  // m = 8 on, each level is a contiguous 8-lane load/or/store sweep.
+  idx[0] = 0;
+  std::uint32_t m = 1;
+  std::uint64_t bits = s;
+  while (bits != 0 && m < 8) {
+    const std::uint32_t bit = static_cast<std::uint32_t>(bits & (~bits + 1));
+    bits &= bits - 1;
+    for (std::uint32_t r = 0; r < m; ++r) idx[m + r] = idx[r] | bit;
+    m <<= 1;
+  }
+  while (bits != 0) {
+    const std::uint32_t bit = static_cast<std::uint32_t>(bits & (~bits + 1));
+    bits &= bits - 1;
+    const __m256i vbit = _mm256_set1_epi32(static_cast<int>(bit));
+    for (std::uint32_t r = 0; r < m; r += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(idx + r));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(idx + m + r),
+                          _mm256_or_si256(v, vbit));
+    }
+    m <<= 1;
+  }
+  // Compact the cost column into dense rank order: one hardware-gather
+  // pass, the only scattered reads of the batched path. Prefetch the
+  // gather targets a few groups ahead (one line hint per group).
+  const std::uint32_t total = m;  // == 2^k
+  std::uint32_t r = 0;
+  for (; r + 8 <= total; r += 8) {
+    if (r + 64 < total) _mm_prefetch(
+        reinterpret_cast<const char*>(cost + idx[r + 64]), _MM_HINT_T1);
+    const __m256i vi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + r));
+    _mm256_storeu_ps(dc + r, _mm256_i32gather_ps(cost, vi, 4));
+  }
+  for (; r < total; ++r) dc[r] = cost[idx[r]];
+  (void)k;
+}
+
+std::uint64_t SplitFilterDenseAvx2(const float* dc, std::uint32_t full_rank,
+                                   std::uint32_t r0, int count, float best) {
+  // Next block's forward stream and descending rhs stream (the reversed
+  // half of dc); the descending one defeats hardware prefetchers.
+  if (r0 + static_cast<std::uint32_t>(kSplitFilterBlock) <= full_rank) {
+    _mm_prefetch(reinterpret_cast<const char*>(dc + r0 + kSplitFilterBlock),
+                 _MM_HINT_T0);
+    _mm_prefetch(
+        reinterpret_cast<const char*>(
+            dc + (full_rank - r0 - kSplitFilterBlock)),
+        _MM_HINT_T0);
+  }
+  const __m256 vbest = _mm256_set1_ps(best);
+  const __m256i vrev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+  std::uint64_t mask = 0;
+  int i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const std::uint32_t r = r0 + static_cast<std::uint32_t>(i);
+    // Lanes j = 0..7 need dc[full_rank - (r + j)]: one contiguous load at
+    // full_rank - r - 7 (in bounds: every lane's complement is a proper
+    // rank in [1, full_rank - 1]), then a lane reversal.
+    const __m256 fwd = _mm256_loadu_ps(dc + r);
+    const __m256 rev_raw = _mm256_loadu_ps(dc + (full_rank - r - 7));
+    const __m256 rev = _mm256_permutevar8x32_ps(rev_raw, vrev);
+    const __m256 sum = _mm256_add_ps(fwd, rev);
+    // Ordered compare: NaN lanes never survive, matching the scalar
+    // !(x < y) idiom.
+    const __m256 lt = _mm256_cmp_ps(sum, vbest, _CMP_LT_OQ);
+    mask |= static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(_mm256_movemask_ps(lt)))
+            << i;
+  }
+  for (; i < count; ++i) {
+    const std::uint32_t r = r0 + static_cast<std::uint32_t>(i);
+    mask |= static_cast<std::uint64_t>(dc[r] + dc[full_rank - r] < best)
+            << i;
+  }
+  return mask;
+}
+
+#else  // !defined(__AVX2__)
+
+bool SplitFilterAvx2Compiled() { return false; }
+
+void SplitBuildDenseAvx2(const float* cost, std::uint64_t s, int k,
+                         std::uint32_t* idx, float* dc) {
+  SplitBuildDensePortable(cost, s, k, idx, dc);
+}
+
+std::uint64_t SplitFilterDenseAvx2(const float* dc, std::uint32_t full_rank,
+                                   std::uint32_t r0, int count, float best) {
+  return SplitFilterDensePortable(dc, full_rank, r0, count, best);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace blitz

@@ -49,6 +49,35 @@ TEST(DpTableTest, MemoryEstimateScalesWithColumns) {
   EXPECT_EQ(small->MemoryBytes(), 16u * 256u);
 }
 
+TEST(DpTableTest, EstimateMatchesActualAllocationForEveryShape) {
+  // EstimateBytes is the governor's admission-control number; MemoryBytes
+  // is the post-allocation report. Both must equal the bytes the column
+  // vectors actually reserve, for every column combination and every n a
+  // test can afford to allocate (2^20 rows tops out at ~32 MiB).
+  for (int n = 1; n <= 20; ++n) {
+    for (const bool with_pi_fan : {false, true}) {
+      for (const bool with_aux : {false, true}) {
+        Result<DpTable> table = DpTable::Create(n, with_pi_fan, with_aux);
+        ASSERT_TRUE(table.ok()) << "n=" << n;
+        const std::uint64_t estimate =
+            DpTable::EstimateBytes(n, with_pi_fan, with_aux);
+        EXPECT_EQ(table->MemoryBytes(), estimate)
+            << "n=" << n << " pi_fan=" << with_pi_fan << " aux=" << with_aux;
+        EXPECT_EQ(table->AllocatedBytes(), estimate)
+            << "n=" << n << " pi_fan=" << with_pi_fan << " aux=" << with_aux;
+      }
+    }
+  }
+}
+
+TEST(DpTableTest, EstimateIsZeroOutsideValidRange) {
+  EXPECT_EQ(DpTable::EstimateBytes(0, true, true), 0u);
+  EXPECT_EQ(DpTable::EstimateBytes(-3, false, false), 0u);
+  EXPECT_EQ(DpTable::EstimateBytes(kMaxRelations + 1, false, false), 0u);
+  EXPECT_EQ(DpTable{}.MemoryBytes(), 0u);
+  EXPECT_EQ(DpTable{}.AllocatedBytes(), 0u);
+}
+
 TEST(DpTableTest, ColumnsAreWritableThroughRawPointers) {
   Result<DpTable> table = DpTable::Create(2, true, true);
   ASSERT_TRUE(table.ok());

@@ -165,6 +165,69 @@ TEST(ParallelDeterminismTest, DefaultOptionsKeepSmallProblemsSequential) {
   for (int n = 2; n <= 30; ++n) EXPECT_FALSE(single.ShouldParallelize(n));
 }
 
+TEST(ParallelDeterminismTest, SimdLevelsBitIdenticalAcrossThreadCounts) {
+  // The SIMD split filter composes with the rank driver: every worker of a
+  // pass runs the same resolved kernel, so (simd level x thread count) must
+  // land on the one sequential-scalar table. kAvx2/kAvx512 requests clamp
+  // down on machines without the instruction set, so this passes (with
+  // reduced coverage) anywhere.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(13, /*seed=*/23);
+  OptimizerOptions reference = ParallelOptions(CostModelKind::kSortMerge, 1);
+  reference.simd = SimdLevel::kScalar;
+  Result<OptimizeOutcome> baseline =
+      OptimizeJoin(instance.catalog, instance.graph, reference);
+  ASSERT_TRUE(baseline.ok());
+  for (const SimdLevel level :
+       {SimdLevel::kBlock, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    for (const int threads : {2, 8}) {
+      OptimizerOptions options =
+          ParallelOptions(CostModelKind::kSortMerge, threads);
+      options.simd = level;
+      Result<OptimizeOutcome> outcome =
+          OptimizeJoin(instance.catalog, instance.graph, options);
+      ASSERT_TRUE(outcome.ok())
+          << SimdLevelName(level) << " threads=" << threads;
+      EXPECT_EQ(outcome->cost, baseline->cost);
+      ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+      EXPECT_EQ(outcome->counters.loop_iterations,
+                baseline->counters.loop_iterations);
+      EXPECT_EQ(outcome->counters.improvements,
+                baseline->counters.improvements);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TieBreaksIdenticalUnderSimdAndThreads) {
+  // Equal-cardinality Cartesian products make every same-size split of a
+  // subset cost exactly the same; the recorded best_lhs is then purely the
+  // first strict improvement in successor order. Pin that choice: the
+  // best_lhs column (not just the cost) must match the sequential scalar
+  // run lane for lane under every kernel and thread count.
+  const std::vector<double> cards(12, 100.0);
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  ASSERT_TRUE(catalog.ok());
+  OptimizerOptions reference = ParallelOptions(CostModelKind::kNaive, 1);
+  reference.simd = SimdLevel::kScalar;
+  Result<OptimizeOutcome> baseline = OptimizeCartesian(*catalog, reference);
+  ASSERT_TRUE(baseline.ok());
+  for (const SimdLevel level : {SimdLevel::kBlock, SimdLevel::kAvx512}) {
+    for (const int threads : {1, 4}) {
+      OptimizerOptions options = ParallelOptions(CostModelKind::kNaive,
+                                                 threads);
+      options.simd = level;
+      Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, options);
+      ASSERT_TRUE(outcome.ok());
+      const std::size_t rows = static_cast<std::size_t>(baseline->table.size());
+      ASSERT_EQ(std::memcmp(outcome->table.best_lhs_data(),
+                            baseline->table.best_lhs_data(),
+                            rows * sizeof(std::uint32_t)),
+                0)
+          << SimdLevelName(level) << " threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, AutoThreadCountIsValidConfiguration) {
   // num_threads = 0 resolves to the hardware thread count; on any machine
   // the result must still be exact and bit-stable.

@@ -1,0 +1,273 @@
+// Bit-identity contract of the SIMD split-filter kernel (src/simd/): for
+// every dispatch level, every cost model, and every topology, the filled DP
+// table — costs, cardinalities, chosen splits, Pi_fan, and the per-model
+// memo column — is byte-for-byte the table the classic scalar nested-if
+// loop produces, and the Section 3.3 operation counters match exactly. The
+// SIMD path is a pure filter: lanes that might improve the best split are
+// re-run through the scalar body in successor order, so not just the
+// optimum but every tie-break and every counter is preserved.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/dp_table.h"
+#include "core/optimizer.h"
+#include "plan/plan.h"
+#include "query/workload.h"
+#include "simd/dispatch.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+/// Asserts every allocated column of `a` and `b` is bitwise equal.
+void ExpectTablesBitIdentical(DpTable* a, DpTable* b) {
+  ASSERT_EQ(a->num_relations(), b->num_relations());
+  ASSERT_EQ(a->has_pi_fan(), b->has_pi_fan());
+  ASSERT_EQ(a->has_aux(), b->has_aux());
+  const std::size_t rows = static_cast<std::size_t>(a->size());
+  EXPECT_EQ(std::memcmp(a->cost_data(), b->cost_data(), rows * sizeof(float)),
+            0);
+  EXPECT_EQ(
+      std::memcmp(a->card_data(), b->card_data(), rows * sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(a->best_lhs_data(), b->best_lhs_data(),
+                        rows * sizeof(std::uint32_t)),
+            0);
+  if (a->has_pi_fan()) {
+    EXPECT_EQ(std::memcmp(a->pi_fan_data(), b->pi_fan_data(),
+                          rows * sizeof(double)),
+              0);
+  }
+  if (a->has_aux()) {
+    EXPECT_EQ(
+        std::memcmp(a->aux_data(), b->aux_data(), rows * sizeof(double)), 0);
+  }
+}
+
+/// Asserts the full Section 3.3 / 6.2 counter set matches — the filter may
+/// not change how often any instrumented event fires, only when the gates
+/// around it are evaluated.
+void ExpectCountersEqual(const CountingInstrumentation& a,
+                         const CountingInstrumentation& b) {
+  EXPECT_EQ(a.subsets_visited, b.subsets_visited);
+  EXPECT_EQ(a.loop_iterations, b.loop_iterations);
+  EXPECT_EQ(a.operand_passes, b.operand_passes);
+  EXPECT_EQ(a.kappa2_evaluations, b.kappa2_evaluations);
+  EXPECT_EQ(a.improvements, b.improvements);
+  EXPECT_EQ(a.threshold_skips, b.threshold_skips);
+}
+
+OptimizerOptions SimdOptions(CostModelKind model, SimdLevel level,
+                             float threshold = kRejectedCost) {
+  OptimizerOptions options;
+  options.cost_model = model;
+  options.count_operations = true;
+  options.cost_threshold = threshold;
+  options.simd = level;
+  return options;
+}
+
+// The forced levels under test. On a CPU (or build) without the matching
+// instruction set the dispatcher clamps a request down, so on any machine
+// each case degenerates to a supported kernel and the suite still passes —
+// the full matrix runs where the hardware allows it.
+constexpr SimdLevel kLevels[] = {SimdLevel::kBlock, SimdLevel::kAvx2,
+                                 SimdLevel::kAvx512};
+
+constexpr CostModelKind kModels[] = {CostModelKind::kNaive,
+                                     CostModelKind::kSortMerge,
+                                     CostModelKind::kDiskNestedLoops};
+
+void ExpectJoinBitIdentical(const Catalog& catalog, const JoinGraph& graph,
+                            CostModelKind model, float threshold) {
+  Result<OptimizeOutcome> baseline = OptimizeJoin(
+      catalog, graph, SimdOptions(model, SimdLevel::kScalar, threshold));
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->simd_level, SimdLevel::kScalar);
+  for (const SimdLevel level : kLevels) {
+    Result<OptimizeOutcome> outcome =
+        OptimizeJoin(catalog, graph, SimdOptions(model, level, threshold));
+    ASSERT_TRUE(outcome.ok()) << SimdLevelName(level);
+    EXPECT_EQ(outcome->cost, baseline->cost) << SimdLevelName(level);
+    ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+    ExpectCountersEqual(outcome->counters, baseline->counters);
+  }
+}
+
+TEST(SimdKernelTest, TopologyMatrixBitIdenticalAcrossLevels) {
+  // Appendix workloads: every topology shape the paper sweeps, at an n
+  // large enough that most subsets clear the kSimdMinPopcount gate.
+  for (const Topology topology :
+       {Topology::kChain, Topology::kStar, Topology::kClique}) {
+    WorkloadSpec spec;
+    spec.num_relations = 11;
+    spec.topology = topology;
+    spec.mean_cardinality = 100.0;
+    spec.variability = 0.5;
+    Result<Workload> workload = MakeWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    for (const CostModelKind model : kModels) {
+      ExpectJoinBitIdentical(workload->catalog, workload->graph, model,
+                             kRejectedCost);
+    }
+  }
+}
+
+TEST(SimdKernelTest, RandomInstancesBitIdenticalAcrossLevels) {
+  for (const std::uint64_t seed : {3u, 17u, 99u}) {
+    const testing::RandomInstance instance =
+        testing::MakeRandomInstance(12, seed);
+    for (const CostModelKind model : kModels) {
+      ExpectJoinBitIdentical(instance.catalog, instance.graph, model,
+                             kRejectedCost);
+    }
+  }
+}
+
+TEST(SimdKernelTest, CartesianProductBitIdenticalAcrossLevels) {
+  // Figure 2's setting — equal cardinalities, no predicates — is the
+  // worst case for tie-breaking: every same-size split of a subset costs
+  // the same, so the winner is purely "first strict improvement in
+  // successor order". Bit-identical best_lhs columns prove the filter
+  // preserves that order exactly.
+  const std::vector<double> cards(12, 100.0);
+  Result<Catalog> catalog = Catalog::FromCardinalities(cards);
+  ASSERT_TRUE(catalog.ok());
+  for (const CostModelKind model : kModels) {
+    Result<OptimizeOutcome> baseline =
+        OptimizeCartesian(*catalog, SimdOptions(model, SimdLevel::kScalar));
+    ASSERT_TRUE(baseline.ok());
+    for (const SimdLevel level : kLevels) {
+      Result<OptimizeOutcome> outcome =
+          OptimizeCartesian(*catalog, SimdOptions(model, level));
+      ASSERT_TRUE(outcome.ok()) << SimdLevelName(level);
+      ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+      ExpectCountersEqual(outcome->counters, baseline->counters);
+    }
+  }
+}
+
+TEST(SimdKernelTest, FiniteThresholdRejectionBitIdentical) {
+  // A biting Section 6.4 threshold fills the table with kRejectedCost
+  // rows; the filter compares against +inf lanes and must reproduce the
+  // identical rejection pattern and threshold_skips count.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(11, /*seed=*/7);
+  for (const CostModelKind model : kModels) {
+    ExpectJoinBitIdentical(instance.catalog, instance.graph, model,
+                           /*threshold=*/1e5f);
+  }
+}
+
+TEST(SimdKernelTest, ExtractedPlansIdenticalAcrossLevels) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(10, /*seed=*/42);
+  Result<OptimizeOutcome> baseline = OptimizeJoin(
+      instance.catalog, instance.graph,
+      SimdOptions(CostModelKind::kSortMerge, SimdLevel::kScalar));
+  ASSERT_TRUE(baseline.ok());
+  Result<Plan> baseline_plan = Plan::ExtractFromTable(baseline->table);
+  ASSERT_TRUE(baseline_plan.ok());
+  for (const SimdLevel level : kLevels) {
+    Result<OptimizeOutcome> outcome =
+        OptimizeJoin(instance.catalog, instance.graph,
+                     SimdOptions(CostModelKind::kSortMerge, level));
+    ASSERT_TRUE(outcome.ok());
+    Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->ToString(), baseline_plan->ToString());
+  }
+}
+
+TEST(SimdKernelTest, SmallProblemsBelowPopcountGateStillExact) {
+  // n <= kSimdMinPopcount problems never enter the blocked path at all;
+  // requesting a SIMD level must be a clean no-op.
+  const Catalog catalog = testing::Table1Catalog();
+  const JoinGraph graph = testing::Figure3Graph();
+  Result<OptimizeOutcome> baseline = OptimizeJoin(
+      catalog, graph, SimdOptions(CostModelKind::kNaive, SimdLevel::kScalar));
+  ASSERT_TRUE(baseline.ok());
+  for (const SimdLevel level : kLevels) {
+    Result<OptimizeOutcome> outcome = OptimizeJoin(
+        catalog, graph, SimdOptions(CostModelKind::kNaive, level));
+    ASSERT_TRUE(outcome.ok());
+    ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+    ExpectCountersEqual(outcome->counters, baseline->counters);
+  }
+}
+
+TEST(SimdKernelTest, FlatAblationIgnoresSimdRequest) {
+  // The nested_ifs = false ablation has no short-circuit gate to
+  // vectorize; it must run (and report) scalar no matter what was asked.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(9, /*seed=*/5);
+  OptimizerOptions options = SimdOptions(CostModelKind::kNaive,
+                                         SimdLevel::kAvx2);
+  options.nested_ifs = false;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->simd_level, SimdLevel::kScalar);
+  OptimizerOptions scalar = options;
+  scalar.simd = SimdLevel::kScalar;
+  Result<OptimizeOutcome> baseline =
+      OptimizeJoin(instance.catalog, instance.graph, scalar);
+  ASSERT_TRUE(baseline.ok());
+  ExpectTablesBitIdentical(&outcome->table, &baseline->table);
+  ExpectCountersEqual(outcome->counters, baseline->counters);
+}
+
+TEST(SimdKernelTest, OutcomeReportsResolvedLevel) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(8, /*seed=*/1);
+  for (const SimdLevel level : kLevels) {
+    Result<OptimizeOutcome> outcome = OptimizeJoin(
+        instance.catalog, instance.graph,
+        SimdOptions(CostModelKind::kNaive, level));
+    ASSERT_TRUE(outcome.ok());
+    // The reported level is the request clamped to this machine — never
+    // kAuto, never above the request.
+    EXPECT_EQ(outcome->simd_level, ResolveSimdLevel(level));
+    EXPECT_NE(outcome->simd_level, SimdLevel::kAuto);
+  }
+}
+
+TEST(SimdKernelTest, AutoDispatchConsultsGateTightness) {
+  // Under kAuto the batched kernel engages only for gate-tight models
+  // (kSplitGateTight: kappa'' = 0, where the batched operand gate is the
+  // complete cost comparison). kappa''-dominated models pass nearly every
+  // lane through the filter, so auto keeps the classic loop for them — but
+  // an explicit request (options.simd or BLITZ_SIMD) still forces the
+  // kernel for any model, so ablations can measure every combination.
+  testing::ScopedSimdEnv no_env(nullptr);
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(8, /*seed=*/3);
+  const auto run = [&](CostModelKind model, SimdLevel request) {
+    Result<OptimizeOutcome> outcome = OptimizeJoin(
+        instance.catalog, instance.graph, SimdOptions(model, request));
+    BLITZ_CHECK(outcome.ok());
+    EXPECT_EQ(outcome->simd_level,
+              EffectivePassSimdLevel(SimdOptions(model, request)));
+    return outcome->simd_level;
+  };
+  EXPECT_EQ(run(CostModelKind::kNaive, SimdLevel::kAuto),
+            DetectCpuSimdLevel());
+  EXPECT_EQ(run(CostModelKind::kSortMerge, SimdLevel::kAuto),
+            SimdLevel::kScalar);
+  EXPECT_EQ(run(CostModelKind::kDiskNestedLoops, SimdLevel::kAuto),
+            SimdLevel::kScalar);
+  EXPECT_EQ(run(CostModelKind::kSortMerge, SimdLevel::kAvx2),
+            ResolveSimdLevel(SimdLevel::kAvx2));
+  {
+    // A BLITZ_SIMD override is explicit too: it reaches the kernel even
+    // for a gate-loose model.
+    testing::ScopedSimdEnv env("block");
+    EXPECT_EQ(run(CostModelKind::kSortMerge, SimdLevel::kAuto),
+              SimdLevel::kBlock);
+  }
+}
+
+}  // namespace
+}  // namespace blitz

@@ -1,6 +1,9 @@
 #ifndef BLITZ_TESTS_TEST_UTIL_H_
 #define BLITZ_TESTS_TEST_UTIL_H_
 
+#include <cmath>
+#include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +14,34 @@
 #include "query/topology.h"
 
 namespace blitz::testing {
+
+/// RAII guard: sets BLITZ_SIMD for one scope (nullptr = unset) and restores
+/// the previous value on exit, so tests cannot leak environment state into
+/// each other.
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* old = std::getenv("BLITZ_SIMD");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("BLITZ_SIMD", value, /*overwrite=*/1);
+    } else {
+      ::unsetenv("BLITZ_SIMD");
+    }
+  }
+  ~ScopedSimdEnv() {
+    if (had_old_) {
+      ::setenv("BLITZ_SIMD", old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("BLITZ_SIMD");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
 
 /// The worked example of Table 1: relations A, B, C, D with cardinalities
 /// 10, 20, 30, 40 (a pure Cartesian-product problem).
