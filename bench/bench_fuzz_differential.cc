@@ -1,0 +1,108 @@
+// Cost of the differential harness itself: how long one fuzz case takes to
+// generate and to drive through the full configuration grid + oracle trio,
+// broken down by case size. This bounds what a CI time budget buys (cases
+// per minute per sanitizer) and catches harness slowdowns before they
+// silently shrink fuzz coverage.
+//
+// Seeding is shared with the fuzzer binary: case i here is exactly
+// `fuzz_blitzsplit --seed=S` case i (both are pure functions of (S, i) via
+// common/rng.h DeriveSeed), so any slow or failing case found while
+// benchmarking is replayable in the harness as-is.
+//
+// Environment knobs: BLITZ_FUZZ_SEED (default 20260807), BLITZ_FUZZ_CASES
+// (default 24), BLITZ_FUZZ_MIN_N / BLITZ_FUZZ_MAX_N (default 4/11),
+// BLITZ_FUZZ_BRUTE_MAX_N (default 10).
+
+#include <cstdio>
+#include <map>
+
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "testing/differential.h"
+#include "testing/fuzzer.h"
+
+namespace blitz {
+namespace {
+
+int Run() {
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      BenchEnvInt("BLITZ_FUZZ_SEED", 20260807));
+  const int cases = BenchEnvInt("BLITZ_FUZZ_CASES", 24);
+  fuzz::FuzzerOptions generator;
+  generator.seed = seed;
+  generator.min_relations = BenchEnvInt("BLITZ_FUZZ_MIN_N", 4);
+  generator.max_relations = BenchEnvInt("BLITZ_FUZZ_MAX_N", 11);
+  const Status valid = generator.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "bad generator config: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  fuzz::DifferentialOptions diff;
+  diff.brute_force_max_n = BenchEnvInt("BLITZ_FUZZ_BRUTE_MAX_N", 10);
+
+  std::printf(
+      "Differential-harness throughput: seed=%llu, %d cases, n in [%d, %d]\n"
+      "(per-case time = config grid + brute-force/re-coster/DPccp oracles)\n\n",
+      static_cast<unsigned long long>(seed), cases, generator.min_relations,
+      generator.max_relations);
+
+  struct Bucket {
+    int cases = 0;
+    double generate_seconds = 0;
+    double check_seconds = 0;
+  };
+  std::map<int, Bucket> by_size;
+
+  for (int i = 0; i < cases; ++i) {
+    Result<fuzz::FuzzCase> c =
+        fuzz::GenerateCase(generator, static_cast<std::uint64_t>(i));
+    BLITZ_CHECK(c.ok());
+    const TimingResult generate = TimeIt(
+        [&] {
+          Result<fuzz::FuzzCase> again =
+              fuzz::GenerateCase(generator, static_cast<std::uint64_t>(i));
+          BLITZ_CHECK(again.ok());
+        },
+        /*min_seconds=*/0);
+    bool passed = true;
+    const TimingResult check = TimeIt(
+        [&] { passed = RunDifferentialCase(*c, diff).passed; },
+        /*min_seconds=*/0);
+    if (!passed) {
+      std::fprintf(stderr,
+                   "MISMATCH on %s — replay: fuzz_blitzsplit --seed=%llu "
+                   "--iters=%d --min-n=%d --max-n=%d\n",
+                   c->label.c_str(), static_cast<unsigned long long>(seed),
+                   i + 1, generator.min_relations, generator.max_relations);
+      return 1;
+    }
+    Bucket& bucket = by_size[c->spec.num_relations];
+    ++bucket.cases;
+    bucket.generate_seconds += generate.seconds_per_run;
+    bucket.check_seconds += check.seconds_per_run;
+  }
+
+  TextTable out;
+  out.SetHeader({"n", "cases", "generate (ms)", "full grid+oracles (ms)"});
+  double total = 0;
+  for (const auto& [n, bucket] : by_size) {
+    out.AddRow({StrFormat("%d", n), StrFormat("%d", bucket.cases),
+                StrFormat("%.3f", bucket.generate_seconds * 1e3 /
+                                      bucket.cases),
+                StrFormat("%.2f",
+                          bucket.check_seconds * 1e3 / bucket.cases)});
+    total += bucket.generate_seconds + bucket.check_seconds;
+  }
+  std::printf("%s", out.ToString().c_str());
+  std::printf("\ntotal %.2fs for %d cases (%.1f cases/minute)\n", total,
+              cases, total > 0 ? cases * 60.0 / total : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main() { return blitz::Run(); }

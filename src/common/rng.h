@@ -48,6 +48,19 @@ class Rng {
   std::uint64_t state_;
 };
 
+/// Derives a decorrelated child seed for stream `stream` of a master seed.
+/// This is the one seeding scheme shared by the workload fuzzer
+/// (testing/fuzzer.h), its benchmarks, and any test that wants per-case
+/// substreams: child i is a pure function of (seed, i), so a run is
+/// replayable from the master seed alone and streams can be consumed in any
+/// order (or skipped) without shifting each other.
+inline std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {
+  // One extra odd-multiplier mix keeps adjacent streams of adjacent seeds
+  // from landing on correlated splitmix trajectories.
+  Rng rng(seed ^ (0xd1342543de82ef95ULL * (stream + 1)));
+  return rng.Next();
+}
+
 }  // namespace blitz
 
 #endif  // BLITZ_COMMON_RNG_H_

@@ -50,43 +50,44 @@ std::vector<double> VariabilityGrid(int count) {
   return grid;
 }
 
-Result<Workload> MakeWorkload(const WorkloadSpec& spec) {
-  if (spec.num_relations < 1 || spec.num_relations > kMaxRelations) {
+Result<Workload> MakeWorkloadFromEdges(
+    int num_relations, double mean_cardinality, double variability,
+    const std::vector<std::pair<int, int>>& edges) {
+  if (num_relations < 1 || num_relations > kMaxRelations) {
     return Status::InvalidArgument(
-        StrFormat("num_relations %d outside [1, %d]", spec.num_relations,
+        StrFormat("num_relations %d outside [1, %d]", num_relations,
                   kMaxRelations));
   }
-  if (!(spec.mean_cardinality >= 1.0) ||
-      !std::isfinite(spec.mean_cardinality)) {
+  if (!(mean_cardinality >= 1.0) || !std::isfinite(mean_cardinality)) {
     return Status::InvalidArgument(
-        StrFormat("mean_cardinality %g must be >= 1", spec.mean_cardinality));
+        StrFormat("mean_cardinality %g must be >= 1", mean_cardinality));
   }
-  if (spec.variability < 0.0 || spec.variability > 1.0) {
+  if (variability < 0.0 || variability > 1.0) {
     return Status::InvalidArgument(
-        StrFormat("variability %g outside [0, 1]", spec.variability));
+        StrFormat("variability %g outside [0, 1]", variability));
   }
 
-  const int n = spec.num_relations;
+  const int n = num_relations;
   const std::vector<double> cards =
-      MakeCardinalityLadder(n, spec.mean_cardinality, spec.variability);
+      MakeCardinalityLadder(n, mean_cardinality, variability);
   Result<Catalog> catalog = Catalog::FromCardinalities(cards);
   if (!catalog.ok()) return catalog.status();
 
-  Result<std::vector<std::pair<int, int>>> edges =
-      MakeTopologyEdges(spec.topology, n);
-  if (!edges.ok()) return edges.status();
-
   // Predicate degrees (the k_i of the Appendix's selectivity formula).
   std::vector<int> degree(n, 0);
-  for (const auto& [a, b] : *edges) {
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || a >= n || b < 0 || b >= n || a == b) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%d, %d) invalid for n=%d", a, b, n));
+    }
     ++degree[a];
     ++degree[b];
   }
-  const int k = static_cast<int>(edges->size());
+  const int k = static_cast<int>(edges.size());
 
   JoinGraph graph(n);
-  for (const auto& [a, b] : *edges) {
-    double selectivity = std::pow(spec.mean_cardinality, 1.0 / k) *
+  for (const auto& [a, b] : edges) {
+    double selectivity = std::pow(mean_cardinality, 1.0 / k) *
                          std::pow(cards[a], -1.0 / degree[a]) *
                          std::pow(cards[b], -1.0 / degree[b]);
     // Guard against numeric drift past 1 in degenerate corners (e.g. mean
@@ -95,6 +96,21 @@ Result<Workload> MakeWorkload(const WorkloadSpec& spec) {
     BLITZ_RETURN_IF_ERROR(graph.AddPredicate(a, b, selectivity));
   }
   return Workload{std::move(catalog).value(), std::move(graph)};
+}
+
+Result<Workload> MakeWorkload(const WorkloadSpec& spec) {
+  // Bounds-check n before MakeTopologyEdges, whose chain-order helper
+  // CHECK-fails on n < 1 rather than returning a status.
+  if (spec.num_relations < 1 || spec.num_relations > kMaxRelations) {
+    return Status::InvalidArgument(
+        StrFormat("num_relations %d outside [1, %d]", spec.num_relations,
+                  kMaxRelations));
+  }
+  Result<std::vector<std::pair<int, int>>> edges =
+      MakeTopologyEdges(spec.topology, spec.num_relations);
+  if (!edges.ok()) return edges.status();
+  return MakeWorkloadFromEdges(spec.num_relations, spec.mean_cardinality,
+                               spec.variability, *edges);
 }
 
 }  // namespace blitz

@@ -43,6 +43,17 @@ struct Workload {
 /// to 1.0 in the (rare, degenerate) case the Appendix formula exceeds it.
 Result<Workload> MakeWorkload(const WorkloadSpec& spec);
 
+/// Generator hook: the same Appendix construction (cardinality ladder +
+/// calibrated selectivities yielding a final result cardinality of `mean`)
+/// over a caller-supplied edge list instead of a named topology. This is how
+/// the workload fuzzer (testing/fuzzer.h) extends the paper's grid with
+/// random(p) connected graphs while keeping every other knob identical to
+/// MakeWorkload. Edges must be in-range relation pairs with first != second;
+/// duplicates fail via JoinGraph::AddPredicate.
+Result<Workload> MakeWorkloadFromEdges(
+    int num_relations, double mean_cardinality, double variability,
+    const std::vector<std::pair<int, int>>& edges);
+
 /// The base-relation cardinalities of `spec` (without building a graph).
 std::vector<double> MakeCardinalityLadder(int n, double mean_cardinality,
                                           double variability);

@@ -1,0 +1,75 @@
+#include "testing/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/strings.h"
+#include "textio/bjq.h"
+
+namespace blitz::fuzz {
+
+namespace fs = std::filesystem;
+
+Result<std::string> WriteCorpusCase(const std::string& dir, const FuzzCase& c,
+                                    CostModelKind cost_model,
+                                    const std::string& note) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("cannot create corpus dir %s: %s", dir.c_str(),
+                  ec.message().c_str()));
+  }
+  const std::string label = c.label.empty() ? c.spec.Name() : c.label;
+  const std::string path = (fs::path(dir) / (label + ".bjq")).string();
+
+  std::string text;
+  if (!note.empty()) text += "# " + note + "\n";
+  text += "# replay: fuzz_blitzsplit --replay=" + path + "\n";
+  text += StrFormat("# provenance: seed=%llu case=%llu (%s)\n",
+                    static_cast<unsigned long long>(c.spec.seed),
+                    static_cast<unsigned long long>(c.spec.case_index),
+                    label.c_str());
+  text += WriteBjq(ToQuerySpec(c, cost_model));
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal(StrFormat("short write to %s", path.c_str()));
+  }
+  return path;
+}
+
+std::vector<std::string> ListCorpusFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return files;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.path().extension() == ".bjq") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<FuzzCase> LoadCorpusCase(const std::string& path) {
+  Result<QuerySpec> spec = LoadBjqFile(path);
+  if (!spec.ok()) return spec.status();
+  FuzzCase c;
+  c.spec.num_relations = spec->catalog.num_relations();
+  c.catalog = std::move(spec->catalog);
+  c.graph = std::move(spec->graph);
+  c.label = fs::path(path).stem().string();
+  return c;
+}
+
+}  // namespace blitz::fuzz

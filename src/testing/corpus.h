@@ -1,0 +1,34 @@
+#ifndef BLITZ_TESTING_CORPUS_H_
+#define BLITZ_TESTING_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "testing/fuzzer.h"
+
+namespace blitz::fuzz {
+
+/// Failure-corpus management: every mismatch the fuzzer finds is written as
+/// a replayable `.bjq` file (tests/corpus/ in-tree), and the corpus-replay
+/// test re-runs every file through the full configuration grid so a fixed
+/// bug stays fixed.
+
+/// Writes `c` as `<dir>/<c.label>.bjq` (creating `dir` if needed), with
+/// `note` and the case provenance as leading comments. Returns the path.
+Result<std::string> WriteCorpusCase(const std::string& dir, const FuzzCase& c,
+                                    CostModelKind cost_model,
+                                    const std::string& note);
+
+/// All `*.bjq` paths under `dir`, sorted; empty (not an error) when the
+/// directory is missing or holds no cases.
+std::vector<std::string> ListCorpusFiles(const std::string& dir);
+
+/// Parses a corpus file back into a runnable case; the label is the file's
+/// basename.
+Result<FuzzCase> LoadCorpusCase(const std::string& path);
+
+}  // namespace blitz::fuzz
+
+#endif  // BLITZ_TESTING_CORPUS_H_

@@ -1,0 +1,197 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "plan/plan.h"
+#include "testing/oracles.h"
+
+namespace blitz::fuzz {
+namespace {
+
+/// Lowered from the production default so modest fuzz-sized problems
+/// actually exercise the rank-parallel driver instead of silently running
+/// sequentially.
+constexpr std::uint64_t kFuzzMinParallelRank = 4;
+
+OptimizerOptions MakeOptions(CostModelKind model, int threads,
+                             SimdLevel simd) {
+  OptimizerOptions options;
+  options.cost_model = model;
+  options.count_operations = true;
+  options.simd = simd;
+  options.parallel.num_threads = threads;
+  options.parallel.min_parallel_rank = kFuzzMinParallelRank;
+  return options;
+}
+
+std::string ConfigName(CostModelKind model, int threads, SimdLevel simd,
+                       const char* extra = "") {
+  return StrFormat("model=%s threads=%d simd=%s%s",
+                   CostModelKindToString(model), threads, SimdLevelName(simd),
+                   extra);
+}
+
+/// The counters that must fold/replay to identical totals across every
+/// thread count and kernel level.
+OracleVerdict CountersIdentical(const CountingInstrumentation& a,
+                                const CountingInstrumentation& b) {
+  if (a.subsets_visited != b.subsets_visited ||
+      a.loop_iterations != b.loop_iterations ||
+      a.improvements != b.improvements ||
+      a.threshold_skips != b.threshold_skips) {
+    return OracleVerdict::Fail(StrFormat(
+        "operation counters diverge: [%s] vs [%s]", a.ToString().c_str(),
+        b.ToString().c_str()));
+  }
+  return OracleVerdict::Pass();
+}
+
+}  // namespace
+
+std::string CaseVerdict::ToString() const {
+  if (passed) return "pass";
+  return StrFormat("FAIL [%s] %s", config.c_str(), failure.c_str());
+}
+
+CaseVerdict RunDifferentialCase(const FuzzCase& c,
+                                const DifferentialOptions& options) {
+  CaseVerdict verdict;
+  auto fail = [&](std::string config, std::string message) {
+    verdict.passed = false;
+    verdict.config = std::move(config);
+    verdict.failure = std::move(message);
+    return verdict;
+  };
+
+  const int n = c.catalog.num_relations();
+  for (const CostModelKind model : options.cost_models) {
+    // Reference configuration: sequential, scalar, unbounded.
+    const OptimizerOptions ref_options =
+        MakeOptions(model, /*threads=*/1, SimdLevel::kScalar);
+    Result<OptimizeOutcome> reference =
+        OptimizeJoin(c.catalog, c.graph, ref_options);
+    if (!reference.ok()) {
+      return fail(ConfigName(model, 1, SimdLevel::kScalar),
+                  "reference run failed: " +
+                      reference.status().ToString());
+    }
+
+    // Oracle 1: naive full-subset brute force, every table entry.
+    Result<BruteForceTable> brute(BruteForceTable{});
+    const bool have_brute = n <= options.brute_force_max_n;
+    if (have_brute) {
+      brute = BruteForceAllSubsets(c.catalog, c.graph, model,
+                                   options.brute_force_max_n);
+      if (!brute.ok()) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar),
+                    "brute-force oracle failed: " +
+                        brute.status().ToString());
+      }
+      const OracleVerdict compared =
+          CompareDpTableToBruteForce(reference->table, *brute);
+      if (!compared.ok) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar),
+                    compared.message);
+      }
+    }
+
+    // Oracles 2 and 3 need the winning plan.
+    if (reference->found_plan()) {
+      Result<Plan> plan = Plan::ExtractFromTable(reference->table);
+      if (!plan.ok()) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar),
+                    "plan extraction failed: " + plan.status().ToString());
+      }
+      const OracleVerdict recosted = CheckPlanAgainstDpTable(
+          *plan, c.catalog, c.graph, model, reference->table);
+      if (!recosted.ok) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar),
+                    recosted.message);
+      }
+      const OracleVerdict dpccp = CheckAgainstDpCcp(
+          c.catalog, c.graph, model,
+          static_cast<double>(reference->cost),
+          plan->CountCartesianProducts(c.graph));
+      if (!dpccp.ok) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar), dpccp.message);
+      }
+    }
+
+    // The (threads x simd) grid: every combination must reproduce the
+    // reference table bit for bit, with identical folded counters.
+    for (const int threads : options.thread_counts) {
+      for (const SimdLevel simd : options.simd_levels) {
+        if (threads == 1 && simd == SimdLevel::kScalar) continue;
+        Result<OptimizeOutcome> outcome =
+            OptimizeJoin(c.catalog, c.graph, MakeOptions(model, threads,
+                                                         simd));
+        if (!outcome.ok()) {
+          return fail(ConfigName(model, threads, simd),
+                      "run failed: " + outcome.status().ToString());
+        }
+        const OracleVerdict tables =
+            TablesBitIdentical(outcome->table, reference->table);
+        if (!tables.ok) {
+          return fail(ConfigName(model, threads, simd), tables.message);
+        }
+        const OracleVerdict counters =
+            CountersIdentical(outcome->counters, reference->counters);
+        if (!counters.ok) {
+          return fail(ConfigName(model, threads, simd), counters.message);
+        }
+      }
+    }
+
+    if (!options.with_thresholds) continue;
+
+    // Threshold ladder: must terminate on the bit-identical root cost.
+    ThresholdLadderOptions ladder;
+    ladder.initial_threshold = 10.0f;
+    ladder.growth_factor = 100.0f;
+    Result<LadderOutcome> laddered = OptimizeJoinWithThresholds(
+        c.catalog, c.graph, ref_options, ladder);
+    if (!laddered.ok()) {
+      return fail(ConfigName(model, 1, SimdLevel::kScalar, " ladder"),
+                  "threshold ladder failed: " + laddered.status().ToString());
+    }
+    const float ladder_cost = laddered->outcome.cost;
+    const float ref_cost = reference->cost;
+    if (std::memcmp(&ladder_cost, &ref_cost, sizeof(float)) != 0) {
+      return fail(
+          ConfigName(model, 1, SimdLevel::kScalar, " ladder"),
+          StrFormat("ladder cost %.9g != reference cost %.9g after %d passes",
+                    static_cast<double>(ladder_cost),
+                    static_cast<double>(ref_cost), laddered->passes));
+    }
+
+    // One biting single-threshold pass, checked against the brute-force
+    // oracle's rejection semantics (plans costing >= threshold rejected).
+    if (have_brute && reference->found_plan() &&
+        reference->cost < std::numeric_limits<float>::max() / 8) {
+      OptimizerOptions bounded = ref_options;
+      bounded.cost_threshold = std::max(reference->cost * 4.0f, 1.0f);
+      Result<OptimizeOutcome> outcome =
+          OptimizeJoin(c.catalog, c.graph, bounded);
+      if (!outcome.ok()) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar, " threshold"),
+                    "thresholded run failed: " +
+                        outcome.status().ToString());
+      }
+      const OracleVerdict compared = CompareDpTableToBruteForce(
+          outcome->table, *brute, bounded.cost_threshold);
+      if (!compared.ok) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar, " threshold"),
+                    compared.message);
+      }
+    }
+  }
+  return verdict;
+}
+
+}  // namespace blitz::fuzz

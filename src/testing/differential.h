@@ -1,0 +1,52 @@
+#ifndef BLITZ_TESTING_DIFFERENTIAL_H_
+#define BLITZ_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "simd/dispatch.h"
+#include "testing/fuzzer.h"
+
+namespace blitz::fuzz {
+
+/// The configuration cross-product one case is driven through. The
+/// reference configuration (scalar kernel, one thread, no threshold) is
+/// always run per cost model; every other (threads x simd) combination must
+/// fill a bit-identical DP table, and the threshold ladder must land on the
+/// bit-identical root cost.
+struct DifferentialOptions {
+  std::vector<CostModelKind> cost_models = {CostModelKind::kNaive,
+                                            CostModelKind::kSortMerge,
+                                            CostModelKind::kDiskNestedLoops};
+  std::vector<int> thread_counts = {1, 4};
+  /// kScalar is the reference; kBlock forces the batched kernel on every
+  /// model; kAuto exercises the production dispatch policy.
+  std::vector<SimdLevel> simd_levels = {SimdLevel::kScalar, SimdLevel::kBlock,
+                                        SimdLevel::kAuto};
+  /// Run the Section 6.4 threshold ladder (the {threshold on} half of the
+  /// grid) and a single thresholded pass checked against the brute-force
+  /// oracle's threshold semantics.
+  bool with_thresholds = true;
+  /// Largest n the O(4^n)-flavored brute-force oracle runs at; larger cases
+  /// still get the re-coster and DPccp oracles.
+  int brute_force_max_n = 12;
+};
+
+/// The outcome of one case: pass, or the first failing check with the
+/// configuration that produced it.
+struct CaseVerdict {
+  bool passed = true;
+  std::string config;   ///< e.g. "model=sm threads=4 simd=auto".
+  std::string failure;  ///< Oracle/driver message; empty when passed.
+
+  std::string ToString() const;
+};
+
+/// Drives one case through every configuration and all applicable oracles.
+CaseVerdict RunDifferentialCase(const FuzzCase& c,
+                                const DifferentialOptions& options);
+
+}  // namespace blitz::fuzz
+
+#endif  // BLITZ_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,170 @@
+#include "testing/fuzzer.h"
+
+#include <cmath>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/dp_table.h"
+#include "core/relset.h"
+#include "query/topology.h"
+#include "query/workload.h"
+
+namespace blitz::fuzz {
+namespace {
+
+/// Stream salt separating the edge-construction randomness of random(p)
+/// cases from the spec-sampling randomness, so adding a sampled dimension
+/// never perturbs the graphs of existing seeds.
+constexpr std::uint64_t kEdgeStream = 0x45444745;  // "EDGE"
+
+/// The discrete p grid for random(p) topologies: sparse (barely beyond a
+/// tree) through dense (close to a clique).
+constexpr double kEdgeProbGrid[] = {0.1, 0.25, 0.5, 0.75};
+
+}  // namespace
+
+const char* FuzzTopologyName(FuzzTopology t) {
+  switch (t) {
+    case FuzzTopology::kChain:
+      return "chain";
+    case FuzzTopology::kStar:
+      return "star";
+    case FuzzTopology::kClique:
+      return "clique";
+    case FuzzTopology::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::string FuzzCaseSpec::Name() const {
+  std::string topo = FuzzTopologyName(topology);
+  if (topology == FuzzTopology::kRandom) {
+    topo += StrFormat("%d", static_cast<int>(extra_edge_prob * 100));
+  }
+  return StrFormat("s%llu-c%llu-n%d-%s-m%g-v%d",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(case_index), num_relations,
+                   topo.c_str(), mean_cardinality,
+                   static_cast<int>(variability * 100));
+}
+
+Status FuzzerOptions::Validate() const {
+  if (min_relations < 2) {
+    return Status::InvalidArgument(
+        StrFormat("min_relations %d < 2 (a join needs two relations)",
+                  min_relations));
+  }
+  if (max_relations < min_relations) {
+    return Status::InvalidArgument(
+        StrFormat("max_relations %d < min_relations %d", max_relations,
+                  min_relations));
+  }
+  // The single n-bounds gate: the sampled n must admit a 2^n DP table.
+  // EstimateBytes returns 0 (not an error, not an assert) for n outside the
+  // representable range, and the allocation sites downstream CHECK-abort —
+  // turn the condition into a proper status exactly once, here.
+  if (max_relations > kMaxRelations ||
+      DpTable::EstimateBytes(max_relations, /*with_pi_fan=*/true,
+                             /*with_aux=*/true) == 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_relations %d outside [2, %d] (no DP table that size)",
+                  max_relations, kMaxRelations));
+  }
+  return Status::OK();
+}
+
+FuzzCaseSpec SampleCaseSpec(const FuzzerOptions& options,
+                            std::uint64_t case_index) {
+  Rng rng(DeriveSeed(options.seed, case_index));
+  FuzzCaseSpec spec;
+  spec.seed = options.seed;
+  spec.case_index = case_index;
+  spec.num_relations = rng.NextInt(options.min_relations,
+                                   options.max_relations);
+  switch (rng.NextInt(0, 3)) {
+    case 0:
+      spec.topology = FuzzTopology::kChain;
+      break;
+    case 1:
+      spec.topology = FuzzTopology::kStar;
+      break;
+    case 2:
+      spec.topology = FuzzTopology::kClique;
+      break;
+    default:
+      spec.topology = FuzzTopology::kRandom;
+      spec.extra_edge_prob =
+          kEdgeProbGrid[rng.NextInt(
+              0, static_cast<int>(std::size(kEdgeProbGrid)) - 1)];
+      break;
+  }
+  // The paper's logarithmic mean-cardinality axis (1 .. 10^6) and evenly
+  // spaced variability axis {0, 0.25, 0.5, 0.75, 1} — the Appendix grid.
+  spec.mean_cardinality = MeanCardinalityGrid(10)[rng.NextInt(0, 9)];
+  spec.variability = VariabilityGrid(5)[rng.NextInt(0, 4)];
+  return spec;
+}
+
+Result<FuzzCase> BuildCase(const FuzzCaseSpec& spec) {
+  if (spec.num_relations < 2 || spec.num_relations > kMaxRelations ||
+      DpTable::EstimateBytes(spec.num_relations, true, true) == 0) {
+    return Status::InvalidArgument(
+        StrFormat("case %s: num_relations %d outside [2, %d]",
+                  spec.Name().c_str(), spec.num_relations, kMaxRelations));
+  }
+  if (spec.extra_edge_prob < 0.0 || spec.extra_edge_prob > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("case %s: extra_edge_prob %g outside [0, 1]",
+                  spec.Name().c_str(), spec.extra_edge_prob));
+  }
+
+  std::vector<std::pair<int, int>> edges;
+  switch (spec.topology) {
+    case FuzzTopology::kChain:
+    case FuzzTopology::kStar:
+    case FuzzTopology::kClique: {
+      const Topology t = spec.topology == FuzzTopology::kChain
+                             ? Topology::kChain
+                             : spec.topology == FuzzTopology::kStar
+                                   ? Topology::kStar
+                                   : Topology::kClique;
+      Result<std::vector<std::pair<int, int>>> made =
+          MakeTopologyEdges(t, spec.num_relations);
+      if (!made.ok()) return made.status();
+      edges = std::move(made).value();
+      break;
+    }
+    case FuzzTopology::kRandom: {
+      Rng rng(DeriveSeed(DeriveSeed(spec.seed, spec.case_index), kEdgeStream));
+      edges = MakeRandomConnectedEdges(spec.num_relations,
+                                       spec.extra_edge_prob, &rng);
+      break;
+    }
+  }
+
+  Result<Workload> workload = MakeWorkloadFromEdges(
+      spec.num_relations, spec.mean_cardinality, spec.variability, edges);
+  if (!workload.ok()) return workload.status();
+  return FuzzCase{spec, std::move(workload->catalog),
+                  std::move(workload->graph), spec.Name()};
+}
+
+Result<FuzzCase> GenerateCase(const FuzzerOptions& options,
+                              std::uint64_t case_index) {
+  BLITZ_RETURN_IF_ERROR(options.Validate());
+  return BuildCase(SampleCaseSpec(options, case_index));
+}
+
+QuerySpec ToQuerySpec(const FuzzCase& c, CostModelKind cost_model) {
+  QuerySpec spec;
+  spec.catalog = c.catalog;
+  spec.graph = c.graph;
+  spec.cost_model = cost_model;
+  return spec;
+}
+
+}  // namespace blitz::fuzz

@@ -1,0 +1,87 @@
+#ifndef BLITZ_TESTING_FUZZER_H_
+#define BLITZ_TESTING_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "query/join_graph.h"
+#include "textio/bjq.h"
+
+namespace blitz::fuzz {
+
+/// Join-graph shapes the fuzzer samples: the paper's Appendix grid shapes
+/// plus random(p) connected graphs (a random spanning tree, then each
+/// remaining pair independently with probability p).
+enum class FuzzTopology { kChain, kStar, kClique, kRandom };
+
+/// "chain", "star", "clique", "random".
+const char* FuzzTopologyName(FuzzTopology t);
+
+/// The full description of one sampled test point. A spec is a pure
+/// function of (seed, case_index) — see SampleCaseSpec — and BuildCase is a
+/// pure function of the spec, so any case from any run is replayable from
+/// the master seed and its index alone.
+struct FuzzCaseSpec {
+  std::uint64_t seed = 0;        ///< Master seed the spec was sampled under.
+  std::uint64_t case_index = 0;  ///< Stream index within that seed.
+  int num_relations = 2;
+  FuzzTopology topology = FuzzTopology::kChain;
+  double extra_edge_prob = 0.0;  ///< random(p) only; 0 otherwise.
+  double mean_cardinality = 100.0;
+  double variability = 0.0;
+
+  /// Stable case identifier, e.g. "s42-c17-n9-random25-m100-v50"; used for
+  /// corpus file names and failure messages.
+  std::string Name() const;
+};
+
+/// A built optimization problem plus its provenance. `label` starts as
+/// spec.Name() and is extended by the minimizer ("-min") so a reduced
+/// repro's origin stays visible.
+struct FuzzCase {
+  FuzzCaseSpec spec;
+  Catalog catalog;
+  JoinGraph graph;
+  std::string label;
+};
+
+/// Configuration of the sampling loop — the harness entry point. Validate()
+/// is the single n-bounds gate of the whole harness: everything downstream
+/// (JoinGraph's constructor, the 2^n DP table) CHECK-aborts on out-of-range
+/// n, and DpTable::EstimateBytes signals its range only by returning 0, so
+/// a bad bound must be turned into kInvalidArgument here, before any case
+/// is built.
+struct FuzzerOptions {
+  std::uint64_t seed = 1;
+  int min_relations = 2;
+  int max_relations = 12;
+
+  Status Validate() const;
+};
+
+/// Samples the spec of case `case_index` under `options` (which must
+/// validate OK). Deterministic and order-independent: case i is the same
+/// whether or not cases 0..i-1 were ever sampled.
+FuzzCaseSpec SampleCaseSpec(const FuzzerOptions& options,
+                            std::uint64_t case_index);
+
+/// Materializes a spec into a catalog + join graph via the Appendix
+/// construction (query/workload.h). Validates the spec's bounds with
+/// kInvalidArgument (never aborts), so specs from corpus files or manual
+/// construction are safe to feed through.
+Result<FuzzCase> BuildCase(const FuzzCaseSpec& spec);
+
+/// SampleCaseSpec + BuildCase.
+Result<FuzzCase> GenerateCase(const FuzzerOptions& options,
+                              std::uint64_t case_index);
+
+/// Adapts a case for .bjq serialization (textio/bjq.h) under the given cost
+/// model, for writing replayable corpus files.
+QuerySpec ToQuerySpec(const FuzzCase& c, CostModelKind cost_model);
+
+}  // namespace blitz::fuzz
+
+#endif  // BLITZ_TESTING_FUZZER_H_

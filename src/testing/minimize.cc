@@ -1,0 +1,126 @@
+#include "testing/minimize.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace blitz::fuzz {
+namespace {
+
+/// Rebuilds a case from explicit parts; returns nothing if the parts no
+/// longer form a valid problem (e.g. a single relation after a drop).
+std::optional<FuzzCase> Rebuild(const FuzzCase& base,
+                                std::vector<RelationStats> relations,
+                                const std::vector<Predicate>& predicates) {
+  if (relations.size() < 2) return std::nullopt;
+  Result<Catalog> catalog = Catalog::Create(std::move(relations));
+  if (!catalog.ok()) return std::nullopt;
+  JoinGraph graph(catalog->num_relations());
+  for (const Predicate& p : predicates) {
+    if (!graph.AddPredicate(p.lhs, p.rhs, p.selectivity).ok()) {
+      return std::nullopt;
+    }
+  }
+  FuzzCase reduced;
+  reduced.spec = base.spec;
+  reduced.spec.num_relations = catalog->num_relations();
+  reduced.catalog = std::move(catalog).value();
+  reduced.graph = std::move(graph);
+  reduced.label = base.label;
+  return reduced;
+}
+
+std::vector<RelationStats> CopyRelations(const Catalog& catalog) {
+  std::vector<RelationStats> relations;
+  relations.reserve(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    relations.push_back(catalog.relation(i));
+  }
+  return relations;
+}
+
+}  // namespace
+
+std::optional<FuzzCase> DropRelation(const FuzzCase& c, int relation) {
+  const int n = c.catalog.num_relations();
+  if (n <= 2 || relation < 0 || relation >= n) return std::nullopt;
+  std::vector<RelationStats> relations;
+  for (int i = 0; i < n; ++i) {
+    if (i != relation) relations.push_back(c.catalog.relation(i));
+  }
+  std::vector<Predicate> predicates;
+  for (const Predicate& p : c.graph.predicates()) {
+    if (p.lhs == relation || p.rhs == relation) continue;
+    Predicate remapped = p;
+    if (remapped.lhs > relation) --remapped.lhs;
+    if (remapped.rhs > relation) --remapped.rhs;
+    predicates.push_back(remapped);
+  }
+  return Rebuild(c, std::move(relations), predicates);
+}
+
+std::optional<FuzzCase> DropPredicate(const FuzzCase& c, int predicate_index) {
+  const auto& predicates = c.graph.predicates();
+  if (predicate_index < 0 ||
+      predicate_index >= static_cast<int>(predicates.size())) {
+    return std::nullopt;
+  }
+  std::vector<Predicate> kept;
+  for (int i = 0; i < static_cast<int>(predicates.size()); ++i) {
+    if (i != predicate_index) kept.push_back(predicates[i]);
+  }
+  return Rebuild(c, CopyRelations(c.catalog), kept);
+}
+
+std::optional<FuzzCase> SnapSelectivity(const FuzzCase& c,
+                                        int predicate_index) {
+  const auto& predicates = c.graph.predicates();
+  if (predicate_index < 0 ||
+      predicate_index >= static_cast<int>(predicates.size())) {
+    return std::nullopt;
+  }
+  std::vector<Predicate> adjusted(predicates.begin(), predicates.end());
+  Predicate& p = adjusted[predicate_index];
+  const double snapped =
+      std::min(1.0, std::pow(10.0, std::round(std::log10(p.selectivity))));
+  if (snapped == p.selectivity || !(snapped > 0.0)) return std::nullopt;
+  p.selectivity = snapped;
+  return Rebuild(c, CopyRelations(c.catalog), adjusted);
+}
+
+FuzzCase MinimizeCase(const FuzzCase& failing, const StillFails& still_fails) {
+  FuzzCase current = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int i = current.catalog.num_relations() - 1; i >= 0; --i) {
+      std::optional<FuzzCase> reduced = DropRelation(current, i);
+      if (reduced.has_value() && still_fails(*reduced)) {
+        current = std::move(*reduced);
+        progress = true;
+      }
+    }
+    for (int i = current.graph.num_predicates() - 1; i >= 0; --i) {
+      std::optional<FuzzCase> reduced = DropPredicate(current, i);
+      if (reduced.has_value() && still_fails(*reduced)) {
+        current = std::move(*reduced);
+        progress = true;
+      }
+    }
+    for (int i = current.graph.num_predicates() - 1; i >= 0; --i) {
+      std::optional<FuzzCase> reduced = SnapSelectivity(current, i);
+      if (reduced.has_value() && still_fails(*reduced)) {
+        current = std::move(*reduced);
+        progress = true;
+      }
+    }
+  }
+  if (current.label.empty()) current.label = current.spec.Name();
+  current.label += "-min";
+  return current;
+}
+
+}  // namespace blitz::fuzz

@@ -1,0 +1,37 @@
+#ifndef BLITZ_TESTING_MINIMIZE_H_
+#define BLITZ_TESTING_MINIMIZE_H_
+
+#include <functional>
+#include <optional>
+
+#include "testing/fuzzer.h"
+
+namespace blitz::fuzz {
+
+/// Re-check predicate: returns true while the failure still reproduces on
+/// the candidate case (typically a lambda around RunDifferentialCase).
+using StillFails = std::function<bool(const FuzzCase&)>;
+
+/// Greedy delta-debugging of a failing case. Repeatedly tries, in order:
+/// dropping one relation (with its incident predicates, reindexing the
+/// rest), dropping one predicate, and weakening one predicate's selectivity
+/// to the nearest power of ten — keeping any reduction under which
+/// `still_fails` stays true, until a full round makes no progress. The
+/// result's label is the original label with "-min" appended; its spec
+/// still names the originating (seed, case_index) for provenance.
+///
+/// `still_fails(failing)` is assumed true on entry; the function never
+/// returns a case that does not reproduce.
+FuzzCase MinimizeCase(const FuzzCase& failing, const StillFails& still_fails);
+
+/// Single reduction steps, exposed for tests. Each returns the reduced case
+/// or nothing when the step does not apply (too few relations, no such
+/// predicate, selectivity already a power of ten, rebuild failed).
+std::optional<FuzzCase> DropRelation(const FuzzCase& c, int relation);
+std::optional<FuzzCase> DropPredicate(const FuzzCase& c, int predicate_index);
+std::optional<FuzzCase> SnapSelectivity(const FuzzCase& c,
+                                        int predicate_index);
+
+}  // namespace blitz::fuzz
+
+#endif  // BLITZ_TESTING_MINIMIZE_H_

@@ -1,0 +1,79 @@
+// S4: regression replay of the failure corpus. Every `tests/corpus/*.bjq`
+// the fuzzer ever minimized and committed is re-run through the full
+// differential configuration grid, so a bug fixed once stays fixed. An
+// empty (or absent) corpus passes — there is simply nothing to replay yet.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/corpus.h"
+#include "testing/differential.h"
+#include "testing/fuzzer.h"
+
+#ifndef BLITZ_CORPUS_DIR
+#define BLITZ_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace blitz {
+namespace {
+
+using ::blitz::fuzz::CaseVerdict;
+using ::blitz::fuzz::DifferentialOptions;
+using ::blitz::fuzz::FuzzCase;
+using ::blitz::fuzz::ListCorpusFiles;
+using ::blitz::fuzz::LoadCorpusCase;
+using ::blitz::fuzz::RunDifferentialCase;
+
+TEST(CorpusReplayTest, EveryCorpusCaseRunsCleanUnderAllConfigs) {
+  const std::vector<std::string> files = ListCorpusFiles(BLITZ_CORPUS_DIR);
+  if (files.empty()) {
+    GTEST_SKIP() << "corpus at " << BLITZ_CORPUS_DIR
+                 << " is empty; nothing to replay";
+  }
+  DifferentialOptions options;
+  for (const std::string& path : files) {
+    Result<FuzzCase> c = LoadCorpusCase(path);
+    ASSERT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+    const CaseVerdict verdict = RunDifferentialCase(*c, options);
+    EXPECT_TRUE(verdict.passed) << path << ": " << verdict.ToString();
+  }
+}
+
+TEST(CorpusReplayTest, MissingDirectoryIsEmptyNotError) {
+  EXPECT_TRUE(
+      ListCorpusFiles(std::string(BLITZ_CORPUS_DIR) + "/no-such-subdir")
+          .empty());
+}
+
+TEST(CorpusReplayTest, WriteLoadRoundTripReproducesCase) {
+  // What the fuzzer writes on a mismatch must come back as the same
+  // problem — otherwise the committed repro regresses silently.
+  const fuzz::FuzzerOptions generator{/*seed=*/20260807, 3, 7};
+  Result<FuzzCase> original = fuzz::GenerateCase(generator, 1);
+  ASSERT_TRUE(original.ok());
+  const std::string dir = ::testing::TempDir() + "blitz_corpus_roundtrip";
+  Result<std::string> path = fuzz::WriteCorpusCase(
+      dir, *original, CostModelKind::kNaive, "round-trip test");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  const std::vector<std::string> listed = ListCorpusFiles(dir);
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0], *path);
+  Result<FuzzCase> loaded = LoadCorpusCase(*path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->label, original->label);
+  ASSERT_EQ(loaded->catalog.num_relations(),
+            original->catalog.num_relations());
+  for (int r = 0; r < original->catalog.num_relations(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded->catalog.cardinality(r),
+                     original->catalog.cardinality(r));
+  }
+  ASSERT_EQ(loaded->graph.num_predicates(),
+            original->graph.num_predicates());
+  const CaseVerdict verdict = RunDifferentialCase(*loaded, DifferentialOptions{});
+  EXPECT_TRUE(verdict.passed) << verdict.ToString();
+}
+
+}  // namespace
+}  // namespace blitz

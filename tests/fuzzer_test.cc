@@ -1,0 +1,168 @@
+// Determinism and validity contract of the workload fuzzer: a case is a
+// pure function of (seed, case_index), the sampled grid covers the paper's
+// Appendix axes, and bad configurations come back as kInvalidArgument from
+// the harness entry point rather than aborting downstream.
+
+#include "testing/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/relset.h"
+#include "query/workload.h"
+#include "textio/bjq.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::fuzz::BuildCase;
+using ::blitz::fuzz::FuzzCase;
+using ::blitz::fuzz::FuzzCaseSpec;
+using ::blitz::fuzz::FuzzerOptions;
+using ::blitz::fuzz::FuzzTopology;
+using ::blitz::fuzz::GenerateCase;
+using ::blitz::fuzz::SampleCaseSpec;
+
+TEST(FuzzerTest, SameSeedSameCase) {
+  const FuzzerOptions options{/*seed=*/42, /*min_relations=*/2,
+                              /*max_relations=*/10};
+  ASSERT_TRUE(options.Validate().ok());
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Result<FuzzCase> a = GenerateCase(options, i);
+    Result<FuzzCase> b = GenerateCase(options, i);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->label, b->label);
+    ASSERT_EQ(a->catalog.num_relations(), b->catalog.num_relations());
+    for (int r = 0; r < a->catalog.num_relations(); ++r) {
+      EXPECT_EQ(a->catalog.cardinality(r), b->catalog.cardinality(r));
+    }
+    ASSERT_EQ(a->graph.num_predicates(), b->graph.num_predicates());
+    for (int p = 0; p < a->graph.num_predicates(); ++p) {
+      EXPECT_EQ(a->graph.predicates()[p].lhs, b->graph.predicates()[p].lhs);
+      EXPECT_EQ(a->graph.predicates()[p].rhs, b->graph.predicates()[p].rhs);
+      EXPECT_EQ(a->graph.predicates()[p].selectivity,
+                b->graph.predicates()[p].selectivity);
+    }
+  }
+}
+
+TEST(FuzzerTest, CasesAreOrderIndependent) {
+  // Case i must not depend on whether cases 0..i-1 were ever sampled: the
+  // replay instruction "--seed=S, case i" has to work in isolation.
+  const FuzzerOptions options{/*seed=*/7, 2, 9};
+  const FuzzCaseSpec direct = SampleCaseSpec(options, 13);
+  for (std::uint64_t i = 0; i < 13; ++i) (void)SampleCaseSpec(options, i);
+  const FuzzCaseSpec after = SampleCaseSpec(options, 13);
+  EXPECT_EQ(direct.Name(), after.Name());
+}
+
+TEST(FuzzerTest, DifferentSeedsDiffer) {
+  const FuzzerOptions a{/*seed=*/1, 2, 12};
+  const FuzzerOptions b{/*seed=*/2, 2, 12};
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (SampleCaseSpec(a, i).Name() != SampleCaseSpec(b, i).Name()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 8);
+}
+
+TEST(FuzzerTest, ValidateRejectsBadBoundsWithStatus) {
+  // The single n-bounds gate of the harness (downstream code CHECK-aborts
+  // and DpTable::EstimateBytes only signals range by returning 0).
+  FuzzerOptions options;
+  options.min_relations = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = FuzzerOptions{};
+  options.min_relations = 9;
+  options.max_relations = 5;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  // Past kMaxRelations both the RelSet word and the DP table give out;
+  // DpTable::EstimateBytes signals it only by returning 0, and Validate
+  // must surface that as a status.
+  options = FuzzerOptions{};
+  options.max_relations = kMaxRelations + 1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = FuzzerOptions{};
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(FuzzerTest, BuildCaseRejectsBadSpecWithStatus) {
+  // Specs can arrive from corpus files or manual construction, so BuildCase
+  // re-validates instead of trusting the sampler.
+  FuzzCaseSpec spec;
+  spec.num_relations = 0;
+  EXPECT_EQ(BuildCase(spec).status().code(), StatusCode::kInvalidArgument);
+  spec.num_relations = kMaxRelations + 5;
+  EXPECT_EQ(BuildCase(spec).status().code(), StatusCode::kInvalidArgument);
+  spec = FuzzCaseSpec{};
+  spec.num_relations = 5;
+  spec.mean_cardinality = 0.0;
+  EXPECT_EQ(BuildCase(spec).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzerTest, GridCoversAllTopologies) {
+  const FuzzerOptions options{/*seed=*/20260807, 2, 12};
+  std::set<FuzzTopology> seen_topologies;
+  std::set<int> seen_sizes;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FuzzCaseSpec spec = SampleCaseSpec(options, i);
+    seen_topologies.insert(spec.topology);
+    seen_sizes.insert(spec.num_relations);
+  }
+  EXPECT_EQ(seen_topologies.size(), 4u);
+  // Every n in [2, 12] shows up across 200 draws.
+  EXPECT_EQ(seen_sizes.size(), 11u);
+}
+
+TEST(FuzzerTest, BuiltCasesSatisfyAppendixInvariants) {
+  const FuzzerOptions options{/*seed=*/3, 2, 10};
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    Result<FuzzCase> c = GenerateCase(options, i);
+    ASSERT_TRUE(c.ok()) << i;
+    const int n = c->catalog.num_relations();
+    ASSERT_EQ(c->graph.num_relations(), n);
+    EXPECT_EQ(n, c->spec.num_relations);
+    // Cardinalities are at least 1; selectivities lie in (0, 1].
+    for (int r = 0; r < n; ++r) {
+      EXPECT_GE(c->catalog.cardinality(r), 1.0) << c->label;
+    }
+    for (const Predicate& p : c->graph.predicates()) {
+      EXPECT_GT(p.selectivity, 0.0) << c->label;
+      EXPECT_LE(p.selectivity, 1.0) << c->label;
+    }
+    // Every sampled topology is connected (random(p) builds a spanning tree
+    // first), so a spanning structure of at least n-1 edges exists.
+    EXPECT_GE(c->graph.num_predicates(), n - 1) << c->label;
+    EXPECT_TRUE(c->graph.IsConnected(RelSet::FirstN(n))) << c->label;
+  }
+}
+
+TEST(FuzzerTest, NameIsStableAndParsesBack) {
+  const FuzzerOptions options{/*seed=*/99, 3, 8};
+  const FuzzCaseSpec spec = SampleCaseSpec(options, 4);
+  EXPECT_EQ(spec.Name(), SampleCaseSpec(options, 4).Name());
+  EXPECT_NE(spec.Name().find("s99-c4-"), std::string::npos) << spec.Name();
+}
+
+TEST(FuzzerTest, ToQuerySpecRoundTripsThroughBjq) {
+  const FuzzerOptions options{/*seed=*/5, 4, 9};
+  Result<FuzzCase> c = GenerateCase(options, 2);
+  ASSERT_TRUE(c.ok());
+  const std::string text =
+      WriteBjq(ToQuerySpec(*c, CostModelKind::kSortMerge));
+  Result<QuerySpec> parsed = ParseBjq(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  ASSERT_EQ(parsed->catalog.num_relations(), c->catalog.num_relations());
+  for (int r = 0; r < c->catalog.num_relations(); ++r) {
+    EXPECT_DOUBLE_EQ(parsed->catalog.cardinality(r),
+                     c->catalog.cardinality(r));
+  }
+  EXPECT_EQ(parsed->graph.num_predicates(), c->graph.num_predicates());
+}
+
+}  // namespace
+}  // namespace blitz

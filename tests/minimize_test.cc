@@ -1,0 +1,121 @@
+// The case minimizer, driven by synthetic failure predicates (a real
+// optimizer bug is not required to test shrinking): MinimizeCase must only
+// ever return cases that still reproduce, and must actually shrink when a
+// smaller reproducer exists.
+
+#include "testing/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/fuzzer.h"
+
+namespace blitz {
+namespace {
+
+using ::blitz::fuzz::DropPredicate;
+using ::blitz::fuzz::DropRelation;
+using ::blitz::fuzz::FuzzCase;
+using ::blitz::fuzz::FuzzerOptions;
+using ::blitz::fuzz::GenerateCase;
+using ::blitz::fuzz::MinimizeCase;
+using ::blitz::fuzz::SnapSelectivity;
+
+FuzzCase TenRelationCase() {
+  const FuzzerOptions options{/*seed=*/11, /*min_relations=*/10,
+                              /*max_relations=*/10};
+  Result<FuzzCase> c = GenerateCase(options, 0);
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+TEST(MinimizeTest, DropRelationReindexesPredicates) {
+  const FuzzCase c = TenRelationCase();
+  std::optional<FuzzCase> reduced = DropRelation(c, 3);
+  ASSERT_TRUE(reduced.has_value());
+  EXPECT_EQ(reduced->catalog.num_relations(), 9);
+  EXPECT_EQ(reduced->graph.num_relations(), 9);
+  for (const Predicate& p : reduced->graph.predicates()) {
+    EXPECT_GE(p.lhs, 0);
+    EXPECT_LT(p.rhs, 9);
+  }
+  // Cardinalities of the survivors are preserved (relation 4 became 3).
+  EXPECT_EQ(reduced->catalog.cardinality(3), c.catalog.cardinality(4));
+  EXPECT_EQ(reduced->catalog.cardinality(2), c.catalog.cardinality(2));
+}
+
+TEST(MinimizeTest, DropRelationRefusesBelowTwo) {
+  const FuzzerOptions options{/*seed=*/11, 2, 2};
+  Result<FuzzCase> c = GenerateCase(options, 0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(DropRelation(*c, 0).has_value());
+}
+
+TEST(MinimizeTest, DropPredicateRemovesExactlyOne) {
+  const FuzzCase c = TenRelationCase();
+  ASSERT_GT(c.graph.num_predicates(), 0);
+  std::optional<FuzzCase> reduced = DropPredicate(c, 0);
+  ASSERT_TRUE(reduced.has_value());
+  EXPECT_EQ(reduced->graph.num_predicates(), c.graph.num_predicates() - 1);
+  EXPECT_EQ(reduced->catalog.num_relations(), c.catalog.num_relations());
+  EXPECT_FALSE(DropPredicate(c, c.graph.num_predicates()).has_value());
+}
+
+TEST(MinimizeTest, SnapSelectivityLandsOnPowerOfTen) {
+  const FuzzCase c = TenRelationCase();
+  for (int p = 0; p < c.graph.num_predicates(); ++p) {
+    std::optional<FuzzCase> reduced = SnapSelectivity(c, p);
+    if (!reduced.has_value()) continue;  // Already a power of ten.
+    const double s = reduced->graph.predicates()[p].selectivity;
+    const double log10s = std::log10(s);
+    EXPECT_NEAR(log10s, std::round(log10s), 1e-12) << s;
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(MinimizeTest, ShrinksToFailureCore) {
+  // Synthetic bug: the failure reproduces whenever relation count >= 4.
+  // The minimizer must walk the case down to exactly 4 relations.
+  const FuzzCase c = TenRelationCase();
+  const FuzzCase reduced = MinimizeCase(
+      c, [](const FuzzCase& candidate) {
+        return candidate.catalog.num_relations() >= 4;
+      });
+  EXPECT_EQ(reduced.catalog.num_relations(), 4);
+  EXPECT_EQ(reduced.label, c.label + "-min");
+  // Provenance survives reduction.
+  EXPECT_EQ(reduced.spec.seed, c.spec.seed);
+  EXPECT_EQ(reduced.spec.case_index, c.spec.case_index);
+}
+
+TEST(MinimizeTest, NeverReturnsNonReproducingCase) {
+  // Failure depends on a specific predicate surviving: reproduces while
+  // some predicate has selectivity below 1e-2.
+  const FuzzCase c = TenRelationCase();
+  const auto still_fails = [](const FuzzCase& candidate) {
+    for (const Predicate& p : candidate.graph.predicates()) {
+      if (p.selectivity < 1e-2) return true;
+    }
+    return false;
+  };
+  if (!still_fails(c)) GTEST_SKIP() << "sampled case has no tiny predicate";
+  const FuzzCase reduced = MinimizeCase(c, still_fails);
+  EXPECT_TRUE(still_fails(reduced));
+  EXPECT_LE(reduced.catalog.num_relations(), c.catalog.num_relations());
+}
+
+TEST(MinimizeTest, FixedPointWhenNothingCanShrink) {
+  // A failure that any two-relation slice reproduces shrinks all the way;
+  // re-minimizing the result is a no-op (modulo the label suffix).
+  const FuzzCase c = TenRelationCase();
+  const auto always = [](const FuzzCase&) { return true; };
+  const FuzzCase reduced = MinimizeCase(c, always);
+  EXPECT_EQ(reduced.catalog.num_relations(), 2);
+  const FuzzCase again = MinimizeCase(reduced, always);
+  EXPECT_EQ(again.catalog.num_relations(), 2);
+  EXPECT_EQ(again.graph.num_predicates(), reduced.graph.num_predicates());
+}
+
+}  // namespace
+}  // namespace blitz
