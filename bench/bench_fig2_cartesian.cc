@@ -10,10 +10,12 @@
 //   bench_fig2_cartesian --json <path>  # machine-readable SIMD comparison
 //
 // The JSON mode is the recorded perf baseline for the SIMD split-filter
-// kernel (BENCH_fig2.json at the repo root): for each cost model in
-// {naive, sm, dnl} and each n it reports min-of-k per-optimization times
-// under --simd=scalar and under the auto-resolved SIMD kernel, plus the
-// speedup ratio. Minimum-of-k (not mean) is the standard perf-baseline
+// kernel (BENCH_fig2.json at the repo root), in the unified
+// "blitz-bench-v1" schema tools/bench_diff consumes: for each cost model
+// in {naive, sm, dnl} and each n it reports min-of-k per-optimization
+// times under --simd=scalar and under the auto-resolved SIMD kernel, plus
+// the speedup ratio and whether kAuto would engage the kernel at that
+// (model, n). Minimum-of-k (not mean) is the standard perf-baseline
 // estimator: it discards scheduler noise, which is strictly additive.
 //
 // Environment knobs: BLITZ_BENCH_MIN_SECONDS (timing floor per point,
@@ -26,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "benchlib/bench_json.h"
 #include "benchlib/table_out.h"
 #include "benchlib/timing.h"
 #include "catalog/catalog.h"
@@ -130,12 +133,6 @@ int RunJson(const char* path) {
   const int samples = BenchEnvInt("BLITZ_FIG2_SAMPLES", 5);
   const SimdLevel resolved = ResolveSimdLevel(SimdLevel::kAuto);
 
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
-    return 1;
-  }
-
   const struct {
     CostModelKind kind;
     const char* name;
@@ -143,52 +140,53 @@ int RunJson(const char* path) {
                  {CostModelKind::kSortMerge, "sm"},
                  {CostModelKind::kDiskNestedLoops, "dnl"}};
 
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"fig2_cartesian\",\n"
-               "  \"setup\": \"equal base cardinalities of 100, pure "
-               "Cartesian product\",\n"
-               "  \"estimator\": \"min of %d adaptive timings\",\n"
-               "  \"min_seconds_per_timing\": %g,\n"
-               "  \"simd_resolved\": \"%s\",\n"
-               "  \"points\": [\n",
-               samples, min_seconds, SimdLevelName(resolved));
+  BenchReport report;
+  report.bench = "fig2_cartesian";
+  report.AddMeta("setup",
+                 "equal base cardinalities of 100, pure Cartesian product");
+  report.AddMeta("estimator",
+                 StrFormat("min of %d adaptive timings", samples));
+  report.AddMeta("min_seconds_per_timing", StrFormat("%g", min_seconds));
+  report.AddMeta("simd_resolved", SimdLevelName(resolved));
 
-  bool first = true;
   for (const auto& model : kModels) {
     // The SIMD column *forces* the resolved kernel so every model's kernel
     // cost is on record; auto_engages says whether kAuto would actually
-    // run it for this model (only gate-tight models — see
-    // CostModel::kSplitGateTight and DESIGN.md section 9).
+    // run it at this (model, n) — only gate-tight models at or above
+    // kSimdMinAutoRelations (see CostModel::kSplitGateTight,
+    // simd/dispatch.h, and DESIGN.md section 9).
     OptimizerOptions auto_options;
     auto_options.cost_model = model.kind;
-    const bool auto_engages =
-        EffectivePassSimdLevel(auto_options) != SimdLevel::kScalar;
     for (int n = min_n; n <= max_n; ++n) {
       Result<Catalog> catalog =
           Catalog::FromCardinalities(std::vector<double>(n, 100.0));
       BLITZ_CHECK(catalog.ok());
+      const bool auto_engages =
+          EffectivePassSimdLevel(auto_options, n) != SimdLevel::kScalar;
       const double scalar_s = MinOfK(*catalog, model.kind,
                                      SimdLevel::kScalar, samples,
                                      min_seconds);
       const double simd_s =
           MinOfK(*catalog, model.kind, resolved, samples, min_seconds);
       const double speedup = simd_s > 0 ? scalar_s / simd_s : 0.0;
-      std::fprintf(f,
-                   "%s    {\"model\": \"%s\", \"n\": %d, "
-                   "\"scalar_ms\": %.6f, \"simd_ms\": %.6f, "
-                   "\"speedup\": %.3f, \"auto_engages\": %s}",
-                   first ? "" : ",\n", model.name, n, scalar_s * 1e3,
-                   simd_s * 1e3, speedup, auto_engages ? "true" : "false");
-      first = false;
+      const std::string prefix = StrFormat("%s/n%02d", model.name, n);
+      report.AddPoint(prefix + "/scalar", scalar_s * 1e3, "ms");
+      report.AddPoint(prefix + "/simd", simd_s * 1e3, "ms");
+      report.AddPoint(prefix + "/speedup", speedup, "ratio");
+      report.AddPoint(prefix + "/auto_engages", auto_engages ? 1 : 0,
+                      "bool");
       // Progress to stderr so long runs are observable.
-      std::fprintf(stderr, "%s n=%-2d scalar %8.3f ms  %s %8.3f ms  %.2fx\n",
+      std::fprintf(stderr,
+                   "%s n=%-2d scalar %8.3f ms  %s %8.3f ms  %.2fx%s\n",
                    model.name, n, scalar_s * 1e3, SimdLevelName(resolved),
-                   simd_s * 1e3, speedup);
+                   simd_s * 1e3, speedup, auto_engages ? "  [auto]" : "");
     }
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  const Status status = WriteBenchJsonFile(report, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   std::printf("wrote %s (simd level %s)\n", path, SimdLevelName(resolved));
   return 0;
 }

@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "benchlib/bench_json.h"
 #include "catalog/catalog.h"
 #include "common/check.h"
+#include "common/strings.h"
 #include "core/optimizer.h"
 #include "core/subset_enum.h"
 #include "cost/cost_model.h"
@@ -178,37 +181,73 @@ BENCHMARK(BM_KappaKernels)
     ->Arg(static_cast<int>(CostModelKind::kDiskNestedLoops))
     ->Arg(static_cast<int>(CostModelKind::kMinSmDnl));
 
+/// Console reporter that additionally collects every run into a unified
+/// "blitz-bench-v1" BenchReport (benchlib/bench_json.h), so bench_micro's
+/// --json output feeds the same tools/bench_diff gate as the macro benches
+/// instead of google-benchmark's native schema.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    report_.AddMeta("cpus", StrFormat("%d", context.cpu_info.num_cpus));
+    report_.AddMeta("cpu_mhz",
+                    StrFormat("%.0f", context.cpu_info.cycles_per_second / 1e6));
+    return ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // With repetitions enabled, gate on the aggregates only (their names
+      // already carry the _mean/_median suffix); single runs pass through.
+      report_.AddPoint(run.benchmark_name(), run.GetAdjustedRealTime(),
+                       benchmark::GetTimeUnitString(run.time_unit));
+    }
+  }
+
+  BenchReport* report() { return &report_; }
+
+ private:
+  BenchReport report_;
+};
+
 }  // namespace
 }  // namespace blitz
 
 // Custom main instead of BENCHMARK_MAIN(): accepts the repo-wide
-// `--json <path>` convention (shared with bench_fig2_cartesian) by
-// translating it into google-benchmark's --benchmark_out flags; every
+// `--json <path>` convention (shared with bench_fig2_cartesian), emitting
+// the unified blitz-bench-v1 schema consumed by tools/bench_diff; every
 // native --benchmark_* flag still works unchanged.
 int main(int argc, char** argv) {
   std::vector<char*> args;
-  std::string out_flag;
-  std::string format_flag;
+  std::string json_path;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      out_flag = std::string("--benchmark_out=") + argv[i + 1];
-      format_flag = "--benchmark_out_format=json";
+      json_path = argv[i + 1];
       ++i;
       continue;
     }
     args.push_back(argv[i]);
-  }
-  if (!out_flag.empty()) {
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
   }
   int translated_argc = static_cast<int>(args.size());
   benchmark::Initialize(&translated_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(translated_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  blitz::CollectingReporter reporter;
+  reporter.report()->bench = "micro";
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    const blitz::Status status =
+        blitz::WriteBenchJsonFile(*reporter.report(), json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu points)\n", json_path.c_str(),
+                reporter.report()->points.size());
+  }
   return 0;
 }

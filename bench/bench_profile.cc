@@ -1,0 +1,195 @@
+// Performance-observatory bench: per-phase DP attribution for the SIMD
+// split-filter kernel at one problem size, across the three cost models and
+// both kernel variants (scalar vs the forced resolved SIMD level). This is
+// the bench that diagnoses the kappa-sm / kappa-dnl SIMD regression: for
+// those models the batched gate passes nearly every lane, so the survivor
+// replay re-runs the whole rank scalar and the filter is pure overhead —
+// the recorded survivor rates and phase fractions put numbers on that
+// hypothesis (see DESIGN.md section 11 and EXPERIMENTS.md).
+//
+// Modes:
+//   bench_profile                # human-readable per-phase tables
+//   bench_profile --json <path>  # blitz-bench-v1 JSON (BENCH_profile.json)
+//
+// Per (model, variant) point set:
+//   <model>/<variant>/wall                plain pass, min-of-k, ms
+//   <model>/<variant>/profiled_wall      profiled pass, min-of-k, ms
+//   <model>/<variant>/enabled_overhead   profiled_wall / wall, ratio
+//   <model>/<variant>/attributed_fraction attributed / profiled_wall, ratio
+//   <model>/<variant>/phase/<phase>      attributed seconds per phase, ms
+//   <model>/<variant>/survivor_rate      filter survivors / lanes, ratio
+//
+// Environment knobs: BLITZ_PROFILE_N (default 13), BLITZ_PROFILE_SAMPLES
+// (min-of-k, default 5), BLITZ_BENCH_MIN_SECONDS (default 0.05).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchlib/bench_json.h"
+#include "benchlib/timing.h"
+#include "catalog/catalog.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "obs/profiler/phase_profile.h"
+#include "simd/dispatch.h"
+
+namespace blitz {
+namespace {
+
+struct ModelCase {
+  CostModelKind kind;
+  const char* name;
+};
+
+constexpr ModelCase kModels[] = {{CostModelKind::kNaive, "naive"},
+                                 {CostModelKind::kSortMerge, "sm"},
+                                 {CostModelKind::kDiskNestedLoops, "dnl"}};
+
+/// Min-of-k per-optimization seconds of the plain (unprofiled) pass.
+double PlainMinOfK(const Catalog& catalog, const OptimizerOptions& options,
+                   int samples, double min_seconds) {
+  double best = 0;
+  for (int sample = 0; sample < samples; ++sample) {
+    const TimingResult timing = TimeIt(
+        [&] {
+          Result<OptimizeOutcome> outcome =
+              OptimizeCartesian(catalog, options);
+          BLITZ_CHECK(outcome.ok());
+        },
+        min_seconds);
+    if (sample == 0 || timing.seconds_per_run < best) {
+      best = timing.seconds_per_run;
+    }
+  }
+  return best;
+}
+
+/// Min-of-k wall seconds of the profiled pass; the PassProfile of the
+/// fastest sample (the least-perturbed run) is returned through *profile.
+double ProfiledMinOfK(const Catalog& catalog, OptimizerOptions options,
+                      int samples, PassProfile* profile) {
+  double best = 0;
+  for (int sample = 0; sample < samples; ++sample) {
+    PassProfile sample_profile;
+    options.profile = &sample_profile;
+    const Stopwatch watch;
+    Result<OptimizeOutcome> outcome = OptimizeCartesian(catalog, options);
+    BLITZ_CHECK(outcome.ok());
+    const double seconds = watch.ElapsedSeconds();
+    if (sample == 0 || seconds < best) {
+      best = seconds;
+      *profile = sample_profile;
+    }
+  }
+  return best;
+}
+
+int Run(const char* json_path) {
+  const double min_seconds = BenchMinSeconds(0.05);
+  const int n = BenchEnvInt("BLITZ_PROFILE_N", 13);
+  const int samples = BenchEnvInt("BLITZ_PROFILE_SAMPLES", 5);
+  const SimdLevel resolved = ResolveSimdLevel(SimdLevel::kAuto);
+
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+  BLITZ_CHECK(catalog.ok());
+
+  BenchReport report;
+  report.bench = "profile";
+  report.AddMeta("setup", StrFormat("pure Cartesian product, n=%d, equal "
+                                    "base cardinalities of 100",
+                                    n));
+  report.AddMeta("estimator", StrFormat("min of %d samples", samples));
+  report.AddMeta("simd_resolved", SimdLevelName(resolved));
+  report.AddMeta("ticks_per_second", StrFormat("%.0f", ProfTicksPerSecond()));
+
+  const struct {
+    SimdLevel level;
+    const char* name;
+  } kVariants[] = {{SimdLevel::kScalar, "scalar"}, {resolved, "simd"}};
+
+  for (const ModelCase& model : kModels) {
+    for (const auto& variant : kVariants) {
+      OptimizerOptions options;
+      options.cost_model = model.kind;
+      options.simd = variant.level;
+
+      const double wall =
+          PlainMinOfK(*catalog, options, samples, min_seconds);
+      PassProfile profile;
+      const double profiled_wall =
+          ProfiledMinOfK(*catalog, options, samples, &profile);
+      const double attributed = profile.AttributedSeconds();
+      const double attributed_fraction =
+          profiled_wall > 0 ? attributed / profiled_wall : 0;
+      const double overhead = wall > 0 ? profiled_wall / wall : 0;
+      const std::uint64_t lanes = profile.TotalFilterLanes();
+      const std::uint64_t survivors = profile.TotalFilterSurvivors();
+      const double survivor_rate =
+          lanes > 0 ? static_cast<double>(survivors) /
+                          static_cast<double>(lanes)
+                    : 0;
+
+      const std::string prefix =
+          StrFormat("%s/%s", model.name, variant.name);
+      report.AddPoint(prefix + "/wall", wall * 1e3, "ms");
+      report.AddPoint(prefix + "/profiled_wall", profiled_wall * 1e3, "ms");
+      report.AddPoint(prefix + "/enabled_overhead", overhead, "ratio");
+      report.AddPoint(prefix + "/attributed_fraction", attributed_fraction,
+                      "ratio");
+      report.AddPoint(prefix + "/survivor_rate", survivor_rate, "ratio");
+      const std::uint64_t total_ticks = profile.TotalTicks();
+      for (int p = 0; p < kNumDpPhases; ++p) {
+        const std::uint64_t ticks =
+            profile.PhaseTicks(static_cast<DpPhase>(p));
+        const double fraction =
+            total_ticks > 0 ? static_cast<double>(ticks) /
+                                  static_cast<double>(total_ticks)
+                            : 0;
+        report.AddPoint(
+            StrFormat("%s/phase/%s", prefix.c_str(),
+                      DpPhaseName(static_cast<DpPhase>(p))),
+            fraction, "fraction");
+      }
+
+      std::printf(
+          "=== %s / %s (n=%d) ===\n"
+          "wall %.3f ms, profiled %.3f ms (%.3fx), attributed %.3f ms "
+          "(%.1f%% of profiled wall)\n",
+          model.name, variant.name, n, wall * 1e3, profiled_wall * 1e3,
+          overhead, attributed * 1e3, attributed_fraction * 100);
+      if (lanes > 0) {
+        std::printf("filter: %llu lanes, %llu survivors (%.1f%%)\n",
+                    static_cast<unsigned long long>(lanes),
+                    static_cast<unsigned long long>(survivors),
+                    survivor_rate * 100);
+      }
+      std::printf("%s\n", profile.ToString().c_str());
+    }
+  }
+
+  if (json_path != nullptr) {
+    const Status status = WriteBenchJsonFile(report, json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return blitz::Run(argv[i + 1]);
+    }
+  }
+  return blitz::Run(nullptr);
+}

@@ -6,6 +6,7 @@
 //           [--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>]
 //           [--simd=<auto|scalar|block|avx2|avx512>]
 //           [--trace-out=<file>] [--metrics-out=<file>]
+//           [--profile=<file>]
 //
 // Runs the library's front door (OptimizeQuery): exhaustive blitzsplit up
 // to --exhaustive-limit relations, the hybrid optimizer beyond, under the
@@ -24,7 +25,9 @@
 // --trace-out writes a Chrome trace-viewer JSON (open in chrome://tracing
 // or https://ui.perfetto.dev) spanning the optimize->plan->execute
 // pipeline; --metrics-out writes the metrics registry (counters, gauges,
-// latency percentiles) as JSON.
+// latency percentiles) as JSON; --profile writes the performance
+// observatory's profile JSON (hardware counters per scope plus the
+// per-phase, per-rank DP attribution — see src/obs/profiler/).
 //
 // The .bjq format (see src/textio/bjq.h):
 //   relation <name> <cardinality> [<tuple_bytes>]
@@ -46,6 +49,7 @@
 #include "exec/executor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler/profiler.h"
 #include "obs/trace.h"
 #include "plan/explain.h"
 #include "plan/plan.h"
@@ -68,7 +72,7 @@ int Usage() {
       "[--explain] [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>] "
       "[--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>] "
       "[--simd=<auto|scalar|block|avx2|avx512>] "
-      "[--trace-out=<file>] [--metrics-out=<file>]\n");
+      "[--trace-out=<file>] [--metrics-out=<file>] [--profile=<file>]\n");
   return kExitUsage;
 }
 
@@ -83,20 +87,25 @@ bool IsBudgetExhaustion(const blitz::Status& status) {
   }
 }
 
-/// Installs/uninstalls the global trace recorder and metrics registry for
-/// the duration of the run and writes the requested files at exit.
+/// Installs/uninstalls the global trace recorder, metrics registry, and
+/// profiler for the duration of the run and writes the requested files at
+/// exit.
 class ObsSession {
  public:
-  ObsSession(std::string trace_path, std::string metrics_path)
+  ObsSession(std::string trace_path, std::string metrics_path,
+             std::string profile_path)
       : trace_path_(std::move(trace_path)),
-        metrics_path_(std::move(metrics_path)) {
+        metrics_path_(std::move(metrics_path)),
+        profile_path_(std::move(profile_path)) {
     if (!trace_path_.empty()) blitz::SetGlobalTraceRecorder(&recorder_);
     if (!metrics_path_.empty()) blitz::SetGlobalMetrics(&metrics_);
+    if (!profile_path_.empty()) blitz::SetGlobalProfiler(&profiler_);
   }
 
   ~ObsSession() {
     blitz::SetGlobalTraceRecorder(nullptr);
     blitz::SetGlobalMetrics(nullptr);
+    blitz::SetGlobalProfiler(nullptr);
     if (!trace_path_.empty()) {
       const blitz::Status status =
           blitz::WriteChromeTraceFile(recorder_, trace_path_);
@@ -118,13 +127,26 @@ class ObsSession {
                      status.ToString().c_str());
       }
     }
+    if (!profile_path_.empty()) {
+      const blitz::Status status =
+          blitz::WriteTextFile(profile_path_, profiler_.ToJson() + "\n");
+      if (status.ok()) {
+        std::printf("profile written to %s (%s backend)\n",
+                    profile_path_.c_str(), profiler_.backend());
+      } else {
+        std::fprintf(stderr, "profile export failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
   }
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string profile_path_;
   blitz::TraceRecorder recorder_;
   blitz::MetricsRegistry metrics_;
+  blitz::Profiler profiler_;
 };
 
 }  // namespace
@@ -136,6 +158,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
   bool execute = false;
   bool counts = false;
   bool tree = false;
@@ -202,6 +225,8 @@ int main(int argc, char** argv) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = value_of("--metrics-out=");
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_out = value_of("--profile=");
     } else if (path.empty()) {
       path = arg;
     } else {
@@ -214,7 +239,7 @@ int main(int argc, char** argv) {
                  "error: --trace-out and --metrics-out must differ\n");
     return kExitUsage;
   }
-  ObsSession obs(trace_out, metrics_out);
+  ObsSession obs(trace_out, metrics_out, profile_out);
 
   Result<QuerySpec> spec = LoadBjqFile(path);
   if (!spec.ok()) {
@@ -231,6 +256,9 @@ int main(int argc, char** argv) {
   options.initial_cost_threshold = spec->threshold;
   options.collect_report = true;
   options.count_operations = counts;
+  // --profile opts the DP passes into the per-phase attribution pass (the
+  // profiled copy also folds into the global Profiler installed above).
+  options.collect_profile = !profile_out.empty();
   options.degrade_on_budget = degrade;
   options.parallel.num_threads = threads;
   options.simd = simd;
@@ -267,7 +295,8 @@ int main(int argc, char** argv) {
               optimized->report.has_value()
                   ? SimdLevelName(optimized->report->simd_level)
                   : SimdLevelName(EffectivePassSimdLevel(
-                        options.Normalized().exhaustive)));
+                        options.Normalized().exhaustive,
+                        spec->catalog.num_relations())));
   if (optimized->report.has_value() &&
       !optimized->report->degradations.empty()) {
     for (const std::string& step : optimized->report->degradations) {

@@ -5,6 +5,7 @@
 #include "baseline/greedy.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/profiler/profiler.h"
 #include "obs/trace.h"
 #include "plan/algorithm_choice.h"
 #include "plan/evaluate.h"
@@ -81,6 +82,11 @@ std::string OptimizedQuery::ReportToString() const {
   if (r.counters.loop_iterations > 0) {
     out += "; counts " + r.counters.ToString();
   }
+  if (r.profile.has_value() && !r.profile->empty()) {
+    out += StrFormat("; dp profile: %.3f ms attributed over %llu pass(es)",
+                     r.profile->AttributedSeconds() * 1e3,
+                     static_cast<unsigned long long>(r.profile->passes));
+  }
   return out;
 }
 
@@ -119,19 +125,31 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     return Status::InvalidArgument("catalog/graph relation-count mismatch");
   }
   BLITZ_RETURN_IF_ERROR(raw_options.Validate());
-  const QueryOptimizerOptions options = raw_options.Normalized();
+  QueryOptimizerOptions options = raw_options.Normalized();
 
   const MetricTimer total_timer;
   TraceSpan span("OptimizeQuery", "api");
   span.AddArg("n", catalog.num_relations());
+  // Profiled region for the observatory: nests under the trace span above
+  // and accrues wall time + hardware counters when a global Profiler is
+  // installed (one atomic load otherwise).
+  ProfileScope prof_scope("OptimizeQuery");
 
   OptimizedQuery result;
   OptimizeReport report;
+  // Per-phase DP attribution sink; wired into the exhaustive tier's pass
+  // options only when requested (a null sink compiles the hooks out).
+  PassProfile dp_profile;
+  const bool profile_requested =
+      options.collect_report && options.collect_profile;
+  if (profile_requested) options.exhaustive.profile = &dp_profile;
   // The per-pass kernel choice: every tier's DP passes share one resolved
   // request, so resolve it once up front (the exhaustive tier re-reports
-  // its pass's actual level, which matches — including the flat-ablation
-  // and gate-tightness refinements folded into EffectivePassSimdLevel).
-  report.simd_level = EffectivePassSimdLevel(options.exhaustive);
+  // its pass's actual level, which matches — including the flat-ablation,
+  // gate-tightness, and minimum-n refinements folded into
+  // EffectivePassSimdLevel).
+  report.simd_level =
+      EffectivePassSimdLevel(options.exhaustive, catalog.num_relations());
 
   // The degradation ladder: the natural tier for this problem size first,
   // then each cheaper tier. Budget exhaustion (deadline, memory cap) steps
@@ -253,9 +271,20 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
         break;
     }
     metrics->RecordLatency("api.query_seconds", total_timer.ElapsedSeconds());
+    // Provenance labels: the facts a single --metrics-out artifact needs
+    // to tell the whole story of the last query.
+    metrics->SetLabel("api.simd_resolved", SimdLevelName(report.simd_level));
+    metrics->SetLabel("api.tier", OptimizerTierName(result.tier));
+    std::string degradation_log;
+    for (const std::string& step : report.degradations) {
+      if (!degradation_log.empty()) degradation_log += "; ";
+      degradation_log += step;
+    }
+    metrics->SetLabel("api.degradations", degradation_log);
   }
   if (options.collect_report) {
     report.total_seconds = total_timer.ElapsedSeconds();
+    if (profile_requested) report.profile = dp_profile;
     result.report = std::move(report);
   }
   return result;

@@ -77,6 +77,12 @@ struct QueryOptimizerOptions {
   /// exhaustive path).
   bool count_operations = false;
 
+  /// Collect the performance observatory's per-phase, per-rank DP
+  /// attribution into OptimizeReport::profile (requires collect_report;
+  /// exhaustive tier only — see OptimizerOptions::profile for the cost and
+  /// semantics). Takes precedence over count_operations on the DP passes.
+  bool collect_profile = false;
+
   /// Resource limits (inactive by default; see governor/budget.h). The
   /// deadline and memory cap govern each tier attempt individually — the
   /// ladder bounds the number of attempts and the last-resort greedy tier
@@ -134,6 +140,10 @@ struct OptimizeReport {
   /// One human-readable entry per degradation step: the abandoned tier and
   /// the budget error that forced the step down.
   std::vector<std::string> degradations;
+
+  /// Per-phase, per-rank DP attribution (engaged iff collect_profile was
+  /// set and the exhaustive tier ran; ladder re-optimizations accumulate).
+  std::optional<PassProfile> profile;
 };
 
 /// The result of OptimizeQuery. The tier that produced the plan lives here

@@ -1,0 +1,74 @@
+#include "benchlib/bench_diff.h"
+
+#include "common/strings.h"
+
+namespace blitz {
+
+bool IsTimeUnit(std::string_view unit) {
+  return unit == "ms" || unit == "us" || unit == "ns" || unit == "seconds" ||
+         unit == "s";
+}
+
+BenchDiffResult DiffBenchReports(const BenchReport& baseline,
+                                 const BenchReport& candidate,
+                                 const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  for (const BenchPoint& base : baseline.points) {
+    if (!IsTimeUnit(base.unit)) continue;
+    const BenchPoint* cand = candidate.Find(base.key);
+    if (cand == nullptr || cand->unit != base.unit) {
+      result.missing_keys.push_back(base.key);
+      continue;
+    }
+    BenchDiffEntry entry;
+    entry.key = base.key;
+    entry.unit = base.unit;
+    entry.baseline = base.value;
+    entry.candidate = cand->value;
+    entry.ratio = base.value > 0 ? cand->value / base.value : 1.0;
+    entry.below_noise_floor = base.value < options.min_value &&
+                              cand->value < options.min_value;
+    if (!entry.below_noise_floor) {
+      entry.regressed = entry.ratio > options.max_ratio;
+      entry.improved =
+          options.note_improvements && entry.ratio < 1.0 / options.max_ratio;
+    }
+    result.regressions += entry.regressed ? 1 : 0;
+    result.improvements += entry.improved ? 1 : 0;
+    result.entries.push_back(std::move(entry));
+  }
+  for (const BenchPoint& point : candidate.points) {
+    if (!IsTimeUnit(point.unit)) continue;
+    if (baseline.Find(point.key) == nullptr) {
+      result.new_keys.push_back(point.key);
+    }
+  }
+  return result;
+}
+
+std::string BenchDiffResult::ToString() const {
+  std::string out;
+  for (const BenchDiffEntry& e : entries) {
+    const char* tag = e.regressed           ? "REGRESSED"
+                      : e.improved          ? "improved"
+                      : e.below_noise_floor ? "noise-floor"
+                                            : "ok";
+    out += StrFormat("%-11s %-40s %12.4f -> %12.4f %-7s (%.3fx)\n", tag,
+                     e.key.c_str(), e.baseline, e.candidate, e.unit.c_str(),
+                     e.ratio);
+  }
+  for (const std::string& key : missing_keys) {
+    out += StrFormat("%-11s %s (in baseline only)\n", "missing", key.c_str());
+  }
+  for (const std::string& key : new_keys) {
+    out += StrFormat("%-11s %s (in candidate only)\n", "new", key.c_str());
+  }
+  out += StrFormat(
+      "compared %zu point(s): %d regression(s), %d improvement(s), "
+      "%zu missing, %zu new\n",
+      entries.size(), regressions, improvements, missing_keys.size(),
+      new_keys.size());
+  return out;
+}
+
+}  // namespace blitz

@@ -1,0 +1,69 @@
+#ifndef BLITZ_BENCHLIB_BENCH_DIFF_H_
+#define BLITZ_BENCHLIB_BENCH_DIFF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchlib/bench_json.h"
+
+namespace blitz {
+
+/// Regression-gate thresholds for DiffBenchReports. The defaults suit an
+/// interactive run on a quiet machine; CI passes a much looser max_ratio
+/// (shared-runner noise on sub-millisecond points easily exceeds 2x).
+struct BenchDiffOptions {
+  /// A time-like point regresses when candidate > baseline * max_ratio.
+  double max_ratio = 1.15;
+
+  /// Noise floor: points whose baseline AND candidate values are both below
+  /// this (in the point's own unit) are never flagged — timer jitter
+  /// dominates tiny measurements regardless of ratio.
+  double min_value = 0.05;
+
+  /// Also flag time-like points that *improved* beyond 1/max_ratio
+  /// (reported, never a failure) so baseline refreshes are suggested.
+  bool note_improvements = true;
+};
+
+/// One compared point.
+struct BenchDiffEntry {
+  std::string key;
+  std::string unit;
+  double baseline = 0;
+  double candidate = 0;
+  double ratio = 1.0;  ///< candidate / baseline (1.0 when baseline == 0).
+  bool regressed = false;
+  bool improved = false;
+  bool below_noise_floor = false;
+};
+
+/// The comparator's verdict over two reports.
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> entries;      ///< Shared time-like keys.
+  std::vector<std::string> missing_keys;    ///< In baseline, not candidate.
+  std::vector<std::string> new_keys;        ///< In candidate, not baseline.
+  int regressions = 0;
+  int improvements = 0;
+
+  bool has_regression() const { return regressions > 0; }
+
+  /// One line per compared point plus a verdict summary.
+  std::string ToString() const;
+};
+
+/// True for the units bench_diff regression-gates ("ms", "us", "ns",
+/// "seconds", "s"); other units are contextual and never compared.
+bool IsTimeUnit(std::string_view unit);
+
+/// Compares every time-like point the two reports share. A key that
+/// disappeared from the candidate is recorded in missing_keys (not a
+/// regression by itself — bench shape changes are reviewed with the code);
+/// unit mismatches on a shared key are treated as missing.
+BenchDiffResult DiffBenchReports(const BenchReport& baseline,
+                                 const BenchReport& candidate,
+                                 const BenchDiffOptions& options = {});
+
+}  // namespace blitz
+
+#endif  // BLITZ_BENCHLIB_BENCH_DIFF_H_

@@ -1,0 +1,403 @@
+#include "benchlib/bench_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 &&
+      v < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+/// Hand-rolled recursive-descent parser over the JSON subset the writer
+/// above emits (plus whitespace tolerance) — keeps benchlib free of
+/// third-party JSON dependencies. Parse errors surface as a single
+/// InvalidArgument with a byte offset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<BenchReport> ParseDocument() {
+    BenchReport report;
+    bool saw_schema = false;
+    SkipWs();
+    BLITZ_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        BLITZ_RETURN_IF_ERROR(Expect(','));
+        SkipWs();
+      }
+      first = false;
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      BLITZ_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      if (*key == "schema") {
+        Result<std::string> schema = ParseString();
+        if (!schema.ok()) return schema.status();
+        if (*schema != "blitz-bench-v1") {
+          return Status::InvalidArgument(
+              StrFormat("unsupported bench schema \"%s\"", schema->c_str()));
+        }
+        saw_schema = true;
+      } else if (*key == "bench") {
+        Result<std::string> bench = ParseString();
+        if (!bench.ok()) return bench.status();
+        report.bench = std::move(bench).value();
+      } else if (*key == "meta") {
+        BLITZ_RETURN_IF_ERROR(ParseMeta(&report));
+      } else if (*key == "points") {
+        BLITZ_RETURN_IF_ERROR(ParsePoints(&report));
+      } else {
+        BLITZ_RETURN_IF_ERROR(SkipValue());
+      }
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing content");
+    if (!saw_schema) {
+      return Status::InvalidArgument("missing \"schema\":\"blitz-bench-v1\"");
+    }
+    return report;
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("bench json: %s at offset %zu", what, pos_));
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return Status::InvalidArgument(StrFormat(
+          "bench json: expected '%c' at offset %zu", c, pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ParseString() {
+    BLITZ_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<double> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return value;
+  }
+
+  /// Numbers parse as themselves; quoted "inf"/"nan" sentinels (the
+  /// JsonNumber fallbacks) and any other quoted scalar parse as 0.
+  Result<double> ParseNumberOrQuoted() {
+    if (Peek() == '"') {
+      Result<std::string> quoted = ParseString();
+      if (!quoted.ok()) return quoted.status();
+      return 0.0;
+    }
+    return ParseNumber();
+  }
+
+  Status SkipValue() {
+    SkipWs();
+    const char c = Peek();
+    if (c == '"') return ParseString().status();
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      SkipWs();
+      if (Peek() == close) {
+        ++pos_;
+        return Status::OK();
+      }
+      while (true) {
+        if (c == '{') {
+          BLITZ_RETURN_IF_ERROR(ParseString().status());
+          SkipWs();
+          BLITZ_RETURN_IF_ERROR(Expect(':'));
+        }
+        BLITZ_RETURN_IF_ERROR(SkipValue());
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          SkipWs();
+          continue;
+        }
+        return Expect(close);
+      }
+    }
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return ParseNumber().status();
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Error("bad literal");
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ParseMeta(BenchReport* report) {
+    BLITZ_RETURN_IF_ERROR(Expect('{'));
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      BLITZ_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      Result<std::string> value = ParseString();
+      if (!value.ok()) return value.status();
+      report->meta.emplace_back(std::move(key).value(),
+                                std::move(value).value());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status ParsePoints(BenchReport* report) {
+    BLITZ_RETURN_IF_ERROR(Expect('['));
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      BLITZ_RETURN_IF_ERROR(Expect('{'));
+      BenchPoint point;
+      bool first = true;
+      while (true) {
+        SkipWs();
+        if (Peek() == '}') {
+          ++pos_;
+          break;
+        }
+        if (!first) {
+          BLITZ_RETURN_IF_ERROR(Expect(','));
+          SkipWs();
+        }
+        first = false;
+        Result<std::string> key = ParseString();
+        if (!key.ok()) return key.status();
+        SkipWs();
+        BLITZ_RETURN_IF_ERROR(Expect(':'));
+        SkipWs();
+        if (*key == "key") {
+          Result<std::string> k = ParseString();
+          if (!k.ok()) return k.status();
+          point.key = std::move(k).value();
+        } else if (*key == "value") {
+          Result<double> v = ParseNumberOrQuoted();
+          if (!v.ok()) return v.status();
+          point.value = *v;
+        } else if (*key == "unit") {
+          Result<std::string> u = ParseString();
+          if (!u.ok()) return u.status();
+          point.unit = std::move(u).value();
+        } else {
+          BLITZ_RETURN_IF_ERROR(SkipValue());
+        }
+      }
+      if (point.key.empty()) return Error("point without key");
+      report->points.push_back(std::move(point));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const BenchPoint* BenchReport::Find(std::string_view key) const {
+  for (const BenchPoint& point : points) {
+    if (point.key == key) return &point;
+  }
+  return nullptr;
+}
+
+std::string_view BenchReport::MetaValue(std::string_view key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = StrFormat("{\"schema\":\"blitz-bench-v1\",\"bench\":\"%s\",\"meta\":{",
+                              JsonEscape(bench).c_str());
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    out += StrFormat("%s\"%s\":\"%s\"", first ? "" : ",",
+                     JsonEscape(key).c_str(), JsonEscape(value).c_str());
+    first = false;
+  }
+  out += "},\"points\":[";
+  first = true;
+  for (const BenchPoint& point : points) {
+    out += StrFormat("%s{\"key\":\"%s\",\"value\":%s,\"unit\":\"%s\"}",
+                     first ? "" : ",", JsonEscape(point.key).c_str(),
+                     JsonNumber(point.value).c_str(),
+                     JsonEscape(point.unit).c_str());
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+Result<BenchReport> ParseBenchJson(std::string_view json) {
+  return Parser(json).ParseDocument();
+}
+
+Result<BenchReport> ReadBenchJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<BenchReport> report = ParseBenchJson(buffer.str());
+  if (!report.ok()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: %s", path.c_str(), report.status().message().c_str()));
+  }
+  return report;
+}
+
+Status WriteBenchJsonFile(const BenchReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal(StrFormat("cannot write %s", path.c_str()));
+  }
+  out << report.ToJson() << "\n";
+  if (!out) {
+    return Status::Internal(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace blitz

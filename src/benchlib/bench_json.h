@@ -1,0 +1,70 @@
+#ifndef BLITZ_BENCHLIB_BENCH_JSON_H_
+#define BLITZ_BENCHLIB_BENCH_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blitz {
+
+/// The unified bench wire format ("blitz-bench-v1") every bench_* binary
+/// emits and tools/bench_diff consumes:
+///
+///   {"schema":"blitz-bench-v1",
+///    "bench":"fig2_cartesian",
+///    "meta":{"machine":"...","simd":"avx512",...},
+///    "points":[{"key":"naive/n13/scalar","value":12.3,"unit":"ms"},...]}
+///
+/// A point's `key` is a stable slash-separated identifier (model/size/
+/// variant); `unit` names what `value` measures. Time-like units ("ms",
+/// "us", "ns", "seconds") are regression-gated by bench_diff; other units
+/// ("speedup", "ratio", "count", "bytes") ride along as context.
+struct BenchPoint {
+  std::string key;
+  double value = 0;
+  std::string unit;
+};
+
+/// One bench binary's run: free-form string metadata plus measured points.
+/// Insertion order is preserved in the emitted JSON.
+struct BenchReport {
+  std::string bench;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<BenchPoint> points;
+
+  void AddMeta(std::string_view key, std::string_view value) {
+    meta.emplace_back(std::string(key), std::string(value));
+  }
+
+  void AddPoint(std::string_view key, double value, std::string_view unit) {
+    points.push_back(BenchPoint{std::string(key), value, std::string(unit)});
+  }
+
+  /// First point with this key, or nullptr.
+  const BenchPoint* Find(std::string_view key) const;
+
+  /// First value of this meta key, or "" when absent.
+  std::string_view MetaValue(std::string_view key) const;
+
+  /// The full "blitz-bench-v1" document — always valid JSON.
+  std::string ToJson() const;
+};
+
+/// Parses a "blitz-bench-v1" document (a strict subset of JSON: one object
+/// with the schema/bench/meta/points members; unknown members are
+/// ignored). Returns InvalidArgument on malformed JSON or a wrong/missing
+/// schema tag.
+Result<BenchReport> ParseBenchJson(std::string_view json);
+
+/// Reads and parses a bench JSON file (NotFound / InvalidArgument).
+Result<BenchReport> ReadBenchJsonFile(const std::string& path);
+
+/// Writes report.ToJson() plus a trailing newline (Internal on I/O error).
+Status WriteBenchJsonFile(const BenchReport& report, const std::string& path);
+
+}  // namespace blitz
+
+#endif  // BLITZ_BENCHLIB_BENCH_JSON_H_

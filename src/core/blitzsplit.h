@@ -73,6 +73,12 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
     double* pi_fan, double* aux, Instr* instr,
     const SplitKernel* split_kernel = nullptr,
     SplitScratch* scratch = nullptr) {
+  // Phase attribution (ProfilingInstrumentation): ProfBegin charges the
+  // inter-subset gap to the driver phase; the marks below partition the
+  // body into {table_write, gate_filter, survivor_replay, kappa2} so the
+  // buckets sum to the pass wall time. All Prof* hooks are empty inline
+  // functions on the production policies.
+  instr->ProfBegin(s);
   instr->OnSubsetVisited();
 
   // --- compute_properties(S) ---------------------------------------
@@ -110,16 +116,23 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
     cost[s] = kRejectedCost;
     best[s] = 0;
     instr->OnThresholdSkip();
+    instr->ProfMark(DpPhase::kTableWrite);
     return;
   }
+  // compute_properties, kappa', and the skip-path row write all charge to
+  // the table-write phase.
+  instr->ProfMark(DpPhase::kTableWrite);
 
   float best_cost_so_far = kRejectedCost;
   std::uint32_t best_lhs = 0;
 
   // The exact Section 4.2 nested-if body for one candidate split, against
   // the live best — shared by the classic loop and the blocked filter's
-  // survivor re-run so both paths make bit-identical decisions.
-  const auto try_split_nested = [&](std::uint64_t lhs) {
+  // survivor re-run so both paths make bit-identical decisions. `ctx` is
+  // the phase this call's gate work charges to (gate_filter from the
+  // scalar loop, survivor_replay from the SIMD re-run); a dead constant
+  // unless the policy profiles.
+  const auto try_split_nested = [&](std::uint64_t lhs, DpPhase ctx) {
     const std::uint64_t rhs = s ^ lhs;
     // Nested ifs (Section 4.2): each comparison can dismiss the split
     // before the next, increasingly expensive, quantity is computed.
@@ -128,6 +141,7 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
     const float oprnd_cost = lhs_cost + cost[rhs];
     if (!(oprnd_cost < best_cost_so_far)) return;
     instr->OnOperandPass();
+    instr->ProfMark(ctx);
     float kappa2;
     if constexpr (CostModel::kNeedsAux) {
       kappa2 = static_cast<float>(model.KappaDoublePrime(
@@ -143,6 +157,7 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
       best_lhs = static_cast<std::uint32_t>(lhs);
       instr->OnImprovement();
     }
+    instr->ProfMark(DpPhase::kKappa2);
   };
 
   // S_lhs ranges over all nonempty proper subsets of S via the successor
@@ -170,18 +185,24 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
         instr->OnLoopIterationBlock(c);
         std::uint64_t mask = split_kernel->filter(
             dc, full_rank, r, static_cast<int>(c), best_cost_so_far);
+        instr->OnFilterSurvivors(
+            c, static_cast<std::uint64_t>(std::popcount(mask)));
+        instr->ProfMark(DpPhase::kGateFilter);
         while (mask != 0) {
           const int lane = std::countr_zero(mask);
           mask &= mask - 1;
-          try_split_nested(idx[r + static_cast<std::uint32_t>(lane)]);
+          try_split_nested(idx[r + static_cast<std::uint32_t>(lane)],
+                           DpPhase::kSurvivorReplay);
         }
+        instr->ProfMark(DpPhase::kSurvivorReplay);
         r += c;
       }
     } else {
       for (std::uint64_t lhs = u; lhs != s; lhs = s & (lhs - s)) {
         instr->OnLoopIteration();
-        try_split_nested(lhs);
+        try_split_nested(lhs, DpPhase::kGateFilter);
       }
+      instr->ProfMark(DpPhase::kGateFilter);
     }
   } else {
     // Flat variant for the nested-if ablation: kappa'' is evaluated on
@@ -208,6 +229,8 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
         instr->OnImprovement();
       }
     }
+    // The flat ablation has no gate; its whole loop charges to kappa2.
+    instr->ProfMark(DpPhase::kKappa2);
   }
 
   float total = best_cost_so_far + kappa_prime;
@@ -216,6 +239,7 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
   if (!(total < cost_threshold)) total = kRejectedCost;
   cost[s] = total;
   best[s] = best_lhs;
+  instr->ProfMark(DpPhase::kTableWrite);
 }
 
 /// First loop of procedure blitzsplit: init_singleton for each relation.
@@ -337,18 +361,25 @@ BLITZ_NOINLINE float RunBlitzSplit(const CostModel& model,
       base_cards, cost, card, best, pi_fan, aux);
 
   const std::uint64_t full = (std::uint64_t{1} << n) - 1;
-  if (n == 1) return cost[full];
+  if (n == 1) {
+    instr->ProfPassEnd();
+    return cost[full];
+  }
 
   // Second loop, realized as in Section 4.2: process the sets in the order
   // of their integer representations, skipping powers of two (singletons).
   // Integer order guarantees all subsets of S are filled in before S.
   for (std::uint64_t s = 3; s <= full; ++s) {
     if ((s & (s - 1)) == 0) continue;  // singleton — already initialized
-    if (governor != nullptr && governor->Tick()) return kRejectedCost;
+    if (governor != nullptr && governor->Tick()) {
+      instr->ProfPassEnd();
+      return kRejectedCost;
+    }
     internal::BlitzProcessSubset<CostModel, kWithPredicates, kNestedIfs>(
         model, graph, cost_threshold, s, cost, card, best, pi_fan, aux,
         instr, split_kernel, &scratch);
   }
+  instr->ProfPassEnd();
   return cost[full];
 }
 

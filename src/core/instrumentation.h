@@ -1,15 +1,29 @@
 #ifndef BLITZ_CORE_INSTRUMENTATION_H_
 #define BLITZ_CORE_INSTRUMENTATION_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
+
+#include "obs/profiler/phase_profile.h"
 
 namespace blitz {
 
 /// Zero-cost instrumentation policy: all hooks are empty inline functions,
 /// so the production optimizer pays nothing for the instrumentation points.
+///
+/// Hook families:
+///   On*        — operation counters (Section 3.3 / 6.2 analyses).
+///   Prof*      — phase-attribution timestamps for the performance
+///                observatory (obs/profiler/); the `DpPhase` argument of an
+///                empty ProfMark is a dead constant the inliner erases.
+///   kEnabled   — the policy accumulates state that parallel drivers must
+///                fold across workers at rank barriers (operator+=).
+///   kProfiling — the policy records phase ticks; drivers additionally
+///                record per-rank wall ticks into `profile`.
 struct NoInstrumentation {
   static constexpr bool kEnabled = false;
+  static constexpr bool kProfiling = false;
 
   void OnSubsetVisited() {}
   void OnLoopIteration() {}
@@ -18,6 +32,11 @@ struct NoInstrumentation {
   void OnKappa2Evaluated() {}
   void OnImprovement() {}
   void OnThresholdSkip() {}
+  void OnFilterSurvivors(std::uint64_t, std::uint64_t) {}
+  void ProfBegin(std::uint64_t) {}
+  void ProfMark(DpPhase) {}
+  void ProfResync() {}
+  void ProfPassEnd() {}
 };
 
 /// Counting policy used by the Section 6.2 / 3.3 analyses: tallies how often
@@ -26,6 +45,7 @@ struct NoInstrumentation {
 /// (ln2/2) n 2^n expected improvements, kappa'' count in between).
 struct CountingInstrumentation {
   static constexpr bool kEnabled = true;
+  static constexpr bool kProfiling = false;
 
   void OnSubsetVisited() { ++subsets_visited; }
   void OnLoopIteration() { ++loop_iterations; }
@@ -36,6 +56,11 @@ struct CountingInstrumentation {
   void OnKappa2Evaluated() { ++kappa2_evaluations; }
   void OnImprovement() { ++improvements; }
   void OnThresholdSkip() { ++threshold_skips; }
+  void OnFilterSurvivors(std::uint64_t, std::uint64_t) {}
+  void ProfBegin(std::uint64_t) {}
+  void ProfMark(DpPhase) {}
+  void ProfResync() {}
+  void ProfPassEnd() {}
 
   CountingInstrumentation& operator+=(const CountingInstrumentation& other) {
     subsets_visited += other.subsets_visited;
@@ -62,6 +87,98 @@ struct CountingInstrumentation {
   /// Subsets whose best-split loop was skipped because kappa'(S) already
   /// exceeded the plan-cost threshold (Sections 6.3-6.4).
   std::uint64_t threshold_skips = 0;
+};
+
+/// Phase-attribution policy for the performance observatory: a delta-mark
+/// timestamp scheme over ProfTicks() (one rdtsc per mark) that attributes
+/// every tick of the DP pass to exactly one {phase, subset-size rank}
+/// bucket of `profile`, plus the per-rank operation and SIMD survivor
+/// tallies the kappa-sm/kappa-dnl diagnosis needs.
+///
+/// The scheme: ProfBegin(S) charges the ticks since the previous mark to
+/// the *driver* phase (inter-subset loop control, governor ticks) and
+/// switches the current rank to popcount(S); each subsequent ProfMark(p)
+/// charges the ticks since the previous mark to phase p. The kernel places
+/// marks so the buckets partition the subset body (see BlitzProcessSubset),
+/// making the phase totals sum to ~100% of pass wall time — the
+/// attribution contract of DESIGN.md section 11. Overhead is one rdtsc
+/// (~20 cycles, unserialized) per mark, ~4-6 marks per subset.
+///
+/// Value semantics on purpose: the rank-parallel driver keeps one instance
+/// per worker chunk slot and folds them into the pass instance with
+/// operator+= at rank barriers, exactly like CountingInstrumentation.
+struct ProfilingInstrumentation {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kProfiling = true;
+
+  void OnSubsetVisited() {}  // ProfBegin tallies subsets per rank.
+  void OnLoopIteration() { ++profile.ranks[rank_].loop_iterations; }
+  void OnLoopIterationBlock(std::uint64_t k) {
+    profile.ranks[rank_].loop_iterations += k;
+  }
+  void OnOperandPass() {}
+  void OnKappa2Evaluated() { ++profile.ranks[rank_].kappa2_evaluations; }
+  void OnImprovement() {}
+  void OnThresholdSkip() {}
+
+  /// One SIMD filter block: `lanes` candidate splits evaluated, of which
+  /// `survivors` passed the conservative gate and were replayed.
+  void OnFilterSurvivors(std::uint64_t lanes, std::uint64_t survivors) {
+    profile.ranks[rank_].filter_lanes += lanes;
+    profile.ranks[rank_].filter_survivors += survivors;
+  }
+
+  void ProfBegin(std::uint64_t s) {
+    const std::uint64_t now = ProfTicks();
+    if (last_tick_ != 0) {
+      profile.ranks[rank_]
+          .phase_ticks[static_cast<int>(DpPhase::kDriver)] +=
+          now - last_tick_;
+    }
+    rank_ = std::popcount(s);
+    ++profile.ranks[rank_].subsets;
+    last_tick_ = now;
+  }
+
+  /// Must follow a ProfBegin in program order (the kernel guarantees it).
+  void ProfMark(DpPhase phase) {
+    const std::uint64_t now = ProfTicks();
+    profile.ranks[rank_].phase_ticks[static_cast<int>(phase)] +=
+        now - last_tick_;
+    last_tick_ = now;
+  }
+
+  /// Re-arms the timestamp without attributing the elapsed interval.
+  /// The rank-parallel driver calls this on the pass instance after each
+  /// fanned rank's barrier: the fanned interval's CPU time was already
+  /// attributed by the per-worker slots, so charging the same wall span on
+  /// the main instance would double-count it.
+  void ProfResync() { last_tick_ = ProfTicks(); }
+
+  /// Driver epilogue: charges the tail to the driver phase, counts the
+  /// pass, and re-arms for a potential next pass on the same instance
+  /// (threshold-ladder reoptimization reuses one instrumentation object).
+  void ProfPassEnd() {
+    if (last_tick_ != 0) {
+      profile.ranks[rank_]
+          .phase_ticks[static_cast<int>(DpPhase::kDriver)] +=
+          ProfTicks() - last_tick_;
+    }
+    ++profile.passes;
+    rank_ = 0;
+    last_tick_ = 0;
+  }
+
+  ProfilingInstrumentation& operator+=(const ProfilingInstrumentation& other) {
+    profile += other.profile;
+    return *this;
+  }
+
+  PassProfile profile;
+
+ private:
+  int rank_ = 0;              ///< Current subset's popcount (profile index).
+  std::uint64_t last_tick_ = 0;  ///< Previous mark; 0 = no mark yet.
 };
 
 }  // namespace blitz

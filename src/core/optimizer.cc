@@ -8,6 +8,7 @@
 #include "governor/faultpoints.h"
 #include "governor/governor.h"
 #include "obs/metrics.h"
+#include "obs/profiler/profiler.h"
 #include "obs/trace.h"
 #include "parallel/blitzsplit_ranked.h"
 
@@ -98,16 +99,20 @@ bool ModelGateTight(CostModelKind kind) {
 /// it reports (and runs) kScalar regardless of the request. An auto-chosen
 /// level additionally engages only for gate-tight models (kappa'' = 0) —
 /// elsewhere the filter passes nearly every split and batching is pure
-/// overhead — while an explicit --simd= / BLITZ_SIMD request is always
-/// honored so ablations and benchmarks can measure any combination.
-SimdLevel ResolvePassSimd(const OptimizerOptions& options,
+/// overhead — and only for problems of at least kSimdMinAutoRelations
+/// relations, where the dense build amortizes (BENCH_fig2.json measured
+/// sub-1x auto speedups at n = 5-11). An explicit --simd= / BLITZ_SIMD
+/// request is always honored so ablations and benchmarks can measure any
+/// combination.
+SimdLevel ResolvePassSimd(const OptimizerOptions& options, int num_relations,
                           const SplitKernel** split_kernel) {
   if (!options.nested_ifs) {
     *split_kernel = nullptr;
     return SimdLevel::kScalar;
   }
   const SimdResolution res = ResolveSimdLevelDetailed(options.simd);
-  if (res.from_auto && !ModelGateTight(options.cost_model)) {
+  if (res.from_auto && (!ModelGateTight(options.cost_model) ||
+                        num_relations < kSimdMinAutoRelations)) {
     *split_kernel = nullptr;
     return SimdLevel::kScalar;
   }
@@ -145,11 +150,34 @@ float Dispatch(const OptimizerOptions& options,
                DpTable* table, CountingInstrumentation* counters,
                GovernorState* governor, SimdLevel* simd_level) {
   const SplitKernel* split_kernel = nullptr;
-  const SimdLevel simd = ResolvePassSimd(options, &split_kernel);
+  const SimdLevel simd = ResolvePassSimd(
+      options, static_cast<int>(base_cards.size()), &split_kernel);
   if (simd_level != nullptr) *simd_level = simd;
   RecordSimdMetric(simd);
   return DispatchCostModel(options.cost_model, [&](auto model) -> float {
     using Model = decltype(model);
+    if (options.profile != nullptr) {
+      // Performance-observatory pass: phase/rank tick attribution plus
+      // survivor tallies, folded into the caller's sink and the global
+      // profiler. Takes precedence over count_operations (the profile
+      // carries the loop/kappa'' counts itself).
+      ProfilingInstrumentation instr;
+      float cost;
+      if (options.nested_ifs) {
+        cost = RunConfigured<Model, kWithPredicates, true>(
+            model, options, resolved, base_cards, graph, table, &instr,
+            governor, split_kernel);
+      } else {
+        cost = RunConfigured<Model, kWithPredicates, false>(
+            model, options, resolved, base_cards, graph, table, &instr,
+            governor, split_kernel);
+      }
+      *options.profile += instr.profile;
+      if (Profiler* profiler = GlobalProfiler()) {
+        profiler->FoldPass(instr.profile);
+      }
+      return cost;
+    }
     if (options.count_operations) {
       CountingInstrumentation instr;
       float cost;
@@ -201,9 +229,10 @@ bool ModelNeedsAux(CostModelKind kind) {
 
 }  // namespace
 
-SimdLevel EffectivePassSimdLevel(const OptimizerOptions& options) {
+SimdLevel EffectivePassSimdLevel(const OptimizerOptions& options,
+                                 int num_relations) {
   const SplitKernel* ignored = nullptr;
-  return ResolvePassSimd(options, &ignored);
+  return ResolvePassSimd(options, num_relations, &ignored);
 }
 
 Status OptimizerOptions::Validate() const {

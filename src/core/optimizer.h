@@ -51,13 +51,26 @@ struct OptimizerOptions {
   /// kAuto (default) probes the CPU once, honors the BLITZ_SIMD
   /// environment override, and engages the batched kernel only for
   /// gate-tight cost models (kSplitGateTight — kappa'' = 0, where the
-  /// batched operand gate is the complete comparison); a concrete level
-  /// forces that kernel for any model (clamped to what the machine
-  /// supports). Resolved once per pass; every kernel fills a bit-identical
-  /// table, so this knob trades nothing but speed. Ignored by the flat
-  /// nested_ifs = false ablation, which has no model-independent gate to
-  /// batch.
+  /// batched operand gate is the complete comparison) on problems of at
+  /// least kSimdMinAutoRelations relations (below that the dense-build
+  /// overhead outruns the filter's win; see BENCH_fig2.json); a concrete
+  /// level forces that kernel for any model and size (clamped to what the
+  /// machine supports). Resolved once per pass; every kernel fills a
+  /// bit-identical table, so this knob trades nothing but speed. Ignored
+  /// by the flat nested_ifs = false ablation, which has no
+  /// model-independent gate to batch.
   SimdLevel simd = SimdLevel::kAuto;
+
+  /// Performance-observatory sink (obs/profiler/phase_profile.h). When
+  /// non-null the pass runs the ProfilingInstrumentation policy — every
+  /// tick attributed to a {phase, subset-size rank} bucket, plus SIMD
+  /// survivor-rate tallies — and folds the result here and into the
+  /// global Profiler (if one is installed). Costs ~2 rdtsc per split-loop
+  /// kappa'' evaluation; null (the default) compiles the hooks out
+  /// entirely. A profiled pass reports operation counts through the
+  /// profile, not through OptimizeOutcome::counters, so count_operations
+  /// is ignored while this is set.
+  PassProfile* profile = nullptr;
 
   /// Canonical validation of every knob, including the nested parallel
   /// options; called by the optimizer entry points before a pass runs.
@@ -83,11 +96,13 @@ struct OptimizeOutcome {
   bool found_plan() const { return cost < kRejectedCost; }
 };
 
-/// The concrete kernel level a pass with these options would run, without
-/// running it — what OptimizeOutcome::simd_level will report: kScalar for
-/// the flat ablation and for kAuto over a gate-loose model; otherwise the
-/// resolved request (simd/dispatch.h).
-SimdLevel EffectivePassSimdLevel(const OptimizerOptions& options);
+/// The concrete kernel level a pass with these options would run on a
+/// problem of `num_relations` relations, without running it — what
+/// OptimizeOutcome::simd_level will report: kScalar for the flat ablation,
+/// for kAuto over a gate-loose model, and for kAuto below
+/// kSimdMinAutoRelations; otherwise the resolved request (simd/dispatch.h).
+SimdLevel EffectivePassSimdLevel(const OptimizerOptions& options,
+                                 int num_relations);
 
 /// Optimizes the join of all relations in `catalog` under the predicates of
 /// `graph` (Section 5). The graph must have the same relation count as the

@@ -84,6 +84,23 @@ void Histogram::Record(double value) {
   sum_ += value;
 }
 
+Histogram& Histogram::operator+=(const Histogram& other) {
+  BLITZ_CHECK(bounds_ == other.bounds_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ != 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+  return *this;
+}
+
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
@@ -154,11 +171,24 @@ void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
   it->second.Record(seconds);
 }
 
+void MetricsRegistry::SetLabel(std::string_view name,
+                               std::string_view value) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = labels_.find(name);
+  if (it == labels_.end()) {
+    labels_.emplace(std::string(name), std::string(value));
+  } else {
+    it->second = std::string(value);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
   MetricsSnapshot snapshot;
   std::lock_guard<std::mutex> lock(mu_);
   snapshot.counters.assign(counters_.begin(), counters_.end());
   snapshot.gauges.assign(gauges_.begin(), gauges_.end());
+  snapshot.labels.assign(labels_.begin(), labels_.end());
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     HistogramSnapshot h;
@@ -205,6 +235,14 @@ std::string MetricsRegistry::ToJson() const {
         JsonNumber(h.max).c_str(), JsonNumber(h.p50).c_str(),
         JsonNumber(h.p95).c_str(), JsonNumber(h.p99).c_str());
   }
+  out += "},\"labels\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.labels) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":\"%s\"", JsonEscape(name).c_str(),
+                     JsonEscape(value).c_str());
+  }
   out += "}}";
   return out;
 }
@@ -226,6 +264,9 @@ std::string MetricsRegistry::ToString() const {
         h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count), h.p50,
         h.p95, h.p99, h.max);
   }
+  for (const auto& [name, value] : snapshot.labels) {
+    out += StrFormat("label %s = %s\n", name.c_str(), value.c_str());
+  }
   return out;
 }
 
@@ -234,6 +275,7 @@ void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  labels_.clear();
 }
 
 namespace {

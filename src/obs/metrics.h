@@ -46,6 +46,12 @@ class Histogram {
 
   void Record(double value);
 
+  /// Merges another histogram recorded over *identical* bounds (checked);
+  /// the fold the rank-parallel workers use to combine thread-local
+  /// histograms into one. Counts, sum, and extrema merge exactly;
+  /// percentile estimates are those of the merged buckets.
+  Histogram& operator+=(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return min_; }
@@ -85,9 +91,11 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, std::string>> labels;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           labels.empty();
   }
 };
 
@@ -117,10 +125,16 @@ class MetricsRegistry {
   /// Records one latency observation (seconds) into the named histogram.
   void RecordLatency(std::string_view name, double seconds);
 
+  /// Sets a string-valued label (last write wins) — provenance facts like
+  /// the resolved SIMD level or the tier that served the last query, which
+  /// a numeric metric cannot carry. Exported under "labels" in ToJson().
+  void SetLabel(std::string_view name, std::string_view value);
+
   MetricsSnapshot TakeSnapshot() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
-  /// max,p50,p95,p99},...}} — always a valid JSON object, {} when empty.
+  /// max,p50,p95,p99},...},"labels":{name:"value",...}} — always a valid
+  /// JSON object.
   std::string ToJson() const;
 
   /// One metric per line, for terminal output.
@@ -134,6 +148,7 @@ class MetricsRegistry {
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> labels_;
 };
 
 /// Process-global registry hook. Instrumented library code writes through

@@ -1,0 +1,134 @@
+#include "obs/profiler/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace blitz {
+
+const char* HwCounterName(HwCounter counter) {
+  switch (counter) {
+    case HwCounter::kCycles:
+      return "cycles";
+    case HwCounter::kInstructions:
+      return "instructions";
+    case HwCounter::kBranchMisses:
+      return "branch_misses";
+    case HwCounter::kL1dMisses:
+      return "l1d_misses";
+    case HwCounter::kLlcMisses:
+      return "llc_misses";
+  }
+  return "unknown";
+}
+
+#if defined(__linux__)
+
+namespace {
+
+struct HwEventConfig {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// Indexed by HwCounter. Cache events use the (id | op << 8 | result << 16)
+// encoding from perf_event_open(2); we count read misses.
+constexpr HwEventConfig kHwEvents[kNumHwCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+};
+
+int OpenPerfEvent(const HwEventConfig& event, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = event.type;
+  attr.config = event.config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // Leader starts disabled.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, whichever CPU it runs on.
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+}  // namespace
+
+bool HwCounterGroup::Open() {
+  if (valid_mask_ != 0) return true;
+  int group_fd = -1;
+  for (int i = 0; i < kNumHwCounters; ++i) {
+    const int fd = OpenPerfEvent(kHwEvents[i], group_fd);
+    if (fd < 0) continue;  // Keep whatever subset the kernel grants.
+    fds_[i] = fd;
+    valid_mask_ |= 1u << i;
+    if (group_fd == -1) group_fd = fd;
+  }
+  // A group without its leader (cycles) cannot be read as a group; the
+  // remaining fds became independent leaders, which breaks the single-read
+  // scaling contract. Treat that as unavailable.
+  if (group_fd == -1 || fds_[0] < 0) {
+    Close();
+    return false;
+  }
+  ioctl(group_fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+}
+
+void HwCounterGroup::Close() {
+  for (int i = kNumHwCounters - 1; i >= 0; --i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+    fds_[i] = -1;
+  }
+  valid_mask_ = 0;
+}
+
+HwSample HwCounterGroup::Read() const {
+  HwSample sample;
+  if (valid_mask_ == 0) return sample;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kNumHwCounters] = {};
+  const ssize_t got = read(fds_[0], buf, sizeof(buf));
+  if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return sample;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  // Multiplex scaling: estimate = value * enabled / running.
+  const double scale =
+      running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                  : 0.0;
+  std::uint64_t slot = 0;
+  for (int i = 0; i < kNumHwCounters; ++i) {
+    if (!(valid_mask_ & (1u << i))) continue;
+    if (slot >= nr) break;
+    sample.values[i] = static_cast<std::uint64_t>(
+        static_cast<double>(buf[3 + slot]) * scale);
+    ++slot;
+  }
+  return sample;
+}
+
+#else  // !defined(__linux__)
+
+bool HwCounterGroup::Open() { return false; }
+void HwCounterGroup::Close() { valid_mask_ = 0; }
+HwSample HwCounterGroup::Read() const { return HwSample{}; }
+
+#endif
+
+}  // namespace blitz

@@ -1,0 +1,111 @@
+#ifndef BLITZ_OBS_PROFILER_PERF_COUNTERS_H_
+#define BLITZ_OBS_PROFILER_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace blitz {
+
+/// The hardware-counter set the profiler samples. Order is the wire order
+/// of every HwSample and every exported JSON.
+enum class HwCounter : int {
+  kCycles = 0,
+  kInstructions,
+  kBranchMisses,
+  kL1dMisses,   ///< L1 data-cache read misses.
+  kLlcMisses,   ///< Last-level-cache read misses.
+};
+inline constexpr int kNumHwCounters = 5;
+
+/// Short stable name ("cycles", "instructions", "branch_misses",
+/// "l1d_misses", "llc_misses").
+const char* HwCounterName(HwCounter counter);
+
+/// One point-in-time reading (or accumulated delta) of the counter set.
+/// Counters absent from the open group (see HwCounterGroup::valid_mask)
+/// read as 0. Multiplexed counters are scaled by time_enabled/time_running
+/// at read time, the standard perf estimate.
+struct HwSample {
+  std::uint64_t values[kNumHwCounters] = {};
+
+  std::uint64_t operator[](HwCounter c) const {
+    return values[static_cast<int>(c)];
+  }
+
+  HwSample& operator+=(const HwSample& other) {
+    for (int i = 0; i < kNumHwCounters; ++i) values[i] += other.values[i];
+    return *this;
+  }
+
+  /// Component-wise saturating difference (end - begin of a scope).
+  static HwSample Delta(const HwSample& begin, const HwSample& end) {
+    HwSample d;
+    for (int i = 0; i < kNumHwCounters; ++i) {
+      d.values[i] = end.values[i] >= begin.values[i]
+                        ? end.values[i] - begin.values[i]
+                        : 0;
+    }
+    return d;
+  }
+
+  bool any() const {
+    for (const std::uint64_t v : values) {
+      if (v != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// A per-thread perf_event counter group over perf_event_open(2): cycles,
+/// instructions, branch misses, L1d read misses, LLC read misses, opened
+/// as one group (leader = cycles) so the members are scheduled — and
+/// multiplex-scaled — together.
+///
+/// Graceful fallback is the contract, not an error path: on non-Linux
+/// builds, in containers that mask the syscall (EPERM/ENOSYS), under
+/// perf_event_paranoid settings that forbid it, or on VMs whose PMU
+/// virtualization rejects individual events, Open() keeps whatever subset
+/// of counters the kernel granted (possibly none) and reports it via
+/// valid_mask(); Read() returns zeros for the rest. Callers always get the
+/// portable wall-clock timings — hardware counters are strictly additive
+/// signal.
+///
+/// Counting scope is the calling thread (pid=0, any CPU, no inherit —
+/// inheritance is incompatible with grouped reads), so open and read the
+/// group from the thread being measured. Not thread-safe; one group per
+/// thread.
+class HwCounterGroup {
+ public:
+  HwCounterGroup() = default;
+  ~HwCounterGroup() { Close(); }
+
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  /// Opens the group and starts counting. Returns true if at least one
+  /// counter opened. Safe to call on an open group (no-op, same result).
+  bool Open();
+
+  void Close();
+
+  /// True if at least one counter is open and counting.
+  bool available() const { return valid_mask_ != 0; }
+
+  /// Bit i set iff counter i (HwCounter order) is open.
+  unsigned valid_mask() const { return valid_mask_; }
+
+  /// Current totals since Open(), multiplex-scaled. All-zero when no
+  /// counter is open.
+  HwSample Read() const;
+
+  /// "perf_event" when available(), else "timer" — the profiler backend
+  /// string surfaced in every profile JSON.
+  const char* backend() const { return available() ? "perf_event" : "timer"; }
+
+ private:
+  int fds_[kNumHwCounters] = {-1, -1, -1, -1, -1};
+  unsigned valid_mask_ = 0;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_OBS_PROFILER_PERF_COUNTERS_H_

@@ -1,0 +1,154 @@
+#include "obs/profiler/phase_profile.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+const char* DpPhaseName(DpPhase phase) {
+  switch (phase) {
+    case DpPhase::kTableWrite:
+      return "table_write";
+    case DpPhase::kGateFilter:
+      return "gate_filter";
+    case DpPhase::kSurvivorReplay:
+      return "survivor_replay";
+    case DpPhase::kKappa2:
+      return "kappa2";
+    case DpPhase::kDriver:
+      return "driver";
+  }
+  return "unknown";
+}
+
+double ProfTicksPerSecond() {
+#if defined(BLITZ_PROF_HAS_RDTSC)
+  // Calibrate the TSC against steady_clock over a ~10 ms window, once per
+  // process. Modern x86 TSCs are constant-rate and socket-synchronized
+  // (constant_tsc/nonstop_tsc), so a single short window suffices.
+  static const double rate = [] {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    const std::uint64_t c0 = ProfTicks();
+    Clock::time_point t1;
+    do {
+      t1 = Clock::now();
+    } while (std::chrono::duration<double>(t1 - t0).count() < 0.010);
+    const std::uint64_t c1 = ProfTicks();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    return seconds > 0 ? static_cast<double>(c1 - c0) / seconds : 1e9;
+  }();
+  return rate;
+#else
+  return 1e9;  // ProfTicks is steady_clock nanoseconds.
+#endif
+}
+
+std::uint64_t PassProfile::PhaseTicks(DpPhase phase) const {
+  std::uint64_t total = 0;
+  for (const RankPhaseStats& rank : ranks) {
+    total += rank.phase_ticks[static_cast<int>(phase)];
+  }
+  return total;
+}
+
+std::uint64_t PassProfile::TotalTicks() const {
+  std::uint64_t total = 0;
+  for (int p = 0; p < kNumDpPhases; ++p) {
+    total += PhaseTicks(static_cast<DpPhase>(p));
+  }
+  return total;
+}
+
+double PassProfile::AttributedSeconds() const {
+  return static_cast<double>(TotalTicks()) / ProfTicksPerSecond();
+}
+
+std::uint64_t PassProfile::TotalFilterLanes() const {
+  std::uint64_t total = 0;
+  for (const RankPhaseStats& rank : ranks) total += rank.filter_lanes;
+  return total;
+}
+
+std::uint64_t PassProfile::TotalFilterSurvivors() const {
+  std::uint64_t total = 0;
+  for (const RankPhaseStats& rank : ranks) total += rank.filter_survivors;
+  return total;
+}
+
+std::string PassProfile::ToJson() const {
+  const double tps = ProfTicksPerSecond();
+  const std::uint64_t total_ticks = TotalTicks();
+  std::string out = StrFormat(
+      "{\"passes\":%llu,\"ticks_per_second\":%.6g,"
+      "\"attributed_seconds\":%.9g,\"phase_totals\":{",
+      static_cast<unsigned long long>(passes), tps,
+      static_cast<double>(total_ticks) / tps);
+  for (int p = 0; p < kNumDpPhases; ++p) {
+    const std::uint64_t ticks = PhaseTicks(static_cast<DpPhase>(p));
+    out += StrFormat(
+        "%s\"%s\":{\"ticks\":%llu,\"seconds\":%.9g,\"fraction\":%.6g}",
+        p == 0 ? "" : ",", DpPhaseName(static_cast<DpPhase>(p)),
+        static_cast<unsigned long long>(ticks),
+        static_cast<double>(ticks) / tps,
+        total_ticks == 0 ? 0.0
+                         : static_cast<double>(ticks) /
+                               static_cast<double>(total_ticks));
+  }
+  out += "},\"ranks\":[";
+  bool first = true;
+  for (int k = 0; k < kProfMaxRanks; ++k) {
+    const RankPhaseStats& rank = ranks[k];
+    if (rank.subsets == 0) continue;
+    out += StrFormat(
+        "%s{\"k\":%d,\"subsets\":%llu,\"loop_iterations\":%llu,"
+        "\"kappa2_evaluations\":%llu,\"filter_lanes\":%llu,"
+        "\"filter_survivors\":%llu,\"survivor_rate\":%.6g,"
+        "\"wall_seconds\":%.9g,\"phases\":{",
+        first ? "" : ",", k, static_cast<unsigned long long>(rank.subsets),
+        static_cast<unsigned long long>(rank.loop_iterations),
+        static_cast<unsigned long long>(rank.kappa2_evaluations),
+        static_cast<unsigned long long>(rank.filter_lanes),
+        static_cast<unsigned long long>(rank.filter_survivors),
+        rank.SurvivorRate(), static_cast<double>(rank.wall_ticks) / tps);
+    for (int p = 0; p < kNumDpPhases; ++p) {
+      out += StrFormat(
+          "%s\"%s\":%.9g", p == 0 ? "" : ",",
+          DpPhaseName(static_cast<DpPhase>(p)),
+          static_cast<double>(rank.phase_ticks[p]) / tps);
+    }
+    out += "}}";
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string PassProfile::ToString() const {
+  if (empty()) return "";
+  const double tps = ProfTicksPerSecond();
+  std::string out = StrFormat(
+      "%llu pass(es), %.3f ms attributed\n",
+      static_cast<unsigned long long>(passes), AttributedSeconds() * 1e3);
+  out +=
+      "  k   subsets  table_us   gate_us  replay_us  kappa2_us  driver_us "
+      " surv%\n";
+  for (int k = 0; k < kProfMaxRanks; ++k) {
+    const RankPhaseStats& rank = ranks[k];
+    if (rank.subsets == 0) continue;
+    const auto us = [&](DpPhase p) {
+      return static_cast<double>(rank.phase_ticks[static_cast<int>(p)]) /
+             tps * 1e6;
+    };
+    out += StrFormat(
+        "%3d %9llu %9.1f %9.1f %10.1f %10.1f %10.1f %6.1f\n", k,
+        static_cast<unsigned long long>(rank.subsets),
+        us(DpPhase::kTableWrite), us(DpPhase::kGateFilter),
+        us(DpPhase::kSurvivorReplay), us(DpPhase::kKappa2),
+        us(DpPhase::kDriver), rank.SurvivorRate() * 100.0);
+  }
+  return out;
+}
+
+}  // namespace blitz

@@ -1,0 +1,145 @@
+#ifndef BLITZ_OBS_PROFILER_PHASE_PROFILE_H_
+#define BLITZ_OBS_PROFILER_PHASE_PROFILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#define BLITZ_PROF_HAS_RDTSC 1
+#endif
+
+namespace blitz {
+
+/// Phase taxonomy of the blitzsplit per-subset kernel. Every tick of a
+/// profiled DP pass is attributed to exactly one phase, so the buckets sum
+/// to (nearly) the pass wall time — the attribution contract the perf
+/// observatory is built on (DESIGN.md section 11).
+///
+///   kTableWrite     compute_properties(S): the card/pi_fan/aux recurrences
+///                   and their row writes, the split-independent kappa', and
+///                   the final cost/best_lhs row write.
+///   kGateFilter     the model-independent operand gate: the scalar
+///                   nested-if loop up to the kappa'' evaluation, or the
+///                   SIMD dense build + blocked filter.
+///   kSurvivorReplay the re-run of SIMD filter survivors through the scalar
+///                   nested-if body (zero on scalar passes by definition).
+///   kKappa2         evaluations of the split-dependent cost kappa''.
+///   kDriver         everything between subsets: loop control, governor
+///                   ticks, rank fan-out and barriers.
+enum class DpPhase : int {
+  kTableWrite = 0,
+  kGateFilter,
+  kSurvivorReplay,
+  kKappa2,
+  kDriver,
+};
+inline constexpr int kNumDpPhases = 5;
+
+/// Short stable name ("table_write", "gate_filter", "survivor_replay",
+/// "kappa2", "driver") — the keys of every exported profile JSON.
+const char* DpPhaseName(DpPhase phase);
+
+/// Monotonic fine-grained timestamp for phase attribution: the TSC on x86
+/// (one ~20-cycle rdtsc, no serialization — attribution tolerates the
+/// slight skew), steady_clock nanoseconds elsewhere. Units are "ticks";
+/// convert with ProfTicksPerSecond().
+inline std::uint64_t ProfTicks() {
+#if defined(BLITZ_PROF_HAS_RDTSC)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Ticks per second of ProfTicks, calibrated against steady_clock once per
+/// process (~10 ms spin on first call, cached thereafter). Call at export
+/// time, never in the hot path.
+double ProfTicksPerSecond();
+
+/// Upper bound on subset-size ranks a profile can hold (index = popcount,
+/// 1-based; core/relset.h caps problems at kMaxRelations = 30 relations).
+inline constexpr int kProfMaxRanks = 31;
+
+/// Per-subset-size-rank attribution: phase tick totals plus the operation
+/// and SIMD survivor tallies that turn "slow" into "why".
+struct RankPhaseStats {
+  std::uint64_t phase_ticks[kNumDpPhases] = {};
+  std::uint64_t subsets = 0;            ///< Subsets of this rank processed.
+  std::uint64_t loop_iterations = 0;    ///< Best-split loop iterations.
+  std::uint64_t kappa2_evaluations = 0; ///< kappa'' evaluations.
+  std::uint64_t filter_lanes = 0;       ///< Lanes through the SIMD filter.
+  std::uint64_t filter_survivors = 0;   ///< Lanes that survived to replay.
+  std::uint64_t wall_ticks = 0;         ///< Rank wall (parallel driver only).
+
+  RankPhaseStats& operator+=(const RankPhaseStats& other) {
+    for (int p = 0; p < kNumDpPhases; ++p) {
+      phase_ticks[p] += other.phase_ticks[p];
+    }
+    subsets += other.subsets;
+    loop_iterations += other.loop_iterations;
+    kappa2_evaluations += other.kappa2_evaluations;
+    filter_lanes += other.filter_lanes;
+    filter_survivors += other.filter_survivors;
+    wall_ticks += other.wall_ticks;
+    return *this;
+  }
+
+  /// Fraction of filtered lanes that survived to the scalar replay (0 when
+  /// the SIMD kernel never engaged at this rank).
+  double SurvivorRate() const {
+    return filter_lanes == 0
+               ? 0.0
+               : static_cast<double>(filter_survivors) /
+                     static_cast<double>(filter_lanes);
+  }
+};
+
+/// The per-phase, per-rank attribution of one (or several accumulated)
+/// blitzsplit DP passes. Filled by the ProfilingInstrumentation policy
+/// (core/instrumentation.h); a parallel pass folds per-worker profiles at
+/// each rank barrier, so phase ticks are CPU time (they can exceed wall
+/// time on multicore passes). Plain value type: copy, +=, reset freely.
+struct PassProfile {
+  RankPhaseStats ranks[kProfMaxRanks] = {};  ///< Index = popcount(S).
+  std::uint64_t passes = 0;                  ///< DP passes accumulated.
+
+  PassProfile& operator+=(const PassProfile& other) {
+    for (int k = 0; k < kProfMaxRanks; ++k) ranks[k] += other.ranks[k];
+    passes += other.passes;
+    return *this;
+  }
+
+  bool empty() const { return passes == 0; }
+
+  /// Tick total for one phase across all ranks.
+  std::uint64_t PhaseTicks(DpPhase phase) const;
+
+  /// Tick total across all phases and ranks — the attributed time.
+  std::uint64_t TotalTicks() const;
+
+  /// TotalTicks converted to seconds via ProfTicksPerSecond().
+  double AttributedSeconds() const;
+
+  /// Filter-lane/survivor totals across ranks (SIMD survivor rate).
+  std::uint64_t TotalFilterLanes() const;
+  std::uint64_t TotalFilterSurvivors() const;
+
+  /// {"passes":...,"ticks_per_second":...,"attributed_seconds":...,
+  ///  "phase_totals":{phase:{"ticks":...,"seconds":...,"fraction":...}},
+  ///  "ranks":[{"k":...,"subsets":...,...,"survivor_rate":...,
+  ///            "phases":{phase:seconds}}]}  — ranks with no subsets are
+  /// omitted; always a valid JSON object.
+  std::string ToJson() const;
+
+  /// Compact per-rank table for terminal output ("" when empty).
+  std::string ToString() const;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_OBS_PROFILER_PHASE_PROFILE_H_

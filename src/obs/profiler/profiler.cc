@@ -1,0 +1,147 @@
+#include "obs/profiler/profiler.h"
+
+#include <atomic>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+std::atomic<Profiler*> g_profiler{nullptr};
+
+// One-shot probe result for perf_event availability, so a timer-only
+// environment (container seccomp, paranoid sysctl, VM without PMU) pays
+// the failing syscalls once per process instead of once per scope.
+// 0 = unprobed, 1 = available, 2 = unavailable.
+std::atomic<int> g_perf_state{0};
+
+bool TryOpenCounters(HwCounterGroup* hw) {
+  int state = g_perf_state.load(std::memory_order_relaxed);
+  if (state == 2) return false;
+  if (hw->Open()) {
+    if (state == 0) g_perf_state.store(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (state == 0) g_perf_state.store(2, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace
+
+Profiler* GlobalProfiler() {
+  return g_profiler.load(std::memory_order_acquire);
+}
+
+void SetGlobalProfiler(Profiler* profiler) {
+  g_profiler.store(profiler, std::memory_order_release);
+}
+
+void Profiler::RecordScope(std::string_view name, double seconds,
+                           const HwSample& hw, unsigned valid_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfScopeStats& stats = scopes_[std::string(name)];
+  ++stats.calls;
+  stats.wall_seconds += seconds;
+  stats.hw += hw;
+  hw_valid_mask_ |= valid_mask;
+}
+
+void Profiler::FoldPass(const PassProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pass_ += profile;
+}
+
+PassProfile Profiler::pass_profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pass_;
+}
+
+const char* Profiler::backend() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hw_valid_mask_ != 0 ? "perf_event" : "timer";
+}
+
+std::string Profiler::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      StrFormat("{\"backend\":\"%s\",\"counters\":[",
+                hw_valid_mask_ != 0 ? "perf_event" : "timer");
+  bool first = true;
+  for (int i = 0; i < kNumHwCounters; ++i) {
+    if (!(hw_valid_mask_ & (1u << i))) continue;
+    out += StrFormat("%s\"%s\"", first ? "" : ",",
+                     HwCounterName(static_cast<HwCounter>(i)));
+    first = false;
+  }
+  out += "],\"scopes\":{";
+  first = true;
+  for (const auto& [name, stats] : scopes_) {
+    out += StrFormat("%s\"%s\":{\"calls\":%llu,\"seconds\":%.9g",
+                     first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(stats.calls),
+                     stats.wall_seconds);
+    for (int i = 0; i < kNumHwCounters; ++i) {
+      if (!(hw_valid_mask_ & (1u << i))) continue;
+      out += StrFormat(",\"%s\":%llu",
+                       HwCounterName(static_cast<HwCounter>(i)),
+                       static_cast<unsigned long long>(
+                           stats.hw.values[i]));
+    }
+    out += "}";
+    first = false;
+  }
+  out += "},\"dp\":";
+  out += pass_.ToJson();
+  out += "}";
+  return out;
+}
+
+std::string Profiler::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "profiler backend: %s\n", hw_valid_mask_ != 0 ? "perf_event" : "timer");
+  for (const auto& [name, stats] : scopes_) {
+    out += StrFormat("  %-32s calls=%llu wall=%.3f ms", name.c_str(),
+                     static_cast<unsigned long long>(stats.calls),
+                     stats.wall_seconds * 1e3);
+    if (hw_valid_mask_ & 1u) {
+      out += StrFormat(" cycles=%llu", static_cast<unsigned long long>(
+                                           stats.hw[HwCounter::kCycles]));
+    }
+    if (hw_valid_mask_ & 2u) {
+      const std::uint64_t cycles = stats.hw[HwCounter::kCycles];
+      const std::uint64_t instr = stats.hw[HwCounter::kInstructions];
+      out += StrFormat(" ipc=%.2f",
+                       cycles == 0 ? 0.0
+                                   : static_cast<double>(instr) /
+                                         static_cast<double>(cycles));
+    }
+    out += "\n";
+  }
+  if (!pass_.empty()) out += pass_.ToString();
+  return out;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_.clear();
+  pass_ = PassProfile{};
+  hw_valid_mask_ = 0;
+}
+
+ProfileScope::ProfileScope(Profiler* profiler, const char* name,
+                           const char* category)
+    : profiler_(profiler),
+      name_(name),
+      span_(profiler ? GlobalTraceRecorder() : nullptr, name, category) {
+  if (profiler_ != nullptr) TryOpenCounters(&hw_);
+}
+
+ProfileScope::~ProfileScope() {
+  if (profiler_ == nullptr) return;
+  const double seconds = timer_.ElapsedSeconds();
+  profiler_->RecordScope(name_, seconds, hw_.Read(), hw_.valid_mask());
+}
+
+}  // namespace blitz

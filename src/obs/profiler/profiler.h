@@ -1,0 +1,118 @@
+#ifndef BLITZ_OBS_PROFILER_PROFILER_H_
+#define BLITZ_OBS_PROFILER_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/profiler/perf_counters.h"
+#include "obs/profiler/phase_profile.h"
+#include "obs/trace.h"
+
+namespace blitz {
+
+/// Accumulated cost of one named ProfileScope: call count, wall seconds,
+/// and the hardware-counter deltas (zero where the backend is timer-only).
+struct ProfScopeStats {
+  std::uint64_t calls = 0;
+  double wall_seconds = 0;
+  HwSample hw;
+
+  ProfScopeStats& operator+=(const ProfScopeStats& other) {
+    calls += other.calls;
+    wall_seconds += other.wall_seconds;
+    hw += other.hw;
+    return *this;
+  }
+};
+
+/// Thread-safe sink for the performance observatory: named ProfileScope
+/// totals (wall time + hardware counters) plus the per-phase DP attribution
+/// folded in from profiled optimizer passes. Mirrors the GlobalMetrics /
+/// GlobalTraceRecorder hook pattern — library code writes through
+/// GlobalProfiler() when one is installed and pays one atomic load
+/// otherwise. Not owned by the hook; uninstall before destroying.
+class Profiler {
+ public:
+  Profiler() = default;
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Accumulates one finished scope. `valid_mask` is the HwCounterGroup
+  /// mask of counters actually measured (ORed into the profiler's mask so
+  /// the export names the backend honestly).
+  void RecordScope(std::string_view name, double seconds, const HwSample& hw,
+                   unsigned valid_mask);
+
+  /// Accumulates one optimizer pass's phase attribution (called by the
+  /// optimizer after a profiled pass; parallel passes fold their per-worker
+  /// profiles before reaching here).
+  void FoldPass(const PassProfile& profile);
+
+  /// Copy of the accumulated DP phase attribution.
+  PassProfile pass_profile() const;
+
+  /// "perf_event" once any scope measured hardware counters, else "timer".
+  const char* backend() const;
+
+  /// {"backend":...,"counters":[names...],"scopes":{name:{"calls":...,
+  ///  "seconds":...,"cycles":...,...}},"dp":<PassProfile::ToJson()>} —
+  /// always a valid JSON object.
+  std::string ToJson() const;
+
+  /// Human-readable scope table plus the DP phase table.
+  std::string ToString() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ProfScopeStats, std::less<>> scopes_;
+  PassProfile pass_;
+  unsigned hw_valid_mask_ = 0;
+};
+
+/// Process-global profiler hook (see Profiler). Near-zero cost while no
+/// profiler is installed.
+Profiler* GlobalProfiler();
+void SetGlobalProfiler(Profiler* profiler);
+
+/// RAII profiled region: opens a hardware-counter group on the calling
+/// thread at construction, and at destruction records the wall time and
+/// counter deltas under `name` in the profiler. Also opens a TraceSpan of
+/// the same name, so profiled regions nest under the existing trace spans
+/// in --trace-out exports. Inactive (no counters opened, no span, no clock
+/// read beyond one atomic load) when the profiler is null — the default
+/// when no global profiler is installed. `name` must outlive the scope.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name, const char* category = "profile")
+      : ProfileScope(GlobalProfiler(), name, category) {}
+
+  ProfileScope(Profiler* profiler, const char* name,
+               const char* category = "profile");
+
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  bool active() const { return profiler_ != nullptr; }
+
+  /// Forwards a numeric argument onto the nested trace span.
+  void AddArg(const char* key, double value) { span_.AddArg(key, value); }
+
+ private:
+  Profiler* profiler_;
+  const char* name_;
+  TraceSpan span_;
+  HwCounterGroup hw_;
+  MetricTimer timer_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_OBS_PROFILER_PROFILER_H_

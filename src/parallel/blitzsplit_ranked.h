@@ -179,6 +179,11 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
     TraceSpan rank_span("dp_rank", "parallel");
     rank_span.AddArg("k", k);
     rank_span.AddArg("subsets", static_cast<double>(count));
+    // Per-rank wall clock for the profile's ranks[k].wall_ticks — the
+    // denominator that turns folded per-worker phase ticks (CPU time)
+    // into a parallel-efficiency read. Free unless the policy profiles.
+    [[maybe_unused]] std::uint64_t rank_start_ticks = 0;
+    if constexpr (Instr::kProfiling) rank_start_ticks = ProfTicks();
     if (count < options.min_parallel_rank) {
       // Narrow rank: walk it inline with the sequential governor cadence.
       ++ranks_inline;
@@ -186,9 +191,15 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
       std::uint64_t v = FirstKSubset(k);
       SplitScratch* const sc = scratches.empty() ? nullptr : &scratches[0];
       for (std::uint64_t i = 0; i < count; ++i) {
-        if (governor != nullptr && governor->Tick()) return kRejectedCost;
+        if (governor != nullptr && governor->Tick()) {
+          instr->ProfPassEnd();
+          return kRejectedCost;
+        }
         process(v, instr, sc);
         if (i + 1 < count) v = NextKSubset(v);
+      }
+      if constexpr (Instr::kProfiling) {
+        instr->profile.ranks[k].wall_ticks += ProfTicks() - rank_start_ticks;
       }
       continue;
     }
@@ -238,15 +249,26 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
     });
 
     // Rank barrier: fold per-chunk counters so --report stays exact, then
-    // surface any worker abort through the caller's governor.
+    // surface any worker abort through the caller's governor. For a
+    // profiling policy the folded phase ticks are summed CPU time across
+    // workers; wall_ticks (recorded below, once per rank) is the wall
+    // denominator.
     if constexpr (Instr::kEnabled) {
       for (auto& slot : slots) {
         *instr += slot.instr;
         slot.instr = Instr{};
       }
     }
+    if constexpr (Instr::kProfiling) {
+      instr->profile.ranks[k].wall_ticks += ProfTicks() - rank_start_ticks;
+    }
+    // The fanned span's CPU time lives in the folded worker slots; re-arm
+    // the pass instance so the same wall span isn't also charged to its
+    // driver phase at the next mark.
+    instr->ProfResync();
     if (abort.signaled()) {
       if (governor != nullptr) governor->AdoptAbort(abort.status());
+      instr->ProfPassEnd();
       return kRejectedCost;
     }
   }
@@ -258,6 +280,7 @@ BLITZ_NOINLINE float RunBlitzSplitRanked(const CostModel& model,
     metrics->AddCounter("parallel.chunks", chunks_run);
     metrics->MaxGauge("parallel.threads", static_cast<double>(threads));
   }
+  instr->ProfPassEnd();
   return cost[full];
 }
 

@@ -57,6 +57,14 @@ struct SimdResolution {
 };
 SimdResolution ResolveSimdLevelDetailed(SimdLevel requested);
 
+/// Minimum problem size (relations) for an *auto*-chosen level to engage
+/// the batched kernel. Below this the dense-compaction build cost and the
+/// per-subset setup outweigh the filter's win — BENCH_fig2.json measured
+/// 0.72-0.98x at n = 5-11 for the gate-tight naive model, crossing over at
+/// n = 12 — so auto falls back to the classic loop. Explicit requests
+/// (--simd=, BLITZ_SIMD) are exempt, keeping every combination measurable.
+inline constexpr int kSimdMinAutoRelations = 12;
+
 /// The dense-compaction build/filter pair for a *resolved* level, or
 /// nullptr for kScalar — the drivers treat a null kernel as "run the
 /// classic loop". The returned pointer has static storage duration.

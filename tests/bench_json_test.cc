@@ -1,0 +1,181 @@
+// Unified bench JSON schema ("blitz-bench-v1") and the bench_diff
+// perf-regression comparator: round-trip fidelity, parser rejection of
+// malformed documents, and the gate semantics CI relies on — zero diff on
+// baseline-vs-baseline, non-zero on an injected >=20% slowdown, noise-floor
+// and unit filtering.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "benchlib/bench_diff.h"
+#include "benchlib/bench_json.h"
+
+namespace blitz {
+namespace {
+
+BenchReport SampleReport() {
+  BenchReport report;
+  report.bench = "fig2_cartesian";
+  report.AddMeta("simd_resolved", "avx512");
+  report.AddMeta("estimator", "min of 5 adaptive timings");
+  report.AddPoint("naive/n13/scalar", 12.5, "ms");
+  report.AddPoint("naive/n13/simd", 8.75, "ms");
+  report.AddPoint("naive/n13/speedup", 1.428, "ratio");
+  report.AddPoint("naive/n13/auto_engages", 1, "bool");
+  return report;
+}
+
+TEST(BenchJsonTest, RoundTrip) {
+  const BenchReport report = SampleReport();
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"blitz-bench-v1\""), std::string::npos);
+
+  Result<BenchReport> parsed = ParseBenchJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench, "fig2_cartesian");
+  EXPECT_EQ(parsed->MetaValue("simd_resolved"), "avx512");
+  EXPECT_EQ(parsed->MetaValue("absent"), "");
+  ASSERT_EQ(parsed->points.size(), 4u);
+  const BenchPoint* scalar = parsed->Find("naive/n13/scalar");
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_DOUBLE_EQ(scalar->value, 12.5);
+  EXPECT_EQ(scalar->unit, "ms");
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+  // Re-serialization is stable.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(BenchJsonTest, EscapesSpecialCharacters) {
+  BenchReport report;
+  report.bench = "quo\"ted\\bench";
+  report.AddMeta("note", "line\nbreak\tand \"quotes\"");
+  report.AddPoint("key/with \"quote\"", 1.0, "ms");
+  Result<BenchReport> parsed = ParseBenchJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench, "quo\"ted\\bench");
+  EXPECT_EQ(parsed->MetaValue("note"), "line\nbreak\tand \"quotes\"");
+  EXPECT_NE(parsed->Find("key/with \"quote\""), nullptr);
+}
+
+TEST(BenchJsonTest, ParserToleratesWhitespaceAndUnknownMembers) {
+  const std::string json = R"({
+    "schema": "blitz-bench-v1",
+    "bench": "micro",
+    "extra": {"nested": [1, 2, {"deep": true}], "s": "x"},
+    "meta": { "machine" : "ci" },
+    "points": [
+      { "key": "a/b", "value": 3.25, "unit": "ms", "ignored": null }
+    ]
+  })";
+  Result<BenchReport> parsed = ParseBenchJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench, "micro");
+  EXPECT_EQ(parsed->MetaValue("machine"), "ci");
+  ASSERT_EQ(parsed->points.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->points[0].value, 3.25);
+}
+
+TEST(BenchJsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseBenchJson("").ok());
+  EXPECT_FALSE(ParseBenchJson("[]").ok());
+  EXPECT_FALSE(ParseBenchJson("{\"bench\":\"x\"}").ok());  // no schema
+  EXPECT_FALSE(
+      ParseBenchJson("{\"schema\":\"blitz-bench-v2\",\"points\":[]}").ok());
+  EXPECT_FALSE(
+      ParseBenchJson("{\"schema\":\"blitz-bench-v1\",\"points\":[{}]}")
+          .ok());  // point without key
+  EXPECT_FALSE(
+      ParseBenchJson("{\"schema\":\"blitz-bench-v1\"} trailing").ok());
+  EXPECT_FALSE(ParseBenchJson("{\"schema\":\"blitz-bench-v1\"").ok());
+}
+
+TEST(BenchJsonTest, FileRoundTripAndMissingFile) {
+  const BenchReport report = SampleReport();
+  const std::string path =
+      ::testing::TempDir() + "/bench_json_test_roundtrip.json";
+  ASSERT_TRUE(WriteBenchJsonFile(report, path).ok());
+  Result<BenchReport> parsed = ReadBenchJsonFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->points.size(), report.points.size());
+  std::remove(path.c_str());
+  EXPECT_EQ(ReadBenchJsonFile(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BenchDiffTest, BaselineVersusItselfIsClean) {
+  const BenchReport report = SampleReport();
+  const BenchDiffResult diff = DiffBenchReports(report, report);
+  EXPECT_FALSE(diff.has_regression());
+  EXPECT_EQ(diff.regressions, 0);
+  EXPECT_EQ(diff.improvements, 0);
+  EXPECT_TRUE(diff.missing_keys.empty());
+  EXPECT_TRUE(diff.new_keys.empty());
+  // Only the two time-like points are compared; ratio/bool ride along.
+  EXPECT_EQ(diff.entries.size(), 2u);
+}
+
+TEST(BenchDiffTest, InjectedSlowdownIsFlagged) {
+  const BenchReport baseline = SampleReport();
+  BenchReport slow = baseline;
+  // The ISSUE acceptance case: a synthetic >=20% slowdown on one point
+  // must trip the default 1.15x gate.
+  for (BenchPoint& point : slow.points) {
+    if (point.key == "naive/n13/simd") point.value *= 1.20;
+  }
+  const BenchDiffResult diff = DiffBenchReports(baseline, slow);
+  EXPECT_TRUE(diff.has_regression());
+  EXPECT_EQ(diff.regressions, 1);
+  const std::string text = diff.ToString();
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("naive/n13/simd"), std::string::npos);
+
+  // A looser CI threshold absorbs the same delta.
+  BenchDiffOptions loose;
+  loose.max_ratio = 3.0;
+  EXPECT_FALSE(DiffBenchReports(baseline, slow, loose).has_regression());
+}
+
+TEST(BenchDiffTest, ImprovementIsNotedNotFailed) {
+  const BenchReport baseline = SampleReport();
+  BenchReport fast = baseline;
+  for (BenchPoint& point : fast.points) point.value *= 0.5;
+  const BenchDiffResult diff = DiffBenchReports(baseline, fast);
+  EXPECT_FALSE(diff.has_regression());
+  EXPECT_EQ(diff.improvements, 2);
+}
+
+TEST(BenchDiffTest, NoiseFloorSuppressesTinyPoints) {
+  BenchReport baseline;
+  baseline.bench = "micro";
+  baseline.AddPoint("tiny/op", 0.004, "ms");  // 4us: pure timer jitter
+  BenchReport slow = baseline;
+  slow.points[0].value = 0.012;  // "3x regression" within the noise floor
+  BenchDiffOptions options;
+  options.min_value = 0.05;
+  const BenchDiffResult diff = DiffBenchReports(baseline, slow, options);
+  EXPECT_FALSE(diff.has_regression());
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_TRUE(diff.entries[0].below_noise_floor);
+}
+
+TEST(BenchDiffTest, ShapeChangesAreReportedNotFailed) {
+  BenchReport baseline;
+  baseline.bench = "micro";
+  baseline.AddPoint("gone/op", 1.0, "ms");
+  baseline.AddPoint("stays/op", 1.0, "ms");
+  baseline.AddPoint("unit_change/op", 1.0, "ms");
+  BenchReport candidate;
+  candidate.bench = "micro";
+  candidate.AddPoint("stays/op", 1.0, "ms");
+  candidate.AddPoint("unit_change/op", 1000.0, "us");
+  candidate.AddPoint("brand_new/op", 2.0, "ms");
+  const BenchDiffResult diff = DiffBenchReports(baseline, candidate);
+  EXPECT_FALSE(diff.has_regression());
+  ASSERT_EQ(diff.missing_keys.size(), 2u);  // gone + unit mismatch
+  ASSERT_EQ(diff.new_keys.size(), 1u);      // brand_new only
+  EXPECT_EQ(diff.entries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace blitz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -66,6 +67,90 @@ TEST(HistogramTest, UniformSpreadApproximatesQuantiles) {
   EXPECT_NEAR(h.Percentile(99), 99.0, 2.0);
 }
 
+TEST(HistogramTest, FoldOfEmptyIntoEmptyStaysEmpty) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a += b;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, FoldEmptyLeavesStatsUntouched) {
+  Histogram a({1.0, 10.0});
+  a.Record(5.0);
+  Histogram b({1.0, 10.0});
+  a += b;  // folding an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(99), 5.0);
+}
+
+TEST(HistogramTest, FoldIntoEmptyAdoptsOtherStats) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  b.Record(0.5);
+  b.Record(50.0);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 50.5);
+}
+
+TEST(HistogramTest, FoldMatchesSingleHistogramRecording) {
+  // Two workers' shards folded together must equal one histogram that saw
+  // every sample — the exactness contract of the rank-barrier fold.
+  Histogram merged({1.0, 2.0, 5.0, 10.0});
+  Histogram worker1({1.0, 2.0, 5.0, 10.0});
+  Histogram worker2({1.0, 2.0, 5.0, 10.0});
+  Histogram reference({1.0, 2.0, 5.0, 10.0});
+  for (int i = 0; i < 90; ++i) {
+    worker1.Record(1.5);
+    reference.Record(1.5);
+  }
+  for (int i = 0; i < 10; ++i) {
+    worker2.Record(7.0);
+    reference.Record(7.0);
+  }
+  merged += worker1;
+  merged += worker2;
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), reference.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), reference.min());
+  EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+  EXPECT_EQ(merged.bucket_counts(), reference.bucket_counts());
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), reference.Percentile(50));
+  EXPECT_DOUBLE_EQ(merged.Percentile(95), reference.Percentile(95));
+}
+
+TEST(HistogramTest, ConcurrentWorkerFoldLosesNothing) {
+  // The rank-parallel pattern: each worker records into a thread-local
+  // histogram, then folds it into the shared one under a mutex at its
+  // barrier. Run under TSan in CI (label "parallel").
+  const std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  Histogram shared(bounds);
+  std::mutex fold_mu;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, &fold_mu, &bounds, t] {
+      Histogram local(bounds);
+      for (int i = 0; i < kPerThread; ++i) {
+        local.Record(1e-5 * (t + 1));
+      }
+      std::lock_guard<std::mutex> lock(fold_mu);
+      shared += local;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(shared.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(shared.min(), 1e-5);
+  EXPECT_DOUBLE_EQ(shared.max(), 4e-5);
+}
+
 TEST(MetricsRegistryTest, CountersAccumulate) {
   MetricsRegistry metrics;
   metrics.AddCounter("a");
@@ -99,8 +184,10 @@ TEST(MetricsRegistryTest, DisabledRegistryAddsNoMetrics) {
   metrics.MaxGauge("m", 2.0);
   metrics.RecordLatency("l", 0.5);
   EXPECT_TRUE(metrics.TakeSnapshot().empty());
+  metrics.SetLabel("l", "v");
   EXPECT_EQ(metrics.ToJson(),
-            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},"
+            "\"labels\":{}}");
 }
 
 TEST(MetricsRegistryTest, JsonDumpIsWellFormed) {
@@ -159,6 +246,24 @@ TEST(MetricsRegistryTest, ConcurrentWritersDoNotLoseCounts) {
   ASSERT_EQ(snapshot.histograms.size(), 1u);
   EXPECT_EQ(snapshot.histograms[0].second.count,
             static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, LabelsLastWriteWinsAndExport) {
+  MetricsRegistry metrics;
+  metrics.SetLabel("api.simd_resolved", "avx2");
+  metrics.SetLabel("api.simd_resolved", "avx512");
+  metrics.SetLabel("api.tier", "exhaustive");
+  const MetricsSnapshot snapshot = metrics.TakeSnapshot();
+  ASSERT_EQ(snapshot.labels.size(), 2u);
+  EXPECT_EQ(snapshot.labels[0].first, "api.simd_resolved");
+  EXPECT_EQ(snapshot.labels[0].second, "avx512");
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"labels\":{\"api.simd_resolved\":\"avx512\","
+                      "\"api.tier\":\"exhaustive\"}"),
+            std::string::npos)
+      << json;
+  metrics.Reset();
+  EXPECT_TRUE(metrics.TakeSnapshot().empty());
 }
 
 TEST(GlobalMetricsTest, InstallAndDump) {

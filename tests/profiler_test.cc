@@ -1,0 +1,423 @@
+// Performance-observatory tests: the delta-mark phase attribution of
+// ProfilingInstrumentation, the profiled optimizer passes (sequential,
+// SIMD, parallel, and threshold-ladder), the graceful perf_event fallback,
+// and the Profiler/ProfileScope plumbing surfaced through OptimizeQuery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/optimize_query.h"
+#include "catalog/catalog.h"
+#include "core/instrumentation.h"
+#include "core/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/profiler/perf_counters.h"
+#include "obs/profiler/phase_profile.h"
+#include "obs/profiler/profiler.h"
+#include "simd/dispatch.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+// The zero-cost-when-disabled contract, statically: the production policy
+// carries no state (empty base optimization applies) and no profiling flag,
+// so every Prof* hook on it is an empty inline function the optimizer
+// instantiations erase.
+static_assert(!NoInstrumentation::kEnabled);
+static_assert(!NoInstrumentation::kProfiling);
+static_assert(std::is_empty_v<NoInstrumentation>);
+static_assert(CountingInstrumentation::kEnabled);
+static_assert(!CountingInstrumentation::kProfiling);
+static_assert(ProfilingInstrumentation::kEnabled);
+static_assert(ProfilingInstrumentation::kProfiling);
+
+std::uint64_t TotalLoopIterations(const PassProfile& profile) {
+  std::uint64_t total = 0;
+  for (const RankPhaseStats& rank : profile.ranks) {
+    total += rank.loop_iterations;
+  }
+  return total;
+}
+
+std::uint64_t TotalKappa2(const PassProfile& profile) {
+  std::uint64_t total = 0;
+  for (const RankPhaseStats& rank : profile.ranks) {
+    total += rank.kappa2_evaluations;
+  }
+  return total;
+}
+
+std::uint64_t TotalSubsets(const PassProfile& profile) {
+  std::uint64_t total = 0;
+  for (const RankPhaseStats& rank : profile.ranks) total += rank.subsets;
+  return total;
+}
+
+TEST(PhaseProfileTest, EmptyProfile) {
+  PassProfile profile;
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.TotalTicks(), 0u);
+  EXPECT_EQ(profile.AttributedSeconds(), 0.0);
+  EXPECT_EQ(profile.ToString(), "");
+  // Still a valid JSON object with zero passes.
+  EXPECT_NE(profile.ToJson().find("\"passes\":0"), std::string::npos);
+}
+
+TEST(PhaseProfileTest, TicksPerSecondIsPlausible) {
+  const double tps = ProfTicksPerSecond();
+  // TSC frequencies sit in the GHz range; the steady_clock fallback is
+  // nanoseconds (1e9). Either way the calibration must land well inside
+  // [1e6, 1e11] and be stable across calls (cached).
+  EXPECT_GT(tps, 1e6);
+  EXPECT_LT(tps, 1e11);
+  EXPECT_EQ(tps, ProfTicksPerSecond());
+}
+
+TEST(PhaseProfileTest, DeltaMarkAttributionPartitionsTime) {
+  ProfilingInstrumentation instr;
+  instr.ProfBegin(0b111);  // rank 3
+  instr.ProfMark(DpPhase::kTableWrite);
+  instr.ProfMark(DpPhase::kGateFilter);
+  instr.ProfBegin(0b1111);  // rank 4; the gap charges to driver
+  instr.ProfMark(DpPhase::kKappa2);
+  instr.ProfPassEnd();
+
+  const PassProfile& p = instr.profile;
+  EXPECT_EQ(p.passes, 1u);
+  EXPECT_EQ(p.ranks[3].subsets, 1u);
+  EXPECT_EQ(p.ranks[4].subsets, 1u);
+  // Every interval between the first ProfBegin and ProfPassEnd was
+  // attributed somewhere, and the phases the marks named got their buckets.
+  EXPECT_GT(p.TotalTicks(), 0u);
+  EXPECT_GT(p.ranks[3].phase_ticks[static_cast<int>(DpPhase::kTableWrite)],
+            0u);
+  EXPECT_GT(p.ranks[4].phase_ticks[static_cast<int>(DpPhase::kKappa2)], 0u);
+}
+
+TEST(PhaseProfileTest, ResyncDoesNotAttribute) {
+  ProfilingInstrumentation a;
+  ProfilingInstrumentation b;
+  a.ProfBegin(0b11);
+  b.ProfBegin(0b11);
+  // `a` resyncs (parallel-driver barrier semantics): the interval between
+  // resync and the next mark is attributed, but nothing before it.
+  a.ProfResync();
+  a.ProfMark(DpPhase::kGateFilter);
+  b.ProfMark(DpPhase::kGateFilter);
+  a.ProfPassEnd();
+  b.ProfPassEnd();
+  // Both partitions are internally consistent; resync merely re-arms.
+  EXPECT_GT(a.profile.TotalTicks(), 0u);
+  EXPECT_GT(b.profile.TotalTicks(), 0u);
+}
+
+TEST(PhaseProfileTest, FoldAccumulatesExactly) {
+  ProfilingInstrumentation a;
+  a.ProfBegin(0b111);
+  a.OnLoopIteration();
+  a.OnFilterSurvivors(64, 3);
+  a.ProfMark(DpPhase::kGateFilter);
+  a.ProfPassEnd();
+  ProfilingInstrumentation b;
+  b.ProfBegin(0b111);
+  b.OnLoopIterationBlock(10);
+  b.OnFilterSurvivors(64, 5);
+  b.ProfMark(DpPhase::kGateFilter);
+  b.ProfPassEnd();
+
+  PassProfile folded = a.profile;
+  folded += b.profile;
+  EXPECT_EQ(folded.passes, 2u);
+  EXPECT_EQ(folded.ranks[3].subsets, 2u);
+  EXPECT_EQ(folded.ranks[3].loop_iterations, 11u);
+  EXPECT_EQ(folded.TotalFilterLanes(), 128u);
+  EXPECT_EQ(folded.TotalFilterSurvivors(), 8u);
+  EXPECT_EQ(folded.ranks[3].SurvivorRate(), 8.0 / 128.0);
+  EXPECT_EQ(folded.TotalTicks(),
+            a.profile.TotalTicks() + b.profile.TotalTicks());
+}
+
+TEST(ProfiledPassTest, CountsMatchCountingInstrumentation) {
+  // The profiled policy must observe exactly the operation stream the
+  // counting policy observes — profiling changes attribution, not work.
+  const int n = 10;
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+  ASSERT_TRUE(catalog.ok());
+
+  OptimizerOptions counting;
+  counting.count_operations = true;
+  counting.simd = SimdLevel::kScalar;
+  Result<OptimizeOutcome> counted = OptimizeCartesian(*catalog, counting);
+  ASSERT_TRUE(counted.ok());
+
+  PassProfile profile;
+  OptimizerOptions profiled;
+  profiled.simd = SimdLevel::kScalar;
+  profiled.profile = &profile;
+  Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, profiled);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->cost, counted->cost);
+
+  EXPECT_EQ(profile.passes, 1u);
+  EXPECT_EQ(TotalSubsets(profile), counted->counters.subsets_visited);
+  EXPECT_EQ(TotalLoopIterations(profile), counted->counters.loop_iterations);
+  EXPECT_EQ(TotalKappa2(profile), counted->counters.kappa2_evaluations);
+  // Subsets land in the rank bucket of their popcount: C(n, k) each.
+  for (int k = 2; k <= n; ++k) {
+    double expect = 1;
+    for (int i = 0; i < k; ++i) expect = expect * (n - i) / (i + 1);
+    EXPECT_EQ(profile.ranks[k].subsets,
+              static_cast<std::uint64_t>(std::llround(expect)))
+        << "rank " << k;
+  }
+  EXPECT_GT(profile.TotalTicks(), 0u);
+  // Scalar pass: no SIMD filter, no survivor replay ticks.
+  EXPECT_EQ(profile.TotalFilterLanes(), 0u);
+  EXPECT_EQ(profile.PhaseTicks(DpPhase::kSurvivorReplay), 0u);
+}
+
+TEST(ProfiledPassTest, SimdPassRecordsSurvivorRates) {
+  const int n = 12;
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+  ASSERT_TRUE(catalog.ok());
+
+  OptimizerOptions counting;
+  counting.count_operations = true;
+  counting.simd = SimdLevel::kBlock;  // forced: every machine supports it
+  Result<OptimizeOutcome> counted = OptimizeCartesian(*catalog, counting);
+  ASSERT_TRUE(counted.ok());
+
+  PassProfile profile;
+  OptimizerOptions profiled = counting;
+  profiled.count_operations = false;
+  profiled.profile = &profile;
+  Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, profiled);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->cost, counted->cost);
+
+  // The batched kernel engaged: lanes flowed through the filter, some
+  // survived to replay, and the bit-identity contract holds for counters.
+  EXPECT_GT(profile.TotalFilterLanes(), 0u);
+  EXPECT_GT(profile.TotalFilterSurvivors(), 0u);
+  EXPECT_LE(profile.TotalFilterSurvivors(), profile.TotalFilterLanes());
+  EXPECT_EQ(TotalLoopIterations(profile), counted->counters.loop_iterations);
+  EXPECT_EQ(TotalKappa2(profile), counted->counters.kappa2_evaluations);
+  EXPECT_GT(profile.PhaseTicks(DpPhase::kGateFilter), 0u);
+  EXPECT_GT(profile.PhaseTicks(DpPhase::kSurvivorReplay), 0u);
+
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"survivor_rate\":"), std::string::npos);
+  EXPECT_NE(json.find("\"gate_filter\""), std::string::npos);
+  EXPECT_FALSE(profile.ToString().empty());
+}
+
+TEST(ProfiledPassTest, AttributionCoversMostOfTheWall) {
+  // The DESIGN.md section 11 contract: phase buckets partition the subset
+  // body, so attributed ticks approach the pass wall time. The acceptance
+  // bar is 90% on a quiet machine (measured in BENCH_profile.json); the
+  // test asserts a CI-noise-tolerant 70% on the best of three runs.
+  const int n = 13;
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+  ASSERT_TRUE(catalog.ok());
+  double best_fraction = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    PassProfile profile;
+    OptimizerOptions options;
+    options.simd = SimdLevel::kScalar;
+    options.profile = &profile;
+    const MetricTimer timer;
+    Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, options);
+    const double wall = timer.ElapsedSeconds();
+    ASSERT_TRUE(outcome.ok());
+    if (wall > 0) {
+      best_fraction =
+          std::max(best_fraction, profile.AttributedSeconds() / wall);
+    }
+  }
+  EXPECT_GT(best_fraction, 0.7);
+  // Attribution never invents time: even with rdtsc skew it must not
+  // exceed the wall by more than a sliver.
+  EXPECT_LT(best_fraction, 1.1);
+}
+
+TEST(ProfiledPassTest, ParallelPassFoldsWorkerProfiles) {
+  const int n = 11;
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(n, 100.0));
+  ASSERT_TRUE(catalog.ok());
+
+  PassProfile sequential;
+  OptimizerOptions options;
+  options.simd = SimdLevel::kScalar;
+  options.profile = &sequential;
+  Result<OptimizeOutcome> seq = OptimizeCartesian(*catalog, options);
+  ASSERT_TRUE(seq.ok());
+
+  PassProfile parallel;
+  options.profile = &parallel;
+  options.parallel.num_threads = 2;
+  // n = 11's widest rank is C(11,5) = 462; drop the fan-out floor so the
+  // ranked driver actually engages (and records per-rank wall ticks).
+  options.parallel.min_parallel_rank = 64;
+  Result<OptimizeOutcome> par = OptimizeCartesian(*catalog, options);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par->cost, seq->cost);
+
+  // Folding at rank barriers loses no operations: the parallel profile
+  // observes the identical operation stream, just attributed from many
+  // workers.
+  EXPECT_EQ(parallel.passes, 1u);
+  EXPECT_EQ(TotalSubsets(parallel), TotalSubsets(sequential));
+  EXPECT_EQ(TotalLoopIterations(parallel),
+            TotalLoopIterations(sequential));
+  EXPECT_EQ(TotalKappa2(parallel), TotalKappa2(sequential));
+  // The parallel driver records per-rank wall ticks (the denominator that
+  // distinguishes CPU time from elapsed time on fanned ranks).
+  std::uint64_t wall_ticks = 0;
+  for (const RankPhaseStats& rank : parallel.ranks) {
+    wall_ticks += rank.wall_ticks;
+  }
+  EXPECT_GT(wall_ticks, 0u);
+}
+
+TEST(ProfiledPassTest, ThresholdLadderAccumulatesPasses) {
+  // A ladder that needs several passes reuses one sink; every pass lands.
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(8, /*seed=*/11);
+  PassProfile profile;
+  OptimizerOptions options;
+  options.profile = &profile;
+  ThresholdLadderOptions ladder;
+  ladder.initial_threshold = 1e-3f;  // fails; the ladder must climb
+  Result<LadderOutcome> outcome = OptimizeJoinWithThresholds(
+      instance.catalog, instance.graph, options, ladder);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->passes, 1);
+  EXPECT_EQ(profile.passes, static_cast<std::uint64_t>(outcome->passes));
+}
+
+TEST(PerfCountersTest, GracefulWhenUnavailable) {
+  // perf_event_open is often forbidden (perf_event_paranoid, containers,
+  // non-Linux). The group must degrade silently: failed Open leaves the
+  // group invalid, Read returns an empty sample, Close is idempotent.
+  HwCounterGroup group;
+  const bool opened = group.Open();
+  if (!opened) {
+    EXPECT_FALSE(group.available());
+    EXPECT_EQ(group.valid_mask(), 0u);
+    const HwSample sample = group.Read();
+    EXPECT_FALSE(sample.any());
+  } else {
+    EXPECT_TRUE(group.available());
+    EXPECT_NE(group.valid_mask() & 1u, 0u);  // cycles leader granted
+    // Burn some cycles; the delta must be observable on the leader.
+    volatile double sink = 1;
+    for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.5;
+    const HwSample sample = group.Read();
+    EXPECT_GT(sample[HwCounter::kCycles], 0u);
+  }
+  group.Close();
+  group.Close();
+  EXPECT_FALSE(group.available());
+}
+
+TEST(PerfCountersTest, SampleArithmetic) {
+  HwSample a;
+  a.values[0] = 100;
+  a.values[3] = 7;
+  HwSample b;
+  b.values[0] = 11;
+  EXPECT_TRUE(a.any());
+  a += b;
+  EXPECT_EQ(a.values[0], 111u);
+  const HwSample delta = HwSample::Delta(b, a);
+  EXPECT_EQ(delta.values[0], 100u);
+  EXPECT_EQ(delta.values[3], 7u);
+  // Saturating: a counter that appears to run backwards clamps to zero.
+  const HwSample clamped = HwSample::Delta(a, b);
+  EXPECT_EQ(clamped.values[0], 0u);
+}
+
+TEST(ProfilerTest, ScopesRecordAndExport) {
+  Profiler profiler;
+  {
+    ProfileScope scope(&profiler, "unit_test_scope");
+    volatile double sink = 1;
+    for (int i = 0; i < 10000; ++i) sink = sink * 1.0000001 + 0.5;
+  }
+  {
+    ProfileScope scope(&profiler, "unit_test_scope");
+  }
+  const std::string json = profiler.ToJson();
+  EXPECT_NE(json.find("\"unit_test_scope\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"backend\":"), std::string::npos);
+  EXPECT_FALSE(profiler.ToString().empty());
+  profiler.Reset();
+  EXPECT_EQ(profiler.ToJson().find("unit_test_scope"), std::string::npos);
+}
+
+TEST(ProfilerTest, NullProfilerScopeIsInert) {
+  ASSERT_EQ(GlobalProfiler(), nullptr);
+  ProfileScope scope("no_profiler_installed");
+  SUCCEED();  // nothing recorded anywhere, nothing crashes
+}
+
+TEST(ProfilerTest, GlobalHookInstallsAndFolds) {
+  Profiler profiler;
+  SetGlobalProfiler(&profiler);
+  ASSERT_EQ(GlobalProfiler(), &profiler);
+
+  // A profiled pass folds its DP attribution into the global profiler too.
+  Result<Catalog> catalog =
+      Catalog::FromCardinalities(std::vector<double>(8, 100.0));
+  ASSERT_TRUE(catalog.ok());
+  PassProfile sink;
+  OptimizerOptions options;
+  options.profile = &sink;
+  Result<OptimizeOutcome> outcome = OptimizeCartesian(*catalog, options);
+  ASSERT_TRUE(outcome.ok());
+  SetGlobalProfiler(nullptr);
+
+  EXPECT_EQ(profiler.pass_profile().passes, 1u);
+  EXPECT_EQ(TotalSubsets(profiler.pass_profile()), TotalSubsets(sink));
+  EXPECT_NE(profiler.ToJson().find("\"dp\":"), std::string::npos);
+}
+
+TEST(ProfilerTest, OptimizeQuerySurfacesProfile) {
+  const Catalog catalog = testing::Table1Catalog();
+  const JoinGraph graph = testing::Figure3Graph();
+
+  QueryOptimizerOptions options;
+  options.collect_report = true;
+  options.collect_profile = true;
+  Result<OptimizedQuery> optimized = OptimizeQuery(catalog, graph, options);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(optimized->report.has_value());
+  ASSERT_TRUE(optimized->report->profile.has_value());
+  const PassProfile& profile = *optimized->report->profile;
+  EXPECT_EQ(profile.passes, 1u);
+  EXPECT_GT(profile.TotalTicks(), 0u);
+  // n = 4: 2^4 - 4 - 1 = 11 non-singleton subsets.
+  EXPECT_EQ(TotalSubsets(profile), 11u);
+  EXPECT_NE(optimized->ReportToString().find("dp profile"),
+            std::string::npos);
+
+  // Without the opt-in, no profile is collected (and none without report).
+  options.collect_profile = false;
+  Result<OptimizedQuery> plain = OptimizeQuery(catalog, graph, options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->report.has_value());
+  EXPECT_FALSE(plain->report->profile.has_value());
+}
+
+}  // namespace
+}  // namespace blitz

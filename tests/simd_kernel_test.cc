@@ -234,37 +234,48 @@ TEST(SimdKernelTest, OutcomeReportsResolvedLevel) {
   }
 }
 
-TEST(SimdKernelTest, AutoDispatchConsultsGateTightness) {
+TEST(SimdKernelTest, AutoDispatchConsultsGateTightnessAndProblemSize) {
   // Under kAuto the batched kernel engages only for gate-tight models
   // (kSplitGateTight: kappa'' = 0, where the batched operand gate is the
-  // complete cost comparison). kappa''-dominated models pass nearly every
-  // lane through the filter, so auto keeps the classic loop for them — but
-  // an explicit request (options.simd or BLITZ_SIMD) still forces the
-  // kernel for any model, so ablations can measure every combination.
+  // complete cost comparison) AND problems of at least
+  // kSimdMinAutoRelations relations — below that the fixed batch setup
+  // cost outweighs the filtered lanes (BENCH_fig2.json: 0.72-0.98x for
+  // naive at n=5-11). kappa''-dominated models pass nearly every lane
+  // through the filter, so auto keeps the classic loop for them — but an
+  // explicit request (options.simd or BLITZ_SIMD) still forces the kernel
+  // for any model and size, so ablations can measure every combination.
   testing::ScopedSimdEnv no_env(nullptr);
-  const testing::RandomInstance instance =
+  const testing::RandomInstance small =
       testing::MakeRandomInstance(8, /*seed=*/3);
-  const auto run = [&](CostModelKind model, SimdLevel request) {
+  const testing::RandomInstance large =
+      testing::MakeRandomInstance(kSimdMinAutoRelations, /*seed=*/3);
+  const auto run = [&](const testing::RandomInstance& instance,
+                       CostModelKind model, SimdLevel request) {
     Result<OptimizeOutcome> outcome = OptimizeJoin(
         instance.catalog, instance.graph, SimdOptions(model, request));
     BLITZ_CHECK(outcome.ok());
     EXPECT_EQ(outcome->simd_level,
-              EffectivePassSimdLevel(SimdOptions(model, request)));
+              EffectivePassSimdLevel(SimdOptions(model, request),
+                                     instance.catalog.num_relations()));
     return outcome->simd_level;
   };
-  EXPECT_EQ(run(CostModelKind::kNaive, SimdLevel::kAuto),
+  EXPECT_EQ(run(large, CostModelKind::kNaive, SimdLevel::kAuto),
             DetectCpuSimdLevel());
-  EXPECT_EQ(run(CostModelKind::kSortMerge, SimdLevel::kAuto),
+  // Below the minimum-n gate auto stays scalar even for a gate-tight model.
+  EXPECT_EQ(run(small, CostModelKind::kNaive, SimdLevel::kAuto),
             SimdLevel::kScalar);
-  EXPECT_EQ(run(CostModelKind::kDiskNestedLoops, SimdLevel::kAuto),
+  EXPECT_EQ(run(large, CostModelKind::kSortMerge, SimdLevel::kAuto),
             SimdLevel::kScalar);
-  EXPECT_EQ(run(CostModelKind::kSortMerge, SimdLevel::kAvx2),
+  EXPECT_EQ(run(large, CostModelKind::kDiskNestedLoops, SimdLevel::kAuto),
+            SimdLevel::kScalar);
+  // Explicit requests override both the gate-tightness and minimum-n rules.
+  EXPECT_EQ(run(small, CostModelKind::kSortMerge, SimdLevel::kAvx2),
             ResolveSimdLevel(SimdLevel::kAvx2));
   {
     // A BLITZ_SIMD override is explicit too: it reaches the kernel even
-    // for a gate-loose model.
+    // for a gate-loose model below the minimum size.
     testing::ScopedSimdEnv env("block");
-    EXPECT_EQ(run(CostModelKind::kSortMerge, SimdLevel::kAuto),
+    EXPECT_EQ(run(small, CostModelKind::kSortMerge, SimdLevel::kAuto),
               SimdLevel::kBlock);
   }
 }

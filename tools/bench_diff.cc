@@ -1,0 +1,85 @@
+// bench_diff: the CI perf-regression gate. Compares two "blitz-bench-v1"
+// JSON files point-by-point (time-like units only) and exits non-zero when
+// the candidate regressed past the threshold.
+//
+//   bench_diff [--max-ratio=R] [--min-value=V] baseline.json candidate.json
+//
+// Exit codes: 0 = no regression, 1 = regression(s) found, 2 = usage or
+// parse error. --max-ratio defaults to 1.15 (interactive use); CI passes a
+// much looser value to absorb shared-runner noise. --min-value is the noise
+// floor below which points are never flagged (in each point's own unit).
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchlib/bench_diff.h"
+#include "benchlib/bench_json.h"
+#include "common/strings.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--max-ratio=R] [--min-value=V] "
+               "baseline.json candidate.json\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  blitz::BenchDiffOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (blitz::StartsWith(arg, "--max-ratio=")) {
+      double value = 0;
+      if (!blitz::ParseDouble(arg.substr(12), &value) || value <= 1.0) {
+        std::fprintf(stderr, "bench_diff: --max-ratio must be > 1.0\n");
+        return 2;
+      }
+      options.max_ratio = value;
+    } else if (blitz::StartsWith(arg, "--min-value=")) {
+      double value = 0;
+      if (!blitz::ParseDouble(arg.substr(12), &value) || value < 0) {
+        std::fprintf(stderr, "bench_diff: --min-value must be >= 0\n");
+        return 2;
+      }
+      options.min_value = value;
+    } else if (blitz::StartsWith(arg, "--")) {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.size() != 2) return Usage(argv[0]);
+
+  blitz::Result<blitz::BenchReport> baseline =
+      blitz::ReadBenchJsonFile(files[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  blitz::Result<blitz::BenchReport> candidate =
+      blitz::ReadBenchJsonFile(files[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  const blitz::BenchDiffResult diff =
+      blitz::DiffBenchReports(*baseline, *candidate, options);
+  std::printf("baseline:  %s (%s)\ncandidate: %s (%s)\n", files[0].c_str(),
+              baseline->bench.c_str(), files[1].c_str(),
+              candidate->bench.c_str());
+  std::printf("threshold: max-ratio %.3f, noise floor %g\n",
+              options.max_ratio, options.min_value);
+  std::fputs(diff.ToString().c_str(), stdout);
+  return diff.has_regression() ? 1 : 0;
+}
