@@ -1,0 +1,299 @@
+// Closed-loop serving benchmark for blitzd's server core: N pipelining
+// client connections each keep a fixed window of requests in flight against
+// an in-process BlitzServer over in-memory duplex streams, with
+// fuzzer-generated mixed-size queries (n <= 15, pinned seed). Reports
+// sustained throughput and client-observed latency percentiles in the
+// unified blitz-bench-v1 schema, so BENCH_serving.json feeds the same
+// tools/bench_diff gate as the optimizer benches.
+//
+// The defaults (16 connections x 64-deep windows = 1024 concurrent
+// requests) match the acceptance bar for the serving tier; latency is
+// measured send-to-receive at the client, so queueing delay under overload
+// is part of the number, as it is for a real caller.
+//
+// Modes:
+//   bench_serving                # human-readable summary
+//   bench_serving --json <path>  # blitz-bench-v1 JSON (BENCH_serving.json)
+//
+// Environment knobs: BLITZ_SERVING_SECONDS (per-sample wall clock, default
+// 2), BLITZ_SERVING_SAMPLES (min-of-k, default 5), BLITZ_SERVING_CLIENTS
+// (default 16), BLITZ_SERVING_WINDOW (default 64), BLITZ_SERVING_WORKERS
+// (default: hardware concurrency, clamped to [2, 16]), BLITZ_SERVING_SEED
+// (default 20260808).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "benchlib/bench_json.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/stream.h"
+#include "serve/wire.h"
+#include "testing/fuzzer.h"
+#include "textio/bjq.h"
+
+namespace blitz {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::atoi(env);
+}
+
+struct ServingConfig {
+  double seconds = 2.0;
+  int samples = 5;
+  int clients = 16;
+  int window = 64;
+  int workers = 8;
+  std::uint64_t seed = 20260808;
+};
+
+/// One sample's aggregate: completion counts plus every OK request's
+/// client-observed latency (seconds).
+struct SampleStats {
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  double wall_seconds = 0;
+  std::vector<double> latencies;
+};
+
+/// Mixed-n request bodies, generated once and cycled by every client. The
+/// pool is large enough that neighboring in-flight requests differ but
+/// small enough that body generation stays out of the measured loop.
+std::vector<std::string> MakeBodyPool(std::uint64_t seed) {
+  fuzz::FuzzerOptions options;
+  options.seed = seed;
+  options.min_relations = 2;
+  options.max_relations = 15;
+  std::vector<std::string> pool;
+  pool.reserve(64);
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    Result<fuzz::FuzzCase> fuzz_case = fuzz::GenerateCase(options, index);
+    BLITZ_CHECK(fuzz_case.ok());
+    pool.push_back(WriteBjq(fuzz::ToQuerySpec(*fuzz_case, CostModelKind::kNaive)));
+  }
+  return pool;
+}
+
+/// One client connection's closed loop: fill the window, then send one new
+/// request per received response until the deadline, then drain.
+void ClientLoop(BlitzServer* server, const std::vector<std::string>& pool,
+                const ServingConfig& config, int client_index,
+                std::chrono::steady_clock::time_point deadline,
+                SampleStats* stats) {
+  auto [client_end, server_end] = CreateDuplexPipe();
+  std::thread serve_thread([server, stream = server_end.get()] {
+    (void)server->Serve(stream);
+    stream->Close();
+  });
+
+  BlitzClient::Options options;
+  options.tenant = "bench-" + std::to_string(client_index);
+  BlitzClient client(client_end.get(), std::move(options));
+
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
+      sent_at;
+  std::size_t next_body =
+      static_cast<std::size_t>(client_index) % pool.size();
+  int outstanding = 0;
+
+  const auto send_one = [&]() -> bool {
+    const auto now = std::chrono::steady_clock::now();
+    Result<std::uint64_t> id = client.Send(pool[next_body]);
+    if (!id.ok()) return false;
+    next_body = (next_body + 1) % pool.size();
+    sent_at[*id] = now;
+    ++outstanding;
+    return true;
+  };
+
+  for (int i = 0; i < config.window; ++i) {
+    if (!send_one()) break;
+  }
+  bool sending = true;
+  while (outstanding > 0) {
+    Result<std::optional<ResponseFrame>> response = client.Receive();
+    if (!response.ok() || !response->has_value()) break;
+    const auto now = std::chrono::steady_clock::now();
+    --outstanding;
+    auto it = sent_at.find((*response)->id);
+    if ((*response)->code == StatusCode::kOk) {
+      ++stats->ok;
+      if (it != sent_at.end()) {
+        stats->latencies.push_back(
+            std::chrono::duration<double>(now - it->second).count());
+      }
+    } else {
+      ++stats->errors;
+    }
+    if (it != sent_at.end()) sent_at.erase(it);
+    if (sending && now >= deadline) sending = false;
+    if (sending && !send_one()) sending = false;
+  }
+
+  client_end->CloseWrite();
+  serve_thread.join();
+  client_end->Close();
+}
+
+SampleStats RunSample(const std::vector<std::string>& pool,
+                      const ServingConfig& config) {
+  ServerOptions options;
+  options.num_workers = config.workers;
+  // The queue must hold a full burst from every window; admission gives
+  // each tenant (connection) headroom above its window so the closed loop
+  // is never shed by its own slot accounting.
+  options.max_queue = config.clients * config.window + 64;
+  options.admission.default_quota.max_in_flight = config.window + 8;
+  Result<std::unique_ptr<BlitzServer>> server = BlitzServer::Create(options);
+  BLITZ_CHECK(server.ok());
+
+  std::vector<SampleStats> per_client(
+      static_cast<std::size_t>(config.clients));
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(config.seconds));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back(ClientLoop, server->get(), std::cref(pool),
+                         std::cref(config), c, deadline,
+                         &per_client[static_cast<std::size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const auto stop = std::chrono::steady_clock::now();
+  (*server)->Shutdown();
+
+  SampleStats total;
+  total.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  for (SampleStats& s : per_client) {
+    total.ok += s.ok;
+    total.errors += s.errors;
+    total.latencies.insert(total.latencies.end(), s.latencies.begin(),
+                           s.latencies.end());
+  }
+  return total;
+}
+
+/// The q-th percentile (0..1) of `values`, by nth_element; 0 when empty.
+double Percentile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0;
+  const std::size_t index = std::min(
+      values->size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(values->size())));
+  std::nth_element(values->begin(),
+                   values->begin() + static_cast<long>(index), values->end());
+  return (*values)[index];
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  blitz::ServingConfig config;
+  {
+    const char* env = std::getenv("BLITZ_SERVING_SECONDS");
+    if (env != nullptr && *env != '\0') config.seconds = std::atof(env);
+  }
+  config.samples = blitz::EnvInt("BLITZ_SERVING_SAMPLES", config.samples);
+  config.clients = blitz::EnvInt("BLITZ_SERVING_CLIENTS", config.clients);
+  config.window = blitz::EnvInt("BLITZ_SERVING_WINDOW", config.window);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  config.workers = blitz::EnvInt("BLITZ_SERVING_WORKERS",
+                                 std::clamp(hw > 0 ? hw : 4, 2, 16));
+  config.seed = static_cast<std::uint64_t>(
+      blitz::EnvInt("BLITZ_SERVING_SEED", 20260808));
+
+  const std::vector<std::string> pool = blitz::MakeBodyPool(config.seed);
+
+  // Min-of-k over full samples: each sample is an independent server with
+  // cold arena and queue, so the min captures steady-state capability with
+  // the least scheduler interference.
+  double best_qps = 0;
+  double best_p50 = 0, best_p95 = 0, best_p99 = 0;
+  std::uint64_t total_ok = 0, total_errors = 0;
+  for (int sample = 0; sample < config.samples; ++sample) {
+    blitz::SampleStats stats = blitz::RunSample(pool, config);
+    const double qps =
+        static_cast<double>(stats.ok) /
+        (stats.wall_seconds > 0 ? stats.wall_seconds : 1.0);
+    const double p50 = blitz::Percentile(&stats.latencies, 0.50) * 1e3;
+    const double p95 = blitz::Percentile(&stats.latencies, 0.95) * 1e3;
+    const double p99 = blitz::Percentile(&stats.latencies, 0.99) * 1e3;
+    std::printf(
+        "sample %d: %llu ok, %llu errors, %.0f qps, "
+        "p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+        sample, static_cast<unsigned long long>(stats.ok),
+        static_cast<unsigned long long>(stats.errors), qps, p50, p95, p99);
+    total_ok += stats.ok;
+    total_errors += stats.errors;
+    if (sample == 0 || qps > best_qps) best_qps = qps;
+    if (sample == 0 || p50 < best_p50) best_p50 = p50;
+    if (sample == 0 || p95 < best_p95) best_p95 = p95;
+    if (sample == 0 || p99 < best_p99) best_p99 = p99;
+  }
+
+  std::printf(
+      "serving (clients=%d window=%d workers=%d): best %.0f qps, "
+      "p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+      config.clients, config.window, config.workers, best_qps, best_p50,
+      best_p95, best_p99);
+
+  if (!json_path.empty()) {
+    blitz::BenchReport report;
+    report.bench = "serving";
+    report.AddMeta("clients", blitz::StrFormat("%d", config.clients));
+    report.AddMeta("window", blitz::StrFormat("%d", config.window));
+    report.AddMeta("workers", blitz::StrFormat("%d", config.workers));
+    report.AddMeta("seconds", blitz::StrFormat("%g", config.seconds));
+    report.AddMeta("samples", blitz::StrFormat("%d", config.samples));
+    report.AddMeta("seed",
+                   blitz::StrFormat("%llu",
+                                    static_cast<unsigned long long>(
+                                        config.seed)));
+    const std::string prefix = blitz::StrFormat(
+        "mixed/c%d/w%d", config.clients, config.window);
+    // Latency points are time-like and regression-gated by bench_diff;
+    // throughput and counts ride along as context units.
+    report.AddPoint(prefix + "/p50", best_p50, "ms");
+    report.AddPoint(prefix + "/p95", best_p95, "ms");
+    report.AddPoint(prefix + "/p99", best_p99, "ms");
+    report.AddPoint(prefix + "/qps", best_qps, "qps");
+    report.AddPoint(prefix + "/ok", static_cast<double>(total_ok), "count");
+    report.AddPoint(prefix + "/errors", static_cast<double>(total_errors),
+                    "count");
+    const blitz::Status status =
+        blitz::WriteBenchJsonFile(report, json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu points)\n", json_path.c_str(),
+                report.points.size());
+  }
+  return 0;
+}

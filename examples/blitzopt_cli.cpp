@@ -64,6 +64,7 @@ constexpr int kExitError = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitParse = 3;
 constexpr int kExitBudget = 4;
+constexpr int kExitDeadline = 5;
 
 int Usage() {
   std::fprintf(
@@ -76,14 +77,19 @@ int Usage() {
   return kExitUsage;
 }
 
-bool IsBudgetExhaustion(const blitz::Status& status) {
+int OptimizeExitCode(const blitz::Status& status) {
   switch (status.code()) {
     case blitz::StatusCode::kResourceExhausted:
+      // Memory budget: re-queueing unchanged will fail again; re-queue
+      // off-peak with a bigger --max-table-mb (or let degradation run).
+      return kExitBudget;
     case blitz::StatusCode::kDeadlineExceeded:
     case blitz::StatusCode::kCancelled:
-      return true;
+      // Time budget or external cancellation: the same query may well
+      // succeed on retry with a fresh deadline.
+      return kExitDeadline;
     default:
-      return false;
+      return kExitError;
   }
 }
 
@@ -275,7 +281,7 @@ int main(int argc, char** argv) {
   if (!optimized.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  optimized.status().ToString().c_str());
-    return IsBudgetExhaustion(optimized.status()) ? kExitBudget : kExitError;
+    return OptimizeExitCode(optimized.status());
   }
 
   std::printf("plan: %s\n", optimized->plan.ToString(&spec->catalog).c_str());

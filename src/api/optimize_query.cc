@@ -4,6 +4,7 @@
 
 #include "baseline/greedy.h"
 #include "common/strings.h"
+#include "core/table_arena.h"
 #include "obs/metrics.h"
 #include "obs/profiler/profiler.h"
 #include "obs/trace.h"
@@ -111,6 +112,7 @@ QueryOptimizerOptions QueryOptimizerOptions::Normalized() const {
   out.exhaustive.budget = budget;
   out.exhaustive.parallel = parallel;
   out.exhaustive.simd = simd;
+  out.exhaustive.table_arena = table_arena;
   out.hybrid.cost_model = cost_model;
   out.hybrid.budget = budget;
   out.hybrid.parallel = parallel;
@@ -190,6 +192,10 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
     if (!plan.ok()) return plan.status();
     result.plan = std::move(plan).value();
+    // The table's job is done; recycle its buffers for the next call.
+    if (options.table_arena != nullptr) {
+      options.table_arena->Release(std::move(outcome->table));
+    }
     return Status::OK();
   };
 

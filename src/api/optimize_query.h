@@ -17,6 +17,8 @@
 
 namespace blitz {
 
+class DpTableArena;
+
 /// Which optimizer tier produced a query's plan. Tiers are ordered from
 /// most to least thorough; the degradation ladder walks them downward when
 /// the resource budget runs out.
@@ -82,6 +84,14 @@ struct QueryOptimizerOptions {
   /// exhaustive tier only — see OptimizerOptions::profile for the cost and
   /// semantics). Takes precedence over count_operations on the DP passes.
   bool collect_profile = false;
+
+  /// DP-table pool shared across calls (core/table_arena.h; null = allocate
+  /// per call). The exhaustive tier acquires its 2^n table here and
+  /// OptimizeQuery releases it back after plan extraction, so a long-lived
+  /// caller (the blitzd serving tier) reuses buffers instead of churning
+  /// the allocator. Memory admission control still runs against the
+  /// budget's cap before acquisition. Not owned.
+  DpTableArena* table_arena = nullptr;
 
   /// Resource limits (inactive by default; see governor/budget.h). The
   /// deadline and memory cap govern each tier attempt individually — the

@@ -22,8 +22,22 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kUnavailable}) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

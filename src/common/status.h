@@ -1,7 +1,9 @@
 #ifndef BLITZ_COMMON_STATUS_H_
 #define BLITZ_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -19,11 +21,16 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kCancelled,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("OK",
 /// "InvalidArgument", ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// The inverse of StatusCodeToString — the serving wire format ships codes
+/// by name. Returns nullopt for anything StatusCodeToString never emits.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// A lightweight success-or-error value, in the style of absl::Status /
 /// rocksdb::Status. Cheap to copy in the OK case (no allocation).
@@ -59,6 +66,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "core/blitzsplit.h"
+#include "core/table_arena.h"
 #include "governor/faultpoints.h"
 #include "governor/governor.h"
 #include "obs/metrics.h"
@@ -267,8 +268,12 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
         catalog.num_relations(), /*with_pi_fan=*/true, needs_aux));
     if (!admitted.ok()) return RecordGovernorAbort(std::move(admitted));
   }
-  Result<DpTable> table = DpTable::Create(catalog.num_relations(),
-                                          /*with_pi_fan=*/true, needs_aux);
+  Result<DpTable> table =
+      options.table_arena != nullptr
+          ? options.table_arena->Acquire(catalog.num_relations(),
+                                         /*with_pi_fan=*/true, needs_aux)
+          : DpTable::Create(catalog.num_relations(),
+                            /*with_pi_fan=*/true, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<true>(options, resolved, BaseCards(catalog), &graph,
@@ -303,8 +308,12 @@ Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
         catalog.num_relations(), /*with_pi_fan=*/false, needs_aux));
     if (!admitted.ok()) return RecordGovernorAbort(std::move(admitted));
   }
-  Result<DpTable> table = DpTable::Create(catalog.num_relations(),
-                                          /*with_pi_fan=*/false, needs_aux);
+  Result<DpTable> table =
+      options.table_arena != nullptr
+          ? options.table_arena->Acquire(catalog.num_relations(),
+                                         /*with_pi_fan=*/false, needs_aux)
+          : DpTable::Create(catalog.num_relations(),
+                            /*with_pi_fan=*/false, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
   outcome.cost = Dispatch<false>(options, resolved, BaseCards(catalog),

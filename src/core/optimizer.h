@@ -15,6 +15,8 @@
 
 namespace blitz {
 
+class DpTableArena;
+
 /// Runtime-configurable options for one optimizer pass. Each distinct
 /// (cost_model, nested_ifs, count_operations) combination dispatches to its
 /// own compiled instantiation of the blitzsplit core.
@@ -71,6 +73,14 @@ struct OptimizerOptions {
   /// profile, not through OptimizeOutcome::counters, so count_operations
   /// is ignored while this is set.
   PassProfile* profile = nullptr;
+
+  /// DP-table pool (core/table_arena.h). When non-null the pass acquires
+  /// its 2^n table from the arena instead of allocating — the serving
+  /// tier's steady-state path. The pass hands the table out through
+  /// OptimizeOutcome as usual; recycling it is the *caller's* job (the api
+  /// layer releases it after plan extraction). Null (the default) keeps the
+  /// paper's allocate-per-pass behavior. Not owned.
+  DpTableArena* table_arena = nullptr;
 
   /// Canonical validation of every knob, including the nested parallel
   /// options; called by the optimizer entry points before a pass runs.

@@ -1,0 +1,74 @@
+#include "core/table_arena.h"
+
+#include <utility>
+
+#include "governor/faultpoints.h"
+#include "obs/metrics.h"
+
+namespace blitz {
+
+Result<DpTable> DpTableArena::Acquire(int n, bool with_pi_fan,
+                                      bool with_aux) {
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultServeArenaAlloc)) {
+    switch (fault->kind) {
+      case FaultKind::kBadAlloc:
+        return Status::ResourceExhausted(
+            "injected arena allocation failure");
+      case FaultKind::kFailStatus:
+        return fault->status;
+      case FaultKind::kClockSkew:
+      case FaultKind::kCancel:
+        break;  // Meaningless at an allocation site; ignore.
+    }
+  }
+  const ShapeKey key{n, with_pi_fan, with_aux};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto bucket = pool_.find(key);
+    if (bucket != pool_.end() && !bucket->second.empty()) {
+      DpTable table = std::move(bucket->second.back());
+      bucket->second.pop_back();
+      ++stats_.hits;
+      stats_.retained_tables -= 1;
+      stats_.retained_bytes -= table.MemoryBytes();
+      if (MetricsRegistry* metrics = GlobalMetrics()) {
+        metrics->AddCounter("serve.arena.hits");
+      }
+      return table;
+    }
+    ++stats_.misses;
+  }
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("serve.arena.misses");
+  }
+  return DpTable::Create(n, with_pi_fan, with_aux);
+}
+
+void DpTableArena::Release(DpTable table) {
+  const std::uint64_t bytes = table.MemoryBytes();
+  if (bytes == 0) return;  // Default-constructed placeholder.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.retained_bytes + bytes > options_.max_retained_bytes) {
+    ++stats_.discarded;
+    return;  // Cap reached: `table` frees on return instead of pooling.
+  }
+  const ShapeKey key{table.num_relations(), table.has_pi_fan(),
+                     table.has_aux()};
+  pool_[key].push_back(std::move(table));
+  stats_.retained_bytes += bytes;
+  stats_.retained_tables += 1;
+}
+
+void DpTableArena::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.clear();
+  stats_.retained_bytes = 0;
+  stats_.retained_tables = 0;
+}
+
+DpTableArena::Stats DpTableArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace blitz

@@ -1,0 +1,79 @@
+#ifndef BLITZ_CORE_TABLE_ARENA_H_
+#define BLITZ_CORE_TABLE_ARENA_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dp_table.h"
+
+namespace blitz {
+
+/// A pool of DP tables reused across optimizer calls, keyed by table shape
+/// (n, with_pi_fan, with_aux). At serving rates the 2^n column allocation is
+/// a measurable fraction of a small-n optimization, and releasing every
+/// table back to the allocator churns it under sustained load; the arena
+/// turns the steady state into a lookup plus a move.
+///
+/// Reuse is sound because a blitzsplit pass writes every row of every column
+/// it reads (rank k rows are computed from rank < k rows, base ranks from
+/// the catalog), so a recycled table's stale contents are never observed —
+/// the same property ReoptimizeJoinInPlace relies on, and the property the
+/// arena test pins down bit-for-bit against a fresh-table run.
+///
+/// Thread-safe: one arena serves every worker of a multi-tenant server.
+/// Retention is bounded by max_retained_bytes; Release drops tables beyond
+/// the cap instead of growing without bound. Acquire honors the
+/// serve.arena.alloc fault point (kBadAlloc / kFailStatus) so allocation
+/// failure under load is a testable path.
+class DpTableArena {
+ public:
+  struct Options {
+    /// Byte budget for idle pooled tables (live, handed-out tables are not
+    /// counted — their owner's admission control governs those).
+    std::uint64_t max_retained_bytes = 256ull << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< Acquire served from the pool.
+    std::uint64_t misses = 0;      ///< Acquire fell through to Create.
+    std::uint64_t discarded = 0;   ///< Release over the retention cap.
+    std::uint64_t retained_bytes = 0;
+    std::uint64_t retained_tables = 0;
+  };
+
+  DpTableArena() = default;
+  explicit DpTableArena(const Options& options) : options_(options) {}
+
+  DpTableArena(const DpTableArena&) = delete;
+  DpTableArena& operator=(const DpTableArena&) = delete;
+
+  /// A table of exactly the requested shape: pooled if one is available,
+  /// freshly created otherwise. Errors only on invalid shape or an armed
+  /// serve.arena.alloc fault.
+  Result<DpTable> Acquire(int n, bool with_pi_fan, bool with_aux);
+
+  /// Returns a table to the pool (or drops it when the retention cap is
+  /// reached). Empty (default-constructed) tables are ignored.
+  void Release(DpTable table);
+
+  /// Drops every pooled table.
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  using ShapeKey = std::tuple<int, bool, bool>;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<ShapeKey, std::vector<DpTable>> pool_;
+  Stats stats_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CORE_TABLE_ARENA_H_

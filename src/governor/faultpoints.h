@@ -119,6 +119,15 @@ inline constexpr std::string_view kFaultGovernorCheck = "governor.check";
 inline constexpr std::string_view kFaultOptimizePass = "optimizer.pass";
 inline constexpr std::string_view kFaultHybridRun = "hybrid.run";
 
+// Serving-tier fault points (src/serve/, src/core/table_arena.h). Each
+// models one failure edge of the blitzd request path; the chaos suite arms
+// them under concurrent load and asserts clean error responses.
+inline constexpr std::string_view kFaultServeAccept = "serve.accept";
+inline constexpr std::string_view kFaultServeParse = "serve.parse";
+inline constexpr std::string_view kFaultServeEnqueue = "serve.enqueue";
+inline constexpr std::string_view kFaultServeArenaAlloc = "serve.arena.alloc";
+inline constexpr std::string_view kFaultServeDrain = "serve.drain";
+
 #ifdef BLITZ_FAULT_INJECTION
 
 inline constexpr bool kFaultInjectionCompiled = true;

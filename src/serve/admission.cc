@@ -1,0 +1,84 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+Status TenantQuota::Validate() const {
+  if (max_in_flight < 1) {
+    return Status::InvalidArgument("max_in_flight must be >= 1");
+  }
+  if (max_deadline_ms < 0) {
+    return Status::InvalidArgument("max_deadline_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status AdmissionOptions::Validate() const {
+  BLITZ_RETURN_IF_ERROR(default_quota.Validate());
+  for (const auto& [name, quota] : tenants) {
+    Status valid = quota.Validate();
+    if (!valid.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("tenant %s: %s", name.c_str(),
+                    valid.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+const TenantQuota& AdmissionController::quota_for(
+    std::string_view tenant) const {
+  const auto it = options_.tenants.find(tenant);
+  return it == options_.tenants.end() ? options_.default_quota : it->second;
+}
+
+AdmissionController::Decision AdmissionController::Admit(
+    std::string_view tenant, std::uint64_t body_bytes) {
+  const TenantQuota& quota = quota_for(tenant);
+  if (quota.max_body_bytes > 0 && body_bytes > quota.max_body_bytes) {
+    // Oversized bodies are a hard reject, not an overload: retrying the
+    // same request can never succeed, so no retry-after hint.
+    return {Status::ResourceExhausted(StrFormat(
+                "request body of %llu bytes exceeds tenant %.*s's "
+                "%llu-byte cap",
+                static_cast<unsigned long long>(body_bytes),
+                static_cast<int>(tenant.size()), tenant.data(),
+                static_cast<unsigned long long>(quota.max_body_bytes))),
+            0};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  int& in_flight = in_flight_[std::string(tenant)];
+  if (in_flight >= quota.max_in_flight) {
+    // Shed with a hint that grows with oversubscription pressure: at the
+    // cap, suggest one "request drain time" of backoff; pile-ups suggest
+    // proportionally more, bounded so a hint never parks a client forever.
+    const double pressure =
+        static_cast<double>(in_flight + 1) /
+        static_cast<double>(quota.max_in_flight);
+    const double hint_ms = std::min(1000.0, 25.0 * pressure);
+    return {Status::ResourceExhausted(StrFormat(
+                "tenant %.*s has %d requests in flight (cap %d)",
+                static_cast<int>(tenant.size()), tenant.data(), in_flight,
+                quota.max_in_flight)),
+            hint_ms};
+  }
+  ++in_flight;
+  return {Status::OK(), 0};
+}
+
+void AdmissionController::Release(std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = in_flight_.find(tenant);
+  if (it != in_flight_.end() && it->second > 0) --it->second;
+}
+
+int AdmissionController::in_flight(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = in_flight_.find(tenant);
+  return it == in_flight_.end() ? 0 : it->second;
+}
+
+}  // namespace blitz

@@ -1,0 +1,75 @@
+#ifndef BLITZ_SERVE_ADMISSION_H_
+#define BLITZ_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace blitz {
+
+/// Per-tenant resource limits for the serving tier. A tenant is whatever
+/// string the client puts in its request frames — the admission bucket, not
+/// an authenticated identity (blitzd trusts its socket).
+struct TenantQuota {
+  /// Requests admitted but not yet answered (queued + optimizing). The
+  /// knife-edge quota: it is what stops one flooding tenant from occupying
+  /// every queue slot and worker.
+  int max_in_flight = 64;
+
+  /// Largest request body admitted (a .bjq document; legitimate ones are
+  /// tiny). 0 = no cap.
+  std::uint64_t max_body_bytes = 1ull << 20;
+
+  /// Per-request DP-table byte cap stamped into the optimizer budget
+  /// (admission control before the 2^n allocation). 0 = no cap.
+  std::uint64_t max_dp_table_bytes = 0;
+
+  /// Ceiling on a request's self-declared deadline_ms. 0 = no ceiling.
+  double max_deadline_ms = 0;
+
+  Status Validate() const;
+};
+
+struct AdmissionOptions {
+  /// Applied to any tenant without an explicit entry.
+  TenantQuota default_quota;
+
+  /// Tenant-name keyed overrides.
+  std::map<std::string, TenantQuota, std::less<>> tenants;
+
+  Status Validate() const;
+};
+
+/// Thread-safe per-tenant in-flight accounting. Admit() either reserves a
+/// slot (the caller MUST later Release() exactly once) or sheds the request
+/// with kResourceExhausted plus a retry-after hint proportional to how
+/// oversubscribed the tenant is — the client library's backoff floor.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(std::move(options)) {}
+
+  struct Decision {
+    Status status;              ///< OK = admitted (slot reserved).
+    double retry_after_ms = 0;  ///< Backoff hint when shed.
+  };
+
+  Decision Admit(std::string_view tenant, std::uint64_t body_bytes);
+  void Release(std::string_view tenant);
+
+  const TenantQuota& quota_for(std::string_view tenant) const;
+  int in_flight(std::string_view tenant) const;
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, int, std::less<>> in_flight_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_SERVE_ADMISSION_H_

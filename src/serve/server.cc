@@ -1,0 +1,374 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/strings.h"
+#include "governor/faultpoints.h"
+#include "obs/metrics.h"
+
+namespace blitz {
+
+namespace {
+
+void Count(std::string_view name) {
+  if (MetricsRegistry* metrics = GlobalMetrics()) metrics->AddCounter(name);
+}
+
+/// The retry hint stamped on queue-full and draining sheds: long enough to
+/// let a queue of optimizations drain a bit, short enough that a retrying
+/// client rides out a transient spike instead of giving up.
+constexpr double kShedRetryAfterMs = 50;
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (max_queue < 1) {
+    return Status::InvalidArgument("max_queue must be >= 1");
+  }
+  if (default_deadline_ms < 0) {
+    return Status::InvalidArgument("default_deadline_ms must be >= 0");
+  }
+  if (drain_grace_ms < 0) {
+    return Status::InvalidArgument("drain_grace_ms must be >= 0");
+  }
+  BLITZ_RETURN_IF_ERROR(admission.Validate());
+  return optimizer.Validate();
+}
+
+Result<std::unique_ptr<BlitzServer>> BlitzServer::Create(
+    ServerOptions options) {
+  BLITZ_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<BlitzServer>(new BlitzServer(std::move(options)));
+}
+
+BlitzServer::BlitzServer(ServerOptions options)
+    : options_(std::move(options)),
+      arena_(options_.arena),
+      admission_(options_.admission) {
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BlitzServer::~BlitzServer() { Shutdown(); }
+
+Status BlitzServer::Serve(ByteStream* stream) {
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultServeAccept)) {
+    // Connection-level failure: answer once (id 0 — no frame was read) so
+    // the client sees a status instead of a silent close, then refuse.
+    const Status error = fault->kind == FaultKind::kFailStatus
+                             ? fault->status
+                             : Status::Unavailable("injected accept failure");
+    Connection conn;
+    conn.stream = stream;
+    Respond(&conn, ResponseFrame{0, error.code(), kShedRetryAfterMs,
+                                 error.message()});
+    Count("serve.accept_rejects");
+    return error;
+  }
+
+  Connection conn;
+  conn.stream = stream;
+  FrameReader reader(stream, options_.wire);
+  Status result = Status::OK();
+  for (;;) {
+    Result<std::optional<RequestFrame>> frame = reader.ReadRequest();
+    if (!frame.ok()) {
+      // The stream is no longer frame-aligned; nothing after this point
+      // can be parsed, so answer with id 0 and end the connection. The
+      // process — and every other connection — is unaffected.
+      result = frame.status();
+      Respond(&conn,
+              ResponseFrame{0, result.code(), 0, result.message()});
+      Count("serve.protocol_errors");
+      break;
+    }
+    if (!frame->has_value()) break;  // Clean EOF at a frame boundary.
+    HandleRequest(&conn, std::move(**frame));
+  }
+
+  // Responses for admitted requests are written by workers; hold the
+  // connection open until the last one lands.
+  {
+    std::unique_lock<std::mutex> lock(conn.mu);
+    conn.idle_cv.wait(lock, [&conn] { return conn.outstanding == 0; });
+  }
+  return result;
+}
+
+void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
+  Count("serve.requests");
+  const auto shed = [&](const Status& status, double retry_after_ms,
+                        std::string_view counter) {
+    Respond(conn, ResponseFrame{frame.id, status.code(), retry_after_ms,
+                                status.message()});
+    Count(counter);
+  };
+
+  bool draining;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining = draining_ || stopping_;
+  }
+  // Shed outside mu_: Respond re-enters it for the answered counter.
+  if (draining) {
+    shed(Status::Unavailable("server is draining"), kShedRetryAfterMs,
+         "serve.shed.draining");
+    return;
+  }
+
+  AdmissionController::Decision decision =
+      admission_.Admit(frame.tenant, frame.body.size());
+  if (!decision.status.ok()) {
+    shed(decision.status, decision.retry_after_ms, "serve.shed.admission");
+    return;
+  }
+  // Admitted: from here every early exit must Release the tenant slot.
+
+  const TenantQuota& quota = admission_.quota_for(frame.tenant);
+  double deadline_ms =
+      frame.deadline_ms > 0 ? frame.deadline_ms : options_.default_deadline_ms;
+  if (quota.max_deadline_ms > 0 &&
+      (deadline_ms == 0 || deadline_ms > quota.max_deadline_ms)) {
+    deadline_ms = quota.max_deadline_ms;
+  }
+
+  Job job;
+  job.conn = conn;
+  job.id = frame.id;
+  job.tenant = frame.tenant;
+  job.body = std::move(frame.body);
+  job.token = std::make_shared<CancellationToken>();
+  job.enqueue_time = std::chrono::steady_clock::now();
+  job.budget = options_.optimizer.budget;
+  if (deadline_ms > 0) job.budget.deadline_seconds = deadline_ms / 1000.0;
+  if (quota.max_dp_table_bytes > 0) {
+    job.budget.max_dp_table_bytes = quota.max_dp_table_bytes;
+  }
+  job.budget.cancellation = job.token.get();
+  // Resolve the deadline at enqueue so time spent waiting in the queue
+  // counts against the request's allowance, not just optimize time.
+  job.budget = job.budget.Resolved();
+
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultServeEnqueue)) {
+    admission_.Release(frame.tenant);
+    const Status error =
+        fault->kind == FaultKind::kFailStatus
+            ? fault->status
+            : Status::ResourceExhausted("injected enqueue failure");
+    shed(error, kShedRetryAfterMs, "serve.shed.enqueue_fault");
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    ++conn->outstanding;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_ || stopping_ ||
+        queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
+      const bool full = !draining_ && !stopping_;
+      lock.unlock();
+      admission_.Release(frame.tenant);
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mu);
+        --conn->outstanding;
+      }
+      shed(Status::Unavailable(full ? "request queue is full"
+                                    : "server is draining"),
+           kShedRetryAfterMs,
+           full ? "serve.shed.queue" : "serve.shed.draining");
+      return;
+    }
+    job.token_key = next_token_key_++;
+    in_flight_[job.token_key] = job.token;
+    ++in_flight_count_;
+    queue_.push_back(std::move(job));
+    if (MetricsRegistry* metrics = GlobalMetrics()) {
+      metrics->MaxGauge("serve.queue_depth_peak",
+                        static_cast<double>(queue_.size()));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void BlitzServer::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ProcessJob(std::move(job));
+  }
+}
+
+void BlitzServer::ProcessJob(Job job) {
+  // Cancelled while queued (a drain past its grace period): answer without
+  // doing any work. Cancellation never degrades.
+  if (job.token->cancelled()) {
+    FinishJob(job, ResponseFrame{job.id, StatusCode::kCancelled, 0,
+                                 "cancelled during server drain"});
+    return;
+  }
+
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultServeParse)) {
+    const Status error =
+        fault->kind == FaultKind::kFailStatus
+            ? fault->status
+            : Status::ResourceExhausted("injected parse allocation failure");
+    FinishJob(job, ResponseFrame{job.id, error.code(), 0, error.message()});
+    return;
+  }
+
+  Result<QuerySpec> parsed = ParseBjq(job.body, options_.parse);
+  if (!parsed.ok()) {
+    const Status error = parsed.status();
+    FinishJob(job, ResponseFrame{job.id, error.code(), 0, error.message()});
+    return;
+  }
+  QuerySpec spec = std::move(*parsed);
+
+  QueryOptimizerOptions opts = options_.optimizer;
+  opts.cost_model = spec.cost_model;
+  opts.initial_cost_threshold = spec.threshold;
+  opts.budget = job.budget;
+  opts.table_arena = &arena_;
+  opts.collect_report = true;  // Degradation history feeds the reply body.
+
+  Result<OptimizedQuery> optimized =
+      OptimizeQuery(spec.catalog, spec.graph, opts);
+  if (!optimized.ok()) {
+    const Status error = optimized.status();
+    FinishJob(job, ResponseFrame{job.id, error.code(), 0, error.message()});
+    return;
+  }
+
+  ServeReply reply;
+  reply.plan = optimized->plan.ToString(&spec.catalog);
+  reply.cost = optimized->cost;
+  reply.tier = OptimizerTierName(optimized->tier);
+  reply.passes = optimized->passes;
+  reply.degradations =
+      optimized->report.has_value()
+          ? static_cast<int>(optimized->report->degradations.size())
+          : 0;
+  if (reply.degradations > 0) Count("serve.degradations");
+  FinishJob(job, ResponseFrame{job.id, StatusCode::kOk, 0,
+                               EncodeReplyBody(reply)});
+}
+
+void BlitzServer::FinishJob(const Job& job, ResponseFrame response) {
+  Respond(job.conn, response);
+  admission_.Release(job.tenant);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(job.token_key);
+    if (--in_flight_count_ == 0) idle_cv_.notify_all();
+  }
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter(response.code == StatusCode::kOk
+                            ? "serve.responses.ok"
+                            : "serve.responses.error");
+    metrics->RecordLatency(
+        "serve.latency",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.enqueue_time)
+            .count());
+  }
+  // Last touch of the connection: after this, Serve may return and the
+  // stream may die.
+  {
+    std::lock_guard<std::mutex> conn_lock(job.conn->mu);
+    --job.conn->outstanding;
+  }
+  job.conn->idle_cv.notify_all();
+}
+
+void BlitzServer::Respond(Connection* conn, const ResponseFrame& response) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    Status written = conn->stream->Write(EncodeResponseFrame(response));
+    if (!written.ok()) Count("serve.write_errors");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_answered_;
+}
+
+void BlitzServer::BeginDrain() {
+  bool skip_grace = false;
+  if (std::optional<FaultSpec> fault = FaultHit(kFaultServeDrain)) {
+    (void)fault;  // Any armed kind forces the no-grace drain path.
+    skip_grace = true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  if (skip_grace) drain_skip_grace_ = true;
+}
+
+void BlitzServer::CancelInFlight() {
+  for (auto& [key, token] : in_flight_) {
+    (void)key;
+    token->Cancel();
+  }
+}
+
+void BlitzServer::Shutdown() {
+  BeginDrain();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    const double grace_ms = drain_skip_grace_ ? 0 : options_.drain_grace_ms;
+    idle_cv_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(grace_ms)),
+        [this] { return in_flight_count_ == 0; });
+    if (in_flight_count_ > 0) {
+      // Grace expired: cancel the stragglers. Workers observe the tokens at
+      // their next amortized governor check and answer kCancelled, so every
+      // admitted request still gets a response.
+      if (MetricsRegistry* metrics = GlobalMetrics()) {
+        metrics->AddCounter("serve.drain.cancelled",
+                            static_cast<std::uint64_t>(in_flight_count_));
+      }
+      CancelInFlight();
+      idle_cv_.wait(lock, [this] { return in_flight_count_ == 0; });
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+bool BlitzServer::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+DpTableArena::Stats BlitzServer::arena_stats() const {
+  return arena_.stats();
+}
+
+std::uint64_t BlitzServer::requests_answered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_answered_;
+}
+
+int BlitzServer::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_count_;
+}
+
+}  // namespace blitz

@@ -1,0 +1,173 @@
+#ifndef BLITZ_SERVE_SERVER_H_
+#define BLITZ_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/optimize_query.h"
+#include "core/table_arena.h"
+#include "governor/budget.h"
+#include "serve/admission.h"
+#include "serve/stream.h"
+#include "serve/wire.h"
+#include "textio/bjq.h"
+
+namespace blitz {
+
+/// Configuration for a BlitzServer instance.
+struct ServerOptions {
+  /// Dedicated optimizer worker threads draining the request queue. (The
+  /// rank-parallel ThreadPool is a barrier pool for one DP pass, not a task
+  /// queue — serving needs its own workers.)
+  int num_workers = 4;
+
+  /// Bounded request-queue depth across all connections and tenants. A full
+  /// queue sheds with kUnavailable + retry_after_ms rather than buffering
+  /// unboundedly — the global backstop behind the per-tenant caps.
+  int max_queue = 256;
+
+  /// Deadline stamped onto requests that do not carry their own
+  /// deadline_ms. 0 = none (the optimizer template's budget still applies).
+  double default_deadline_ms = 0;
+
+  /// How long a drain waits for in-flight requests to finish naturally
+  /// before cancelling them.
+  double drain_grace_ms = 2000;
+
+  AdmissionOptions admission;
+  WireLimits wire;
+  BjqLimits parse;
+
+  /// Template for per-request optimizer configuration. The server stamps
+  /// per-request fields (budget, cost model, threshold, table_arena) on a
+  /// copy; everything else — parallelism, SIMD level, degrade_on_budget —
+  /// is honored as configured here. degrade_on_budget defaults to true, so
+  /// over-budget requests degrade exhaustive -> hybrid -> greedy and still
+  /// answer.
+  QueryOptimizerOptions optimizer;
+
+  /// Retention policy of the shared DP-table arena.
+  DpTableArena::Options arena;
+
+  Status Validate() const;
+};
+
+/// A multi-tenant optimizer server: frames in, plans out.
+///
+/// Threading model: callers run one Serve(stream) per connection (blocking;
+/// typically one accept-loop thread each). Serve's reader loop admits
+/// requests into a bounded queue; num_workers dedicated threads drain it,
+/// optimize, and write responses back on the originating connection (out of
+/// request order — clients match on frame id). One request can never take
+/// the process down: parse errors, admission sheds, budget exhaustion, and
+/// injected faults (serve.* points) all turn into status-coded response
+/// frames on the same connection.
+///
+/// Lifecycle: Create -> Serve (any number, concurrently) -> BeginDrain ->
+/// Shutdown. Drain stops admitting (new requests shed with kUnavailable),
+/// waits drain_grace_ms for in-flight work, then cancels the remainder via
+/// their per-request CancellationTokens — every admitted request is
+/// answered (a plan, an error, or kCancelled) before Shutdown returns.
+class BlitzServer {
+ public:
+  /// Validates options, starts the worker threads.
+  static Result<std::unique_ptr<BlitzServer>> Create(ServerOptions options);
+
+  ~BlitzServer();
+
+  BlitzServer(const BlitzServer&) = delete;
+  BlitzServer& operator=(const BlitzServer&) = delete;
+
+  /// Serves one connection until its stream reaches end-of-stream or a
+  /// frame-alignment error. Blocks; every response owed to the connection
+  /// is written before this returns. Returns the protocol error that ended
+  /// the connection, or OK on clean EOF.
+  Status Serve(ByteStream* stream);
+
+  /// Stops admitting new requests (sheds with kUnavailable). Non-blocking;
+  /// idempotent. An armed serve.drain fault skips the grace period: the
+  /// next Shutdown cancels in-flight work immediately.
+  void BeginDrain();
+
+  /// BeginDrain + wait: lets in-flight requests finish for up to
+  /// drain_grace_ms, cancels stragglers, stops and joins the workers. Every
+  /// admitted request has been answered when this returns. Idempotent.
+  void Shutdown();
+
+  bool draining() const;
+
+  /// Pool statistics of the shared DP-table arena.
+  DpTableArena::Stats arena_stats() const;
+
+  /// Requests answered since startup (any status).
+  std::uint64_t requests_answered() const;
+
+  /// Requests admitted but not yet answered (queued + executing).
+  int in_flight() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// Per-connection shared state: workers serialize response writes through
+  /// write_mu, and Serve waits for outstanding == 0 before returning so the
+  /// stream outlives every queued response.
+  struct Connection {
+    ByteStream* stream = nullptr;
+    std::mutex write_mu;
+    std::mutex mu;
+    std::condition_variable idle_cv;
+    int outstanding = 0;
+  };
+
+  /// One admitted request, queued for a worker. Owning the token via
+  /// shared_ptr keeps drain-cancellation race-free with job completion.
+  struct Job {
+    Connection* conn = nullptr;
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string body;
+    ResourceBudget budget;  ///< Resolved at enqueue: queue wait counts.
+    std::shared_ptr<CancellationToken> token;
+    std::uint64_t token_key = 0;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  explicit BlitzServer(ServerOptions options);
+
+  void HandleRequest(Connection* conn, RequestFrame frame);
+  void WorkerLoop();
+  void ProcessJob(Job job);
+  void FinishJob(const Job& job, ResponseFrame response);
+  void Respond(Connection* conn, const ResponseFrame& response);
+  void CancelInFlight();
+
+  const ServerOptions options_;
+  DpTableArena arena_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   ///< Workers wait for jobs / stop.
+  std::condition_variable idle_cv_;    ///< Shutdown waits for in-flight 0.
+  std::deque<Job> queue_;
+  std::map<std::uint64_t, std::shared_ptr<CancellationToken>> in_flight_;
+  std::uint64_t next_token_key_ = 1;
+  int in_flight_count_ = 0;  ///< Queued + executing.
+  bool draining_ = false;
+  bool drain_skip_grace_ = false;  ///< Armed serve.drain fault fired.
+  bool stopping_ = false;
+  bool shut_down_ = false;
+  std::uint64_t requests_answered_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_SERVE_SERVER_H_

@@ -1,0 +1,242 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace blitz {
+
+namespace {
+
+constexpr std::string_view kRequestMagic = "blitzq1";
+constexpr std::string_view kResponseMagic = "blitzr1";
+
+bool ParseUint64(std::string_view s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ValidTenantName(std::string_view s) {
+  if (s.empty() || s.size() > 64) return false;
+  for (const char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses the optional trailing "<key>=<ms>" field shared by both headers.
+bool ParseMsField(std::string_view field, std::string_view key, double* out) {
+  if (!StartsWith(field, key) || field.size() <= key.size() ||
+      field[key.size()] != '=') {
+    return false;
+  }
+  double value = 0;
+  if (!ParseDouble(field.substr(key.size() + 1), &value) || !(value >= 0) ||
+      value > 1e12) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(const RequestFrame& frame) {
+  std::string header = StrFormat(
+      "%.*s %s %llu %llu", static_cast<int>(kRequestMagic.size()),
+      kRequestMagic.data(), frame.tenant.c_str(),
+      static_cast<unsigned long long>(frame.id),
+      static_cast<unsigned long long>(frame.body.size()));
+  if (frame.deadline_ms > 0) {
+    header += StrFormat(" deadline_ms=%g", frame.deadline_ms);
+  }
+  header += '\n';
+  return header + frame.body;
+}
+
+std::string EncodeResponseFrame(const ResponseFrame& frame) {
+  std::string header = StrFormat(
+      "%.*s %llu %s %llu", static_cast<int>(kResponseMagic.size()),
+      kResponseMagic.data(), static_cast<unsigned long long>(frame.id),
+      StatusCodeToString(frame.code),
+      static_cast<unsigned long long>(frame.body.size()));
+  if (frame.retry_after_ms > 0) {
+    header += StrFormat(" retry_after_ms=%g", frame.retry_after_ms);
+  }
+  header += '\n';
+  return header + frame.body;
+}
+
+Result<std::optional<std::string>> FrameReader::ReadHeaderLine() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return std::optional<std::string>(std::move(line));
+    }
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Status::InvalidArgument(
+          StrFormat("frame header exceeds %zu bytes",
+                    limits_.max_header_bytes));
+    }
+    char chunk[4096];
+    Result<std::size_t> n = stream_->Read(chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      if (buffer_.empty()) return std::optional<std::string>();  // Clean EOF.
+      return Status::InvalidArgument("stream ended mid-header");
+    }
+    buffer_.append(chunk, *n);
+  }
+}
+
+Status FrameReader::ReadBody(std::uint64_t body_bytes, std::string* out) {
+  if (body_bytes > limits_.max_body_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("frame body of %llu bytes exceeds the %llu-byte limit",
+                  static_cast<unsigned long long>(body_bytes),
+                  static_cast<unsigned long long>(limits_.max_body_bytes)));
+  }
+  const std::size_t want = static_cast<std::size_t>(body_bytes);
+  if (buffer_.size() >= want) {
+    *out = buffer_.substr(0, want);
+    buffer_.erase(0, want);
+    return Status::OK();
+  }
+  *out = std::move(buffer_);
+  buffer_.clear();
+  const std::size_t have = out->size();
+  out->resize(want);
+  Status read = ReadFull(stream_, out->data() + have, want - have);
+  if (!read.ok()) {
+    return Status::InvalidArgument("stream ended mid-body: " +
+                                   read.message());
+  }
+  return Status::OK();
+}
+
+Result<std::optional<RequestFrame>> FrameReader::ReadRequest() {
+  Result<std::optional<std::string>> line = ReadHeaderLine();
+  if (!line.ok()) return line.status();
+  if (!line->has_value()) return std::optional<RequestFrame>();
+  const std::vector<std::string> fields = StrSplit(**line, ' ');
+  if (fields.size() < 4 || fields.size() > 5 || fields[0] != kRequestMagic) {
+    return Status::InvalidArgument("malformed request header: " + **line);
+  }
+  RequestFrame frame;
+  if (!ValidTenantName(fields[1])) {
+    return Status::InvalidArgument("bad tenant name: " + fields[1]);
+  }
+  frame.tenant = fields[1];
+  std::uint64_t body_bytes = 0;
+  if (!ParseUint64(fields[2], &frame.id) ||
+      !ParseUint64(fields[3], &body_bytes)) {
+    return Status::InvalidArgument("malformed request header: " + **line);
+  }
+  if (fields.size() == 5 &&
+      !ParseMsField(fields[4], "deadline_ms", &frame.deadline_ms)) {
+    return Status::InvalidArgument("bad request field: " + fields[4]);
+  }
+  BLITZ_RETURN_IF_ERROR(ReadBody(body_bytes, &frame.body));
+  return std::optional<RequestFrame>(std::move(frame));
+}
+
+Result<std::optional<ResponseFrame>> FrameReader::ReadResponse() {
+  Result<std::optional<std::string>> line = ReadHeaderLine();
+  if (!line.ok()) return line.status();
+  if (!line->has_value()) return std::optional<ResponseFrame>();
+  const std::vector<std::string> fields = StrSplit(**line, ' ');
+  if (fields.size() < 4 || fields.size() > 5 ||
+      fields[0] != kResponseMagic) {
+    return Status::InvalidArgument("malformed response header: " + **line);
+  }
+  ResponseFrame frame;
+  std::uint64_t body_bytes = 0;
+  if (!ParseUint64(fields[1], &frame.id) ||
+      !ParseUint64(fields[3], &body_bytes)) {
+    return Status::InvalidArgument("malformed response header: " + **line);
+  }
+  const std::optional<StatusCode> code = StatusCodeFromString(fields[2]);
+  if (!code.has_value()) {
+    return Status::InvalidArgument("unknown status code: " + fields[2]);
+  }
+  frame.code = *code;
+  if (fields.size() == 5 &&
+      !ParseMsField(fields[4], "retry_after_ms", &frame.retry_after_ms)) {
+    return Status::InvalidArgument("bad response field: " + fields[4]);
+  }
+  BLITZ_RETURN_IF_ERROR(ReadBody(body_bytes, &frame.body));
+  return std::optional<ResponseFrame>(std::move(frame));
+}
+
+std::string EncodeReplyBody(const ServeReply& reply) {
+  std::string out;
+  out += "plan " + reply.plan + "\n";
+  out += StrFormat("cost %.17g\n", reply.cost);
+  out += "tier " + reply.tier + "\n";
+  out += StrFormat("passes %d\n", reply.passes);
+  out += StrFormat("degradations %d\n", reply.degradations);
+  return out;
+}
+
+Result<ServeReply> ParseReplyBody(std::string_view body) {
+  ServeReply reply;
+  bool saw_plan = false;
+  bool saw_cost = false;
+  bool saw_tier = false;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find('\n', pos);
+    if (end == std::string_view::npos) end = body.size();
+    const std::string_view line = body.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    const std::string_view key = line.substr(0, space);
+    const std::string_view value =
+        space == std::string_view::npos ? "" : line.substr(space + 1);
+    if (key == "plan") {
+      reply.plan = std::string(value);
+      saw_plan = true;
+    } else if (key == "cost") {
+      if (!ParseDouble(value, &reply.cost)) {
+        return Status::InvalidArgument("bad reply cost: " +
+                                       std::string(value));
+      }
+      saw_cost = true;
+    } else if (key == "tier") {
+      reply.tier = std::string(value);
+      saw_tier = true;
+    } else if (key == "passes") {
+      if (!ParseInt(value, &reply.passes)) {
+        return Status::InvalidArgument("bad reply passes: " +
+                                       std::string(value));
+      }
+    } else if (key == "degradations") {
+      if (!ParseInt(value, &reply.degradations)) {
+        return Status::InvalidArgument("bad reply degradations: " +
+                                       std::string(value));
+      }
+    }
+    // Unknown keys are ignored: the reply body is forward-extensible.
+  }
+  if (!saw_plan || !saw_cost || !saw_tier) {
+    return Status::InvalidArgument("reply body missing plan/cost/tier");
+  }
+  return reply;
+}
+
+}  // namespace blitz

@@ -1,0 +1,108 @@
+#ifndef BLITZ_SERVE_WIRE_H_
+#define BLITZ_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/stream.h"
+
+namespace blitz {
+
+/// The blitzd wire protocol ("blitz-serve-v1"): length-framed .bjq requests
+/// and status-coded responses over any ByteStream. Each frame is one ASCII
+/// header line followed by exactly `body_bytes` bytes of payload, so a
+/// reader never scans untrusted bytes for a delimiter beyond the (bounded)
+/// header:
+///
+///   request:   blitzq1 <tenant> <id> <body_bytes> [deadline_ms=<ms>]\n
+///              <body: a .bjq document>
+///   response:  blitzr1 <id> <StatusCodeName> <body_bytes>
+///                  [retry_after_ms=<ms>]\n
+///              <body: reply lines on OK, the error message otherwise>
+///
+/// `id` is a client-chosen request identifier echoed in the response;
+/// responses may arrive out of request order (workers finish when they
+/// finish), so pipelining clients match on it. `tenant` names the admission
+/// bucket ([A-Za-z0-9_.-]). retry_after_ms rides on shed responses
+/// (kResourceExhausted / kUnavailable) as the server's backoff hint.
+///
+/// An OK response body is line-oriented:
+///
+///   plan <paper-notation plan string>
+///   cost <double>
+///   tier <exhaustive|hybrid|greedy>
+///   passes <int>
+///   degradations <int>
+///
+/// Malformed or over-limit headers are a *connection*-level failure
+/// (kInvalidArgument / kResourceExhausted from ReadRequestFrame): the
+/// stream can no longer be trusted to be frame-aligned, so the server
+/// answers once with id 0 and closes. Body-level problems (bad .bjq) are
+/// request-level and answered normally.
+
+/// Size caps a frame reader enforces before trusting any length field.
+struct WireLimits {
+  std::uint64_t max_body_bytes = 1ull << 20;
+  std::size_t max_header_bytes = 1024;
+};
+
+struct RequestFrame {
+  std::string tenant = "default";
+  std::uint64_t id = 0;
+  double deadline_ms = 0;  ///< 0 = no per-request deadline.
+  std::string body;
+};
+
+struct ResponseFrame {
+  std::uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  double retry_after_ms = 0;  ///< > 0 only on shed responses.
+  std::string body;
+};
+
+std::string EncodeRequestFrame(const RequestFrame& frame);
+std::string EncodeResponseFrame(const ResponseFrame& frame);
+
+/// Buffered frame reader over a ByteStream (one per connection side).
+class FrameReader {
+ public:
+  FrameReader(ByteStream* stream, const WireLimits& limits)
+      : stream_(stream), limits_(limits) {}
+
+  /// Next request frame; nullopt on clean end-of-stream at a frame
+  /// boundary. Errors mean the stream is no longer frame-aligned.
+  Result<std::optional<RequestFrame>> ReadRequest();
+
+  /// Next response frame; nullopt on clean end-of-stream.
+  Result<std::optional<ResponseFrame>> ReadResponse();
+
+ private:
+  /// Reads through the next '\n' (nullopt on EOF before any byte;
+  /// kInvalidArgument past max_header_bytes without one).
+  Result<std::optional<std::string>> ReadHeaderLine();
+  Status ReadBody(std::uint64_t body_bytes, std::string* out);
+
+  ByteStream* stream_;
+  WireLimits limits_;
+  std::string buffer_;  ///< Bytes read past the last consumed frame.
+};
+
+/// The parsed payload of an OK response body.
+struct ServeReply {
+  std::string plan;
+  double cost = 0;
+  std::string tier;
+  int passes = 1;
+  int degradations = 0;
+};
+
+/// Formats/parses the OK response body (see the line format above).
+std::string EncodeReplyBody(const ServeReply& reply);
+Result<ServeReply> ParseReplyBody(std::string_view body);
+
+}  // namespace blitz
+
+#endif  // BLITZ_SERVE_WIRE_H_

@@ -29,6 +29,10 @@ bool ValidSelectivity(double s) {
 }  // namespace
 
 Result<QuerySpec> ParseBjq(std::string_view text) {
+  return ParseBjq(text, BjqLimits{});
+}
+
+Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
   std::vector<RelationStats> relations;
   struct PendingPredicate {
     std::string a;
@@ -63,6 +67,21 @@ Result<QuerySpec> ParseBjq(std::string_view text) {
     std::string_view raw = text.substr(pos, end - pos);
     pos = end + 1;
     if (end == text.size() && raw.empty()) break;
+    // Incremental input caps (hostile-client defense, see BjqLimits): the
+    // limits bind at the line where the input crosses them, so the error is
+    // line-numbered like every other parse failure, but as
+    // kResourceExhausted — the document is too big, not malformed.
+    if (limits.max_lines > 0 && line_number > limits.max_lines) {
+      return Status::ResourceExhausted(
+          StrFormat("line %d: input exceeds %d lines", line_number,
+                    limits.max_lines));
+    }
+    if (limits.max_bytes > 0 &&
+        static_cast<std::uint64_t>(end) > limits.max_bytes) {
+      return Status::ResourceExhausted(
+          StrFormat("line %d: input exceeds %llu bytes", line_number,
+                    static_cast<unsigned long long>(limits.max_bytes)));
+    }
 
     const size_t hash = raw.find('#');
     if (hash != std::string_view::npos) raw = raw.substr(0, hash);

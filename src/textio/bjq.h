@@ -1,6 +1,7 @@
 #ifndef BLITZ_TEXTIO_BJQ_H_
 #define BLITZ_TEXTIO_BJQ_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -41,8 +42,22 @@ struct QuerySpec {
   std::optional<float> threshold;
 };
 
+/// Input-size caps for ParseBjq. A .bjq document is bounded by its relation
+/// cap anyway (kMaxRelations), so legitimate queries are tiny; these limits
+/// exist for servers parsing untrusted bytes — a hostile client must not be
+/// able to balloon the parse buffer or spin the line loop. Both caps are
+/// enforced incrementally with a line-numbered kResourceExhausted, and 0
+/// disables a cap (trusted local files).
+struct BjqLimits {
+  std::uint64_t max_bytes = 1ull << 20;  ///< 1 MiB of input text.
+  int max_lines = 100000;
+};
+
 /// Parses a .bjq document. Errors carry 1-based line numbers.
 Result<QuerySpec> ParseBjq(std::string_view text);
+
+/// ParseBjq under explicit input-size caps (servers; see BjqLimits).
+Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits);
 
 /// Reads and parses a .bjq file from disk.
 Result<QuerySpec> LoadBjqFile(const std::string& path);

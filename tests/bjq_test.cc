@@ -243,5 +243,50 @@ TEST(BjqTest, LoadMissingFileFails) {
   EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
 }
 
+TEST(BjqTest, MaxLinesCapBindsAtTheOffendingLine) {
+  BjqLimits limits;
+  limits.max_lines = 2;
+  Result<QuerySpec> spec = ParseBjq(
+      "relation a 10\nrelation b 20\npredicate a b 0.5\n", limits);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kResourceExhausted);
+  // The error names the first line past the cap, not just the cap.
+  EXPECT_NE(spec.status().message().find("line 3"), std::string::npos)
+      << spec.status().message();
+  EXPECT_NE(spec.status().message().find("2 lines"), std::string::npos)
+      << spec.status().message();
+}
+
+TEST(BjqTest, MaxBytesCapBindsAtTheOffendingLine) {
+  const std::string text =
+      "relation a 10\nrelation b 20\npredicate a b 0.5\n";
+  BjqLimits limits;
+  limits.max_bytes = 20;  // Inside line 2.
+  Result<QuerySpec> spec = ParseBjq(text, limits);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(spec.status().message().find("line 2"), std::string::npos)
+      << spec.status().message();
+}
+
+TEST(BjqTest, InputsExactlyAtTheCapsParse) {
+  const std::string text =
+      "relation a 10\nrelation b 20\npredicate a b 0.5\n";
+  BjqLimits limits;
+  limits.max_bytes = text.size();
+  limits.max_lines = 3;
+  Result<QuerySpec> spec = ParseBjq(text, limits);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
+TEST(BjqTest, ZeroLimitsMeanUnlimited) {
+  BjqLimits limits;
+  limits.max_bytes = 0;
+  limits.max_lines = 0;
+  Result<QuerySpec> spec = ParseBjq(
+      "relation a 10\nrelation b 20\npredicate a b 0.5\n", limits);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
 }  // namespace
 }  // namespace blitz

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/optimize_query.h"
 #include "core/optimizer.h"
 #include "governor/budget.h"
 #include "governor/faultpoints.h"
@@ -211,6 +212,76 @@ TEST(ParallelGovernorTest, MemoryAdmissionStillGovernsParallelPasses) {
       OptimizeJoin(instance.catalog, instance.graph, options);
   ASSERT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelGovernorTest, ClockSkewAtRankBarrierUnwindsEveryWorker) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  // Unlike the bounded mid-rank skew above, this arms the skew on *every*
+  // governor check (times = -1): whichever worker checks first trips the
+  // deadline, and every other worker — racing its own skewed check against
+  // the abort flag — must reach the same kDeadlineExceeded verdict either
+  // way. The rank barrier then has exactly one status to adopt.
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  FaultSpec skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.skew_seconds = 7200;
+  skew.after = 1;   // Let the entry gate pass; fire from the rank loop on.
+  skew.times = -1;  // Every check from then on, in every worker.
+  registry.Arm(kFaultGovernorCheck, skew);
+
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(15, /*seed=*/21);
+  OptimizerOptions options = ForcedParallel(4);
+  options.budget.deadline_seconds = 3600;
+  Result<OptimizeOutcome> outcome =
+      OptimizeJoin(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(registry.hits(kFaultGovernorCheck), 2u);
+}
+
+TEST(ParallelGovernorTest, ClockSkewDegradationReportStaysConsistent) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  // The same always-on skew through the OptimizeQuery facade with
+  // degradation enabled: the parallel exhaustive pass and the hybrid
+  // fallback both unwind with kDeadlineExceeded, the greedy tier (which
+  // answers regardless of budget) lands the plan, and the OptimizeReport
+  // must tell that exact story — one degradation entry per abandoned tier,
+  // each naming the deadline as the cause.
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+  FaultSpec skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.skew_seconds = 7200;
+  skew.after = 1;
+  skew.times = -1;
+  registry.Arm(kFaultGovernorCheck, skew);
+
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(15, /*seed=*/21);
+  QueryOptimizerOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.min_parallel_rank = 4;
+  options.budget.deadline_seconds = 3600;
+  options.collect_report = true;
+  Result<OptimizedQuery> optimized =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_EQ(optimized->tier, OptimizerTier::kGreedy);
+  ASSERT_TRUE(optimized->report.has_value());
+  const OptimizeReport& report = *optimized->report;
+  EXPECT_EQ(report.tiers_attempted, 3);
+  ASSERT_EQ(report.degradations.size(), 2u);
+  for (const std::string& entry : report.degradations) {
+    EXPECT_NE(entry.find("deadline"), std::string::npos) << entry;
+  }
+  // The plan is still a real plan over all 15 relations.
+  EXPECT_GT(optimized->cost, 0);
 }
 
 TEST(ParallelGovernorTest, GenerousBudgetCompletesAndMatchesSequential) {

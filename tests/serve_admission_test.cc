@@ -1,0 +1,97 @@
+// Tests for per-tenant admission control (serve/admission.h).
+
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace blitz {
+namespace {
+
+TEST(TenantQuotaTest, Validation) {
+  TenantQuota quota;
+  EXPECT_TRUE(quota.Validate().ok());
+  quota.max_in_flight = 0;
+  EXPECT_FALSE(quota.Validate().ok());
+
+  AdmissionOptions options;
+  options.tenants["broken"].max_in_flight = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(AdmissionTest, AdmitsUpToCapThenSheds) {
+  AdmissionOptions options;
+  options.default_quota.max_in_flight = 2;
+  AdmissionController controller(options);
+
+  EXPECT_TRUE(controller.Admit("t", 10).status.ok());
+  EXPECT_TRUE(controller.Admit("t", 10).status.ok());
+  AdmissionController::Decision shed = controller.Admit("t", 10);
+  ASSERT_FALSE(shed.status.ok());
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(shed.retry_after_ms, 0);
+
+  controller.Release("t");
+  EXPECT_TRUE(controller.Admit("t", 10).status.ok());
+}
+
+TEST(AdmissionTest, TenantsAreIsolated) {
+  AdmissionOptions options;
+  options.default_quota.max_in_flight = 1;
+  AdmissionController controller(options);
+
+  EXPECT_TRUE(controller.Admit("noisy", 10).status.ok());
+  EXPECT_FALSE(controller.Admit("noisy", 10).status.ok());
+  // The noisy tenant at its cap does not consume the quiet tenant's slots.
+  EXPECT_TRUE(controller.Admit("quiet", 10).status.ok());
+  EXPECT_EQ(controller.in_flight("noisy"), 1);
+  EXPECT_EQ(controller.in_flight("quiet"), 1);
+}
+
+TEST(AdmissionTest, PerTenantOverridesApply) {
+  AdmissionOptions options;
+  options.default_quota.max_in_flight = 1;
+  options.tenants["vip"].max_in_flight = 3;
+  AdmissionController controller(options);
+
+  EXPECT_TRUE(controller.Admit("vip", 10).status.ok());
+  EXPECT_TRUE(controller.Admit("vip", 10).status.ok());
+  EXPECT_TRUE(controller.Admit("vip", 10).status.ok());
+  EXPECT_FALSE(controller.Admit("vip", 10).status.ok());
+  EXPECT_TRUE(controller.Admit("anyone-else", 10).status.ok());
+  EXPECT_FALSE(controller.Admit("anyone-else", 10).status.ok());
+}
+
+TEST(AdmissionTest, OversizedBodyIsAHardRejectWithoutRetryHint) {
+  AdmissionOptions options;
+  options.default_quota.max_body_bytes = 100;
+  AdmissionController controller(options);
+
+  AdmissionController::Decision rejected = controller.Admit("t", 101);
+  ASSERT_FALSE(rejected.status.ok());
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejected.retry_after_ms, 0);
+  // The reject did not consume a slot.
+  EXPECT_EQ(controller.in_flight("t"), 0);
+  EXPECT_TRUE(controller.Admit("t", 100).status.ok());
+}
+
+TEST(AdmissionTest, ReleaseNeverUnderflows) {
+  AdmissionController controller(AdmissionOptions{});
+  controller.Release("never-admitted");
+  EXPECT_EQ(controller.in_flight("never-admitted"), 0);
+}
+
+TEST(AdmissionTest, RetryHintGrowsWithPressureButIsBounded) {
+  AdmissionOptions options;
+  options.default_quota.max_in_flight = 1;
+  AdmissionController controller(options);
+  ASSERT_TRUE(controller.Admit("t", 1).status.ok());
+  const double first_hint = controller.Admit("t", 1).retry_after_ms;
+  EXPECT_GT(first_hint, 0);
+  EXPECT_LE(first_hint, 1000.0);
+}
+
+}  // namespace
+}  // namespace blitz

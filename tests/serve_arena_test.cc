@@ -1,0 +1,188 @@
+// Tests for the DP-table arena (core/table_arena.h): pooling semantics,
+// retention bounds, result fidelity across recycled tables, and the
+// serve.arena.alloc fault point.
+
+#include "core/table_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/optimize_query.h"
+#include "governor/faultpoints.h"
+#include "test_util.h"
+
+namespace blitz {
+namespace {
+
+TEST(DpTableArenaTest, MissThenHitByShape) {
+  DpTableArena arena;
+  Result<DpTable> first = arena.Acquire(6, /*with_pi_fan=*/true,
+                                        /*with_aux=*/false);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(arena.stats().misses, 1u);
+  EXPECT_EQ(arena.stats().hits, 0u);
+
+  arena.Release(std::move(*first));
+  EXPECT_EQ(arena.stats().retained_tables, 1u);
+  EXPECT_GT(arena.stats().retained_bytes, 0u);
+
+  // Same shape: pooled table comes back.
+  Result<DpTable> second = arena.Acquire(6, true, false);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(arena.stats().hits, 1u);
+  EXPECT_EQ(arena.stats().retained_tables, 0u);
+
+  // Different shape: a fresh miss, not a shape-punning reuse.
+  Result<DpTable> other = arena.Acquire(6, false, false);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(arena.stats().misses, 2u);
+}
+
+TEST(DpTableArenaTest, RetentionCapDiscardsInsteadOfGrowing) {
+  DpTableArena::Options options;
+  options.max_retained_bytes = 1;  // Nothing fits.
+  DpTableArena arena(options);
+  Result<DpTable> table = arena.Acquire(8, true, false);
+  ASSERT_TRUE(table.ok());
+  arena.Release(std::move(*table));
+  EXPECT_EQ(arena.stats().discarded, 1u);
+  EXPECT_EQ(arena.stats().retained_tables, 0u);
+  EXPECT_EQ(arena.stats().retained_bytes, 0u);
+}
+
+TEST(DpTableArenaTest, ClearDropsPool) {
+  DpTableArena arena;
+  Result<DpTable> table = arena.Acquire(5, true, false);
+  ASSERT_TRUE(table.ok());
+  arena.Release(std::move(*table));
+  ASSERT_EQ(arena.stats().retained_tables, 1u);
+  arena.Clear();
+  EXPECT_EQ(arena.stats().retained_tables, 0u);
+  EXPECT_EQ(arena.stats().retained_bytes, 0u);
+}
+
+// The soundness pin: optimizing through a recycled (stale-content) table
+// must produce the bit-identical plan and cost a fresh table produces,
+// because every row a pass reads was written by that same pass.
+TEST(DpTableArenaTest, RecycledTableGivesIdenticalResults) {
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(9, /*seed=*/20260808);
+
+  QueryOptimizerOptions fresh_options;
+  Result<OptimizedQuery> fresh =
+      OptimizeQuery(instance.catalog, instance.graph, fresh_options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  DpTableArena arena;
+  QueryOptimizerOptions arena_options;
+  arena_options.table_arena = &arena;
+  // First call populates the pool; later calls run on recycled tables
+  // whose contents start as another query's stale rows.
+  for (int round = 0; round < 3; ++round) {
+    Result<OptimizedQuery> pooled =
+        OptimizeQuery(instance.catalog, instance.graph, arena_options);
+    ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+    EXPECT_EQ(pooled->cost, fresh->cost) << "round " << round;
+    EXPECT_TRUE(pooled->plan.StructurallyEquals(fresh->plan))
+        << "round " << round;
+  }
+  EXPECT_GT(arena.stats().hits, 0u);
+}
+
+// Different queries of the same size share pooled tables.
+TEST(DpTableArenaTest, CrossQueryReuseMatchesFreshRuns) {
+  DpTableArena arena;
+  QueryOptimizerOptions arena_options;
+  arena_options.table_arena = &arena;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const testing::RandomInstance instance =
+        testing::MakeRandomInstance(8, seed);
+    Result<OptimizedQuery> fresh =
+        OptimizeQuery(instance.catalog, instance.graph,
+                      QueryOptimizerOptions{});
+    Result<OptimizedQuery> pooled =
+        OptimizeQuery(instance.catalog, instance.graph, arena_options);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(pooled.ok());
+    EXPECT_EQ(pooled->cost, fresh->cost) << "seed " << seed;
+    EXPECT_TRUE(pooled->plan.StructurallyEquals(fresh->plan))
+        << "seed " << seed;
+  }
+  EXPECT_GE(arena.stats().hits, 3u);
+}
+
+TEST(DpTableArenaTest, MemoryAdmissionStillRunsWithArena) {
+  DpTableArena arena;
+  QueryOptimizerOptions options;
+  options.table_arena = &arena;
+  options.budget.max_dp_table_bytes = 16;  // Far below any 2^12 table.
+  options.degrade_on_budget = false;
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(12, /*seed=*/3);
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DpTableArenaTest, AllocFaultPointFires) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+
+  DpTableArena arena;
+  FaultSpec spec;
+  spec.kind = FaultKind::kBadAlloc;
+  registry.Arm(kFaultServeArenaAlloc, spec);
+  Result<DpTable> failed = arena.Acquire(6, true, false);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+
+  // times=1: the next acquire succeeds.
+  Result<DpTable> ok = arena.Acquire(6, true, false);
+  EXPECT_TRUE(ok.ok());
+
+  FaultSpec status_spec;
+  status_spec.kind = FaultKind::kFailStatus;
+  status_spec.status = Status::Internal("backing store on fire");
+  registry.Arm(kFaultServeArenaAlloc, status_spec);
+  Result<DpTable> internal = arena.Acquire(6, true, false);
+  ASSERT_FALSE(internal.ok());
+  EXPECT_EQ(internal.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(internal.status().message(), "backing store on fire");
+}
+
+// An arena alloc fault during a degradable governed call walks the ladder
+// instead of failing the query — the serving tier's isolation story.
+TEST(DpTableArenaTest, AllocFaultDegradesThroughLadder) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  FaultRegistry registry;
+  ScopedFaultRegistry scoped(&registry);
+
+  DpTableArena arena;
+  QueryOptimizerOptions options;
+  options.table_arena = &arena;
+  options.degrade_on_budget = true;
+  options.collect_report = true;
+  FaultSpec spec;
+  spec.kind = FaultKind::kBadAlloc;
+  spec.times = -1;  // Every exhaustive attempt fails to allocate.
+  registry.Arm(kFaultServeArenaAlloc, spec);
+
+  const testing::RandomInstance instance =
+      testing::MakeRandomInstance(7, /*seed=*/11);
+  Result<OptimizedQuery> result =
+      OptimizeQuery(instance.catalog, instance.graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->tier, OptimizerTier::kExhaustive);
+  ASSERT_TRUE(result->report.has_value());
+  EXPECT_GE(result->report->degradations.size(), 1u);
+}
+
+}  // namespace
+}  // namespace blitz

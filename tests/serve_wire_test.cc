@@ -1,0 +1,237 @@
+// Tests for the blitz-serve-v1 wire format (serve/wire.h) and the
+// ByteStream transports underneath it (serve/stream.h).
+
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/stream.h"
+
+namespace blitz {
+namespace {
+
+RequestFrame MakeRequest(std::uint64_t id, std::string body) {
+  RequestFrame frame;
+  frame.tenant = "tenant-a";
+  frame.id = id;
+  frame.body = std::move(body);
+  return frame;
+}
+
+TEST(WireTest, RequestRoundTrip) {
+  RequestFrame frame = MakeRequest(42, "relation A 10\n");
+  frame.deadline_ms = 250;
+  const std::string encoded = EncodeRequestFrame(frame);
+
+  auto [client, server] = CreateDuplexPipe();
+  ASSERT_TRUE(client->Write(encoded).ok());
+  client->CloseWrite();
+
+  FrameReader reader(server.get(), WireLimits{});
+  Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_TRUE(read->has_value());
+  EXPECT_EQ((*read)->tenant, "tenant-a");
+  EXPECT_EQ((*read)->id, 42u);
+  EXPECT_EQ((*read)->deadline_ms, 250);
+  EXPECT_EQ((*read)->body, "relation A 10\n");
+
+  // Clean EOF at the frame boundary reads as nullopt, not an error.
+  Result<std::optional<RequestFrame>> eof = reader.ReadRequest();
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+}
+
+TEST(WireTest, ResponseRoundTripWithRetryAfter) {
+  ResponseFrame frame;
+  frame.id = 7;
+  frame.code = StatusCode::kResourceExhausted;
+  frame.retry_after_ms = 12.5;
+  frame.body = "tenant over quota";
+
+  auto [a, b] = CreateDuplexPipe();
+  ASSERT_TRUE(a->Write(EncodeResponseFrame(frame)).ok());
+  a->CloseWrite();
+
+  FrameReader reader(b.get(), WireLimits{});
+  Result<std::optional<ResponseFrame>> read = reader.ReadResponse();
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_TRUE(read->has_value());
+  EXPECT_EQ((*read)->id, 7u);
+  EXPECT_EQ((*read)->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ((*read)->retry_after_ms, 12.5);
+  EXPECT_EQ((*read)->body, "tenant over quota");
+}
+
+TEST(WireTest, PipelinedFramesReadBackToBack) {
+  auto [a, b] = CreateDuplexPipe();
+  std::string wire;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    wire += EncodeRequestFrame(MakeRequest(id, "body" + std::to_string(id)));
+  }
+  ASSERT_TRUE(a->Write(wire).ok());
+  a->CloseWrite();
+
+  FrameReader reader(b.get(), WireLimits{});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+    ASSERT_TRUE(read.ok());
+    ASSERT_TRUE(read->has_value());
+    EXPECT_EQ((*read)->id, id);
+    EXPECT_EQ((*read)->body, "body" + std::to_string(id));
+  }
+}
+
+TEST(WireTest, MalformedHeadersAreErrors) {
+  const std::vector<std::string> bad = {
+      "blitzq2 default 1 0\n",              // wrong magic
+      "blitzq1 default 1\n",                // missing body length
+      "blitzq1 default one 0\n",            // non-numeric id
+      "blitzq1 default 1 zero\n",           // non-numeric length
+      "blitzq1 bad~tenant 1 0\n",           // invalid tenant character
+      "blitzq1 default 1 0 frobnicate=1\n", // unknown optional field
+      "blitzq1 default 1 0 deadline_ms=-5\n",
+      "blitzq1 default 99999999999999999999999 0\n",  // uint64 overflow
+  };
+  for (const std::string& header : bad) {
+    auto [a, b] = CreateDuplexPipe();
+    ASSERT_TRUE(a->Write(header).ok());
+    a->CloseWrite();
+    FrameReader reader(b.get(), WireLimits{});
+    Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+    EXPECT_FALSE(read.ok()) << "accepted: " << header;
+  }
+}
+
+TEST(WireTest, OversizedDeclaredBodyRejectedBeforeReading) {
+  auto [a, b] = CreateDuplexPipe();
+  // Declares 1 GiB; only the header is ever sent. The reader must reject
+  // from the declared length alone instead of trying to buffer it.
+  ASSERT_TRUE(a->Write("blitzq1 default 1 1073741824\n").ok());
+  WireLimits limits;
+  limits.max_body_bytes = 1 << 20;
+  FrameReader reader(b.get(), limits);
+  Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WireTest, UnterminatedHeaderBoundedByLimit) {
+  auto [a, b] = CreateDuplexPipe();
+  ASSERT_TRUE(a->Write(std::string(4096, 'x')).ok());
+  WireLimits limits;
+  limits.max_header_bytes = 256;
+  FrameReader reader(b.get(), limits);
+  Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, TruncatedBodyIsAnError) {
+  auto [a, b] = CreateDuplexPipe();
+  ASSERT_TRUE(a->Write("blitzq1 default 1 100\nshort").ok());
+  a->CloseWrite();
+  FrameReader reader(b.get(), WireLimits{});
+  Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(WireTest, StatusCodeNamesRoundTripTheWire) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kUnavailable}) {
+    ResponseFrame frame;
+    frame.id = 1;
+    frame.code = code;
+    auto [a, b] = CreateDuplexPipe();
+    ASSERT_TRUE(a->Write(EncodeResponseFrame(frame)).ok());
+    FrameReader reader(b.get(), WireLimits{});
+    Result<std::optional<ResponseFrame>> read = reader.ReadResponse();
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ((*read)->code, code) << StatusCodeToString(code);
+  }
+}
+
+TEST(WireTest, ReplyBodyRoundTrip) {
+  ServeReply reply;
+  reply.plan = "((A x B) x C)";
+  reply.cost = 12345.6789;
+  reply.tier = "exhaustive";
+  reply.passes = 3;
+  reply.degradations = 1;
+  Result<ServeReply> parsed = ParseReplyBody(EncodeReplyBody(reply));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->plan, reply.plan);
+  EXPECT_EQ(parsed->cost, reply.cost);  // %.17g round-trips doubles exactly.
+  EXPECT_EQ(parsed->tier, reply.tier);
+  EXPECT_EQ(parsed->passes, reply.passes);
+  EXPECT_EQ(parsed->degradations, reply.degradations);
+}
+
+TEST(WireTest, ReplyBodyIgnoresUnknownKeysButRequiresCore) {
+  Result<ServeReply> ok =
+      ParseReplyBody("plan (A x B)\ncost 5\ntier greedy\nfuture_field 1\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->plan, "(A x B)");
+
+  EXPECT_FALSE(ParseReplyBody("cost 5\ntier greedy\n").ok());
+  EXPECT_FALSE(ParseReplyBody("plan p\ncost nan-ish\ntier greedy\n").ok());
+}
+
+TEST(StreamTest, ReadFullAcrossChunkedWrites) {
+  auto [a, b] = CreateDuplexPipe(/*buffer_capacity=*/8);
+  std::thread writer([&a] {
+    // 64 bytes through an 8-byte buffer forces chunked, blocking writes.
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(a->Write("01234567").ok());
+    }
+    a->CloseWrite();
+  });
+  char buf[64];
+  EXPECT_TRUE(ReadFull(b.get(), buf, sizeof(buf)).ok());
+  Result<std::size_t> eof = b->Read(buf, 1);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+  writer.join();
+}
+
+TEST(StreamTest, WriteAfterPeerCloseIsUnavailable) {
+  auto [a, b] = CreateDuplexPipe();
+  b->Close();
+  Status written = a->Write("x");
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kUnavailable);
+}
+
+TEST(StreamTest, FdStreamCarriesFramesOverAPipePair) {
+  int to_server[2];
+  int to_client[2];
+  ASSERT_EQ(::pipe(to_server), 0);
+  ASSERT_EQ(::pipe(to_client), 0);
+  FdStream client(to_client[0], to_server[1], /*own_fds=*/true);
+  FdStream server(to_server[0], to_client[1], /*own_fds=*/true);
+
+  ASSERT_TRUE(client.Write(EncodeRequestFrame(MakeRequest(9, "abc"))).ok());
+  FrameReader reader(&server, WireLimits{});
+  Result<std::optional<RequestFrame>> read = reader.ReadRequest();
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_TRUE(read->has_value());
+  EXPECT_EQ((*read)->id, 9u);
+  EXPECT_EQ((*read)->body, "abc");
+
+  client.CloseWrite();
+  char buf[8];
+  Result<std::size_t> eof = server.Read(buf, sizeof(buf));
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+}
+
+}  // namespace
+}  // namespace blitz

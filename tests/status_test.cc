@@ -91,5 +91,34 @@ TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_EQ(s.message(), "boom");
 }
 
+TEST(StatusTest, UnavailableFactory) {
+  const Status s = Status::Unavailable("server is draining");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "server is draining");
+}
+
+TEST(StatusTest, StatusCodeNamesRoundTripThroughStrings) {
+  // The wire protocol (serve/wire.h) ships codes by name; every enumerator
+  // must survive the round trip.
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kOutOfRange, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kUnavailable}) {
+    const std::string_view name = StatusCodeToString(code);
+    std::optional<StatusCode> parsed = StatusCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+}
+
+TEST(StatusTest, UnknownStatusCodeNameIsRejected) {
+  EXPECT_FALSE(StatusCodeFromString("NOT_A_CODE").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+  EXPECT_FALSE(StatusCodeFromString("ok").has_value());  // Case-sensitive.
+}
+
 }  // namespace
 }  // namespace blitz
