@@ -72,13 +72,23 @@ AdmissionController::Decision AdmissionController::Admit(
 void AdmissionController::Release(std::string_view tenant) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = in_flight_.find(tenant);
-  if (it != in_flight_.end() && it->second > 0) --it->second;
+  if (it == in_flight_.end()) return;
+  if (it->second > 0) --it->second;
+  // Tenant names are client-chosen and unauthenticated: dropping idle
+  // entries keeps a client cycling fresh names from growing this map — and
+  // daemon memory — without bound.
+  if (it->second <= 0) in_flight_.erase(it);
 }
 
 int AdmissionController::in_flight(std::string_view tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = in_flight_.find(tenant);
   return it == in_flight_.end() ? 0 : it->second;
+}
+
+std::size_t AdmissionController::tracked_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_.size();
 }
 
 }  // namespace blitz

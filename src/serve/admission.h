@@ -1,6 +1,7 @@
 #ifndef BLITZ_SERVE_ADMISSION_H_
 #define BLITZ_SERVE_ADMISSION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -63,6 +64,11 @@ class AdmissionController {
 
   const TenantQuota& quota_for(std::string_view tenant) const;
   int in_flight(std::string_view tenant) const;
+
+  /// Tenants currently holding at least one slot. Entries are erased when
+  /// their count returns to zero (names are unauthenticated client input,
+  /// so idle entries must not accumulate); this exposes that invariant.
+  std::size_t tracked_tenants() const;
 
  private:
   const AdmissionOptions options_;

@@ -59,6 +59,14 @@ double BlitzClient::BackoffMs(int attempt, double retry_after_ms) {
 
 Result<std::uint64_t> BlitzClient::Send(const std::string& bjq,
                                         double deadline_ms) {
+  // Fail fast on a tenant the header cannot carry (a space or newline
+  // would desync the framing and poison the connection with a confusing
+  // server-side protocol error).
+  if (!IsValidTenantName(options_.tenant)) {
+    return Status::InvalidArgument(
+        "tenant must be 1-64 chars of [A-Za-z0-9_.-], got \"" +
+        options_.tenant + "\"");
+  }
   RequestFrame frame;
   frame.tenant = options_.tenant;
   frame.id = next_id_++;

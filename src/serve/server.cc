@@ -285,13 +285,15 @@ void BlitzServer::FinishJob(const Job& job, ResponseFrame response) {
                                       job.enqueue_time)
             .count());
   }
-  // Last touch of the connection: after this, Serve may return and the
-  // stream may die.
+  // Last touch of the connection: once Serve's wait observes the decrement
+  // it may return and destroy the Connection, so the notify must happen
+  // under conn->mu — notifying after unlock races a spurious wakeup in
+  // Serve and touches a dead condition_variable.
   {
     std::lock_guard<std::mutex> conn_lock(job.conn->mu);
     --job.conn->outstanding;
+    job.conn->idle_cv.notify_all();
   }
-  job.conn->idle_cv.notify_all();
 }
 
 void BlitzServer::Respond(Connection* conn, const ResponseFrame& response) {

@@ -45,11 +45,16 @@ Status ReadFull(ByteStream* stream, char* buf, std::size_t len);
 /// be the same (a socket) or distinct (a pipe pair / stdio). When
 /// `wake_fd` >= 0, a readable wake_fd aborts a blocked Read with
 /// end-of-stream — the daemon's SIGTERM self-pipe, which turns "blocked in
-/// read(2) forever" into a clean drain. Owns read_fd/write_fd iff
-/// `own_fds`; never owns wake_fd.
+/// read(2) forever" into a clean drain. When `write_timeout_ms` > 0, a
+/// Write whose peer stops consuming (full socket send buffer / pipe) fails
+/// with kUnavailable after that long instead of blocking forever — the
+/// bound that keeps a stalled client from parking a server worker, and the
+/// drain behind it, indefinitely. 0 = block until the peer reads or dies.
+/// Owns read_fd/write_fd iff `own_fds`; never owns wake_fd.
 class FdStream : public ByteStream {
  public:
-  FdStream(int read_fd, int write_fd, bool own_fds, int wake_fd = -1);
+  FdStream(int read_fd, int write_fd, bool own_fds, int wake_fd = -1,
+           double write_timeout_ms = 0);
   ~FdStream() override;
 
   Result<std::size_t> Read(char* buf, std::size_t len) override;
@@ -62,6 +67,8 @@ class FdStream : public ByteStream {
   int write_fd_;
   const bool own_fds_;
   const int wake_fd_;
+  const double write_timeout_ms_;
+  bool socket_send_ = true;  ///< Until send(2) says ENOTSOCK.
 };
 
 /// An in-memory duplex pipe: Create() returns two connected endpoints, each

@@ -25,17 +25,6 @@ bool ParseUint64(std::string_view s, std::uint64_t* out) {
   return true;
 }
 
-bool ValidTenantName(std::string_view s) {
-  if (s.empty() || s.size() > 64) return false;
-  for (const char c : s) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
-        c != '.' && c != '-') {
-      return false;
-    }
-  }
-  return true;
-}
-
 /// Parses the optional trailing "<key>=<ms>" field shared by both headers.
 bool ParseMsField(std::string_view field, std::string_view key, double* out) {
   if (!StartsWith(field, key) || field.size() <= key.size() ||
@@ -52,6 +41,17 @@ bool ParseMsField(std::string_view field, std::string_view key, double* out) {
 }
 
 }  // namespace
+
+bool IsValidTenantName(std::string_view tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (const char c : tenant) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
 
 std::string EncodeRequestFrame(const RequestFrame& frame) {
   std::string header = StrFormat(
@@ -137,7 +137,7 @@ Result<std::optional<RequestFrame>> FrameReader::ReadRequest() {
     return Status::InvalidArgument("malformed request header: " + **line);
   }
   RequestFrame frame;
-  if (!ValidTenantName(fields[1])) {
+  if (!IsValidTenantName(fields[1])) {
     return Status::InvalidArgument("bad tenant name: " + fields[1]);
   }
   frame.tenant = fields[1];

@@ -43,6 +43,12 @@ namespace blitz {
 /// answers once with id 0 and closes. Body-level problems (bad .bjq) are
 /// request-level and answered normally.
 
+/// True iff `tenant` fits the wire charset: 1-64 chars of [A-Za-z0-9_.-].
+/// Tenant names travel unquoted in the space-delimited request header, so
+/// anything outside this set (a space, a newline) would desync the framing;
+/// both the server's parser and the client's Send validate against it.
+bool IsValidTenantName(std::string_view tenant);
+
 /// Size caps a frame reader enforces before trusting any length field.
 struct WireLimits {
   std::uint64_t max_body_bytes = 1ull << 20;

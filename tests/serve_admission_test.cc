@@ -81,6 +81,28 @@ TEST(AdmissionTest, ReleaseNeverUnderflows) {
   AdmissionController controller(AdmissionOptions{});
   controller.Release("never-admitted");
   EXPECT_EQ(controller.in_flight("never-admitted"), 0);
+  EXPECT_EQ(controller.tracked_tenants(), 0u);
+}
+
+TEST(AdmissionTest, ReleaseDropsIdleTenantEntries) {
+  AdmissionController controller(AdmissionOptions{});
+  // Tenant names are unauthenticated client input: a client cycling fresh
+  // names must leave no residue behind, or the map grows without bound.
+  for (int i = 0; i < 100; ++i) {
+    const std::string tenant = "ephemeral-" + std::to_string(i);
+    ASSERT_TRUE(controller.Admit(tenant, 1).status.ok());
+    EXPECT_EQ(controller.tracked_tenants(), 1u);
+    controller.Release(tenant);
+    EXPECT_EQ(controller.tracked_tenants(), 0u);
+  }
+  // A tenant with slots still held stays tracked until its last Release.
+  ASSERT_TRUE(controller.Admit("busy", 1).status.ok());
+  ASSERT_TRUE(controller.Admit("busy", 1).status.ok());
+  controller.Release("busy");
+  EXPECT_EQ(controller.tracked_tenants(), 1u);
+  EXPECT_EQ(controller.in_flight("busy"), 1);
+  controller.Release("busy");
+  EXPECT_EQ(controller.tracked_tenants(), 0u);
 }
 
 TEST(AdmissionTest, RetryHintGrowsWithPressureButIsBounded) {

@@ -201,6 +201,24 @@ TEST(ClientTest, PipelinedSendsMatchResponsesById) {
   }
 }
 
+TEST(ClientTest, InvalidTenantFailsFastWithoutTouchingTheWire) {
+  // A tenant the space-delimited header cannot carry must be rejected
+  // client-side: encoded anyway, it would desync the framing and poison
+  // the connection with a confusing server-side protocol error.
+  for (const std::string& tenant : std::vector<std::string>{
+           "has space", "has\nnewline", "", std::string(65, 'a')}) {
+    ScriptedServer server({Ok()});
+    BlitzClient::Options options;
+    options.sleep_ms = [](double) {};
+    options.tenant = tenant;
+    BlitzClient client(server.client_stream(), std::move(options));
+    Result<ServeReply> reply = client.Optimize(kBjq);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(server.requests_seen(), 0);
+  }
+}
+
 TEST(ClientTest, ConnectionClosedMidCallIsUnavailable) {
   auto [client_end, server_end] = CreateDuplexPipe();
   server_end->Close();

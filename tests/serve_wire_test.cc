@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <string>
@@ -107,6 +108,17 @@ TEST(WireTest, MalformedHeadersAreErrors) {
     Result<std::optional<RequestFrame>> read = reader.ReadRequest();
     EXPECT_FALSE(read.ok()) << "accepted: " << header;
   }
+}
+
+TEST(WireTest, TenantNameValidation) {
+  EXPECT_TRUE(IsValidTenantName("default"));
+  EXPECT_TRUE(IsValidTenantName("team-7.shard_2"));
+  EXPECT_TRUE(IsValidTenantName(std::string(64, 'a')));
+  EXPECT_FALSE(IsValidTenantName(""));
+  EXPECT_FALSE(IsValidTenantName(std::string(65, 'a')));
+  EXPECT_FALSE(IsValidTenantName("has space"));    // Splits the header.
+  EXPECT_FALSE(IsValidTenantName("has\nnewline"));  // Ends the header.
+  EXPECT_FALSE(IsValidTenantName("bad~tenant"));
 }
 
 TEST(WireTest, OversizedDeclaredBodyRejectedBeforeReading) {
@@ -231,6 +243,56 @@ TEST(StreamTest, FdStreamCarriesFramesOverAPipePair) {
   Result<std::size_t> eof = server.Read(buf, sizeof(buf));
   ASSERT_TRUE(eof.ok());
   EXPECT_EQ(*eof, 0u);
+}
+
+TEST(StreamTest, FdStreamWriteTimesOutOnAStalledPipePeer) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  FdStream writer(/*read_fd=*/-1, fds[1], /*own_fds=*/false, /*wake_fd=*/-1,
+                  /*write_timeout_ms=*/50);
+  // Nobody reads fds[0]: a write larger than the pipe's buffer must fail
+  // with kUnavailable after the timeout instead of blocking forever.
+  Status written = writer.Write(std::string(4 << 20, 'x'));
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kUnavailable);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(StreamTest, FdStreamWriteTimesOutOnAStalledSocketPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdStream writer(fds[0], fds[0], /*own_fds=*/true, /*wake_fd=*/-1,
+                  /*write_timeout_ms=*/50);
+  // The peer never reads: the send buffer fills and the bounded poll for
+  // POLLOUT expires — the stalled-client case that must not park a server
+  // worker (and the SIGTERM drain behind it) indefinitely.
+  Status written = writer.Write(std::string(4 << 20, 'x'));
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kUnavailable);
+  ::close(fds[1]);
+}
+
+TEST(StreamTest, FdStreamBoundedWriteSucceedsWithAReadingPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdStream writer(fds[0], fds[0], /*own_fds=*/true, /*wake_fd=*/-1,
+                  /*write_timeout_ms=*/5000);
+  const std::string payload(4 << 20, 'y');
+  std::thread reader([&] {
+    std::size_t total = 0;
+    char buf[65536];
+    while (total < payload.size()) {
+      const ssize_t n = ::read(fds[1], buf, sizeof(buf));
+      ASSERT_GT(n, 0);
+      total += static_cast<std::size_t>(n);
+    }
+  });
+  // A healthy (if slow) peer never trips the timeout, however large the
+  // payload relative to the socket buffer.
+  EXPECT_TRUE(writer.Write(payload).ok());
+  reader.join();
+  ::close(fds[1]);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 // Exit codes: 0 clean drain, 1 runtime error, 2 usage error.
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +75,10 @@ void PrintUsage(std::FILE* out) {
       "                           2000)\n"
       "  --max-body-bytes <n>     request body cap (default 1048576)\n"
       "  --arena-bytes <n>        DP-table arena retention (default 256M)\n"
+      "  --write-timeout-ms <ms>  response write timeout per connection;\n"
+      "                           a peer that stops reading for this long\n"
+      "                           forfeits its connection (default 5000,\n"
+      "                           0 = never time out)\n"
       "  --help                   this text\n");
 }
 
@@ -82,6 +87,10 @@ struct DaemonArgs {
   Transport transport = Transport::kNone;
   std::string unix_path;
   int tcp_port = 0;
+  /// Bound on a single blocked response write: a stalled client (full TCP
+  /// send buffer) loses its connection after this instead of parking a
+  /// worker — and the SIGTERM drain — forever. 0 disables.
+  double write_timeout_ms = 5000;
   ServerOptions server;
 };
 
@@ -157,6 +166,14 @@ Result<DaemonArgs> ParseArgs(int argc, char** argv) {
       args.server.admission.default_quota.max_body_bytes =
           static_cast<std::uint64_t>(n);
       args.server.parse.max_bytes = static_cast<std::uint64_t>(n);
+    } else if (arg == "--write-timeout-ms") {
+      const char* value = next();
+      double ms = 0;
+      if (value == nullptr || !ParseDouble(value, &ms) || ms < 0) {
+        return Status::InvalidArgument(
+            "--write-timeout-ms needs a non-negative number");
+      }
+      args.write_timeout_ms = ms;
     } else if (arg == "--arena-bytes") {
       const char* value = next();
       int n = 0;
@@ -222,10 +239,15 @@ Result<int> ListenTcp(int port) {
 }
 
 /// Accepts connections until the wake fd fires, serving each on its own
-/// thread. Joins every connection thread before returning (their streams
-/// carry the wake fd too, so drain unblocks them).
-Status AcceptLoop(BlitzServer* server, int listen_fd, int wake_fd) {
+/// thread. ALL exits — drain and fatal listener errors alike — go through
+/// BeginDrain plus the join loop below: the connection threads are joinable
+/// std::threads, and returning past them would std::terminate the daemon
+/// with requests in flight (their streams carry the wake fd, so drain
+/// unblocks them).
+Status AcceptLoop(BlitzServer* server, int listen_fd, int wake_fd,
+                  double write_timeout_ms) {
   std::vector<std::thread> connections;
+  Status result = Status::OK();
   for (;;) {
     struct pollfd fds[2];
     fds[0] = {wake_fd, POLLIN, 0};
@@ -233,24 +255,38 @@ Status AcceptLoop(BlitzServer* server, int listen_fd, int wake_fd) {
     const int ready = ::poll(fds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
+      result = Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
+      break;
     }
     if (fds[0].revents != 0) break;  // Drain requested.
     if ((fds[1].revents & POLLIN) == 0) continue;
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(StrFormat("accept: %s", std::strerror(errno)));
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK || errno == EPROTO) {
+        // The peer hung up between poll and accept (or a spurious
+        // readiness): not our failure, keep listening.
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion clears as connections finish; sleep briefly so the
+        // still-readable listener doesn't spin poll/accept hot meanwhile.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      result = Status::Internal(StrFormat("accept: %s", std::strerror(errno)));
+      break;
     }
-    connections.emplace_back([server, conn_fd, wake_fd] {
-      FdStream stream(conn_fd, conn_fd, /*own_fds=*/true, wake_fd);
+    connections.emplace_back([server, conn_fd, wake_fd, write_timeout_ms] {
+      FdStream stream(conn_fd, conn_fd, /*own_fds=*/true, wake_fd,
+                      write_timeout_ms);
       // A protocol error ends one connection, never the daemon.
       (void)server->Serve(&stream);
     });
   }
   server->BeginDrain();
   for (std::thread& connection : connections) connection.join();
-  return Status::OK();
+  return result;
 }
 
 int RunDaemon(const DaemonArgs& args) {
@@ -281,7 +317,7 @@ int RunDaemon(const DaemonArgs& args) {
   switch (args.transport) {
     case DaemonArgs::Transport::kStdio: {
       FdStream stream(STDIN_FILENO, STDOUT_FILENO, /*own_fds=*/false,
-                      wake_pipe[0]);
+                      wake_pipe[0], args.write_timeout_ms);
       served = (*server)->Serve(&stream);
       // EOF on stdin is this transport's drain signal.
       (*server)->BeginDrain();
@@ -295,7 +331,8 @@ int RunDaemon(const DaemonArgs& args) {
       }
       std::fprintf(stderr, "blitzd: serving on unix socket %s\n",
                    args.unix_path.c_str());
-      served = AcceptLoop(server->get(), *listen_fd, wake_pipe[0]);
+      served = AcceptLoop(server->get(), *listen_fd, wake_pipe[0],
+                          args.write_timeout_ms);
       ::close(*listen_fd);
       ::unlink(args.unix_path.c_str());
       break;
@@ -308,7 +345,8 @@ int RunDaemon(const DaemonArgs& args) {
       }
       std::fprintf(stderr, "blitzd: serving on 127.0.0.1:%d\n",
                    args.tcp_port);
-      served = AcceptLoop(server->get(), *listen_fd, wake_pipe[0]);
+      served = AcceptLoop(server->get(), *listen_fd, wake_pipe[0],
+                          args.write_timeout_ms);
       ::close(*listen_fd);
       break;
     }
