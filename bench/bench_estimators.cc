@@ -1,0 +1,180 @@
+// Estimator regret over the Appendix workload grid: for each cardinality
+// estimator (card/estimator.h) and each topology x mean-cardinality grid
+// point, optimize under the estimator, then re-cost its chosen plan under
+// the *true* statistics and report
+//
+//   regret = cost_true(plan chosen under estimator)
+//          / cost_true(plan chosen under exact cardinalities)
+//
+// -- the Simpli-Squared question ("how much does the plan suffer for having
+// optimized against wrong or absent estimates?") asked against the paper's
+// own synthetic grid. paper is exact, so its regret is 1.0 by construction
+// and doubles as a self-check; hist estimates from equi-depth histograms
+// over synthetic base tables realizing the catalog (exec/datagen.h +
+// exec/stats.h); noest optimizes with no estimates at all.
+//
+// Usage:
+//   bench_estimators [--json <path>]   # blitz-bench-v1 (BENCH_estimators.json)
+//
+// Env knobs: BLITZ_ESTIMATORS_N (default 10), BLITZ_BENCH_MIN_SECONDS.
+// Regret points carry unit "ratio" and ride along as context; per-call
+// optimize times carry unit "ms" and are regression-gated by bench_diff.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/optimize_query.h"
+#include "benchlib/bench_json.h"
+#include "benchlib/table_out.h"
+#include "benchlib/timing.h"
+#include "card/estimator.h"
+#include "card/histogram.h"
+#include "card/no_estimate.h"
+#include "common/strings.h"
+#include "exec/datagen.h"
+#include "exec/stats.h"
+#include "query/workload.h"
+
+namespace blitz {
+namespace {
+
+struct Cell {
+  bool ok = false;
+  double regret = 0;
+  double optimize_ms = 0;
+};
+
+/// Optimizes `workload` under `estimator` (null = exact paper path) and
+/// returns the plan's true cost; OptimizeQuery already re-evaluates under
+/// the catalog/graph statistics regardless of what the search consumed.
+Result<double> TrueCostUnder(const Workload& workload,
+                             const CardinalityEstimator* estimator,
+                             CostModelKind model) {
+  QueryOptimizerOptions options;
+  options.cost_model = model;
+  options.estimator = estimator;
+  Result<OptimizedQuery> optimized =
+      OptimizeQuery(workload.catalog, workload.graph, options);
+  if (!optimized.ok()) return optimized.status();
+  return optimized->cost;
+}
+
+int Run(const std::string& json_path) {
+  const int n = BenchEnvInt("BLITZ_ESTIMATORS_N", 10);
+  const double min_seconds = BenchMinSeconds(0.02);
+  const CostModelKind model = CostModelKind::kNaive;
+
+  BenchReport report;
+  report.bench = "estimators";
+  report.AddMeta("n", StrFormat("%d", n));
+  report.AddMeta("cost_model", CostModelKindToString(model));
+
+  std::printf("Estimator regret at n = %d (plan cost under true stats,\n"
+              "relative to the exact-estimate optimum; naive cost model)\n\n",
+              n);
+
+  for (const Topology topology :
+       {Topology::kChain, Topology::kStar, Topology::kClique}) {
+    TextTable out;
+    out.SetHeader({"mean card", "estimator", "regret", "optimize (ms)"});
+    for (const double mean : {21.5, 1e4}) {
+      WorkloadSpec spec;
+      spec.num_relations = n;
+      spec.topology = topology;
+      spec.mean_cardinality = mean;
+      spec.variability = 0.5;
+      Result<Workload> workload = MakeWorkload(spec);
+      if (!workload.ok()) continue;
+
+      // The denominator: the exact plan's (true) cost.
+      Result<double> exact_cost = TrueCostUnder(*workload, nullptr, model);
+      if (!exact_cost.ok() || !(*exact_cost > 0)) continue;
+
+      // Build the non-exact estimators once per workload; the histogram
+      // estimator samples synthetic tables realizing the catalog.
+      NoEstimateEstimator no_estimate(workload->graph);
+      std::unique_ptr<SampleHistogramEstimator> histogram;
+      Result<std::vector<ExecTable>> tables =
+          GenerateTables(workload->catalog, workload->graph, DataGenOptions{});
+      if (tables.ok()) {
+        Result<std::unique_ptr<SampleHistogramEstimator>> built =
+            BuildHistogramEstimator(workload->graph, *tables);
+        if (built.ok()) histogram = std::move(*built);
+      }
+
+      const struct {
+        EstimatorKind kind;
+        const CardinalityEstimator* estimator;
+      } estimators[] = {
+          {EstimatorKind::kPaperFanout, nullptr},
+          {EstimatorKind::kSampleHistogram, histogram.get()},
+          {EstimatorKind::kNoEstimate, &no_estimate},
+      };
+
+      for (const auto& entry : estimators) {
+        const char* estimator_name = EstimatorKindName(entry.kind);
+        Cell cell;
+        if (entry.kind == EstimatorKind::kSampleHistogram &&
+            entry.estimator == nullptr) {
+          // Table generation failed (it should not on this grid); skip the
+          // cell rather than mislabeling the exact path as hist.
+        } else {
+          Result<double> cost = TrueCostUnder(*workload, entry.estimator,
+                                              model);
+          if (cost.ok()) {
+            cell.ok = true;
+            cell.regret = *cost / *exact_cost;
+            const TimingResult timing = TimeIt(
+                [&] {
+                  (void)TrueCostUnder(*workload, entry.estimator, model);
+                },
+                min_seconds);
+            cell.optimize_ms = timing.seconds_per_run * 1e3;
+          }
+        }
+        out.AddRow({StrFormat("%.3g", mean), estimator_name,
+                    cell.ok ? StrFormat("%.4f", cell.regret) : "failed",
+                    cell.ok ? StrFormat("%.2f", cell.optimize_ms) : "-"});
+        if (cell.ok) {
+          const std::string prefix =
+              StrFormat("%s/%s/m%.3g/n%d", estimator_name,
+                        TopologyToString(topology), mean, n);
+          report.AddPoint(prefix + "/regret", cell.regret, "ratio");
+          report.AddPoint(prefix + "/opt", cell.optimize_ms, "ms");
+        }
+      }
+    }
+    std::printf("--- topology %s ---\n%s\n", TopologyToString(topology),
+                out.ToString().c_str());
+  }
+
+  if (!json_path.empty()) {
+    const Status status = WriteBenchJsonFile(report, json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu points)\n", json_path.c_str(),
+                report.points.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return blitz::Run(json_path);
+}

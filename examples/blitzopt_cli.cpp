@@ -5,6 +5,7 @@
 //           [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>]
 //           [--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>]
 //           [--simd=<auto|scalar|block|avx2|avx512>]
+//           [--estimator=<paper|hist|noest>]
 //           [--trace-out=<file>] [--metrics-out=<file>]
 //           [--profile=<file>]
 //
@@ -14,6 +15,14 @@
 // the optimizer degrades exhaustive -> hybrid -> greedy and the output
 // names the tier that served the query; --no-degrade surfaces the budget
 // error instead.
+//
+// --estimator selects the cardinality estimator (card/estimator.h); it
+// overrides the query file's `estimator` directive. paper is the exact
+// Section 5.1 derivation; noest is the Simpli-Squared estimate-free
+// signal; hist builds equi-depth histograms over synthetic base tables
+// generated from the catalog (exec/datagen.h + exec/stats.h). The printed
+// cost is always re-evaluated under the true statistics, so comparing runs
+// across estimators measures estimator regret directly.
 //
 // Exit codes:
 //   0  success
@@ -30,23 +39,30 @@
 // per-phase, per-rank DP attribution — see src/obs/profiler/).
 //
 // The .bjq format (see src/textio/bjq.h):
-//   relation <name> <cardinality> [<tuple_bytes>]
+//   relation <name> <cardinality> [<tuple_bytes>]   (synonym: table)
 //   predicate <a> <b> <selectivity>
+//   join <a>.<col> = <b>.<col> [<distinct_a> <distinct_b>]
 //   costmodel <naive|sm|dnl|min>
 //   threshold <initial_plan_cost_threshold>
+//   estimator <paper|hist|noest>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/optimize_query.h"
+#include "card/histogram.h"
+#include "card/no_estimate.h"
 #include "common/strings.h"
 #include "exec/datagen.h"
 #include "exec/executor.h"
+#include "exec/stats.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profiler/profiler.h"
@@ -73,6 +89,7 @@ int Usage() {
       "[--explain] [--report] [--deadline-ms=<ms>] [--max-table-mb=<mb>] "
       "[--no-degrade] [--exhaustive-limit=<n>] [--threads=<n>] "
       "[--simd=<auto|scalar|block|avx2|avx512>] "
+      "[--estimator=<paper|hist|noest>] "
       "[--trace-out=<file>] [--metrics-out=<file>] [--profile=<file>]\n");
   return kExitUsage;
 }
@@ -176,6 +193,7 @@ int main(int argc, char** argv) {
   int exhaustive_limit = 16;
   int threads = 1;
   SimdLevel simd = SimdLevel::kAuto;
+  std::optional<EstimatorKind> estimator_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value_of = [&](std::string_view prefix) -> std::string_view {
@@ -227,6 +245,15 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       simd = *parsed;
+    } else if (arg.rfind("--estimator=", 0) == 0) {
+      const std::optional<EstimatorKind> kind =
+          EstimatorKindFromName(value_of("--estimator="));
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "error: bad --estimator value (valid: %s)\n",
+                     EstimatorKindNames());
+        return kExitUsage;
+      }
+      estimator_flag = kind;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -276,6 +303,37 @@ int main(int argc, char** argv) {
         1, static_cast<std::uint64_t>(max_table_mb * 1024.0 * 1024.0));
   }
 
+  // The CLI flag overrides the file's `estimator` directive; default paper.
+  // Non-paper estimators are owned here and must outlive OptimizeQuery.
+  const EstimatorKind estimator_kind = estimator_flag.has_value()
+                                           ? *estimator_flag
+                                           : spec->estimator.value_or(
+                                                 EstimatorKind::kPaperFanout);
+  std::optional<NoEstimateEstimator> no_estimate;
+  std::unique_ptr<SampleHistogramEstimator> histogram;
+  if (estimator_kind == EstimatorKind::kNoEstimate) {
+    no_estimate.emplace(spec->graph);
+    options.estimator = &*no_estimate;
+  } else if (estimator_kind == EstimatorKind::kSampleHistogram) {
+    // Histograms are sampled from synthetic base tables realizing the
+    // catalog's statistics — the closest a statistics-only front end can
+    // get to "scan the data".
+    Result<std::vector<ExecTable>> tables =
+        GenerateTables(spec->catalog, spec->graph, DataGenOptions{});
+    if (!tables.ok()) {
+      std::fprintf(stderr, "error: %s\n", tables.status().ToString().c_str());
+      return kExitError;
+    }
+    Result<std::unique_ptr<SampleHistogramEstimator>> built =
+        BuildHistogramEstimator(spec->graph, *tables);
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return kExitError;
+    }
+    histogram = std::move(*built);
+    options.estimator = histogram.get();
+  }
+
   Result<OptimizedQuery> optimized =
       OptimizeQuery(spec->catalog, spec->graph, options);
   if (!optimized.ok()) {
@@ -293,7 +351,8 @@ int main(int argc, char** argv) {
                                   spec->graph, spec->cost_model)
                           .c_str());
   }
-  std::printf("cost: %g (%d optimizer pass%s, tier %s%s, simd %s)\n",
+  std::printf("cost: %g (%d optimizer pass%s, tier %s%s, simd %s, "
+              "estimator %s)\n",
               optimized->cost, optimized->passes,
               optimized->passes == 1 ? "" : "es",
               OptimizerTierName(optimized->tier),
@@ -302,7 +361,8 @@ int main(int argc, char** argv) {
                   ? SimdLevelName(optimized->report->simd_level)
                   : SimdLevelName(EffectivePassSimdLevel(
                         options.Normalized().exhaustive,
-                        spec->catalog.num_relations())));
+                        spec->catalog.num_relations())),
+              EstimatorKindName(estimator_kind));
   if (optimized->report.has_value() &&
       !optimized->report->degradations.empty()) {
     for (const std::string& step : optimized->report->degradations) {

@@ -63,11 +63,12 @@ std::string OptimizedQuery::ReportToString() const {
   const OptimizeReport& r = *report;
   std::string out = StrFormat(
       "total %.3f ms (optimize %.3f, extract %.3f, evaluate %.3f, "
-      "attach %.3f); tier %s; simd %s; peak DP table %llu bytes",
+      "attach %.3f); tier %s; simd %s; estimator %s; "
+      "peak DP table %llu bytes",
       r.total_seconds * 1e3, r.optimize_seconds * 1e3,
       r.extract_seconds * 1e3, r.evaluate_seconds * 1e3,
       r.attach_seconds * 1e3, OptimizerTierName(tier),
-      SimdLevelName(r.simd_level),
+      SimdLevelName(r.simd_level), EstimatorKindName(r.estimator),
       static_cast<unsigned long long>(r.peak_dp_table_bytes));
   if (r.tiers_attempted > 1) {
     out += StrFormat(" (%d tier attempts", r.tiers_attempted);
@@ -113,10 +114,12 @@ QueryOptimizerOptions QueryOptimizerOptions::Normalized() const {
   out.exhaustive.parallel = parallel;
   out.exhaustive.simd = simd;
   out.exhaustive.table_arena = table_arena;
+  out.exhaustive.estimator = estimator;
   out.hybrid.cost_model = cost_model;
   out.hybrid.budget = budget;
   out.hybrid.parallel = parallel;
   out.hybrid.simd = simd;
+  out.hybrid.estimator = estimator;
   return out;
 }
 
@@ -127,6 +130,12 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     return Status::InvalidArgument("catalog/graph relation-count mismatch");
   }
   BLITZ_RETURN_IF_ERROR(raw_options.Validate());
+  if (raw_options.estimator != nullptr &&
+      raw_options.estimator->num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument(StrFormat(
+        "estimator covers %d relations but the catalog has %d",
+        raw_options.estimator->num_relations(), catalog.num_relations()));
+  }
   QueryOptimizerOptions options = raw_options.Normalized();
 
   const MetricTimer total_timer;
@@ -152,6 +161,9 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
   // EffectivePassSimdLevel).
   report.simd_level =
       EffectivePassSimdLevel(options.exhaustive, catalog.num_relations());
+  report.estimator = options.estimator != nullptr
+                         ? options.estimator->kind()
+                         : EstimatorKind::kPaperFanout;
 
   // The degradation ladder: the natural tier for this problem size first,
   // then each cheaper tier. Budget exhaustion (deadline, memory cap) steps
@@ -212,7 +224,8 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     PhaseTimer phase(options.collect_report, &report.optimize_seconds);
     Result<GreedyResult> outcome =
         OptimizeGreedy(catalog, graph, options.cost_model,
-                       GreedyCriterion::kMinOutputCardinality);
+                       GreedyCriterion::kMinOutputCardinality,
+                       options.estimator);
     if (!outcome.ok()) return outcome.status();
     result.plan = std::move(outcome->plan);
     return Status::OK();
@@ -281,6 +294,7 @@ Result<OptimizedQuery> OptimizeQuery(const Catalog& catalog,
     // to tell the whole story of the last query.
     metrics->SetLabel("api.simd_resolved", SimdLevelName(report.simd_level));
     metrics->SetLabel("api.tier", OptimizerTierName(result.tier));
+    metrics->SetLabel("api.estimator", EstimatorKindName(report.estimator));
     std::string degradation_log;
     for (const std::string& step : report.degradations) {
       if (!degradation_log.empty()) degradation_log += "; ";

@@ -67,6 +67,16 @@ struct QueryOptimizerOptions {
   /// resolved per-pass choice is reported in OptimizeReport::simd_level.
   SimdLevel simd = SimdLevel::kAuto;
 
+  /// Cardinality estimator shared by every tier (card/estimator.h). Null —
+  /// the default — and an exact estimator resolve to the paper's Section
+  /// 5.1 derivation: bit-identical DP tables, tie-breaks, and counters. A
+  /// non-exact estimator (hist, noest) supplies every cardinality the
+  /// tiers consume; OptimizedQuery::cost is still re-evaluated under the
+  /// *true* statistics, so (cost under estimator plan) / (cost under exact
+  /// plan) is the estimator's regret. The resolved name is reported in
+  /// OptimizeReport::estimator. Not owned; must outlive the call.
+  const CardinalityEstimator* estimator = nullptr;
+
   /// Attach physical join algorithms to the plan (Section 6.5 post-pass).
   bool attach_algorithms = true;
 
@@ -143,6 +153,10 @@ struct OptimizeReport {
   /// against the CPU and BLITZ_SIMD — the per-pass kernel choice; all
   /// passes of one call share it). Never kAuto.
   SimdLevel simd_level = SimdLevel::kScalar;
+
+  /// The estimator the call resolved cardinalities through (kPaperFanout
+  /// when options.estimator was null — the built-in exact derivation).
+  EstimatorKind estimator = EstimatorKind::kPaperFanout;
 
   /// Tier attempts consumed (1 = no degradation).
   int tiers_attempted = 1;

@@ -12,10 +12,18 @@ namespace blitz {
 Result<GreedyResult> OptimizeGreedy(const Catalog& catalog,
                                     const JoinGraph& graph,
                                     CostModelKind cost_model,
-                                    GreedyCriterion criterion) {
+                                    GreedyCriterion criterion,
+                                    const CardinalityEstimator* estimator) {
   const int n = catalog.num_relations();
   if (graph.num_relations() != n) {
     return Status::InvalidArgument("catalog/graph relation-count mismatch");
+  }
+  // Null or exact rides the Section 5.1 derivation below unchanged; only a
+  // genuinely non-exact estimator replaces the cardinality arithmetic.
+  const CardinalityEstimator* est =
+      (estimator != nullptr && !estimator->exact()) ? estimator : nullptr;
+  if (est != nullptr && est->num_relations() != n) {
+    return Status::InvalidArgument("estimator/catalog relation-count mismatch");
   }
 
   struct Tree {
@@ -26,7 +34,9 @@ Result<GreedyResult> OptimizeGreedy(const Catalog& catalog,
   std::vector<Tree> forest;
   forest.reserve(n);
   for (int i = 0; i < n; ++i) {
-    forest.push_back(Tree{Plan::Leaf(i), catalog.cardinality(i), 0.0});
+    const double card =
+        est != nullptr ? est->BaseCardinality(i) : catalog.cardinality(i);
+    forest.push_back(Tree{Plan::Leaf(i), card, 0.0});
   }
 
   while (forest.size() > 1) {
@@ -37,9 +47,15 @@ Result<GreedyResult> OptimizeGreedy(const Catalog& catalog,
     double best_kappa = 0;
     for (size_t a = 0; a < forest.size(); ++a) {
       for (size_t b = a + 1; b < forest.size(); ++b) {
-        const double span = graph.PiSpan(forest[a].plan.relations(),
-                                         forest[b].plan.relations());
-        const double out_card = forest[a].card * forest[b].card * span;
+        double out_card;
+        if (est != nullptr) {
+          out_card = est->EstimateCardinality(forest[a].plan.relations() |
+                                              forest[b].plan.relations());
+        } else {
+          const double span = graph.PiSpan(forest[a].plan.relations(),
+                                           forest[b].plan.relations());
+          out_card = forest[a].card * forest[b].card * span;
+        }
         const double kappa =
             EvalJoinCost(cost_model, out_card, forest[a].card, forest[b].card);
         const double score =

@@ -1,6 +1,7 @@
 #ifndef BLITZ_BASELINE_GREEDY_H_
 #define BLITZ_BASELINE_GREEDY_H_
 
+#include "card/estimator.h"
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
@@ -29,10 +30,15 @@ struct GreedyResult {
 /// tree remains. Produces plans of reasonable but unguaranteed quality in
 /// polynomial time — the heuristic comparator for the benches, standing in
 /// for the heuristic family surveyed by Steinbrunn [Ste96].
-Result<GreedyResult> OptimizeGreedy(const Catalog& catalog,
-                                    const JoinGraph& graph,
-                                    CostModelKind cost_model,
-                                    GreedyCriterion criterion);
+///
+/// `estimator` (nullable) is the cardinality seam: null or exact keeps the
+/// Section 5.1 derivation over the catalog and graph; a non-exact estimator
+/// supplies every subtree cardinality the pair scoring consumes, so the
+/// heuristic ranks pairs exactly as a system without true statistics would.
+Result<GreedyResult> OptimizeGreedy(
+    const Catalog& catalog, const JoinGraph& graph, CostModelKind cost_model,
+    GreedyCriterion criterion,
+    const CardinalityEstimator* estimator = nullptr);
 
 }  // namespace blitz
 

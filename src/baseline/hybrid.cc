@@ -117,8 +117,28 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   span.AddArg("n", n);
   span.AddArg("restarts", options.restarts);
 
+  // The cardinality seam: null or exact keeps the Section 5.1 unit
+  // statistics verbatim; a non-exact estimator replaces every cardinality,
+  // pair selectivity, and candidate-plan cost the search reads.
+  const CardinalityEstimator* est =
+      (options.estimator != nullptr && !options.estimator->exact())
+          ? options.estimator
+          : nullptr;
+  if (est != nullptr && est->num_relations() != n) {
+    return Status::InvalidArgument("estimator/catalog relation-count mismatch");
+  }
+
   std::vector<double> base_cards(n);
-  for (int i = 0; i < n; ++i) base_cards[i] = catalog.cardinality(i);
+  for (int i = 0; i < n; ++i) {
+    base_cards[i] = est != nullptr ? est->BaseCardinality(i)
+                                   : catalog.cardinality(i);
+  }
+
+  const auto plan_cost = [&](const Plan& plan) {
+    return est != nullptr
+               ? EvaluateCost(plan, *est, options.cost_model)
+               : EvaluateCost(plan, catalog, graph, options.cost_model);
+  };
 
   Rng rng(options.seed);
   HybridResult best;
@@ -130,8 +150,7 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
     for (int move = 0; move < options.polish_moves; ++move) {
       Plan candidate = plan->Clone();
       if (!ApplyRandomMove(&candidate, &rng)) break;
-      const double candidate_cost =
-          EvaluateCost(candidate, catalog, graph, options.cost_model);
+      const double candidate_cost = plan_cost(candidate);
       if (candidate_cost < *cost) {
         *plan = std::move(candidate);
         *cost = candidate_cost;
@@ -142,7 +161,8 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
   if (options.seed_with_greedy && n >= 2) {
     Result<GreedyResult> greedy =
         OptimizeGreedy(catalog, graph, options.cost_model,
-                       GreedyCriterion::kMinOutputCardinality);
+                       GreedyCriterion::kMinOutputCardinality,
+                       options.estimator);
     if (greedy.ok()) {
       double cost = greedy->cost;
       Plan plan = std::move(greedy->plan);
@@ -189,8 +209,12 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
         for (size_t b = a + 1; b < block.size(); ++b) {
           if (graph.AnyEdgeSpans(units[block[a]].base_set,
                                  units[block[b]].base_set)) {
-            const double selectivity = graph.PiSpan(
-                units[block[a]].base_set, units[block[b]].base_set);
+            const double selectivity =
+                est != nullptr
+                    ? est->EstimateSpanSelectivity(units[block[a]].base_set,
+                                                   units[block[b]].base_set)
+                    : graph.PiSpan(units[block[a]].base_set,
+                                   units[block[b]].base_set);
             BLITZ_RETURN_IF_ERROR(block_graph.AddPredicate(
                 static_cast<int>(a), static_cast<int>(b), selectivity));
           }
@@ -228,7 +252,9 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
       Unit fused;
       fused.plan = ComposePlan(block_plan->root(), &units, block);
       fused.base_set = fused.plan.relations();
-      fused.card = graph.JoinCardinality(fused.base_set, base_cards);
+      fused.card = est != nullptr
+                       ? est->EstimateCardinality(fused.base_set)
+                       : graph.JoinCardinality(fused.base_set, base_cards);
 
       // Remove the block's units (descending index order keeps positions
       // valid), then append the fused unit.
@@ -243,7 +269,7 @@ Result<HybridResult> OptimizeHybrid(const Catalog& catalog,
     if (budget_exhausted) break;
 
     Plan plan = std::move(units[0].plan);
-    double cost = EvaluateCost(plan, catalog, graph, options.cost_model);
+    double cost = plan_cost(plan);
     // Short first-improvement descent around the decomposed solution.
     polish(&plan, &cost);
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "card/estimator.h"
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
@@ -52,6 +53,16 @@ struct HybridOptions {
   /// SIMD kernel request forwarded to every exact block solve (see
   /// simd/dispatch.h; kAuto = cpuid probe + BLITZ_SIMD override).
   SimdLevel simd = SimdLevel::kAuto;
+
+  /// Cardinality estimator (card/estimator.h). Null or exact keeps the
+  /// Section 5.1 unit statistics (JoinCardinality / PiSpan) verbatim. A
+  /// non-exact estimator supplies every unit cardinality, unit-pair
+  /// selectivity, and candidate-plan cost the search consumes — the block
+  /// DPs then run exactly over those *estimated* unit statistics, and
+  /// HybridResult::cost is the estimated cost of the winner (re-evaluate
+  /// under the true model to measure regret). Not owned; must outlive the
+  /// call.
+  const CardinalityEstimator* estimator = nullptr;
 
   /// Canonical validation of every knob (block_size in [2, kMaxRelations],
   /// at least one restart, non-negative polish budget, valid parallel

@@ -1,0 +1,49 @@
+#include "card/estimator.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace blitz {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kPaperFanout:
+      return "paper";
+    case EstimatorKind::kSampleHistogram:
+      return "hist";
+    case EstimatorKind::kNoEstimate:
+      return "noest";
+  }
+  return "unknown";
+}
+
+std::optional<EstimatorKind> EstimatorKindFromName(std::string_view name) {
+  if (name == "paper") return EstimatorKind::kPaperFanout;
+  if (name == "hist") return EstimatorKind::kSampleHistogram;
+  if (name == "noest") return EstimatorKind::kNoEstimate;
+  return std::nullopt;
+}
+
+const char* EstimatorKindNames() { return "paper, hist, noest"; }
+
+void CardinalityEstimator::EstimateAll(std::vector<double>* cards) const {
+  const int n = num_relations();
+  const std::uint64_t table_size = std::uint64_t{1} << n;
+  cards->assign(table_size, 0.0);
+  for (std::uint64_t s = 1; s < table_size; ++s) {
+    (*cards)[s] = EstimateCardinality(RelSet::FromWord(s));
+  }
+}
+
+double CardinalityEstimator::EstimateSpanSelectivity(RelSet u, RelSet v) const {
+  BLITZ_DCHECK(!u.empty() && !v.empty() && !u.Intersects(v));
+  const double denom = EstimateCardinality(u) * EstimateCardinality(v);
+  if (!(denom > 0.0)) return 1.0;
+  const double sel = EstimateCardinality(u | v) / denom;
+  if (!(sel > 0.0)) return 1e-12;  // Underflow: keep it a valid selectivity.
+  return std::min(sel, 1.0);
+}
+
+}  // namespace blitz

@@ -1,0 +1,129 @@
+#include "card/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "card/fanout.h"
+#include "common/check.h"
+
+namespace blitz {
+
+EquiDepthHistogram EquiDepthHistogram::Build(
+    const std::vector<std::uint32_t>& column, int num_buckets) {
+  BLITZ_CHECK(num_buckets >= 1);
+  EquiDepthHistogram hist;
+  if (column.empty()) return hist;
+
+  std::vector<std::uint32_t> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  hist.rows_ = static_cast<double>(sorted.size());
+  hist.min_value_ = sorted.front();
+  hist.max_value_ = sorted.back();
+
+  const double target_depth =
+      std::ceil(hist.rows_ / static_cast<double>(num_buckets));
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    Bucket bucket;
+    bucket.lo = sorted[i];
+    while (i < sorted.size()) {
+      // Consume one whole value-run so equal values never straddle buckets.
+      const std::uint32_t value = sorted[i];
+      std::size_t run_end = i;
+      while (run_end < sorted.size() && sorted[run_end] == value) ++run_end;
+      bucket.hi = value;
+      bucket.rows += static_cast<double>(run_end - i);
+      bucket.distinct += 1;
+      i = run_end;
+      if (bucket.rows >= target_depth) break;
+    }
+    hist.distinct_ += bucket.distinct;
+    hist.buckets_.push_back(bucket);
+  }
+  return hist;
+}
+
+namespace {
+
+/// Inclusive width of a value range as a double (avoids uint32 overflow on
+/// the full domain).
+double RangeWidth(std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+}
+
+/// Fraction of bucket `b` (by uniform value-space interpolation) covered by
+/// the inclusive query range [lo, hi]. 0 when disjoint, 1 when contained.
+double BucketCoverage(const EquiDepthHistogram::Bucket& b, std::uint32_t lo,
+                      std::uint32_t hi) {
+  if (hi < b.lo || lo > b.hi) return 0.0;
+  const std::uint32_t olo = std::max(lo, b.lo);
+  const std::uint32_t ohi = std::min(hi, b.hi);
+  if (olo <= b.lo && ohi >= b.hi) return 1.0;
+  return RangeWidth(olo, ohi) / RangeWidth(b.lo, b.hi);
+}
+
+}  // namespace
+
+double EquiDepthHistogram::FractionInRange(std::uint32_t lo,
+                                           std::uint32_t hi) const {
+  if (empty() || hi < lo) return 0.0;
+  double covered = 0.0;
+  for (const Bucket& b : buckets_) covered += b.rows * BucketCoverage(b, lo, hi);
+  return covered / rows_;
+}
+
+double EquiDepthHistogram::DistinctInRange(std::uint32_t lo,
+                                           std::uint32_t hi) const {
+  if (empty() || hi < lo) return 0.0;
+  double covered = 0.0;
+  for (const Bucket& b : buckets_) {
+    covered += b.distinct * BucketCoverage(b, lo, hi);
+  }
+  return covered;
+}
+
+double EstimateEquiJoinSelectivity(const EquiDepthHistogram& a,
+                                   const EquiDepthHistogram& b) {
+  if (a.empty() || b.empty()) return kMinJoinSelectivity;
+  const std::uint32_t lo = std::max(a.min_value(), b.min_value());
+  const std::uint32_t hi = std::min(a.max_value(), b.max_value());
+  if (lo > hi) return kMinJoinSelectivity;  // Disjoint key ranges.
+  const double frac_a = a.FractionInRange(lo, hi);
+  const double frac_b = b.FractionInRange(lo, hi);
+  const double d =
+      std::max({a.DistinctInRange(lo, hi), b.DistinctInRange(lo, hi), 1.0});
+  const double sel = frac_a * frac_b / d;
+  if (!(sel > kMinJoinSelectivity)) return kMinJoinSelectivity;
+  return std::min(sel, 1.0);
+}
+
+SampleHistogramEstimator::SampleHistogramEstimator(
+    const JoinGraph& graph, std::vector<double> rows,
+    std::vector<double> edge_selectivities)
+    : est_graph_(graph.num_relations()), rows_(std::move(rows)) {
+  BLITZ_CHECK(static_cast<int>(rows_.size()) == graph.num_relations());
+  BLITZ_CHECK(edge_selectivities.size() == graph.predicates().size());
+  for (double& r : rows_) {
+    if (!(r >= 1.0) || !std::isfinite(r)) r = 1.0;
+  }
+  for (std::size_t k = 0; k < edge_selectivities.size(); ++k) {
+    const Predicate& p = graph.predicates()[k];
+    double sel = edge_selectivities[k];
+    if (!(sel > kMinJoinSelectivity) || !std::isfinite(sel)) {
+      sel = kMinJoinSelectivity;
+    }
+    sel = std::min(sel, 1.0);
+    BLITZ_CHECK(est_graph_.AddPredicate(p.lhs, p.rhs, sel).ok());
+  }
+}
+
+double SampleHistogramEstimator::EstimateCardinality(RelSet s) const {
+  return FanoutJoinCardinality(est_graph_, s, rows_);
+}
+
+void SampleHistogramEstimator::EstimateAll(std::vector<double>* cards) const {
+  FanoutComputeAllCardinalities(est_graph_, rows_, cards);
+}
+
+}  // namespace blitz

@@ -1,0 +1,106 @@
+#ifndef BLITZ_CARD_HISTOGRAM_H_
+#define BLITZ_CARD_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "card/estimator.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// An equi-depth (equal-height) histogram over a uint32 join-key column.
+/// Buckets hold roughly equal row counts; all occurrences of one value land
+/// in one bucket, so boundaries fall on value boundaries and heavy hitters
+/// widen their bucket's depth instead of leaking across a split.
+class EquiDepthHistogram {
+ public:
+  struct Bucket {
+    std::uint32_t lo = 0;  ///< Smallest value in the bucket (inclusive).
+    std::uint32_t hi = 0;  ///< Largest value in the bucket (inclusive).
+    double rows = 0;       ///< Rows whose value falls in [lo, hi].
+    double distinct = 0;   ///< Distinct values observed in [lo, hi].
+  };
+
+  /// Builds from a column sample. `num_buckets` is a target; the result has
+  /// fewer buckets when the column has fewer distinct values (an empty
+  /// column yields zero buckets, a constant column exactly one).
+  static EquiDepthHistogram Build(const std::vector<std::uint32_t>& column,
+                                  int num_buckets);
+
+  bool empty() const { return rows_ == 0; }
+  double rows() const { return rows_; }
+  double distinct() const { return distinct_; }
+  std::uint32_t min_value() const { return min_value_; }
+  std::uint32_t max_value() const { return max_value_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Fraction of rows with value in [lo, hi] (inclusive), interpolating
+  /// uniformly inside partially-covered buckets. 0 for an empty histogram.
+  double FractionInRange(std::uint32_t lo, std::uint32_t hi) const;
+
+  /// Estimated distinct values in [lo, hi], with the same interpolation.
+  double DistinctInRange(std::uint32_t lo, std::uint32_t hi) const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  double rows_ = 0;
+  double distinct_ = 0;
+  std::uint32_t min_value_ = 0;
+  std::uint32_t max_value_ = 0;
+};
+
+/// Estimated selectivity of an equi-join between two columns summarized by
+/// `a` and `b`: restrict both to the overlap of their value ranges, then
+/// apply the System-R rule 1/max(distinct) on the overlapping mass:
+///
+///   sel = frac_a(overlap) * frac_b(overlap) / max(d_a(overlap), d_b(overlap))
+///
+/// Clamped into [kMinJoinSelectivity, 1]; disjoint ranges or empty columns
+/// clamp to the floor rather than estimating a true zero, because a zero
+/// cardinality would poison every superset product downstream.
+inline constexpr double kMinJoinSelectivity = 1e-12;
+double EstimateEquiJoinSelectivity(const EquiDepthHistogram& a,
+                                   const EquiDepthHistogram& b);
+
+/// Histogram-backed estimator: per-relation row counts plus one estimated
+/// selectivity per join-graph edge, combined under the classical
+/// attribute-independence assumption,
+///
+///   est(S) = Π_{i∈S} rows_i × Π_{edges(a,b) ⊆ S} sel_ab
+///
+/// which is structurally the paper's own product form, so estimation runs
+/// through the same O(2^n) fan recurrence — just over estimated inputs.
+/// Build one from exec-layer tables with BuildHistogramEstimator
+/// (src/exec/stats.h), or directly from rows + per-edge selectivities here
+/// (e.g. in tests).
+class SampleHistogramEstimator final : public CardinalityEstimator {
+ public:
+  /// `rows[i]` estimates |R_i| (floored at 1 row); `edge_selectivities[k]`
+  /// parallels graph.predicates() (clamped into [kMinJoinSelectivity, 1]).
+  /// `graph` is borrowed and must outlive the estimator.
+  SampleHistogramEstimator(const JoinGraph& graph, std::vector<double> rows,
+                           std::vector<double> edge_selectivities);
+
+  EstimatorKind kind() const override {
+    return EstimatorKind::kSampleHistogram;
+  }
+  int num_relations() const override { return est_graph_.num_relations(); }
+  double BaseCardinality(int i) const override { return rows_[i]; }
+  double EstimateCardinality(RelSet s) const override;
+  void EstimateAll(std::vector<double>* cards) const override;
+
+  /// The estimated selectivity attached to the edge between i and j
+  /// (1.0 if no edge) — for tests and reports.
+  double EdgeSelectivity(int i, int j) const {
+    return est_graph_.Selectivity(i, j);
+  }
+
+ private:
+  JoinGraph est_graph_;  ///< Same edges as the source graph, estimated sels.
+  std::vector<double> rows_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CARD_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+#include "card/no_estimate.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace blitz {
+
+namespace {
+
+double UnitPower(int exponent) {
+  if (exponent <= 0) return 1.0;
+  return std::pow(NoEstimateEstimator::kUnit, exponent);
+}
+
+}  // namespace
+
+double NoEstimateEstimator::EstimateCardinality(RelSet s) const {
+  int edges = 0;
+  for (const Predicate& p : graph_->predicates()) {
+    if (s.Contains(p.lhs) && s.Contains(p.rhs)) ++edges;
+  }
+  return UnitPower(s.size() - edges);
+}
+
+void NoEstimateEstimator::EstimateAll(std::vector<double>* cards) const {
+  const int n = graph_->num_relations();
+  const std::uint64_t table_size = std::uint64_t{1} << n;
+  cards->assign(table_size, 0.0);
+  // edges(S) = edges(S \ {min S}) + |neighbors(min S) ∩ S|, so one O(2^n)
+  // sweep beats re-scanning the predicate list per subset.
+  std::vector<std::uint16_t> edges(table_size, 0);
+  for (std::uint64_t s = 1; s < table_size; ++s) {
+    const int lowest = std::countr_zero(s);
+    const std::uint64_t rest = s & (s - 1);
+    edges[s] = static_cast<std::uint16_t>(
+        edges[rest] +
+        std::popcount(graph_->Neighbors(lowest).word() & rest));
+    (*cards)[s] = UnitPower(std::popcount(s) - edges[s]);
+  }
+}
+
+}  // namespace blitz

@@ -1,0 +1,44 @@
+#ifndef BLITZ_CARD_NO_ESTIMATE_H_
+#define BLITZ_CARD_NO_ESTIMATE_H_
+
+#include <vector>
+
+#include "card/estimator.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Simpli-Squared's estimate-free ordering signal (PAPERS.md): join
+/// ordering without cardinality estimates, using only the query's
+/// predicate structure. Every relation is pretended to have the same
+/// cardinality kUnit and every predicate the same selectivity 1/kUnit, so
+///
+///   est(S) = kUnit ^ max(0, |S| - #predicates induced by S)
+///
+/// — subsets that bind more predicates look smaller, Cartesian products
+/// look maximally large, and over-constrained subsets (cliques) floor at
+/// 1. The absolute values are meaningless by design; only the ordering
+/// they induce matters. Regret against the exact plan is what
+/// bench_estimators records.
+class NoEstimateEstimator final : public CardinalityEstimator {
+ public:
+  /// The pretended per-relation cardinality. Large enough that one unbound
+  /// relation dominates any plausible bound-predicate discount.
+  static constexpr double kUnit = 1000.0;
+
+  /// `graph` is borrowed and must outlive the estimator.
+  explicit NoEstimateEstimator(const JoinGraph& graph) : graph_(&graph) {}
+
+  EstimatorKind kind() const override { return EstimatorKind::kNoEstimate; }
+  int num_relations() const override { return graph_->num_relations(); }
+  double BaseCardinality(int /*i*/) const override { return kUnit; }
+  double EstimateCardinality(RelSet s) const override;
+  void EstimateAll(std::vector<double>* cards) const override;
+
+ private:
+  const JoinGraph* graph_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CARD_NO_ESTIMATE_H_

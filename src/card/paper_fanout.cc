@@ -1,0 +1,34 @@
+#include "card/paper_fanout.h"
+
+#include <utility>
+
+#include "card/fanout.h"
+#include "common/check.h"
+
+namespace blitz {
+
+PaperFanoutEstimator::PaperFanoutEstimator(const Catalog& catalog,
+                                           const JoinGraph& graph)
+    : graph_(&graph) {
+  BLITZ_CHECK(catalog.num_relations() == graph.num_relations());
+  base_cards_.reserve(catalog.num_relations());
+  for (int i = 0; i < catalog.num_relations(); ++i) {
+    base_cards_.push_back(catalog.cardinality(i));
+  }
+}
+
+PaperFanoutEstimator::PaperFanoutEstimator(std::vector<double> base_cards,
+                                           const JoinGraph& graph)
+    : graph_(&graph), base_cards_(std::move(base_cards)) {
+  BLITZ_CHECK(static_cast<int>(base_cards_.size()) == graph.num_relations());
+}
+
+double PaperFanoutEstimator::EstimateCardinality(RelSet s) const {
+  return FanoutJoinCardinality(*graph_, s, base_cards_);
+}
+
+void PaperFanoutEstimator::EstimateAll(std::vector<double>* cards) const {
+  FanoutComputeAllCardinalities(*graph_, base_cards_, cards);
+}
+
+}  // namespace blitz

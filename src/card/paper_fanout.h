@@ -1,0 +1,45 @@
+#ifndef BLITZ_CARD_PAPER_FANOUT_H_
+#define BLITZ_CARD_PAPER_FANOUT_H_
+
+#include <vector>
+
+#include "card/estimator.h"
+#include "catalog/catalog.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// The paper's own derivation behind the estimator seam: base cardinalities
+/// from the catalog, selectivities from the join graph, combined with the
+/// Section 5.1 Pi_fan recurrence. exact() is true — EstimateAll reproduces
+/// the fused in-DP computation bit-for-bit, so an optimizer handed this
+/// estimator (or none at all, the default) produces unchanged DP tables,
+/// tie-breaks, and operation counts.
+class PaperFanoutEstimator final : public CardinalityEstimator {
+ public:
+  /// `graph` is borrowed and must outlive the estimator; base cardinalities
+  /// are copied out of `catalog`.
+  PaperFanoutEstimator(const Catalog& catalog, const JoinGraph& graph);
+
+  /// For call sites that already hold a bare cardinality vector (the thin
+  /// JoinGraph wrappers). `graph` is borrowed.
+  PaperFanoutEstimator(std::vector<double> base_cards, const JoinGraph& graph);
+
+  EstimatorKind kind() const override { return EstimatorKind::kPaperFanout; }
+  int num_relations() const override { return graph_->num_relations(); }
+  double BaseCardinality(int i) const override { return base_cards_[i]; }
+  double EstimateCardinality(RelSet s) const override;
+  void EstimateAll(std::vector<double>* cards) const override;
+  bool exact() const override { return true; }
+
+  const JoinGraph& graph() const { return *graph_; }
+  const std::vector<double>& base_cards() const { return base_cards_; }
+
+ private:
+  const JoinGraph* graph_;
+  std::vector<double> base_cards_;
+};
+
+}  // namespace blitz
+
+#endif  // BLITZ_CARD_PAPER_FANOUT_H_

@@ -8,6 +8,17 @@
 
 namespace blitz {
 
+Status ValidateRelationCardinality(const std::string& name,
+                                   double cardinality) {
+  if (!(cardinality > 0) || !std::isfinite(cardinality)) {
+    return Status::InvalidArgument(
+        StrFormat("relation %s has invalid cardinality %g (must be a "
+                  "positive finite number)",
+                  name.c_str(), cardinality));
+  }
+  return Status::OK();
+}
+
 Result<Catalog> Catalog::Create(std::vector<RelationStats> relations) {
   if (relations.empty()) {
     return Status::InvalidArgument("catalog must contain at least 1 relation");
@@ -21,11 +32,7 @@ Result<Catalog> Catalog::Create(std::vector<RelationStats> relations) {
   for (size_t i = 0; i < relations.size(); ++i) {
     RelationStats& r = relations[i];
     if (r.name.empty()) r.name = "R" + std::to_string(i);
-    if (!(r.cardinality > 0) || !std::isfinite(r.cardinality)) {
-      return Status::InvalidArgument(
-          StrFormat("relation %s has invalid cardinality %g", r.name.c_str(),
-                    r.cardinality));
-    }
+    BLITZ_RETURN_IF_ERROR(ValidateRelationCardinality(r.name, r.cardinality));
     if (r.tuple_bytes <= 0) {
       return Status::InvalidArgument(
           StrFormat("relation %s has invalid tuple width %d", r.name.c_str(),

@@ -19,6 +19,15 @@ struct RelationStats {
   int tuple_bytes = 64;    ///< Average tuple width in bytes.
 };
 
+/// Canonical validation of one relation's cardinality: positive and finite,
+/// rejected with an error that names the offending relation. This is the
+/// single source of the error text — Catalog::Create, the workload
+/// generators, and the .bjq parser all report an invalid cardinality
+/// through it, so callers see identical wording regardless of which
+/// construction path tripped.
+Status ValidateRelationCardinality(const std::string& name,
+                                   double cardinality);
+
 /// An immutable collection of base-relation statistics, indexed 0..n-1.
 /// Relation index i corresponds to bit i of a RelSet.
 class Catalog {

@@ -65,14 +65,23 @@ namespace internal {
 /// filled row, the best_lhs tie-break (first strict improvement in
 /// successor order wins), and the instrumentation counts are bit-identical
 /// for every cost model.
+/// The extra trailing parameter kExternalCards supports the estimator seam
+/// (card/estimator.h): when true, the card column was preloaded by the
+/// driver from CardinalityEstimator::EstimateAll and compute_properties
+/// reads card[s] instead of deriving it — there is no Pi_fan recurrence to
+/// fuse for an arbitrary estimate, so it requires kWithPredicates == false.
+/// The find_best_split half (gate, SIMD filter, tie-breaks, counters) is
+/// untouched: it only ever reads the cost and card columns.
 template <typename CostModel, bool kWithPredicates, bool kNestedIfs,
-          typename Instr>
+          typename Instr, bool kExternalCards = false>
 BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
     const CostModel& model, const JoinGraph* graph, float cost_threshold,
     std::uint64_t s, float* cost, double* card, std::uint32_t* best,
     double* pi_fan, double* aux, Instr* instr,
     const SplitKernel* split_kernel = nullptr,
     SplitScratch* scratch = nullptr) {
+  static_assert(!(kExternalCards && kWithPredicates),
+                "external cards replace the Pi_fan recurrence");
   // Phase attribution (ProfilingInstrumentation): ProfBegin charges the
   // inter-subset gap to the driver phase; the marks below partition the
   // body into {table_write, gate_filter, survivor_replay, kappa2} so the
@@ -86,7 +95,10 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
   const std::uint64_t u = s & (~s + 1);
   const std::uint64_t v = s ^ u;
   double out_card;
-  if constexpr (kWithPredicates) {
+  if constexpr (kExternalCards) {
+    // Preloaded by the driver from the estimator; nothing to derive.
+    out_card = card[s];
+  } else if constexpr (kWithPredicates) {
     double fan;
     if ((v & (v - 1)) == 0) {
       // Doubleton {R,R'}: Pi_fan is the selectivity of the predicate
@@ -104,7 +116,7 @@ BLITZ_ALWAYS_INLINE void BlitzProcessSubset(
   } else {
     out_card = card[u] * card[v];
   }
-  card[s] = out_card;
+  if constexpr (!kExternalCards) card[s] = out_card;
   if constexpr (CostModel::kNeedsAux) aux[s] = CostModel::Aux(out_card);
 
   // --- find_best_split(S) ------------------------------------------
@@ -378,6 +390,75 @@ BLITZ_NOINLINE float RunBlitzSplit(const CostModel& model,
     internal::BlitzProcessSubset<CostModel, kWithPredicates, kNestedIfs>(
         model, graph, cost_threshold, s, cost, card, best, pi_fan, aux,
         instr, split_kernel, &scratch);
+  }
+  instr->ProfPassEnd();
+  return cost[full];
+}
+
+/// Sequential driver over externally-supplied per-subset cardinalities —
+/// the non-exact half of the estimator seam. `all_cards` (size 2^n, indexed
+/// by set word, entry 0 ignored) comes from CardinalityEstimator::
+/// EstimateAll; the driver preloads the table's card column from it and
+/// runs the same find_best_split machinery (threshold pre-skip, SIMD gate
+/// filter, nested ifs, governor ticks) with the Pi_fan recurrence compiled
+/// out. The exact PaperFanoutEstimator never takes this path — it rides the
+/// fused RunBlitzSplit above, which is what keeps the default configuration
+/// bit-identical. Requirements: the table must have been created without a
+/// pi_fan column (aux iff CostModel::kNeedsAux), every estimate must be
+/// positive and finite, and all_cards[1<<i] supplies the singleton rows.
+template <typename CostModel, bool kNestedIfs = true,
+          typename Instr = NoInstrumentation>
+BLITZ_NOINLINE float RunBlitzSplitWithCards(
+    const CostModel& model, const std::vector<double>& all_cards,
+    float cost_threshold, DpTable* table, Instr* instr,
+    GovernorState* governor = nullptr,
+    const SplitKernel* split_kernel = nullptr) {
+  const int n = table->num_relations();
+  BLITZ_CHECK(n >= 1 && n <= kMaxRelations);
+  BLITZ_CHECK(all_cards.size() == (std::uint64_t{1} << n));
+  BLITZ_CHECK(!table->has_pi_fan());
+  BLITZ_CHECK(table->has_aux() == CostModel::kNeedsAux);
+
+  SplitScratch scratch;
+  if constexpr (kNestedIfs) {
+    if (split_kernel != nullptr && n >= kSimdMinPopcount) {
+      scratch.EnsureCapacity(n);
+    } else {
+      split_kernel = nullptr;  // No subset can reach the popcount gate.
+    }
+  } else {
+    split_kernel = nullptr;  // The flat ablation has no gate to batch.
+  }
+
+  float* const cost = table->cost_data();
+  double* const card = table->card_data();
+  std::uint32_t* const best = table->best_lhs_data();
+  double* const aux = CostModel::kNeedsAux ? table->aux_data() : nullptr;
+
+  // Preload every row's cardinality, then initialize the singleton rows.
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+  for (std::uint64_t s = 1; s <= full; ++s) card[s] = all_cards[s];
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t w = std::uint64_t{1} << i;
+    cost[w] = 0.0f;
+    best[w] = 0;
+    if constexpr (CostModel::kNeedsAux) aux[w] = CostModel::Aux(card[w]);
+  }
+  if (n == 1) {
+    instr->ProfPassEnd();
+    return cost[full];
+  }
+
+  for (std::uint64_t s = 3; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton — already initialized
+    if (governor != nullptr && governor->Tick()) {
+      instr->ProfPassEnd();
+      return kRejectedCost;
+    }
+    internal::BlitzProcessSubset<CostModel, /*kWithPredicates=*/false,
+                                 kNestedIfs, Instr, /*kExternalCards=*/true>(
+        model, /*graph=*/nullptr, cost_threshold, s, cost, card, best,
+        /*pi_fan=*/nullptr, aux, instr, split_kernel, &scratch);
   }
   instr->ProfPassEnd();
   return cost[full];

@@ -206,6 +206,52 @@ float Dispatch(const OptimizerOptions& options,
   });
 }
 
+/// Dispatches the external-cards (non-exact estimator) variant: the card
+/// column is preloaded from `all_cards` and the sequential
+/// RunBlitzSplitWithCards driver runs — same threshold pre-skip, SIMD
+/// gate, and governor ticks, no Pi_fan recurrence. Returns the resolved
+/// SIMD level through *simd_level (never kAuto).
+float DispatchWithCards(const OptimizerOptions& options,
+                        const std::vector<double>& all_cards, DpTable* table,
+                        CountingInstrumentation* counters,
+                        GovernorState* governor, SimdLevel* simd_level) {
+  const SplitKernel* split_kernel = nullptr;
+  const SimdLevel simd =
+      ResolvePassSimd(options, table->num_relations(), &split_kernel);
+  if (simd_level != nullptr) *simd_level = simd;
+  RecordSimdMetric(simd);
+  return DispatchCostModel(options.cost_model, [&](auto model) -> float {
+    using Model = decltype(model);
+    const auto run = [&](auto* instr) -> float {
+      if (options.nested_ifs) {
+        return RunBlitzSplitWithCards<Model, true>(
+            model, all_cards, options.cost_threshold, table, instr, governor,
+            split_kernel);
+      }
+      return RunBlitzSplitWithCards<Model, false>(
+          model, all_cards, options.cost_threshold, table, instr, governor,
+          split_kernel);
+    };
+    if (options.profile != nullptr) {
+      ProfilingInstrumentation instr;
+      const float cost = run(&instr);
+      *options.profile += instr.profile;
+      if (Profiler* profiler = GlobalProfiler()) {
+        profiler->FoldPass(instr.profile);
+      }
+      return cost;
+    }
+    if (options.count_operations) {
+      CountingInstrumentation instr;
+      const float cost = run(&instr);
+      if (counters != nullptr) *counters += instr;
+      return cost;
+    }
+    NoInstrumentation no_instr;
+    return run(&no_instr);
+  });
+}
+
 /// Shared entry gate for the three governed entry points: fault injection
 /// (kFaultOptimizePass, kFailStatus only), then an immediate governor check
 /// so an already-expired deadline or pre-cancelled token fails fast even
@@ -226,6 +272,28 @@ bool ModelNeedsAux(CostModelKind kind) {
   return DispatchCostModel(kind, [](auto model) {
     return decltype(model)::kNeedsAux;
   });
+}
+
+/// True when the pass resolves cardinalities through the built-in exact
+/// derivation: no estimator handle, or an exact one (PaperFanoutEstimator).
+/// Exact passes ride the fused Pi_fan hot path untouched.
+bool UsesExactCards(const OptimizerOptions& options) {
+  return options.estimator == nullptr || options.estimator->exact();
+}
+
+EstimatorKind ResolvedEstimatorKind(const OptimizerOptions& options) {
+  return options.estimator != nullptr ? options.estimator->kind()
+                                      : EstimatorKind::kPaperFanout;
+}
+
+Status ValidateEstimator(const OptimizerOptions& options, int num_relations) {
+  if (options.estimator != nullptr &&
+      options.estimator->num_relations() != num_relations) {
+    return Status::InvalidArgument(StrFormat(
+        "estimator covers %d relations but the problem has %d",
+        options.estimator->num_relations(), num_relations));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -253,6 +321,8 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
         "graph has %d relations but catalog has %d", graph.num_relations(),
         catalog.num_relations()));
   }
+  BLITZ_RETURN_IF_ERROR(
+      ValidateEstimator(options, catalog.num_relations()));
   const MetricTimer timer;
   TraceSpan span("OptimizeJoin");
   span.AddArg("n", catalog.num_relations());
@@ -263,23 +333,37 @@ Result<OptimizeOutcome> OptimizeJoin(const Catalog& catalog,
   GovernorState governor(resolved);
   BLITZ_RETURN_IF_ERROR(AdmitPass(&governor));
   const bool needs_aux = ModelNeedsAux(options.cost_model);
+  // Exact passes fuse the Pi_fan recurrence into the DP (pi_fan column);
+  // non-exact passes preload the card column from the estimator instead.
+  const bool exact_cards = UsesExactCards(options);
   if (governor.active()) {
     Status admitted = governor.AdmitAllocation(DpTable::EstimateBytes(
-        catalog.num_relations(), /*with_pi_fan=*/true, needs_aux));
+        catalog.num_relations(), /*with_pi_fan=*/exact_cards, needs_aux));
     if (!admitted.ok()) return RecordGovernorAbort(std::move(admitted));
   }
   Result<DpTable> table =
       options.table_arena != nullptr
           ? options.table_arena->Acquire(catalog.num_relations(),
-                                         /*with_pi_fan=*/true, needs_aux)
+                                         /*with_pi_fan=*/exact_cards,
+                                         needs_aux)
           : DpTable::Create(catalog.num_relations(),
-                            /*with_pi_fan=*/true, needs_aux);
+                            /*with_pi_fan=*/exact_cards, needs_aux);
   if (!table.ok()) return table.status();
   OptimizeOutcome outcome{std::move(table).value(), kRejectedCost, {}};
-  outcome.cost = Dispatch<true>(options, resolved, BaseCards(catalog), &graph,
-                                &outcome.table, &outcome.counters,
-                                governor.active() ? &governor : nullptr,
-                                &outcome.simd_level);
+  outcome.estimator = ResolvedEstimatorKind(options);
+  if (exact_cards) {
+    outcome.cost = Dispatch<true>(options, resolved, BaseCards(catalog),
+                                  &graph, &outcome.table, &outcome.counters,
+                                  governor.active() ? &governor : nullptr,
+                                  &outcome.simd_level);
+  } else {
+    std::vector<double> all_cards;
+    options.estimator->EstimateAll(&all_cards);
+    outcome.cost = DispatchWithCards(options, all_cards, &outcome.table,
+                                     &outcome.counters,
+                                     governor.active() ? &governor : nullptr,
+                                     &outcome.simd_level);
+  }
   if (governor.aborted()) return RecordGovernorAbort(governor.status());
   span.AddArg("cost", outcome.cost);
   span.AddArg("simd", static_cast<double>(outcome.simd_level));
@@ -347,6 +431,10 @@ Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
       table->has_aux() != ModelNeedsAux(options.cost_model)) {
     return Status::FailedPrecondition(
         "table columns do not match the requested configuration");
+  }
+  if (!UsesExactCards(options)) {
+    return Status::FailedPrecondition(
+        "in-place reoptimization requires the exact (paper) estimator");
   }
   BLITZ_RETURN_IF_ERROR(options.Validate());
   const MetricTimer timer;

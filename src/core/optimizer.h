@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "card/estimator.h"
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "core/dp_table.h"
@@ -74,6 +75,18 @@ struct OptimizerOptions {
   /// is ignored while this is set.
   PassProfile* profile = nullptr;
 
+  /// Cardinality estimator (card/estimator.h). Null — the default — and an
+  /// exact estimator both run the fused Pi_fan recurrence over the
+  /// catalog's cardinalities and the graph's selectivities, so the DP
+  /// tables, tie-breaks, and operation counts are bit-identical to the
+  /// paper's derivation. A non-exact estimator (hist, noest) preloads the
+  /// card column from EstimateAll and runs the external-cards driver:
+  /// sequential only (the rank-parallel driver is not extended to this
+  /// path), no pi_fan column, threshold/SIMD/governor machinery unchanged.
+  /// Must cover the catalog's relation count. Not owned; must outlive the
+  /// pass. Ignored by OptimizeCartesian (no predicates to estimate over).
+  const CardinalityEstimator* estimator = nullptr;
+
   /// DP-table pool (core/table_arena.h). When non-null the pass acquires
   /// its 2^n table from the arena instead of allocating — the serving
   /// tier's steady-state path. The pass hands the table out through
@@ -99,6 +112,10 @@ struct OptimizeOutcome {
   /// CPU and BLITZ_SIMD; kScalar when the flat ablation bypassed the
   /// blocked filter). Never kAuto.
   SimdLevel simd_level = SimdLevel::kScalar;
+
+  /// The estimator the pass resolved cardinalities through (kPaperFanout
+  /// when options.estimator was null — the built-in exact derivation).
+  EstimatorKind estimator = EstimatorKind::kPaperFanout;
 
   /// False if every complete plan was rejected by the cost threshold (the
   /// "optimization fails ... reoptimize with a higher threshold" case of
@@ -129,6 +146,8 @@ Result<OptimizeOutcome> OptimizeCartesian(const Catalog& catalog,
 /// Re-runs a pass in-place against an existing table (avoids reallocation
 /// across the repetitions of a timing loop or the passes of a threshold
 /// ladder). The table's columns must match the options and problem shape.
+/// Requires the default/exact estimator (the in-place contract is defined
+/// over pi_fan tables); a non-exact estimator is kFailedPrecondition.
 Result<float> ReoptimizeJoinInPlace(const Catalog& catalog,
                                     const JoinGraph& graph,
                                     const OptimizerOptions& options,

@@ -1,0 +1,58 @@
+#include "exec/stats.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace blitz {
+
+Result<std::unique_ptr<SampleHistogramEstimator>> BuildHistogramEstimator(
+    const JoinGraph& graph, const std::vector<ExecTable>& tables,
+    const StatsOptions& options) {
+  const int n = graph.num_relations();
+  if (static_cast<int>(tables.size()) != n) {
+    return Status::InvalidArgument(
+        "need exactly one table per graph relation");
+  }
+  if (options.histogram_buckets < 1) {
+    return Status::InvalidArgument("histogram_buckets must be positive");
+  }
+
+  // Index tables by relation so callers may pass them in any order.
+  std::vector<const ExecTable*> by_relation(static_cast<size_t>(n), nullptr);
+  for (const ExecTable& table : tables) {
+    const int r = table.relation_index();
+    if (r < 0 || r >= n) {
+      return Status::InvalidArgument("table relation index out of range");
+    }
+    if (by_relation[static_cast<size_t>(r)] != nullptr) {
+      return Status::InvalidArgument("duplicate table for one relation");
+    }
+    by_relation[static_cast<size_t>(r)] = &table;
+  }
+
+  std::vector<double> rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows[static_cast<size_t>(i)] =
+        static_cast<double>(by_relation[static_cast<size_t>(i)]->num_rows());
+  }
+
+  const std::vector<Predicate>& predicates = graph.predicates();
+  std::vector<double> edge_sels(predicates.size(), 1.0);
+  for (size_t k = 0; k < predicates.size(); ++k) {
+    const int pid = static_cast<int>(k);
+    const ExecTable& lhs = *by_relation[static_cast<size_t>(predicates[k].lhs)];
+    const ExecTable& rhs = *by_relation[static_cast<size_t>(predicates[k].rhs)];
+    if (!lhs.HasColumn(pid) || !rhs.HasColumn(pid)) continue;
+    const EquiDepthHistogram ha =
+        EquiDepthHistogram::Build(lhs.Column(pid), options.histogram_buckets);
+    const EquiDepthHistogram hb =
+        EquiDepthHistogram::Build(rhs.Column(pid), options.histogram_buckets);
+    edge_sels[k] = EstimateEquiJoinSelectivity(ha, hb);
+  }
+
+  return std::make_unique<SampleHistogramEstimator>(graph, std::move(rows),
+                                                    std::move(edge_sels));
+}
+
+}  // namespace blitz

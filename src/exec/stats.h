@@ -1,0 +1,35 @@
+#ifndef BLITZ_EXEC_STATS_H_
+#define BLITZ_EXEC_STATS_H_
+
+#include <memory>
+#include <vector>
+
+#include "card/histogram.h"
+#include "common/status.h"
+#include "exec/relation.h"
+#include "query/join_graph.h"
+
+namespace blitz {
+
+/// Knobs for statistics collection over exec-layer tables.
+struct StatsOptions {
+  /// Target bucket count per join-key histogram (the effective count is
+  /// lower for columns with few distinct values).
+  int histogram_buckets = 32;
+};
+
+/// Builds a SampleHistogramEstimator from materialized base tables: each
+/// table contributes its row count, and each join-graph predicate whose
+/// both endpoint columns are present contributes an equi-depth-histogram
+/// selectivity estimate (predicates with a missing column keep selectivity
+/// 1.0 — no information, no assumption). `tables` must hold one entry per
+/// graph relation, in any order, keyed by ExecTable::relation_index().
+///
+/// `graph` is borrowed by the returned estimator and must outlive it.
+Result<std::unique_ptr<SampleHistogramEstimator>> BuildHistogramEstimator(
+    const JoinGraph& graph, const std::vector<ExecTable>& tables,
+    const StatsOptions& options = {});
+
+}  // namespace blitz
+
+#endif  // BLITZ_EXEC_STATS_H_

@@ -63,6 +63,46 @@ float CostRecFloat(const PlanNode& node, const std::vector<double>& cards,
   return (oprnd_cost + kappa2) + kappa1;
 }
 
+/// Estimator-resolved mirror of CostRec: cardinalities from
+/// EstimateCardinality instead of the induced-subgraph product.
+double CostRecEst(const PlanNode& node, const CardinalityEstimator& estimator,
+                  CostModelKind kind, double* out_card) {
+  if (node.is_leaf()) {
+    *out_card = estimator.BaseCardinality(node.relation());
+    return 0.0;
+  }
+  double lhs_card = 0;
+  double rhs_card = 0;
+  const double lhs_cost = CostRecEst(*node.left, estimator, kind, &lhs_card);
+  const double rhs_cost = CostRecEst(*node.right, estimator, kind, &rhs_card);
+  *out_card = estimator.EstimateCardinality(node.set);
+  return lhs_cost + rhs_cost + EvalJoinCost(kind, *out_card, lhs_card,
+                                            rhs_card);
+}
+
+/// Estimator-resolved mirror of CostRecFloat (same float operation order).
+float CostRecFloatEst(const PlanNode& node,
+                      const CardinalityEstimator& estimator,
+                      CostModelKind kind, double* out_card) {
+  if (node.is_leaf()) {
+    *out_card = estimator.BaseCardinality(node.relation());
+    return 0.0f;
+  }
+  double lhs_card = 0;
+  double rhs_card = 0;
+  const float lhs_cost =
+      CostRecFloatEst(*node.left, estimator, kind, &lhs_card);
+  const float rhs_cost =
+      CostRecFloatEst(*node.right, estimator, kind, &rhs_card);
+  *out_card = estimator.EstimateCardinality(node.set);
+  const float oprnd_cost = lhs_cost + rhs_cost;
+  const float kappa2 = static_cast<float>(
+      EvalKappaDoublePrime(kind, *out_card, lhs_card, rhs_card));
+  const float kappa1 =
+      static_cast<float>(EvalKappaPrime(kind, *out_card));
+  return (oprnd_cost + kappa2) + kappa1;
+}
+
 }  // namespace
 
 double EvaluateCardinality(const PlanNode& node, const Catalog& catalog,
@@ -98,6 +138,41 @@ float EvaluateCostFloat(const Plan& plan, const Catalog& catalog,
                         const JoinGraph& graph, CostModelKind kind) {
   BLITZ_CHECK(!plan.empty());
   return EvaluateCostFloat(plan.root(), catalog, graph, kind);
+}
+
+double EvaluateCardinality(const PlanNode& node,
+                           const CardinalityEstimator& estimator) {
+  return estimator.EstimateCardinality(node.set);
+}
+
+double EvaluateCost(const PlanNode& node,
+                    const CardinalityEstimator& estimator,
+                    CostModelKind kind) {
+  double out_card = 0;
+  return CostRecEst(node, estimator, kind, &out_card);
+}
+
+double EvaluateCost(const Plan& plan, const CardinalityEstimator& estimator,
+                    CostModelKind kind) {
+  BLITZ_CHECK(!plan.empty());
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->AddCounter("plan.cost_evaluations");
+  }
+  return EvaluateCost(plan.root(), estimator, kind);
+}
+
+float EvaluateCostFloat(const PlanNode& node,
+                        const CardinalityEstimator& estimator,
+                        CostModelKind kind) {
+  double out_card = 0;
+  return CostRecFloatEst(node, estimator, kind, &out_card);
+}
+
+float EvaluateCostFloat(const Plan& plan,
+                        const CardinalityEstimator& estimator,
+                        CostModelKind kind) {
+  BLITZ_CHECK(!plan.empty());
+  return EvaluateCostFloat(plan.root(), estimator, kind);
 }
 
 }  // namespace blitz

@@ -1,6 +1,7 @@
 #ifndef BLITZ_PLAN_EVALUATE_H_
 #define BLITZ_PLAN_EVALUATE_H_
 
+#include "card/estimator.h"
 #include "catalog/catalog.h"
 #include "cost/cost_model.h"
 #include "plan/plan.h"
@@ -36,6 +37,25 @@ double EvaluateCost(const Plan& plan, const Catalog& catalog,
                     const JoinGraph& graph, CostModelKind kind);
 float EvaluateCostFloat(const Plan& plan, const Catalog& catalog,
                         const JoinGraph& graph, CostModelKind kind);
+
+/// Estimator-resolved variants: every per-subtree cardinality comes from
+/// the estimator instead of the Section 5.1 derivation. This is how
+/// candidate plans are ranked when optimizing under a non-exact estimator —
+/// the optimizer must never peek at true cardinalities it does not have.
+/// The standing regret report (bench_estimators) then re-costs the chosen
+/// plan with the exact overloads above.
+double EvaluateCardinality(const PlanNode& node,
+                           const CardinalityEstimator& estimator);
+double EvaluateCost(const PlanNode& node,
+                    const CardinalityEstimator& estimator, CostModelKind kind);
+double EvaluateCost(const Plan& plan, const CardinalityEstimator& estimator,
+                    CostModelKind kind);
+float EvaluateCostFloat(const PlanNode& node,
+                        const CardinalityEstimator& estimator,
+                        CostModelKind kind);
+float EvaluateCostFloat(const Plan& plan,
+                        const CardinalityEstimator& estimator,
+                        CostModelKind kind);
 
 }  // namespace blitz
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "card/fanout.h"
 #include "common/check.h"
 #include "common/strings.h"
 
@@ -68,9 +69,7 @@ double JoinGraph::PiFan(RelSet s) const {
 
 double JoinGraph::JoinCardinality(
     RelSet s, const std::vector<double>& base_cards) const {
-  double card = PiInduced(s);
-  s.ForEach([&](int i) { card *= base_cards[i]; });
-  return card;
+  return FanoutJoinCardinality(*this, s, base_cards);
 }
 
 bool JoinGraph::IsConnected(RelSet s) const {
@@ -108,33 +107,7 @@ std::string JoinGraph::ToString() const {
 void ComputeAllCardinalities(const JoinGraph& graph,
                              const std::vector<double>& base_cards,
                              std::vector<double>* cards) {
-  const int n = graph.num_relations();
-  BLITZ_CHECK(static_cast<int>(base_cards.size()) == n);
-  const std::uint64_t table_size = std::uint64_t{1} << n;
-  cards->assign(table_size, 0.0);
-  // pi_fan is only needed transiently; keep it alongside.
-  std::vector<double> pi_fan(table_size, 1.0);
-  for (int i = 0; i < n; ++i) {
-    (*cards)[std::uint64_t{1} << i] = base_cards[i];
-  }
-  for (std::uint64_t s = 3; s < table_size; ++s) {
-    if ((s & (s - 1)) == 0) continue;  // singleton
-    const std::uint64_t u = s & (~s + 1);
-    const std::uint64_t v = s ^ u;
-    double fan;
-    if ((v & (v - 1)) == 0) {
-      // Doubleton {i, j}: the fan is the predicate connecting them (or 1).
-      fan = graph.Selectivity(std::countr_zero(u), std::countr_zero(v));
-    } else {
-      // Equation (10): split V into its lowest member W and the rest Z.
-      const std::uint64_t w = v & (~v + 1);
-      const std::uint64_t z = v ^ w;
-      fan = pi_fan[u | w] * pi_fan[u | z];
-    }
-    pi_fan[s] = fan;
-    // Equation (11): card(S) = card(U) * card(V) * Pi_fan(S).
-    (*cards)[s] = (*cards)[u] * (*cards)[v] * fan;
-  }
+  FanoutComputeAllCardinalities(graph, base_cards, cards);
 }
 
 }  // namespace blitz

@@ -70,6 +70,13 @@ Result<Workload> MakeWorkloadFromEdges(
   const int n = num_relations;
   const std::vector<double> cards =
       MakeCardinalityLadder(n, mean_cardinality, variability);
+  // Validate the generated ladder with the catalog's canonical checker so an
+  // overflowing mean (exp of a huge log) fails here with the same
+  // relation-naming error text Catalog::Create would emit.
+  for (int i = 0; i < n; ++i) {
+    BLITZ_RETURN_IF_ERROR(
+        ValidateRelationCardinality("R" + std::to_string(i), cards[i]));
+  }
   Result<Catalog> catalog = Catalog::FromCardinalities(cards);
   if (!catalog.ok()) return catalog.status();
 

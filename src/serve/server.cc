@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "card/no_estimate.h"
 #include "common/strings.h"
 #include "governor/faultpoints.h"
 #include "obs/metrics.h"
@@ -34,6 +35,11 @@ Status ServerOptions::Validate() const {
   }
   if (drain_grace_ms < 0) {
     return Status::InvalidArgument("drain_grace_ms must be >= 0");
+  }
+  if (default_estimator == EstimatorKind::kSampleHistogram) {
+    return Status::InvalidArgument(
+        "estimator hist needs local base tables; the serving tier supports "
+        "paper and noest");
   }
   BLITZ_RETURN_IF_ERROR(admission.Validate());
   return optimizer.Validate();
@@ -238,12 +244,30 @@ void BlitzServer::ProcessJob(Job job) {
   }
   QuerySpec spec = std::move(*parsed);
 
+  // Resolve the cardinality estimator: the request's directive wins over
+  // the server default. Histograms need base tables the serving tier does
+  // not have, so a hist request is a request-level error, not a crash.
+  const EstimatorKind estimator_kind =
+      spec.estimator.value_or(options_.default_estimator);
+  if (estimator_kind == EstimatorKind::kSampleHistogram) {
+    FinishJob(job,
+              ResponseFrame{job.id, StatusCode::kInvalidArgument, 0,
+                            "estimator hist needs local base tables; the "
+                            "serving tier supports paper and noest"});
+    return;
+  }
+  std::optional<NoEstimateEstimator> no_estimate;
+  if (estimator_kind == EstimatorKind::kNoEstimate) {
+    no_estimate.emplace(spec.graph);
+  }
+
   QueryOptimizerOptions opts = options_.optimizer;
   opts.cost_model = spec.cost_model;
   opts.initial_cost_threshold = spec.threshold;
   opts.budget = job.budget;
   opts.table_arena = &arena_;
   opts.collect_report = true;  // Degradation history feeds the reply body.
+  opts.estimator = no_estimate.has_value() ? &*no_estimate : nullptr;
 
   Result<OptimizedQuery> optimized =
       OptimizeQuery(spec.catalog, spec.graph, opts);
@@ -262,6 +286,9 @@ void BlitzServer::ProcessJob(Job job) {
       optimized->report.has_value()
           ? static_cast<int>(optimized->report->degradations.size())
           : 0;
+  reply.estimator = optimized->report.has_value()
+                        ? EstimatorKindName(optimized->report->estimator)
+                        : EstimatorKindName(estimator_kind);
   if (reply.degradations > 0) Count("serve.degradations");
   FinishJob(job, ResponseFrame{job.id, StatusCode::kOk, 0,
                                EncodeReplyBody(reply)});

@@ -41,6 +41,13 @@ struct ServerOptions {
   /// before cancelling them.
   double drain_grace_ms = 2000;
 
+  /// Estimator for requests whose .bjq carries no `estimator` directive.
+  /// The serving tier has no local base tables to histogram, so only paper
+  /// and noest are servable — Validate() rejects hist here, and a request
+  /// asking for it is answered kInvalidArgument. The resolved name rides
+  /// back on the reply's `estimator` line.
+  EstimatorKind default_estimator = EstimatorKind::kPaperFanout;
+
   AdmissionOptions admission;
   WireLimits wire;
   BjqLimits parse;

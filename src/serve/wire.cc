@@ -189,6 +189,9 @@ std::string EncodeReplyBody(const ServeReply& reply) {
   out += "tier " + reply.tier + "\n";
   out += StrFormat("passes %d\n", reply.passes);
   out += StrFormat("degradations %d\n", reply.degradations);
+  if (!reply.estimator.empty()) {
+    out += "estimator " + reply.estimator + "\n";
+  }
   return out;
 }
 
@@ -230,6 +233,8 @@ Result<ServeReply> ParseReplyBody(std::string_view body) {
         return Status::InvalidArgument("bad reply degradations: " +
                                        std::string(value));
       }
+    } else if (key == "estimator") {
+      reply.estimator = std::string(value);
     }
     // Unknown keys are ignored: the reply body is forward-extensible.
   }

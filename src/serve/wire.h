@@ -36,6 +36,13 @@ namespace blitz {
 ///   tier <exhaustive|hybrid|greedy>
 ///   passes <int>
 ///   degradations <int>
+///   estimator <paper|hist|noest>
+///
+/// `estimator` names the cardinality estimator the plan was optimized
+/// under (card/estimator.h). Readers treat it as optional — replies from
+/// servers predating the field simply omit it — which is the protocol's
+/// forward-extensibility rule at work: unknown keys are ignored, absent
+/// optional keys default.
 ///
 /// Malformed or over-limit headers are a *connection*-level failure
 /// (kInvalidArgument / kResourceExhausted from ReadRequestFrame): the
@@ -103,6 +110,9 @@ struct ServeReply {
   std::string tier;
   int passes = 1;
   int degradations = 0;
+  /// Estimator the plan was optimized under; empty when the server did not
+  /// send the (optional) line.
+  std::string estimator;
 };
 
 /// Formats/parses the OK response body (see the line format above).

@@ -4,10 +4,15 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 
+#include "card/histogram.h"
+#include "card/no_estimate.h"
+#include "card/paper_fanout.h"
 #include "common/strings.h"
 #include "core/optimizer.h"
+#include "plan/evaluate.h"
 #include "plan/plan.h"
 #include "testing/oracles.h"
 
@@ -50,6 +55,33 @@ OracleVerdict CountersIdentical(const CountingInstrumentation& a,
         b.ToString().c_str()));
   }
   return OracleVerdict::Pass();
+}
+
+/// Builds the estimator under test from the case itself. hist gets
+/// deterministically perturbed statistics (scaled rows, square-rooted
+/// selectivities) so the preloaded-card path is exercised with estimates
+/// that genuinely disagree with the truth, without any data generation.
+std::unique_ptr<CardinalityEstimator> MakeCaseEstimator(const FuzzCase& c,
+                                                        EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kPaperFanout:
+      return std::make_unique<PaperFanoutEstimator>(c.catalog, c.graph);
+    case EstimatorKind::kSampleHistogram: {
+      const int n = c.catalog.num_relations();
+      std::vector<double> rows(n);
+      for (int i = 0; i < n; ++i) rows[i] = c.catalog.cardinality(i) * 1.25;
+      std::vector<double> sels;
+      sels.reserve(c.graph.predicates().size());
+      for (const Predicate& p : c.graph.predicates()) {
+        sels.push_back(std::sqrt(p.selectivity));
+      }
+      return std::make_unique<SampleHistogramEstimator>(
+          c.graph, std::move(rows), std::move(sels));
+    }
+    case EstimatorKind::kNoEstimate:
+      return std::make_unique<NoEstimateEstimator>(c.graph);
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -145,6 +177,54 @@ CaseVerdict RunDifferentialCase(const FuzzCase& c,
         if (!counters.ok) {
           return fail(ConfigName(model, threads, simd), counters.message);
         }
+      }
+    }
+
+    // Estimator seam: the exact estimator must be indistinguishable from
+    // running without one (bit-identical table and counters); non-exact
+    // kinds take the preloaded-card path and must still land on a plan
+    // covering every relation with a finite positive cost under the true
+    // statistics.
+    for (const EstimatorKind kind : options.estimators) {
+      std::unique_ptr<CardinalityEstimator> estimator =
+          MakeCaseEstimator(c, kind);
+      const std::string extra =
+          std::string(" estimator=") + estimator->name();
+      const std::string config =
+          ConfigName(model, 1, SimdLevel::kScalar, extra.c_str());
+      OptimizerOptions est_options = ref_options;
+      est_options.estimator = estimator.get();
+      Result<OptimizeOutcome> outcome =
+          OptimizeJoin(c.catalog, c.graph, est_options);
+      if (!outcome.ok()) {
+        return fail(config,
+                    "estimator run failed: " + outcome.status().ToString());
+      }
+      if (kind == EstimatorKind::kPaperFanout) {
+        const OracleVerdict tables =
+            TablesBitIdentical(outcome->table, reference->table);
+        if (!tables.ok) return fail(config, tables.message);
+        const OracleVerdict counters =
+            CountersIdentical(outcome->counters, reference->counters);
+        if (!counters.ok) return fail(config, counters.message);
+        continue;
+      }
+      if (!outcome->found_plan()) {
+        return fail(config, "no plan found under estimator");
+      }
+      Result<Plan> plan = Plan::ExtractFromTable(outcome->table);
+      if (!plan.ok()) {
+        return fail(config,
+                    "plan extraction failed: " + plan.status().ToString());
+      }
+      if (plan->relations() != c.catalog.AllRelations()) {
+        return fail(config, "plan does not cover every relation");
+      }
+      const double true_cost = EvaluateCost(*plan, c.catalog, c.graph, model);
+      if (!std::isfinite(true_cost) || true_cost < 0) {
+        return fail(config,
+                    StrFormat("plan recost under true statistics is %g",
+                              true_cost));
       }
     }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "card/estimator.h"
 #include "cost/cost_model.h"
 #include "simd/dispatch.h"
 #include "testing/fuzzer.h"
@@ -31,6 +32,13 @@ struct DifferentialOptions {
   /// Largest n the O(4^n)-flavored brute-force oracle runs at; larger cases
   /// still get the re-coster and DPccp oracles.
   int brute_force_max_n = 12;
+  /// Estimator seam sweep (fuzz_blitzsplit --estimators=). kPaperFanout is
+  /// exact, so its run must reproduce the estimator-less reference DP table
+  /// and counters bit for bit; non-exact kinds (hist, noest) take the
+  /// preloaded-card path and are held to valid-plan invariants instead: the
+  /// run succeeds, the plan covers every relation, and its cost under the
+  /// *true* statistics is positive and finite. Empty disables the leg.
+  std::vector<EstimatorKind> estimators = {EstimatorKind::kPaperFanout};
 };
 
 /// The outcome of one case: pass, or the first failing check with the

@@ -1,7 +1,9 @@
 #include "textio/bjq.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -24,6 +26,19 @@ Status LineError(int line, const std::string& message) {
 /// comparison and is rejected along with 0, negatives, and infinities.
 bool ValidSelectivity(double s) {
   return std::isfinite(s) && s > 0.0 && s <= 1.0;
+}
+
+/// Splits "name.column" at its single dot; both halves must be nonempty.
+bool ParseColumnRef(const std::string& token, std::string* relation,
+                    std::string* column) {
+  const size_t dot = token.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == token.size()) {
+    return false;
+  }
+  if (token.find('.', dot + 1) != std::string::npos) return false;
+  *relation = token.substr(0, dot);
+  *column = token.substr(dot + 1);
+  return true;
 }
 
 }  // namespace
@@ -53,10 +68,22 @@ Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
     int line;
   };
   std::vector<PendingFilter> pending_filters;
+  struct PendingJoin {
+    std::string a;
+    std::string b;
+    std::optional<double> distinct_a;
+    std::optional<double> distinct_b;
+    int line;
+  };
+  std::vector<PendingJoin> pending_joins;
+  /// Declared (pre-filter) row counts, the distinct-count defaults for
+  /// `join` directives.
+  std::map<std::string, double> declared_rows;
   std::set<std::string> seen_names;
   CostModelKind cost_model = CostModelKind::kNaive;
   EquivalencePolicy policy = EquivalencePolicy::kCalibrated;
   std::optional<float> threshold;
+  std::optional<EstimatorKind> estimator;
 
   int line_number = 0;
   size_t pos = 0;
@@ -90,10 +117,12 @@ Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
 
     const std::vector<std::string> fields = StrSplit(line, ' ');
     const std::string& directive = fields[0];
-    if (directive == "relation") {
+    if (directive == "relation" || directive == "table") {
       if (fields.size() < 3 || fields.size() > 4) {
         return LineError(line_number,
-                         "expected: relation <name> <cardinality> [<bytes>]");
+                         StrFormat("expected: %s <name> <cardinality> "
+                                   "[<bytes>]",
+                                   directive.c_str()));
       }
       if (static_cast<int>(relations.size()) >= kMaxRelations) {
         return LineError(line_number,
@@ -109,11 +138,13 @@ Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
       if (!ParseDouble(fields[2], &stats.cardinality)) {
         return LineError(line_number, "bad cardinality: " + fields[2]);
       }
-      if (!std::isfinite(stats.cardinality) || !(stats.cardinality > 0)) {
-        return LineError(line_number,
-                         "cardinality must be a positive finite number: " +
-                             fields[2]);
-      }
+      // Canonical cardinality validation (catalog/catalog.h): the same
+      // relation-naming text Catalog::Create and the workload generators
+      // emit, wrapped in this parser's line numbering.
+      const Status valid =
+          ValidateRelationCardinality(stats.name, stats.cardinality);
+      if (!valid.ok()) return LineError(line_number, valid.message());
+      declared_rows[stats.name] = stats.cardinality;
       if (fields.size() == 4) {
         if (!ParseInt(fields[3], &stats.tuple_bytes)) {
           return LineError(line_number, "bad tuple width: " + fields[3]);
@@ -138,6 +169,57 @@ Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
                          "selectivity must be in (0, 1]: " + fields[3]);
       }
       pending.push_back({fields[1], fields[2], selectivity, line_number});
+    } else if (directive == "join") {
+      if ((fields.size() != 4 && fields.size() != 6) || fields[2] != "=") {
+        return LineError(line_number,
+                         "expected: join <a>.<col> = <b>.<col> "
+                         "[<distinct_a> <distinct_b>]");
+      }
+      PendingJoin join;
+      join.line = line_number;
+      std::string col_a;
+      std::string col_b;
+      if (!ParseColumnRef(fields[1], &join.a, &col_a)) {
+        return LineError(line_number,
+                         "bad column reference (want <name>.<col>): " +
+                             fields[1]);
+      }
+      if (!ParseColumnRef(fields[3], &join.b, &col_b)) {
+        return LineError(line_number,
+                         "bad column reference (want <name>.<col>): " +
+                             fields[3]);
+      }
+      if (fields.size() == 6) {
+        double da = 0;
+        double db = 0;
+        if (!ParseDouble(fields[4], &da) || !std::isfinite(da) || !(da > 0)) {
+          return LineError(line_number,
+                           "distinct count must be a positive finite "
+                           "number: " +
+                               fields[4]);
+        }
+        if (!ParseDouble(fields[5], &db) || !std::isfinite(db) || !(db > 0)) {
+          return LineError(line_number,
+                           "distinct count must be a positive finite "
+                           "number: " +
+                               fields[5]);
+        }
+        join.distinct_a = da;
+        join.distinct_b = db;
+      }
+      pending_joins.push_back(std::move(join));
+    } else if (directive == "estimator") {
+      if (fields.size() != 2) {
+        return LineError(line_number, "expected: estimator <name>");
+      }
+      const std::optional<EstimatorKind> kind =
+          EstimatorKindFromName(fields[1]);
+      if (!kind.has_value()) {
+        return LineError(line_number,
+                         StrFormat("unknown estimator %s (valid: %s)",
+                                   fields[1].c_str(), EstimatorKindNames()));
+      }
+      estimator = kind;
     } else if (directive == "filter") {
       if (fields.size() != 3) {
         return LineError(line_number, "expected: filter <name> <selectivity>");
@@ -248,6 +330,21 @@ Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
     Status added = builder.AddPredicate(a, b, p.selectivity);
     if (!added.ok()) return LineError(p.line, added.message());
   }
+  for (const PendingJoin& j : pending_joins) {
+    const int a = catalog->FindByName(j.a);
+    const int b = catalog->FindByName(j.b);
+    if (a < 0) return LineError(j.line, "unknown relation: " + j.a);
+    if (b < 0) return LineError(j.line, "unknown relation: " + j.b);
+    const double da =
+        j.distinct_a.has_value() ? *j.distinct_a : declared_rows[j.a];
+    const double db =
+        j.distinct_b.has_value() ? *j.distinct_b : declared_rows[j.b];
+    // System-R equi-join rule over raw statistics; the min() guard covers
+    // fractional row counts below one.
+    const double selectivity = std::min(1.0, 1.0 / std::max(da, db));
+    Status added = builder.AddPredicate(a, b, selectivity);
+    if (!added.ok()) return LineError(j.line, added.message());
+  }
   for (const PendingEquivalence& cls : pending_classes) {
     std::vector<int> members;
     members.reserve(cls.names.size());
@@ -263,7 +360,7 @@ Result<QuerySpec> ParseBjq(std::string_view text, const BjqLimits& limits) {
   Result<JoinGraph> graph = builder.Build();
   if (!graph.ok()) return graph.status();
   return QuerySpec{std::move(catalog).value(), std::move(graph).value(),
-                   cost_model, threshold};
+                   cost_model, threshold, estimator};
 }
 
 Result<QuerySpec> LoadBjqFile(const std::string& path) {
@@ -280,6 +377,9 @@ std::string WriteBjq(const QuerySpec& spec) {
                    CostModelKindToString(spec.cost_model));
   if (spec.threshold.has_value()) {
     out += StrFormat("threshold %g\n", static_cast<double>(*spec.threshold));
+  }
+  if (spec.estimator.has_value()) {
+    out += StrFormat("estimator %s\n", EstimatorKindName(*spec.estimator));
   }
   for (int i = 0; i < spec.catalog.num_relations(); ++i) {
     const RelationStats& r = spec.catalog.relation(i);

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "card/estimator.h"
 #include "catalog/catalog.h"
 #include "cost/cost_model.h"
 #include "query/join_graph.h"
@@ -18,28 +19,45 @@ namespace blitz {
 /// Format (one directive per line; '#' starts a comment):
 ///
 ///     relation <name> <cardinality> [<tuple_bytes>]
+///     table <name> <rows> [<tuple_bytes>]
 ///     filter <name> <selectivity>
 ///     predicate <name_a> <name_b> <selectivity>
+///     join <name_a>.<col_a> = <name_b>.<col_b> [<distinct_a> <distinct_b>]
 ///     equivalence <name_1> ... <name_k> : <distinct_1> ... <distinct_k>
 ///     policy <pairwise|calibrated>
 ///     costmodel <naive|sm|dnl|min|hash|minall>
 ///     threshold <initial_plan_cost_threshold>
+///     estimator <paper|hist|noest>
 ///
 /// A filter directive scales the named relation's cardinality by a local
 /// selection selectivity before optimization (several filters multiply).
+///
+/// `table` is a synonym of `relation` for JOB-style workloads written
+/// against named base tables. `join` is the JOB-style form of `predicate`:
+/// an equi-join between named columns, whose selectivity is derived from
+/// raw base-table statistics by the System-R rule 1/max(distinct_a,
+/// distinct_b) instead of being stated explicitly. The distinct counts are
+/// optional; each defaults to the named relation's declared row count (a
+/// key-like column). Column names are carried for readability only — the
+/// optimizer identifies predicates by the relation pair.
 ///
 /// Relations must be declared before predicates or equivalence classes
 /// referencing them. An equivalence directive declares k columns equal (one
 /// per listed relation, with its distinct-value count) and is closed into
 /// implied predicates per the policy (see query/equivalence.h; default
 /// calibrated). Parallel predicates between a pair are merged by
-/// multiplying selectivities. The costmodel, policy, and threshold
-/// directives are optional (defaults: naive, calibrated, none).
+/// multiplying selectivities. The costmodel, policy, threshold, and
+/// estimator directives are optional (defaults: naive, calibrated, none,
+/// none). The estimator directive requests a cardinality estimator by its
+/// stable name (card/estimator.h); consumers map it to a concrete
+/// CardinalityEstimator (or reject kinds they cannot build — blitzd has no
+/// base tables to histogram, so it accepts paper and noest only).
 struct QuerySpec {
   Catalog catalog;
   JoinGraph graph;
   CostModelKind cost_model = CostModelKind::kNaive;
   std::optional<float> threshold;
+  std::optional<EstimatorKind> estimator;
 };
 
 /// Input-size caps for ParseBjq. A .bjq document is bounded by its relation

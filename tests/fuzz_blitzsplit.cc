@@ -5,6 +5,7 @@
 //   fuzz_blitzsplit [--seed=N] [--iters=K] [--min-n=2] [--max-n=12]
 //                   [--brute-max-n=12] [--time-budget-s=S]
 //                   [--corpus-dir=DIR] [--no-minimize] [--no-thresholds]
+//                   [--estimators=paper,hist,noest]
 //                   [--replay=FILE.bjq] [--verbose]
 //
 // Samples K cases from the paper's Appendix grid (topology in {chain, star,
@@ -14,6 +15,12 @@
 // {cost models} x {threshold on/off} x {1, 4 threads} x {scalar, block,
 // auto SIMD}, asserting bit-identical DP tables plus three independent
 // oracles (naive brute force over every subset, plan re-coster, DPccp).
+//
+// --estimators= sweeps the cardinality-estimator seam per case: the exact
+// `paper` estimator must leave the DP table and counters bit-identical to
+// the estimator-less reference; non-exact kinds (`hist`, `noest`) are held
+// to valid-plan invariants (full relation coverage, finite positive cost
+// under the true statistics).
 //
 // On a mismatch the case is shrunk (drop relations / drop predicates /
 // snap selectivities while it still reproduces) and written as a replayable
@@ -29,8 +36,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "card/estimator.h"
 #include "common/strings.h"
 #include "testing/corpus.h"
 #include "testing/differential.h"
@@ -54,6 +64,7 @@ int Usage() {
                "usage: fuzz_blitzsplit [--seed=N] [--iters=K] [--min-n=2] "
                "[--max-n=12] [--brute-max-n=12] [--time-budget-s=S] "
                "[--corpus-dir=DIR] [--no-minimize] [--no-thresholds] "
+               "[--estimators=paper,hist,noest] "
                "[--replay=FILE.bjq] [--verbose]\n");
   return kExitUsage;
 }
@@ -67,6 +78,7 @@ struct Flags {
   double time_budget_s = 0;  // 0 = unlimited.
   std::string corpus_dir;
   std::string replay;
+  std::string estimators = "paper";
   bool minimize = true;
   bool thresholds = true;
   bool verbose = false;
@@ -135,6 +147,9 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--corpus-dir", &value) &&
                value != nullptr) {
       flags.corpus_dir = value;
+    } else if (ParseFlag(argv[i], "--estimators", &value) &&
+               value != nullptr) {
+      flags.estimators = value;
     } else if (ParseFlag(argv[i], "--replay", &value) && value != nullptr) {
       flags.replay = value;
     } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
@@ -152,6 +167,18 @@ int main(int argc, char** argv) {
   DifferentialOptions diff;
   diff.brute_force_max_n = flags.brute_max_n;
   diff.with_thresholds = flags.thresholds;
+  diff.estimators.clear();
+  for (const std::string& name :
+       blitz::StrSplit(flags.estimators, ',')) {
+    const std::optional<blitz::EstimatorKind> kind =
+        blitz::EstimatorKindFromName(name);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "unknown estimator %s (valid: %s)\n", name.c_str(),
+                   blitz::EstimatorKindNames());
+      return kExitUsage;
+    }
+    diff.estimators.push_back(*kind);
+  }
 
   // Replay mode: one corpus file through the full grid.
   if (!flags.replay.empty()) {

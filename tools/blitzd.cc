@@ -34,6 +34,7 @@
 
 #include <poll.h>
 
+#include "card/estimator.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -73,6 +74,10 @@ void PrintUsage(std::FILE* out) {
       "  --default-deadline-ms <ms>  deadline for requests without one\n"
       "  --drain-grace-ms <ms>    drain wait before cancelling (default\n"
       "                           2000)\n"
+      "  --estimator <name>       default cardinality estimator for\n"
+      "                           requests without an estimator directive\n"
+      "                           (paper or noest; default paper — hist\n"
+      "                           needs local base tables and is rejected)\n"
       "  --max-body-bytes <n>     request body cap (default 1048576)\n"
       "  --arena-bytes <n>        DP-table arena retention (default 256M)\n"
       "  --write-timeout-ms <ms>  response write timeout per connection;\n"
@@ -155,6 +160,19 @@ Result<DaemonArgs> ParseArgs(int argc, char** argv) {
             "--drain-grace-ms needs a non-negative number");
       }
       args.server.drain_grace_ms = ms;
+    } else if (arg == "--estimator") {
+      const char* value = next();
+      if (value == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("--estimator needs a name (%s)", EstimatorKindNames()));
+      }
+      const std::optional<EstimatorKind> kind = EstimatorKindFromName(value);
+      if (!kind.has_value()) {
+        return Status::InvalidArgument(
+            StrFormat("unknown estimator %s (valid: %s)", value,
+                      EstimatorKindNames()));
+      }
+      args.server.default_estimator = *kind;
     } else if (arg == "--max-body-bytes") {
       const char* value = next();
       int n = 0;

@@ -1,0 +1,385 @@
+// make_job_queries: deterministic generator for the JOB-style mini query
+// set checked in under examples/queries/job/.
+//
+// Usage:
+//   make_job_queries [--out <dir>]        (default: examples/queries/job)
+//
+// The queries mirror the shape of the Join Order Benchmark ("How Good Are
+// Query Optimizers, Really?"): an IMDB-like schema with one huge fact-ish
+// table (cast_info), a large hub (title), mid-size link tables, and tiny
+// dimension/type tables, joined 4-11 ways along primary/foreign keys with
+// JOB-style selection filters. Every query is written in the .bjq front
+// end's JOB-style directives — `table` declarations plus `join` equi-joins
+// whose selectivities derive from distinct counts (src/textio/bjq.h) — so
+// the checked-in set doubles as an end-to-end test of that surface.
+//
+// The generator is pure: no clocks, no randomness — re-running it
+// reproduces the checked-in files byte for byte (CI could diff them).
+//
+// Exit codes: 0 success, 1 I/O error, 2 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace blitz {
+namespace {
+
+/// One relation instance in a query (possibly an alias: it1/it2 both name
+/// the info_type base table).
+struct TableUse {
+  const char* name;
+  double rows;
+  int tuple_bytes;
+};
+
+/// A JOB-style selection on one relation, folded in as a `filter` line.
+struct FilterUse {
+  const char* table;
+  double selectivity;
+  const char* what;  ///< Rendered as a trailing comment.
+};
+
+/// One PK/FK (or FK/FK) equi-join with explicit distinct counts.
+struct JoinUse {
+  const char* a;
+  const char* col_a;
+  const char* b;
+  const char* col_b;
+  double distinct_a;
+  double distinct_b;
+};
+
+struct QueryDef {
+  const char* file;
+  const char* title;
+  const char* cost_model;
+  std::vector<TableUse> tables;
+  std::vector<FilterUse> filters;
+  std::vector<JoinUse> joins;
+};
+
+// IMDB base-table row counts as used by the Join Order Benchmark.
+constexpr double kTitle = 2528312;
+constexpr double kMovieCompanies = 2609129;
+constexpr double kCompanyName = 234997;
+constexpr double kCompanyType = 4;
+constexpr double kMovieInfo = 14835720;
+constexpr double kMovieInfoIdx = 1380035;
+constexpr double kInfoType = 113;
+constexpr double kMovieKeyword = 4523930;
+constexpr double kKeyword = 134170;
+constexpr double kCastInfo = 36244344;
+constexpr double kName = 4167491;
+constexpr double kAkaName = 901343;
+constexpr double kRoleType = 12;
+constexpr double kKindType = 7;
+constexpr double kMovieLink = 29997;
+constexpr double kLinkType = 18;
+
+// Distinct movie ids observed in the big link tables (fewer than |title|:
+// not every movie has companies/keywords/info).
+constexpr double kMcMovies = 1087236;
+constexpr double kMkMovies = 476794;
+constexpr double kMiMovies = 2468825;
+constexpr double kMiIdxMovies = 459925;
+constexpr double kCiMovies = 2331601;
+constexpr double kCiPersons = 3832642;
+
+std::vector<QueryDef> JobQueries() {
+  std::vector<QueryDef> queries;
+
+  queries.push_back(QueryDef{
+      "job01.bjq",
+      "Production companies' top-rated movies (JOB 1a family): title with "
+      "its company and rating rows, both type-filtered.",
+      "dnl",
+      {{"t", kTitle, 94},
+       {"mc", kMovieCompanies, 48},
+       {"ct", kCompanyType, 16},
+       {"mi_idx", kMovieInfoIdx, 32},
+       {"it", kInfoType, 16}},
+      {{"ct", 0.25, "kind = 'production companies'"},
+       {"it", 1.0 / 113, "info = 'top 250 rank'"},
+       {"mc", 0.3, "note not like '%(as Metro-Goldwyn-Mayer%'"}},
+      {{"mc", "company_type_id", "ct", "id", kCompanyType, kCompanyType},
+       {"mi_idx", "info_type_id", "it", "id", kInfoType, kInfoType},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"t", "id", "mi_idx", "movie_id", kTitle, kMiIdxMovies},
+       {"mc", "movie_id", "mi_idx", "movie_id", kMcMovies, kMiIdxMovies}}});
+
+  queries.push_back(QueryDef{
+      "job02.bjq",
+      "German companies' keyworded movies (JOB 2a family).",
+      "naive",
+      {{"t", kTitle, 94},
+       {"mc", kMovieCompanies, 48},
+       {"cn", kCompanyName, 40},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32}},
+      {{"cn", 0.044, "country_code = '[de]'"},
+       {"k", 1.0 / kKeyword, "keyword = 'character-name-in-title'"}},
+      {{"mc", "company_id", "cn", "id", kCompanyName, kCompanyName},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"mc", "movie_id", "mk", "movie_id", kMcMovies, kMkMovies}}});
+
+  queries.push_back(QueryDef{
+      "job03.bjq",
+      "Sequels with violence (JOB 3a family): the smallest chain-ish "
+      "query in the set.",
+      "sm",
+      {{"t", kTitle, 94},
+       {"mi", kMovieInfo, 64},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32}},
+      {{"k", 0.0001, "keyword like '%sequel%'"},
+       {"mi", 0.005, "info in ('Sweden', 'Norway', ...)"},
+       {"t", 0.3, "production_year > 2005"}},
+      {{"t", "id", "mi", "movie_id", kTitle, kMiMovies},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword},
+       {"mi", "movie_id", "mk", "movie_id", kMiMovies, kMkMovies}}});
+
+  queries.push_back(QueryDef{
+      "job04.bjq",
+      "Rated sequels (JOB 4a family).",
+      "hash",
+      {{"t", kTitle, 94},
+       {"mi_idx", kMovieInfoIdx, 32},
+       {"it", kInfoType, 16},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32}},
+      {{"it", 1.0 / 113, "info = 'rating'"},
+       {"k", 0.0001, "keyword like '%sequel%'"},
+       {"mi_idx", 0.5, "info > '5.0'"},
+       {"t", 0.3, "production_year > 2005"}},
+      {{"t", "id", "mi_idx", "movie_id", kTitle, kMiIdxMovies},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"mi_idx", "info_type_id", "it", "id", kInfoType, kInfoType},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword},
+       {"mi_idx", "movie_id", "mk", "movie_id", kMiIdxMovies, kMkMovies}}});
+
+  queries.push_back(QueryDef{
+      "job06.bjq",
+      "Marvel movies with a famous cast (JOB 6a family): first query "
+      "touching the cast_info fact table.",
+      "dnl",
+      {{"t", kTitle, 94},
+       {"ci", kCastInfo, 40},
+       {"n", kName, 56},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32}},
+      {{"k", 1.0 / kKeyword, "keyword = 'marvel-cinematic-universe'"},
+       {"n", 0.001, "name like '%Downey%Robert%'"},
+       {"t", 0.2, "production_year > 2010"}},
+      {{"t", "id", "ci", "movie_id", kTitle, kCiMovies},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"ci", "person_id", "n", "id", kCiPersons, kName},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword},
+       {"ci", "movie_id", "mk", "movie_id", kCiMovies, kMkMovies}}});
+
+  queries.push_back(QueryDef{
+      "job08.bjq",
+      "Costume designers in Japanese movies (JOB 8a family): seven "
+      "relations, two person-side dimensions.",
+      "naive",
+      {{"t", kTitle, 94},
+       {"ci", kCastInfo, 40},
+       {"n", kName, 56},
+       {"an", kAkaName, 40},
+       {"rt", kRoleType, 16},
+       {"mc", kMovieCompanies, 48},
+       {"cn", kCompanyName, 40}},
+      {{"rt", 1.0 / kRoleType, "role = 'actress'"},
+       {"cn", 0.036, "country_code = '[jp]'"},
+       {"mc", 0.05, "note like '%(Japan)%'"},
+       {"ci", 0.01, "note = '(voice: English version)'"}},
+      {{"t", "id", "ci", "movie_id", kTitle, kCiMovies},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"ci", "person_id", "n", "id", kCiPersons, kName},
+       {"ci", "person_id", "an", "person_id", kCiPersons, 588222},
+       {"ci", "role_id", "rt", "id", kRoleType, kRoleType},
+       {"mc", "company_id", "cn", "id", kCompanyName, kCompanyName},
+       {"ci", "movie_id", "mc", "movie_id", kCiMovies, kMcMovies}}});
+
+  queries.push_back(QueryDef{
+      "job11.bjq",
+      "Follow-up movies of small studios (JOB 11a family): movie_link "
+      "brings a second hub into play.",
+      "sm",
+      {{"t", kTitle, 94},
+       {"ml", kMovieLink, 24},
+       {"lt", kLinkType, 16},
+       {"mc", kMovieCompanies, 48},
+       {"cn", kCompanyName, 40},
+       {"ct", kCompanyType, 16},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32}},
+      {{"lt", 2.0 / kLinkType, "link like '%follow%'"},
+       {"cn", 0.044, "country_code = '[de]'"},
+       {"k", 1.0 / kKeyword, "keyword = 'sequel'"},
+       {"t", 0.25, "production_year between 1950 and 2000"}},
+      {{"t", "id", "ml", "movie_id", kTitle, 22976},
+       {"ml", "link_type_id", "lt", "id", kLinkType, kLinkType},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"mc", "company_id", "cn", "id", kCompanyName, kCompanyName},
+       {"mc", "company_type_id", "ct", "id", kCompanyType, kCompanyType},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword}}});
+
+  queries.push_back(QueryDef{
+      "job13.bjq",
+      "US movie ratings by genre (JOB 13a family): nine relations with "
+      "two info_type aliases.",
+      "dnl",
+      {{"t", kTitle, 94},
+       {"kt", kKindType, 16},
+       {"mi", kMovieInfo, 64},
+       {"it1", kInfoType, 16},
+       {"mi_idx", kMovieInfoIdx, 32},
+       {"it2", kInfoType, 16},
+       {"mc", kMovieCompanies, 48},
+       {"cn", kCompanyName, 40},
+       {"ct", kCompanyType, 16}},
+      {{"kt", 1.0 / kKindType, "kind = 'movie'"},
+       {"it1", 1.0 / 113, "info = 'rating'"},
+       {"it2", 1.0 / 113, "info = 'release dates'"},
+       {"cn", 0.36, "country_code = '[us]'"}},
+      {{"t", "kind_id", "kt", "id", kKindType, kKindType},
+       {"t", "id", "mi", "movie_id", kTitle, kMiMovies},
+       {"t", "id", "mi_idx", "movie_id", kTitle, kMiIdxMovies},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"mi", "info_type_id", "it2", "id", kInfoType, kInfoType},
+       {"mi_idx", "info_type_id", "it1", "id", kInfoType, kInfoType},
+       {"mc", "company_id", "cn", "id", kCompanyName, kCompanyName},
+       {"mc", "company_type_id", "ct", "id", kCompanyType, kCompanyType},
+       {"mi", "movie_id", "mi_idx", "movie_id", kMiMovies, kMiIdxMovies}}});
+
+  queries.push_back(QueryDef{
+      "job17.bjq",
+      "Movies with character keywords and US companies (JOB 17a family): "
+      "cast_info joined against both hubs.",
+      "hash",
+      {{"t", kTitle, 94},
+       {"ci", kCastInfo, 40},
+       {"n", kName, 56},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32},
+       {"mc", kMovieCompanies, 48},
+       {"cn", kCompanyName, 40}},
+      {{"k", 1.0 / kKeyword, "keyword = 'character-name-in-title'"},
+       {"n", 0.04, "name like 'B%'"},
+       {"cn", 0.36, "country_code = '[us]'"}},
+      {{"t", "id", "ci", "movie_id", kTitle, kCiMovies},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"ci", "person_id", "n", "id", kCiPersons, kName},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword},
+       {"mc", "company_id", "cn", "id", kCompanyName, kCompanyName},
+       {"ci", "movie_id", "mk", "movie_id", kCiMovies, kMkMovies},
+       {"mc", "movie_id", "mk", "movie_id", kMcMovies, kMkMovies}}});
+
+  queries.push_back(QueryDef{
+      "job22.bjq",
+      "Western violence by rating (JOB 22a family): the largest query in "
+      "the set — ten relations, both info aliases, keywords, companies.",
+      "min",
+      {{"t", kTitle, 94},
+       {"kt", kKindType, 16},
+       {"mi", kMovieInfo, 64},
+       {"it1", kInfoType, 16},
+       {"mi_idx", kMovieInfoIdx, 32},
+       {"it2", kInfoType, 16},
+       {"mk", kMovieKeyword, 24},
+       {"k", kKeyword, 32},
+       {"mc", kMovieCompanies, 48},
+       {"cn", kCompanyName, 40}},
+      {{"kt", 2.0 / kKindType, "kind in ('movie', 'episode')"},
+       {"it1", 1.0 / 113, "info = 'countries'"},
+       {"it2", 1.0 / 113, "info = 'rating'"},
+       {"k", 0.0002, "keyword in ('murder', 'violence', ...)"},
+       {"mi", 0.01, "info in ('Germany', 'Swedish', ...)"},
+       {"mi_idx", 0.7, "info < '7.0'"},
+       {"cn", 0.3, "country_code != '[us]'"},
+       {"t", 0.2, "production_year > 2008"}},
+      {{"t", "kind_id", "kt", "id", kKindType, kKindType},
+       {"t", "id", "mi", "movie_id", kTitle, kMiMovies},
+       {"t", "id", "mi_idx", "movie_id", kTitle, kMiIdxMovies},
+       {"t", "id", "mk", "movie_id", kTitle, kMkMovies},
+       {"t", "id", "mc", "movie_id", kTitle, kMcMovies},
+       {"mi", "info_type_id", "it1", "id", kInfoType, kInfoType},
+       {"mi_idx", "info_type_id", "it2", "id", kInfoType, kInfoType},
+       {"mk", "keyword_id", "k", "id", kKeyword, kKeyword},
+       {"mc", "company_id", "cn", "id", kCompanyName, kCompanyName},
+       {"mi", "movie_id", "mk", "movie_id", kMiMovies, kMkMovies}}});
+
+  return queries;
+}
+
+std::string Render(const QueryDef& query) {
+  std::string out;
+  out += StrFormat("# %s\n", query.title);
+  out += "# Generated by tools/make_job_queries.cc -- do not edit by hand.\n";
+  out += StrFormat("costmodel %s\n", query.cost_model);
+  for (const TableUse& table : query.tables) {
+    out += StrFormat("table %s %.0f %d\n", table.name, table.rows,
+                     table.tuple_bytes);
+  }
+  for (const FilterUse& filter : query.filters) {
+    out += StrFormat("filter %s %.10g  # %s\n", filter.table,
+                     filter.selectivity, filter.what);
+  }
+  for (const JoinUse& join : query.joins) {
+    out += StrFormat("join %s.%s = %s.%s %.0f %.0f\n", join.a, join.col_a,
+                     join.b, join.col_b, join.distinct_a, join.distinct_b);
+  }
+  return out;
+}
+
+int Run(const std::string& out_dir) {
+  const std::vector<QueryDef> queries = JobQueries();
+  for (const QueryDef& query : queries) {
+    const std::string path = out_dir + "/" + query.file;
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "make_job_queries: cannot write %s\n",
+                   path.c_str());
+      return 1;
+    }
+    file << Render(query);
+    if (!file.flush()) {
+      std::fprintf(stderr, "make_job_queries: write failed: %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("%zu queries\n", queries.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace blitz
+
+int main(int argc, char** argv) {
+  std::string out_dir = "examples/queries/job";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: make_job_queries [--out <dir>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "make_job_queries: unknown argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  return blitz::Run(out_dir);
+}
