@@ -20,6 +20,33 @@
 // (default 16), BLITZ_SERVING_WINDOW (default 64), BLITZ_SERVING_WORKERS
 // (default: hardware concurrency, clamped to [2, 16]), BLITZ_SERVING_SEED
 // (default 20260808).
+//
+// ## The 10k-connection multiplexer phases (cold vs warm)
+//
+// After the closed-loop section, the bench forks a real blitzd-shaped
+// server child — BlitzServer behind ServeMultiplexed on a unix socket — and
+// drives BLITZ_SERVING_MUX_CONNS (default 10000) client connections at it
+// from the parent, one request per connection. The fork matters: at 10k
+// sockets each side needs its own file-descriptor budget. Two phases run:
+//
+//   cold: plan cache disabled (blitzd --no-cache) — every request pays the
+//         full optimizer;
+//   warm: plan cache enabled and prewarmed with the whole body pool — every
+//         request is answered from the cache, inline on the event loop.
+//
+// Both phases assert exactly-once delivery (every connection sees exactly
+// one response, with its own request id, then clean EOF at drain) and
+// report p50/p95/p99 plus throughput as `cold/cN/...` and `warm/cN/...`
+// points next to the `mixed/...` rows in BENCH_serving.json. Knobs:
+// BLITZ_SERVING_MUX_CONNS (0 skips the phases), BLITZ_SERVING_MUX_THREADS
+// (parent-side generator threads, default 8).
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -38,6 +65,7 @@
 #include "common/check.h"
 #include "common/strings.h"
 #include "serve/client.h"
+#include "serve/mux.h"
 #include "serve/server.h"
 #include "serve/stream.h"
 #include "serve/wire.h"
@@ -74,11 +102,12 @@ struct SampleStats {
 /// Mixed-n request bodies, generated once and cycled by every client. The
 /// pool is large enough that neighboring in-flight requests differ but
 /// small enough that body generation stays out of the measured loop.
-std::vector<std::string> MakeBodyPool(std::uint64_t seed) {
+std::vector<std::string> MakeBodyPool(std::uint64_t seed,
+                                      int max_relations = 15) {
   fuzz::FuzzerOptions options;
   options.seed = seed;
   options.min_relations = 2;
-  options.max_relations = 15;
+  options.max_relations = max_relations;
   std::vector<std::string> pool;
   pool.reserve(64);
   for (std::uint64_t index = 0; index < 64; ++index) {
@@ -200,6 +229,267 @@ double Percentile(std::vector<double>* values, double q) {
   return (*values)[index];
 }
 
+// ---------------------------------------------------------------------------
+// The 10k-connection multiplexer phases.
+
+struct MuxPhaseConfig {
+  int conns = 10000;
+  int threads = 8;
+  int workers = 2;
+  bool cache = false;    ///< Warm phase: cache on, prewarmed.
+  std::string socket_path;
+};
+
+struct MuxPhaseStats {
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t violations = 0;  ///< Exactly-once breaches (fatal).
+  double wall_seconds = 0;
+  std::vector<double> latencies;
+  std::string statz;  ///< The server's /statz body, fetched post-phase.
+};
+
+bool SendAll(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The forked server: a blitzd-shaped BlitzServer behind ServeMultiplexed
+/// on a unix socket. `ctl_rd` is the parent's drain trigger (the mux
+/// wake_fd); readiness is signaled with one byte on `ready_wr`.
+int RunMuxServerChild(const MuxPhaseConfig& config, int ctl_rd,
+                      int ready_wr) {
+  ::unlink(config.socket_path.c_str());
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return 1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd, 4096) != 0) {
+    ::close(listen_fd);
+    return 1;
+  }
+
+  ServerOptions options;
+  options.num_workers = config.workers;
+  // Every connection's one request may be queued at once; admission and
+  // the queue must both have headroom for the full burst.
+  options.max_queue = config.conns + 1024;
+  options.admission.default_quota.max_in_flight = config.conns + 1024;
+  if (!config.cache) options.cache.max_entries = 0;
+  Result<std::unique_ptr<BlitzServer>> server = BlitzServer::Create(options);
+  if (!server.ok()) {
+    ::close(listen_fd);
+    return 1;
+  }
+
+  MuxOptions mux;
+  mux.listen_fd = listen_fd;
+  mux.wake_fd = ctl_rd;
+  mux.write_timeout_ms = 30000;
+  if (::write(ready_wr, "r", 1) != 1) {
+    ::close(listen_fd);
+    return 1;
+  }
+  const Status status = ServeMultiplexed(server->get(), mux);
+  ::close(listen_fd);
+  ::unlink(config.socket_path.c_str());
+  return status.ok() ? 0 : 1;
+}
+
+int ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One generator thread: opens its share of connections, timestamps one
+/// request per connection, then reads every response back (the data is
+/// already buffered by the time sequential reads reach it — the server
+/// answers out of band). Connections stay open for the caller's EOF sweep.
+void MuxClientThread(const std::vector<std::string>& pool, int first,
+                     int count, std::vector<int>* fds, MuxPhaseStats* stats) {
+  std::vector<std::chrono::steady_clock::time_point> sent(
+      static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int conn = (*fds)[static_cast<std::size_t>(first + i)];
+    RequestFrame frame;
+    frame.tenant = "bench";
+    frame.id = static_cast<std::uint64_t>(first + i) + 1;
+    frame.body = pool[static_cast<std::size_t>(first + i) % pool.size()];
+    sent[static_cast<std::size_t>(i)] = std::chrono::steady_clock::now();
+    if (!SendAll(conn, EncodeRequestFrame(frame))) {
+      ++stats->errors;
+      continue;
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    const int conn = (*fds)[static_cast<std::size_t>(first + i)];
+    FdStream stream(conn, conn, /*own_fds=*/false);
+    FrameReader reader(&stream, WireLimits{});
+    Result<std::optional<ResponseFrame>> response = reader.ReadResponse();
+    const auto now = std::chrono::steady_clock::now();
+    if (!response.ok() || !response->has_value()) {
+      ++stats->errors;
+      ++stats->violations;  // An admitted request must be answered.
+      continue;
+    }
+    if ((*response)->id != static_cast<std::uint64_t>(first + i) + 1) {
+      ++stats->violations;
+      continue;
+    }
+    if ((*response)->code == StatusCode::kOk) {
+      ++stats->ok;
+      stats->latencies.push_back(std::chrono::duration<double>(
+                                     now - sent[static_cast<std::size_t>(i)])
+                                     .count());
+    } else {
+      ++stats->errors;
+    }
+  }
+}
+
+/// Runs one phase end to end: fork the server, connect `config.conns`
+/// sockets, one timed request per socket, then /statz, drain, and an EOF
+/// sweep proving no connection holds a second (duplicate) response.
+Result<MuxPhaseStats> RunMuxPhase(const MuxPhaseConfig& config,
+                                  const std::vector<std::string>& pool) {
+  int ctl[2];   // Parent writes a byte to trigger the child's drain.
+  int ready[2];
+  if (::pipe(ctl) != 0 || ::pipe(ready) != 0) {
+    return Status::Internal("pipe failed");
+  }
+  const pid_t child = ::fork();
+  if (child < 0) return Status::Internal("fork failed");
+  if (child == 0) {
+    ::close(ctl[1]);
+    ::close(ready[0]);
+    ::_exit(RunMuxServerChild(config, ctl[0], ready[1]));
+  }
+  ::close(ctl[0]);
+  ::close(ready[1]);
+  char ready_byte = 0;
+  if (::read(ready[0], &ready_byte, 1) != 1) {
+    return Status::Internal("server child never became ready");
+  }
+  ::close(ready[0]);
+
+  // Warm phase: prewarm every pool body once so the timed requests all hit.
+  if (config.cache) {
+    const int conn = ConnectUnix(config.socket_path);
+    if (conn < 0) return Status::Internal("prewarm connect failed");
+    FdStream stream(conn, conn, /*own_fds=*/false);
+    BlitzClient::Options client_options;
+    client_options.tenant = "bench";
+    BlitzClient client(&stream, std::move(client_options));
+    for (const std::string& body : pool) {
+      Result<ServeReply> reply = client.Optimize(body);
+      if (!reply.ok()) {
+        return Status::Internal("prewarm request failed: " +
+                                reply.status().ToString());
+      }
+    }
+    ::close(conn);
+  }
+
+  std::vector<int> fds(static_cast<std::size_t>(config.conns), -1);
+  for (int i = 0; i < config.conns; ++i) {
+    fds[static_cast<std::size_t>(i)] = ConnectUnix(config.socket_path);
+    if (fds[static_cast<std::size_t>(i)] < 0) {
+      return Status::Internal(
+          StrFormat("connect %d/%d failed: %s", i, config.conns,
+                    std::strerror(errno)));
+    }
+  }
+
+  const int threads = std::max(1, std::min(config.threads, config.conns));
+  std::vector<MuxPhaseStats> per_thread(static_cast<std::size_t>(threads));
+  std::vector<std::thread> generators;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    const int first = t * config.conns / threads;
+    const int last = (t + 1) * config.conns / threads;
+    generators.emplace_back(MuxClientThread, std::cref(pool), first,
+                            last - first, &fds,
+                            &per_thread[static_cast<std::size_t>(t)]);
+  }
+  for (std::thread& t : generators) t.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  MuxPhaseStats total;
+  total.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  for (MuxPhaseStats& s : per_thread) {
+    total.ok += s.ok;
+    total.errors += s.errors;
+    total.violations += s.violations;
+    total.latencies.insert(total.latencies.end(), s.latencies.begin(),
+                           s.latencies.end());
+  }
+
+  // Server-side accounting, straight off the wire.
+  {
+    const int conn = ConnectUnix(config.socket_path);
+    if (conn >= 0) {
+      FdStream stream(conn, conn, /*own_fds=*/false);
+      BlitzClient::Options client_options;
+      client_options.tenant = "bench";
+      BlitzClient client(&stream, std::move(client_options));
+      Result<std::string> statz = client.Statz();
+      if (statz.ok()) total.statz = *statz;
+      ::close(conn);
+    }
+  }
+
+  // Drain, then the EOF sweep: each connection must end cleanly with no
+  // second response buffered behind the one it already consumed.
+  if (::write(ctl[1], "q", 1) != 1) {
+    return Status::Internal("drain trigger failed");
+  }
+  for (int i = 0; i < config.conns; ++i) {
+    const int conn = fds[static_cast<std::size_t>(i)];
+    FdStream stream(conn, conn, /*own_fds=*/false);
+    FrameReader reader(&stream, WireLimits{});
+    Result<std::optional<ResponseFrame>> eof = reader.ReadResponse();
+    if (eof.ok() && eof->has_value()) ++total.violations;
+    ::close(conn);
+  }
+  ::close(ctl[1]);
+
+  int wait_status = 0;
+  if (::waitpid(child, &wait_status, 0) != child ||
+      !WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
+    return Status::Internal("server child exited abnormally");
+  }
+  return total;
+}
+
+/// Extracts `<key> <value>\n` from a statz body; 0 when absent.
+double StatzValue(const std::string& statz, const std::string& key) {
+  const std::string needle = "\n" + key + " ";
+  const std::size_t at = statz.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::atof(statz.c_str() + at + needle.size());
+}
+
 }  // namespace
 }  // namespace blitz
 
@@ -263,6 +553,88 @@ int main(int argc, char** argv) {
       config.clients, config.window, config.workers, best_qps, best_p50,
       best_p95, best_p99);
 
+  // The 10k-connection multiplexer phases (cold cache vs warm cache).
+  blitz::MuxPhaseConfig mux;
+  mux.conns = blitz::EnvInt("BLITZ_SERVING_MUX_CONNS", 10000);
+  mux.threads = blitz::EnvInt("BLITZ_SERVING_MUX_THREADS", 8);
+  mux.workers = config.workers;
+  mux.socket_path =
+      blitz::StrFormat("/tmp/blitz_bench_serving_%d.sock", ::getpid());
+  // Each side of the fork needs conns + slack descriptors of its own.
+  rlimit nofile{};
+  if (mux.conns > 0 && ::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur != RLIM_INFINITY &&
+      static_cast<rlim_t>(mux.conns) + 256 > nofile.rlim_cur) {
+    mux.conns = static_cast<int>(nofile.rlim_cur) - 256;
+    std::fprintf(stderr,
+                 "RLIMIT_NOFILE %llu clamps the mux phases to %d conns\n",
+                 static_cast<unsigned long long>(nofile.rlim_cur), mux.conns);
+  }
+
+  struct PhaseRow {
+    const char* name;
+    blitz::MuxPhaseStats stats;
+    double p50 = 0, p95 = 0, p99 = 0, qps = 0;
+  };
+  std::vector<PhaseRow> phases;
+  if (mux.conns > 0) {
+    // Same mixed-n bodies as the closed-loop pool: at n <= 15 the DP is
+    // what a cold request pays, so the warm/cold gap measures the cache,
+    // not framing overhead.
+    const std::vector<std::string> mux_pool = blitz::MakeBodyPool(config.seed);
+    for (const bool warm : {false, true}) {
+      mux.cache = warm;
+      blitz::Result<blitz::MuxPhaseStats> phase =
+          blitz::RunMuxPhase(mux, mux_pool);
+      if (!phase.ok()) {
+        std::fprintf(stderr, "%s mux phase failed: %s\n",
+                     warm ? "warm" : "cold",
+                     phase.status().ToString().c_str());
+        return 1;
+      }
+      PhaseRow row;
+      row.name = warm ? "warm" : "cold";
+      row.stats = std::move(*phase);
+      row.p50 = blitz::Percentile(&row.stats.latencies, 0.50) * 1e3;
+      row.p95 = blitz::Percentile(&row.stats.latencies, 0.95) * 1e3;
+      row.p99 = blitz::Percentile(&row.stats.latencies, 0.99) * 1e3;
+      row.qps = static_cast<double>(row.stats.ok) /
+                (row.stats.wall_seconds > 0 ? row.stats.wall_seconds : 1.0);
+      std::printf(
+          "%s 10k: %d conns, %llu ok, %llu errors, %.0f qps, p50 %.2f ms, "
+          "p95 %.2f ms, p99 %.2f ms, cache_hits %.0f\n",
+          row.name, mux.conns,
+          static_cast<unsigned long long>(row.stats.ok),
+          static_cast<unsigned long long>(row.stats.errors), row.qps,
+          row.p50, row.p95, row.p99,
+          blitz::StatzValue(row.stats.statz, "cache_hits"));
+      if (row.stats.violations != 0) {
+        std::fprintf(stderr,
+                     "%s phase: %llu exactly-once violations\n", row.name,
+                     static_cast<unsigned long long>(row.stats.violations));
+        return 1;
+      }
+      if (row.stats.ok + row.stats.errors !=
+          static_cast<std::uint64_t>(mux.conns)) {
+        std::fprintf(stderr, "%s phase: %llu responses for %d requests\n",
+                     row.name,
+                     static_cast<unsigned long long>(row.stats.ok +
+                                                     row.stats.errors),
+                     mux.conns);
+        return 1;
+      }
+      phases.push_back(std::move(row));
+    }
+    if (phases.size() == 2 && phases[1].p50 > 0) {
+      std::printf("warm speedup: p50 %.1fx, wall %.1fx\n",
+                  phases[0].p50 / phases[1].p50,
+                  phases[0].stats.wall_seconds /
+                      (phases[1].stats.wall_seconds > 0
+                           ? phases[1].stats.wall_seconds
+                           : 1.0));
+    }
+  }
+
   if (!json_path.empty()) {
     blitz::BenchReport report;
     report.bench = "serving";
@@ -286,6 +658,21 @@ int main(int argc, char** argv) {
     report.AddPoint(prefix + "/ok", static_cast<double>(total_ok), "count");
     report.AddPoint(prefix + "/errors", static_cast<double>(total_errors),
                     "count");
+    report.AddMeta("mux_conns", blitz::StrFormat("%d", mux.conns));
+    report.AddMeta("mux_threads", blitz::StrFormat("%d", mux.threads));
+    for (const PhaseRow& row : phases) {
+      const std::string mux_prefix =
+          blitz::StrFormat("%s/c%d", row.name, mux.conns);
+      report.AddPoint(mux_prefix + "/p50", row.p50, "ms");
+      report.AddPoint(mux_prefix + "/p95", row.p95, "ms");
+      report.AddPoint(mux_prefix + "/p99", row.p99, "ms");
+      report.AddPoint(mux_prefix + "/qps", row.qps, "qps");
+      report.AddPoint(mux_prefix + "/ok",
+                      static_cast<double>(row.stats.ok), "count");
+      report.AddPoint(mux_prefix + "/cache_hits",
+                      blitz::StatzValue(row.stats.statz, "cache_hits"),
+                      "count");
+    }
     const blitz::Status status =
         blitz::WriteBenchJsonFile(report, json_path);
     if (!status.ok()) {

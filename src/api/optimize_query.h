@@ -190,6 +190,13 @@ struct OptimizedQuery {
   /// Observability report; engaged iff options.collect_report was set.
   std::optional<OptimizeReport> report;
 
+  /// True when this result was answered from the serving tier's plan cache
+  /// (src/serve/plancache.h) rather than a fresh optimizer run; `tier`
+  /// still names the tier that originally produced the stored plan, so
+  /// provenance survives reuse. OptimizeQuery itself always leaves this
+  /// false.
+  bool from_cache = false;
+
   /// True if the plan is a guaranteed optimum (exhaustive tier).
   bool exact() const { return tier == OptimizerTier::kExhaustive; }
 

@@ -127,6 +127,14 @@ inline constexpr std::string_view kFaultServeParse = "serve.parse";
 inline constexpr std::string_view kFaultServeEnqueue = "serve.enqueue";
 inline constexpr std::string_view kFaultServeArenaAlloc = "serve.arena.alloc";
 inline constexpr std::string_view kFaultServeDrain = "serve.drain";
+// Fires at PlanCache insertion: any armed kind suppresses the insert (the
+// result is served but not cached — a bypass), modeling cache-memory
+// pressure without disturbing the answer path.
+inline constexpr std::string_view kFaultServeCacheInsert = "serve.cache.insert";
+// Fires per epoll_wait cycle in the connection multiplexer: transient kinds
+// (kBadAlloc, kClockSkew, kCancel) make that cycle a no-op; kFailStatus
+// makes the multiplexer drain gracefully and return the armed status.
+inline constexpr std::string_view kFaultServeEpollWait = "serve.epoll.wait";
 
 #ifdef BLITZ_FAULT_INJECTION
 

@@ -91,4 +91,10 @@ std::size_t AdmissionController::tracked_tenants() const {
   return in_flight_.size();
 }
 
+std::vector<std::pair<std::string, int>> AdmissionController::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {in_flight_.begin(), in_flight_.end()};  // std::map: name-sorted.
+}
+
 }  // namespace blitz

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -69,6 +71,10 @@ class AdmissionController {
   /// their count returns to zero (names are unauthenticated client input,
   /// so idle entries must not accumulate); this exposes that invariant.
   std::size_t tracked_tenants() const;
+
+  /// Point-in-time (tenant, in-flight count) pairs for every tracked
+  /// tenant, sorted by name — the /statz introspection feed.
+  std::vector<std::pair<std::string, int>> Snapshot() const;
 
  private:
   const AdmissionOptions options_;

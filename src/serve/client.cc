@@ -82,6 +82,26 @@ Result<std::optional<ResponseFrame>> BlitzClient::Receive() {
 
 void BlitzClient::CloseSend() { stream_->CloseWrite(); }
 
+Result<std::string> BlitzClient::Statz() {
+  Result<std::uint64_t> id = Send(std::string(kStatzBody));
+  if (!id.ok()) return id.status();
+  for (;;) {
+    Result<std::optional<ResponseFrame>> received = Receive();
+    if (!received.ok()) return received.status();
+    if (!received->has_value()) {
+      return Status::Unavailable("connection closed before the response");
+    }
+    if ((*received)->id != *id && (*received)->id != 0) continue;
+    if ((*received)->code != StatusCode::kOk) {
+      return Status((*received)->code, (*received)->body);
+    }
+    if (!StartsWith((*received)->body, kStatzMagic)) {
+      return Status::InvalidArgument("reply is not a statz body");
+    }
+    return std::move((*received)->body);
+  }
+}
+
 Result<ServeReply> BlitzClient::Optimize(const std::string& bjq,
                                          double deadline_ms) {
   for (int attempt = 1;; ++attempt) {

@@ -67,6 +67,11 @@ class BlitzClient {
   /// terminal error, or the transport error.
   Result<ServeReply> Optimize(const std::string& bjq, double deadline_ms = 0);
 
+  /// Introspection: sends the /statz request and returns the raw statz
+  /// body (the blitz-statz-v1 key/value text; see serve/wire.h). Works
+  /// against a draining server — statz is answered before admission.
+  Result<std::string> Statz();
+
   /// Pipelining: frames and sends one request without waiting. Returns the
   /// assigned request id.
   Result<std::uint64_t> Send(const std::string& bjq, double deadline_ms = 0);

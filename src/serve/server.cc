@@ -21,6 +21,14 @@ void Count(std::string_view name) {
 /// client rides out a transient spike instead of giving up.
 constexpr double kShedRetryAfterMs = 50;
 
+/// Serving-grade fingerprint budget. The library default (512 IR nodes) is
+/// tuned for offline exactness; on the serving hot path a budget-exhausting
+/// symmetric query would cost milliseconds *per request* on the submitting
+/// thread, so the server caps the search low. Exhaustion is safe — the
+/// fallback fingerprint still hits for byte-identical repeats — and the
+/// probe and insert paths share this constant, so their keys always agree.
+constexpr int kServingFingerprintBudget = 16;
+
 }  // namespace
 
 Status ServerOptions::Validate() const {
@@ -41,6 +49,9 @@ Status ServerOptions::Validate() const {
         "estimator hist needs local base tables; the serving tier supports "
         "paper and noest");
   }
+  if (cache.shards < 1) {
+    return Status::InvalidArgument("cache.shards must be >= 1");
+  }
   BLITZ_RETURN_IF_ERROR(admission.Validate());
   return optimizer.Validate();
 }
@@ -54,7 +65,9 @@ Result<std::unique_ptr<BlitzServer>> BlitzServer::Create(
 BlitzServer::BlitzServer(ServerOptions options)
     : options_(std::move(options)),
       arena_(options_.arena),
-      admission_(options_.admission) {
+      admission_(options_.admission),
+      cache_(options_.cache),
+      latency_(Histogram::DefaultLatencyBounds()) {
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -70,7 +83,7 @@ Status BlitzServer::Serve(ByteStream* stream) {
     const Status error = fault->kind == FaultKind::kFailStatus
                              ? fault->status
                              : Status::Unavailable("injected accept failure");
-    Connection conn;
+    ServeConnection conn;
     conn.stream = stream;
     Respond(&conn, ResponseFrame{0, error.code(), kShedRetryAfterMs,
                                  error.message()});
@@ -78,7 +91,7 @@ Status BlitzServer::Serve(ByteStream* stream) {
     return error;
   }
 
-  Connection conn;
+  ServeConnection conn;
   conn.stream = stream;
   FrameReader reader(stream, options_.wire);
   Status result = Status::OK();
@@ -95,7 +108,7 @@ Status BlitzServer::Serve(ByteStream* stream) {
       break;
     }
     if (!frame->has_value()) break;  // Clean EOF at a frame boundary.
-    HandleRequest(&conn, std::move(**frame));
+    HandleRequest(&conn, nullptr, std::move(**frame));
   }
 
   // Responses for admitted requests are written by workers; hold the
@@ -107,7 +120,55 @@ Status BlitzServer::Serve(ByteStream* stream) {
   return result;
 }
 
-void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
+std::shared_ptr<ServeConnection> BlitzServer::OpenConnection(
+    std::shared_ptr<ResponseSink> sink) {
+  auto conn = std::make_shared<ServeConnection>();
+  conn->sink = std::move(sink);
+  return conn;
+}
+
+void BlitzServer::SubmitRequest(const std::shared_ptr<ServeConnection>& conn,
+                                RequestFrame frame) {
+  HandleRequest(conn.get(), conn, std::move(frame));
+}
+
+void BlitzServer::SubmitProtocolError(
+    const std::shared_ptr<ServeConnection>& conn, const Status& error) {
+  Respond(conn.get(), ResponseFrame{0, error.code(), 0, error.message()});
+  Count("serve.protocol_errors");
+}
+
+std::string BlitzServer::BuildReplyBody(
+    const OptimizedQuery& result, const Catalog& catalog,
+    EstimatorKind requested_estimator) const {
+  ServeReply reply;
+  reply.plan = result.plan.ToString(&catalog);
+  reply.cost = result.cost;
+  reply.tier = OptimizerTierName(result.tier);
+  reply.passes = result.passes;
+  reply.degradations =
+      result.report.has_value()
+          ? static_cast<int>(result.report->degradations.size())
+          : 0;
+  reply.estimator = result.report.has_value()
+                        ? EstimatorKindName(result.report->estimator)
+                        : EstimatorKindName(requested_estimator);
+  reply.cached = result.from_cache;
+  return EncodeReplyBody(reply);
+}
+
+void BlitzServer::HandleRequest(
+    ServeConnection* conn, const std::shared_ptr<ServeConnection>& conn_ref,
+    RequestFrame frame) {
+  // Introspection is answered before admission and before the draining
+  // check — /statz must work while the server sheds everything else.
+  if (frame.body == kStatzBody) {
+    Respond(conn,
+            ResponseFrame{frame.id, StatusCode::kOk, 0, StatzBody()});
+    Count("serve.statz");
+    return;
+  }
+
   Count("serve.requests");
   const auto shed = [&](const Status& status, double retry_after_ms,
                         std::string_view counter) {
@@ -128,6 +189,7 @@ void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
     return;
   }
 
+  const auto start_time = std::chrono::steady_clock::now();
   AdmissionController::Decision decision =
       admission_.Admit(frame.tenant, frame.body.size());
   if (!decision.status.ok()) {
@@ -136,7 +198,54 @@ void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
   }
   // Admitted: from here every early exit must Release the tenant slot.
 
-  const TenantQuota& quota = admission_.quota_for(frame.tenant);
+  Job job;
+  job.conn = conn;
+  job.conn_ref = conn_ref;
+  job.id = frame.id;
+  job.tenant = frame.tenant;
+  job.body = std::move(frame.body);
+
+  // Plan-cache probe, on the submitting thread: parse and canonicalize
+  // here so a hit skips the queue and the workers entirely — the warm-path
+  // latency is a parse + a fingerprint + one shard lookup. A miss hands
+  // the parsed spec and fingerprint to the worker (no duplicate work);
+  // anything unusual (parse error, unservable estimator) is deliberately
+  // left for ProcessJob so error ordering matches the uncached server.
+  if (!cache_.disabled()) {
+    Result<QuerySpec> parsed = ParseBjq(job.body, options_.parse);
+    if (parsed.ok()) {
+      const EstimatorKind estimator_kind =
+          parsed->estimator.value_or(options_.default_estimator);
+      if (estimator_kind != EstimatorKind::kSampleHistogram) {
+        std::optional<NoEstimateEstimator> no_estimate;
+        if (estimator_kind == EstimatorKind::kNoEstimate) {
+          no_estimate.emplace(parsed->graph);
+        }
+        QueryOptimizerOptions opts = options_.optimizer;
+        opts.cost_model = parsed->cost_model;
+        opts.initial_cost_threshold = parsed->threshold;
+        opts.estimator = no_estimate.has_value() ? &*no_estimate : nullptr;
+        PlanFingerprint fp =
+            ComputePlanFingerprint(parsed->catalog, parsed->graph, opts,
+                                   kServingFingerprintBudget);
+        if (std::optional<OptimizedQuery> hit = cache_.Lookup(fp);
+            hit.has_value()) {
+          const std::string body =
+              BuildReplyBody(*hit, parsed->catalog, estimator_kind);
+          admission_.Release(job.tenant);
+          Respond(conn, ResponseFrame{job.id, StatusCode::kOk, 0, body});
+          Count("serve.cache.hit");
+          RecordLatencySample(start_time);
+          return;
+        }
+        Count("serve.cache.miss");
+        job.fingerprint = std::move(fp);
+      }
+      job.spec = std::move(*parsed);
+    }
+  }
+
+  const TenantQuota& quota = admission_.quota_for(job.tenant);
   double deadline_ms =
       frame.deadline_ms > 0 ? frame.deadline_ms : options_.default_deadline_ms;
   if (quota.max_deadline_ms > 0 &&
@@ -144,13 +253,8 @@ void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
     deadline_ms = quota.max_deadline_ms;
   }
 
-  Job job;
-  job.conn = conn;
-  job.id = frame.id;
-  job.tenant = frame.tenant;
-  job.body = std::move(frame.body);
   job.token = std::make_shared<CancellationToken>();
-  job.enqueue_time = std::chrono::steady_clock::now();
+  job.enqueue_time = start_time;
   job.budget = options_.optimizer.budget;
   if (deadline_ms > 0) job.budget.deadline_seconds = deadline_ms / 1000.0;
   if (quota.max_dp_table_bytes > 0) {
@@ -162,7 +266,7 @@ void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
   job.budget = job.budget.Resolved();
 
   if (std::optional<FaultSpec> fault = FaultHit(kFaultServeEnqueue)) {
-    admission_.Release(frame.tenant);
+    admission_.Release(job.tenant);
     const Status error =
         fault->kind == FaultKind::kFailStatus
             ? fault->status
@@ -181,7 +285,7 @@ void BlitzServer::HandleRequest(Connection* conn, RequestFrame frame) {
         queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
       const bool full = !draining_ && !stopping_;
       lock.unlock();
-      admission_.Release(frame.tenant);
+      admission_.Release(job.tenant);
       {
         std::lock_guard<std::mutex> conn_lock(conn->mu);
         --conn->outstanding;
@@ -236,13 +340,19 @@ void BlitzServer::ProcessJob(Job job) {
     return;
   }
 
-  Result<QuerySpec> parsed = ParseBjq(job.body, options_.parse);
-  if (!parsed.ok()) {
-    const Status error = parsed.status();
-    FinishJob(job, ResponseFrame{job.id, error.code(), 0, error.message()});
-    return;
+  QuerySpec spec;
+  if (job.spec.has_value()) {
+    spec = std::move(*job.spec);  // The cache probe already parsed it.
+  } else {
+    Result<QuerySpec> parsed = ParseBjq(job.body, options_.parse);
+    if (!parsed.ok()) {
+      const Status error = parsed.status();
+      FinishJob(job,
+                ResponseFrame{job.id, error.code(), 0, error.message()});
+      return;
+    }
+    spec = std::move(*parsed);
   }
-  QuerySpec spec = std::move(*parsed);
 
   // Resolve the cardinality estimator: the request's directive wins over
   // the server default. Histograms need base tables the serving tier does
@@ -269,29 +379,38 @@ void BlitzServer::ProcessJob(Job job) {
   opts.collect_report = true;  // Degradation history feeds the reply body.
   opts.estimator = no_estimate.has_value() ? &*no_estimate : nullptr;
 
-  Result<OptimizedQuery> optimized =
-      OptimizeQuery(spec.catalog, spec.graph, opts);
+  Result<OptimizedQuery> optimized = Status::Internal("unreachable");
+  if (cache_.disabled()) {
+    optimized = OptimizeQuery(spec.catalog, spec.graph, opts);
+  } else {
+    // Single-flight through the cache: concurrent identical requests
+    // coalesce onto one DP run; a completed, degradation-free result is
+    // inserted for the next reader-thread probe to hit.
+    PlanFingerprint fp =
+        job.fingerprint.has_value()
+            ? std::move(*job.fingerprint)
+            : ComputePlanFingerprint(spec.catalog, spec.graph, opts,
+                                     kServingFingerprintBudget);
+    optimized = cache_.GetOrCompute(
+        fp, [&] { return OptimizeQuery(spec.catalog, spec.graph, opts); },
+        [&] { return job.token->cancelled(); });
+    if (optimized.ok() && optimized->from_cache) Count("serve.cache.hit");
+  }
   if (!optimized.ok()) {
     const Status error = optimized.status();
     FinishJob(job, ResponseFrame{job.id, error.code(), 0, error.message()});
     return;
   }
 
-  ServeReply reply;
-  reply.plan = optimized->plan.ToString(&spec.catalog);
-  reply.cost = optimized->cost;
-  reply.tier = OptimizerTierName(optimized->tier);
-  reply.passes = optimized->passes;
-  reply.degradations =
+  const int degradations =
       optimized->report.has_value()
           ? static_cast<int>(optimized->report->degradations.size())
           : 0;
-  reply.estimator = optimized->report.has_value()
-                        ? EstimatorKindName(optimized->report->estimator)
-                        : EstimatorKindName(estimator_kind);
-  if (reply.degradations > 0) Count("serve.degradations");
-  FinishJob(job, ResponseFrame{job.id, StatusCode::kOk, 0,
-                               EncodeReplyBody(reply)});
+  if (degradations > 0) Count("serve.degradations");
+  FinishJob(job,
+            ResponseFrame{job.id, StatusCode::kOk, 0,
+                          BuildReplyBody(*optimized, spec.catalog,
+                                         estimator_kind)});
 }
 
 void BlitzServer::FinishJob(const Job& job, ResponseFrame response) {
@@ -306,16 +425,12 @@ void BlitzServer::FinishJob(const Job& job, ResponseFrame response) {
     metrics->AddCounter(response.code == StatusCode::kOk
                             ? "serve.responses.ok"
                             : "serve.responses.error");
-    metrics->RecordLatency(
-        "serve.latency",
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      job.enqueue_time)
-            .count());
   }
+  RecordLatencySample(job.enqueue_time);
   // Last touch of the connection: once Serve's wait observes the decrement
-  // it may return and destroy the Connection, so the notify must happen
-  // under conn->mu — notifying after unlock races a spurious wakeup in
-  // Serve and touches a dead condition_variable.
+  // it may return and destroy the ServeConnection, so the notify must
+  // happen under conn->mu — notifying after unlock races a spurious wakeup
+  // in Serve and touches a dead condition_variable.
   {
     std::lock_guard<std::mutex> conn_lock(job.conn->mu);
     --job.conn->outstanding;
@@ -323,14 +438,80 @@ void BlitzServer::FinishJob(const Job& job, ResponseFrame response) {
   }
 }
 
-void BlitzServer::Respond(Connection* conn, const ResponseFrame& response) {
+void BlitzServer::RecordLatencySample(
+    std::chrono::steady_clock::time_point start) {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_.Record(seconds);
+  }
+  if (MetricsRegistry* metrics = GlobalMetrics()) {
+    metrics->RecordLatency("serve.latency", seconds);
+  }
+}
+
+void BlitzServer::Respond(ServeConnection* conn,
+                          const ResponseFrame& response) {
+  if (conn->sink != nullptr) {
+    conn->sink->SendResponse(response);
+  } else {
     std::lock_guard<std::mutex> lock(conn->write_mu);
     Status written = conn->stream->Write(EncodeResponseFrame(response));
     if (!written.ok()) Count("serve.write_errors");
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++requests_answered_;
+}
+
+std::string BlitzServer::StatzBody() const {
+  const PlanCache::Stats cache = cache_.GetStats();
+  const DpTableArena::Stats arena = arena_.stats();
+  std::string out(kStatzMagic);
+  out += '\n';
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out += StrFormat("requests_answered %llu\n",
+                     static_cast<unsigned long long>(requests_answered_));
+    out += StrFormat("in_flight %d\n", in_flight_count_);
+    out += StrFormat("queue_depth %zu\n", queue_.size());
+    out += StrFormat("draining %d\n", draining_ || stopping_ ? 1 : 0);
+    out += StrFormat("latency_count %llu\n",
+                     static_cast<unsigned long long>(latency_.count()));
+    out += StrFormat("latency_p50_ms %.3f\n",
+                     latency_.Percentile(50) * 1e3);
+    out += StrFormat("latency_p95_ms %.3f\n",
+                     latency_.Percentile(95) * 1e3);
+    out += StrFormat("latency_p99_ms %.3f\n",
+                     latency_.Percentile(99) * 1e3);
+  }
+  out += StrFormat("workers %d\n", options_.num_workers);
+  out += StrFormat("max_queue %d\n", options_.max_queue);
+  out += StrFormat("cache_enabled %d\n", cache_.disabled() ? 0 : 1);
+  out += StrFormat("cache_hits %llu\n",
+                   static_cast<unsigned long long>(cache.hits));
+  out += StrFormat("cache_misses %llu\n",
+                   static_cast<unsigned long long>(cache.misses));
+  out += StrFormat("cache_inserts %llu\n",
+                   static_cast<unsigned long long>(cache.inserts));
+  out += StrFormat("cache_evictions %llu\n",
+                   static_cast<unsigned long long>(cache.evictions));
+  out += StrFormat("cache_bypasses %llu\n",
+                   static_cast<unsigned long long>(cache.bypasses));
+  out += StrFormat("cache_coalesced %llu\n",
+                   static_cast<unsigned long long>(cache.coalesced));
+  out += StrFormat("cache_entries %zu\n", cache.entries);
+  out += StrFormat("cache_bytes %zu\n", cache.bytes);
+  out += StrFormat("arena_hits %llu\n",
+                   static_cast<unsigned long long>(arena.hits));
+  out += StrFormat("arena_retained_tables %llu\n",
+                   static_cast<unsigned long long>(arena.retained_tables));
+  out += StrFormat("tenants_tracked %zu\n", admission_.tracked_tenants());
+  for (const auto& [tenant, in_flight] : admission_.Snapshot()) {
+    out += StrFormat("tenant_in_flight.%s %d\n", tenant.c_str(), in_flight);
+  }
+  return out;
 }
 
 void BlitzServer::BeginDrain() {

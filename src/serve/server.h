@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +15,9 @@
 #include "api/optimize_query.h"
 #include "core/table_arena.h"
 #include "governor/budget.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
+#include "serve/plancache.h"
 #include "serve/stream.h"
 #include "serve/wire.h"
 #include "textio/bjq.h"
@@ -60,28 +63,64 @@ struct ServerOptions {
   /// answer.
   QueryOptimizerOptions optimizer;
 
+  /// Plan-cache bounds (serve/plancache.h). max_entries = 0 turns caching
+  /// off entirely (blitzd --no-cache): every request runs the optimizer.
+  PlanCache::Options cache;
+
   /// Retention policy of the shared DP-table arena.
   DpTableArena::Options arena;
 
   Status Validate() const;
 };
 
+/// Transport-side delivery hook for connections the server does not own
+/// (the epoll multiplexer, serve/mux.h). The server calls SendResponse once
+/// per submitted request — from worker threads or from inside
+/// SubmitRequest itself (sheds, /statz, cache hits) — so implementations
+/// must be thread-safe and must tolerate calls after their transport
+/// closed (drop the frame; the request still counts as answered).
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void SendResponse(const ResponseFrame& response) = 0;
+};
+
+/// Per-connection shared state. Exactly one of `stream` (the blocking
+/// Serve path: workers serialize writes through write_mu) or `sink` (the
+/// frame-level OpenConnection path) is set. Serve waits for
+/// outstanding == 0 before returning so the stream outlives every queued
+/// response; sink connections rely on the shared_ptr instead.
+struct ServeConnection {
+  ByteStream* stream = nullptr;
+  std::shared_ptr<ResponseSink> sink;
+  std::mutex write_mu;
+  std::mutex mu;
+  std::condition_variable idle_cv;
+  int outstanding = 0;
+};
+
 /// A multi-tenant optimizer server: frames in, plans out.
 ///
-/// Threading model: callers run one Serve(stream) per connection (blocking;
-/// typically one accept-loop thread each). Serve's reader loop admits
-/// requests into a bounded queue; num_workers dedicated threads drain it,
-/// optimize, and write responses back on the originating connection (out of
-/// request order — clients match on frame id). One request can never take
+/// Threading model: transports deliver parsed request frames either by
+/// running one blocking Serve(stream) per connection (reader thread each)
+/// or — the multiplexed path — by calling OpenConnection once and
+/// SubmitRequest per frame from a single event-loop thread (serve/mux.h).
+/// Both feed the same HandleRequest: /statz and plan-cache hits are
+/// answered inline on the submitting thread (no queue, no worker — this is
+/// what makes warm repeat traffic cheap); everything else is admitted into
+/// a bounded queue that num_workers dedicated threads drain, optimize
+/// (through the cache's single-flight GetOrCompute), and answer out of
+/// request order — clients match on frame id. One request can never take
 /// the process down: parse errors, admission sheds, budget exhaustion, and
 /// injected faults (serve.* points) all turn into status-coded response
 /// frames on the same connection.
 ///
-/// Lifecycle: Create -> Serve (any number, concurrently) -> BeginDrain ->
-/// Shutdown. Drain stops admitting (new requests shed with kUnavailable),
-/// waits drain_grace_ms for in-flight work, then cancels the remainder via
-/// their per-request CancellationTokens — every admitted request is
-/// answered (a plan, an error, or kCancelled) before Shutdown returns.
+/// Lifecycle: Create -> Serve / OpenConnection+SubmitRequest (any number,
+/// concurrently) -> BeginDrain -> Shutdown. Drain stops admitting (new
+/// requests shed with kUnavailable), waits drain_grace_ms for in-flight
+/// work, then cancels the remainder via their per-request
+/// CancellationTokens — every admitted request is answered (a plan, an
+/// error, or kCancelled) before Shutdown returns.
 class BlitzServer {
  public:
   /// Validates options, starts the worker threads.
@@ -97,6 +136,24 @@ class BlitzServer {
   /// is written before this returns. Returns the protocol error that ended
   /// the connection, or OK on clean EOF.
   Status Serve(ByteStream* stream);
+
+  /// Frame-level connection API (the epoll multiplexer's entry points).
+  /// Responses flow back through `sink`; the server holds the shared_ptr
+  /// until the last outstanding response for the connection is delivered.
+  std::shared_ptr<ServeConnection> OpenConnection(
+      std::shared_ptr<ResponseSink> sink);
+
+  /// Submits one parsed request frame for `conn`. Exactly one SendResponse
+  /// per call — possibly synchronously (shed, /statz, cache hit), possibly
+  /// later from a worker.
+  void SubmitRequest(const std::shared_ptr<ServeConnection>& conn,
+                     RequestFrame frame);
+
+  /// Reports a connection-level framing failure: answers once with id 0
+  /// (mirroring Serve's protocol-error path). The transport should stop
+  /// reading and close once pending responses flush.
+  void SubmitProtocolError(const std::shared_ptr<ServeConnection>& conn,
+                           const Status& error);
 
   /// Stops admitting new requests (sheds with kUnavailable). Non-blocking;
   /// idempotent. An armed serve.drain fault skips the grace period: the
@@ -119,27 +176,30 @@ class BlitzServer {
   /// Requests admitted but not yet answered (queued + executing).
   int in_flight() const;
 
+  /// Plan-cache counters (all zero with the cache disabled).
+  PlanCache::Stats cache_stats() const { return cache_.GetStats(); }
+
+  /// The /statz reply body: the blitz-statz-v1 magic line plus one
+  /// `<key> <value>` pair per line — queue/worker occupancy, cache
+  /// counters, latency percentiles, and per-tenant admission state.
+  /// Forward-extensible: readers must ignore unknown keys.
+  std::string StatzBody() const;
+
   const ServerOptions& options() const { return options_; }
 
  private:
-  /// Per-connection shared state: workers serialize response writes through
-  /// write_mu, and Serve waits for outstanding == 0 before returning so the
-  /// stream outlives every queued response.
-  struct Connection {
-    ByteStream* stream = nullptr;
-    std::mutex write_mu;
-    std::mutex mu;
-    std::condition_variable idle_cv;
-    int outstanding = 0;
-  };
-
   /// One admitted request, queued for a worker. Owning the token via
   /// shared_ptr keeps drain-cancellation race-free with job completion.
+  /// `spec`/`fingerprint` carry the reader-thread cache probe's work so a
+  /// miss does not parse or canonicalize twice.
   struct Job {
-    Connection* conn = nullptr;
+    ServeConnection* conn = nullptr;
+    std::shared_ptr<ServeConnection> conn_ref;  ///< Sink connections only.
     std::uint64_t id = 0;
     std::string tenant;
     std::string body;
+    std::optional<QuerySpec> spec;
+    std::optional<PlanFingerprint> fingerprint;
     ResourceBudget budget;  ///< Resolved at enqueue: queue wait counts.
     std::shared_ptr<CancellationToken> token;
     std::uint64_t token_key = 0;
@@ -148,16 +208,24 @@ class BlitzServer {
 
   explicit BlitzServer(ServerOptions options);
 
-  void HandleRequest(Connection* conn, RequestFrame frame);
+  void HandleRequest(ServeConnection* conn,
+                     const std::shared_ptr<ServeConnection>& conn_ref,
+                     RequestFrame frame);
+  /// Builds the OK reply body for an optimization result.
+  std::string BuildReplyBody(const OptimizedQuery& result,
+                             const Catalog& catalog,
+                             EstimatorKind requested_estimator) const;
   void WorkerLoop();
   void ProcessJob(Job job);
   void FinishJob(const Job& job, ResponseFrame response);
-  void Respond(Connection* conn, const ResponseFrame& response);
+  void Respond(ServeConnection* conn, const ResponseFrame& response);
+  void RecordLatencySample(std::chrono::steady_clock::time_point start);
   void CancelInFlight();
 
   const ServerOptions options_;
   DpTableArena arena_;
   AdmissionController admission_;
+  PlanCache cache_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;   ///< Workers wait for jobs / stop.
@@ -171,6 +239,7 @@ class BlitzServer {
   bool stopping_ = false;
   bool shut_down_ = false;
   std::uint64_t requests_answered_ = 0;
+  Histogram latency_;  ///< End-to-end request latency (seconds), under mu_.
 
   std::vector<std::thread> workers_;
 };

@@ -1,6 +1,8 @@
 #include "serve/wire.h"
 
 #include <cctype>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -79,6 +81,123 @@ std::string EncodeResponseFrame(const ResponseFrame& frame) {
   return header + frame.body;
 }
 
+Result<RequestFrame> ParseRequestHeader(std::string_view line,
+                                        std::uint64_t* body_bytes) {
+  const std::vector<std::string> fields = StrSplit(line, ' ');
+  if (fields.size() < 4 || fields.size() > 5 || fields[0] != kRequestMagic) {
+    return Status::InvalidArgument("malformed request header: " +
+                                   std::string(line));
+  }
+  RequestFrame frame;
+  if (!IsValidTenantName(fields[1])) {
+    return Status::InvalidArgument("bad tenant name: " + fields[1]);
+  }
+  frame.tenant = fields[1];
+  if (!ParseUint64(fields[2], &frame.id) ||
+      !ParseUint64(fields[3], body_bytes)) {
+    return Status::InvalidArgument("malformed request header: " +
+                                   std::string(line));
+  }
+  if (fields.size() == 5 &&
+      !ParseMsField(fields[4], "deadline_ms", &frame.deadline_ms)) {
+    return Status::InvalidArgument("bad request field: " + fields[4]);
+  }
+  return frame;
+}
+
+Result<ResponseFrame> ParseResponseHeader(std::string_view line,
+                                          std::uint64_t* body_bytes) {
+  const std::vector<std::string> fields = StrSplit(line, ' ');
+  if (fields.size() < 4 || fields.size() > 5 ||
+      fields[0] != kResponseMagic) {
+    return Status::InvalidArgument("malformed response header: " +
+                                   std::string(line));
+  }
+  ResponseFrame frame;
+  if (!ParseUint64(fields[1], &frame.id) ||
+      !ParseUint64(fields[3], body_bytes)) {
+    return Status::InvalidArgument("malformed response header: " +
+                                   std::string(line));
+  }
+  const std::optional<StatusCode> code = StatusCodeFromString(fields[2]);
+  if (!code.has_value()) {
+    return Status::InvalidArgument("unknown status code: " + fields[2]);
+  }
+  frame.code = *code;
+  if (fields.size() == 5 &&
+      !ParseMsField(fields[4], "retry_after_ms", &frame.retry_after_ms)) {
+    return Status::InvalidArgument("bad response field: " + fields[4]);
+  }
+  return frame;
+}
+
+template <typename Header>
+Status FrameAssembler<Header>::Feed(std::string_view bytes,
+                                    std::vector<Header>* frames) {
+  if (!error_.ok()) return error_;
+  while (!bytes.empty() || (in_body_ && buffer_.size() >= body_bytes_)) {
+    if (!in_body_) {
+      const std::size_t newline = bytes.find('\n');
+      if (newline == std::string_view::npos) {
+        buffer_.append(bytes);
+        bytes = {};
+        if (buffer_.size() > limits_.max_header_bytes) {
+          error_ = Status::InvalidArgument(StrFormat(
+              "frame header exceeds %zu bytes", limits_.max_header_bytes));
+          return error_;
+        }
+        break;
+      }
+      buffer_.append(bytes.substr(0, newline));
+      bytes.remove_prefix(newline + 1);
+      if (buffer_.size() > limits_.max_header_bytes) {
+        error_ = Status::InvalidArgument(StrFormat(
+            "frame header exceeds %zu bytes", limits_.max_header_bytes));
+        return error_;
+      }
+      Result<Header> header = [&]() -> Result<Header> {
+        if constexpr (std::is_same_v<Header, RequestFrame>) {
+          return ParseRequestHeader(buffer_, &body_bytes_);
+        } else {
+          return ParseResponseHeader(buffer_, &body_bytes_);
+        }
+      }();
+      if (!header.ok()) {
+        error_ = header.status();
+        return error_;
+      }
+      if (body_bytes_ > limits_.max_body_bytes) {
+        error_ = Status::ResourceExhausted(StrFormat(
+            "frame body of %llu bytes exceeds the %llu-byte limit",
+            static_cast<unsigned long long>(body_bytes_),
+            static_cast<unsigned long long>(limits_.max_body_bytes)));
+        return error_;
+      }
+      pending_ = std::move(*header);
+      buffer_.clear();
+      in_body_ = true;
+      continue;
+    }
+    const std::size_t want = static_cast<std::size_t>(body_bytes_);
+    if (buffer_.size() < want) {
+      const std::size_t take = std::min(want - buffer_.size(), bytes.size());
+      buffer_.append(bytes.substr(0, take));
+      bytes.remove_prefix(take);
+    }
+    if (buffer_.size() < want) break;
+    pending_.body = std::move(buffer_);
+    frames->push_back(std::move(pending_));
+    pending_ = Header{};
+    buffer_.clear();
+    body_bytes_ = 0;
+    in_body_ = false;
+  }
+  return Status::OK();
+}
+
+template class FrameAssembler<RequestFrame>;
+template class FrameAssembler<ResponseFrame>;
+
 Result<std::optional<std::string>> FrameReader::ReadHeaderLine() {
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
@@ -132,54 +251,22 @@ Result<std::optional<RequestFrame>> FrameReader::ReadRequest() {
   Result<std::optional<std::string>> line = ReadHeaderLine();
   if (!line.ok()) return line.status();
   if (!line->has_value()) return std::optional<RequestFrame>();
-  const std::vector<std::string> fields = StrSplit(**line, ' ');
-  if (fields.size() < 4 || fields.size() > 5 || fields[0] != kRequestMagic) {
-    return Status::InvalidArgument("malformed request header: " + **line);
-  }
-  RequestFrame frame;
-  if (!IsValidTenantName(fields[1])) {
-    return Status::InvalidArgument("bad tenant name: " + fields[1]);
-  }
-  frame.tenant = fields[1];
   std::uint64_t body_bytes = 0;
-  if (!ParseUint64(fields[2], &frame.id) ||
-      !ParseUint64(fields[3], &body_bytes)) {
-    return Status::InvalidArgument("malformed request header: " + **line);
-  }
-  if (fields.size() == 5 &&
-      !ParseMsField(fields[4], "deadline_ms", &frame.deadline_ms)) {
-    return Status::InvalidArgument("bad request field: " + fields[4]);
-  }
-  BLITZ_RETURN_IF_ERROR(ReadBody(body_bytes, &frame.body));
-  return std::optional<RequestFrame>(std::move(frame));
+  Result<RequestFrame> frame = ParseRequestHeader(**line, &body_bytes);
+  if (!frame.ok()) return frame.status();
+  BLITZ_RETURN_IF_ERROR(ReadBody(body_bytes, &frame->body));
+  return std::optional<RequestFrame>(std::move(*frame));
 }
 
 Result<std::optional<ResponseFrame>> FrameReader::ReadResponse() {
   Result<std::optional<std::string>> line = ReadHeaderLine();
   if (!line.ok()) return line.status();
   if (!line->has_value()) return std::optional<ResponseFrame>();
-  const std::vector<std::string> fields = StrSplit(**line, ' ');
-  if (fields.size() < 4 || fields.size() > 5 ||
-      fields[0] != kResponseMagic) {
-    return Status::InvalidArgument("malformed response header: " + **line);
-  }
-  ResponseFrame frame;
   std::uint64_t body_bytes = 0;
-  if (!ParseUint64(fields[1], &frame.id) ||
-      !ParseUint64(fields[3], &body_bytes)) {
-    return Status::InvalidArgument("malformed response header: " + **line);
-  }
-  const std::optional<StatusCode> code = StatusCodeFromString(fields[2]);
-  if (!code.has_value()) {
-    return Status::InvalidArgument("unknown status code: " + fields[2]);
-  }
-  frame.code = *code;
-  if (fields.size() == 5 &&
-      !ParseMsField(fields[4], "retry_after_ms", &frame.retry_after_ms)) {
-    return Status::InvalidArgument("bad response field: " + fields[4]);
-  }
-  BLITZ_RETURN_IF_ERROR(ReadBody(body_bytes, &frame.body));
-  return std::optional<ResponseFrame>(std::move(frame));
+  Result<ResponseFrame> frame = ParseResponseHeader(**line, &body_bytes);
+  if (!frame.ok()) return frame.status();
+  BLITZ_RETURN_IF_ERROR(ReadBody(body_bytes, &frame->body));
+  return std::optional<ResponseFrame>(std::move(*frame));
 }
 
 std::string EncodeReplyBody(const ServeReply& reply) {
@@ -192,6 +279,7 @@ std::string EncodeReplyBody(const ServeReply& reply) {
   if (!reply.estimator.empty()) {
     out += "estimator " + reply.estimator + "\n";
   }
+  if (reply.cached) out += "cached 1\n";
   return out;
 }
 
@@ -235,6 +323,8 @@ Result<ServeReply> ParseReplyBody(std::string_view body) {
       }
     } else if (key == "estimator") {
       reply.estimator = std::string(value);
+    } else if (key == "cached") {
+      reply.cached = (value == "1" || value == "true");
     }
     // Unknown keys are ignored: the reply body is forward-extensible.
   }

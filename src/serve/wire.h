@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/stream.h"
@@ -44,6 +45,22 @@ namespace blitz {
 /// forward-extensibility rule at work: unknown keys are ignored, absent
 /// optional keys default.
 ///
+/// A reply answered from the server's plan cache additionally carries
+///
+///   cached 1
+///
+/// with `tier` still naming the tier that *originally* produced the plan —
+/// cache hits preserve provenance rather than inventing a new tier. The
+/// line is omitted (not "cached 0") on fresh answers, so old readers are
+/// unaffected.
+///
+/// Introspection: a request whose body is exactly `/statz` (kStatzBody) is
+/// answered inline — no admission, no queueing, works while draining —
+/// with an OK frame whose body is the forward-extensible statz text: a
+/// `blitz-statz-v1` magic line followed by one `<key> <value>` pair per
+/// line (admission, queue, worker, cache, and latency counters; see
+/// BlitzServer::StatzBody). Readers ignore unknown keys.
+///
 /// Malformed or over-limit headers are a *connection*-level failure
 /// (kInvalidArgument / kResourceExhausted from ReadRequestFrame): the
 /// stream can no longer be trusted to be frame-aligned, so the server
@@ -62,6 +79,13 @@ struct WireLimits {
   std::size_t max_header_bytes = 1024;
 };
 
+/// The body of the introspection request answered by BlitzServer with its
+/// statz counters (see the protocol comment above).
+inline constexpr std::string_view kStatzBody = "/statz";
+
+/// Magic first line of a statz reply body.
+inline constexpr std::string_view kStatzMagic = "blitz-statz-v1";
+
 struct RequestFrame {
   std::string tenant = "default";
   std::uint64_t id = 0;
@@ -78,6 +102,53 @@ struct ResponseFrame {
 
 std::string EncodeRequestFrame(const RequestFrame& frame);
 std::string EncodeResponseFrame(const ResponseFrame& frame);
+
+/// Parses one request header line (everything before the '\n', magic
+/// included) into the frame's header fields plus the body byte count the
+/// sender declared. Shared by the blocking FrameReader and the epoll
+/// multiplexer's incremental assembler so both enforce identical framing.
+Result<RequestFrame> ParseRequestHeader(std::string_view line,
+                                        std::uint64_t* body_bytes);
+
+/// Response-side counterpart of ParseRequestHeader.
+Result<ResponseFrame> ParseResponseHeader(std::string_view line,
+                                          std::uint64_t* body_bytes);
+
+/// Incremental frame reassembly for nonblocking transports: bytes go in as
+/// they arrive off the wire, complete frames come out. The state machine
+/// has two states — accumulating a header line (bounded by
+/// max_header_bytes) and accumulating a body (bounded by max_body_bytes,
+/// checked before a single body byte is buffered) — and enforces exactly
+/// the limits and error conditions of the blocking FrameReader: any error
+/// means the stream is no longer frame-aligned and the connection must
+/// end after one id-0 response.
+///
+/// `Header` is the per-frame header type (RequestFrame or ResponseFrame).
+template <typename Header>
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(const WireLimits& limits) : limits_(limits) {}
+
+  /// Appends raw bytes and appends every frame they complete to `frames`
+  /// (possibly none, possibly several). A non-OK status poisons the
+  /// assembler: further Feed calls return the same error.
+  Status Feed(std::string_view bytes, std::vector<Header>* frames);
+
+  /// True while a partially received frame is buffered — EOF here means
+  /// the peer died mid-frame, not at a frame boundary.
+  bool mid_frame() const { return !buffer_.empty() || in_body_; }
+
+ private:
+  const WireLimits limits_;
+  std::string buffer_;     ///< Header bytes (kHeader) or body bytes (kBody).
+  Header pending_{};       ///< Parsed header awaiting its body.
+  std::uint64_t body_bytes_ = 0;
+  bool in_body_ = false;
+  Status error_ = Status::OK();
+};
+
+using RequestFrameAssembler = FrameAssembler<RequestFrame>;
+using ResponseFrameAssembler = FrameAssembler<ResponseFrame>;
 
 /// Buffered frame reader over a ByteStream (one per connection side).
 class FrameReader {
@@ -113,6 +184,10 @@ struct ServeReply {
   /// Estimator the plan was optimized under; empty when the server did not
   /// send the (optional) line.
   std::string estimator;
+
+  /// True when the plan was answered from the server's plan cache. `tier`
+  /// still names the tier that originally produced the stored plan.
+  bool cached = false;
 };
 
 /// Formats/parses the OK response body (see the line format above).

@@ -14,6 +14,7 @@
 #include "core/optimizer.h"
 #include "plan/evaluate.h"
 #include "plan/plan.h"
+#include "serve/plancache.h"
 #include "testing/oracles.h"
 
 namespace blitz::fuzz {
@@ -82,6 +83,129 @@ std::unique_ptr<CardinalityEstimator> MakeCaseEstimator(const FuzzCase& c,
       return std::make_unique<NoEstimateEstimator>(c.graph);
   }
   return nullptr;
+}
+
+/// Bit-identity between two answers to the same request: identical plan
+/// text (tie-breaks included), cost bits, tier, passes, and counters. The
+/// `from_cache` provenance flag is deliberately excluded — it is the one
+/// field reuse is *supposed* to change.
+OracleVerdict ResultsBitIdentical(const OptimizedQuery& a,
+                                  const OptimizedQuery& b) {
+  const std::string plan_a = a.plan.ToString();
+  const std::string plan_b = b.plan.ToString();
+  if (plan_a != plan_b) {
+    return OracleVerdict::Fail(
+        StrFormat("plans diverge: %s vs %s", plan_a.c_str(), plan_b.c_str()));
+  }
+  if (std::memcmp(&a.cost, &b.cost, sizeof(double)) != 0) {
+    return OracleVerdict::Fail(
+        StrFormat("costs diverge: %.17g vs %.17g", a.cost, b.cost));
+  }
+  if (a.tier != b.tier || a.passes != b.passes) {
+    return OracleVerdict::Fail(StrFormat(
+        "tier/passes diverge: tier %d passes %d vs tier %d passes %d",
+        static_cast<int>(a.tier), a.passes, static_cast<int>(b.tier),
+        b.passes));
+  }
+  if (a.report.has_value() != b.report.has_value()) {
+    return OracleVerdict::Fail("one result carries a report, the other not");
+  }
+  if (a.report.has_value()) {
+    return CountersIdentical(a.report->counters, b.report->counters);
+  }
+  return OracleVerdict::Pass();
+}
+
+/// Cold / warm / post-eviction reuse leg (DifferentialOptions::
+/// with_plan_cache). A single-entry cache makes the eviction forcible with
+/// one decoy insert; the decoy is the same case with relation 0's
+/// cardinality bumped, so its fingerprint cannot collide with the real one
+/// (the canonical encoding embeds the actual statistics).
+OracleVerdict RunPlanCacheLeg(const FuzzCase& c, CostModelKind model) {
+  QueryOptimizerOptions query_options;
+  query_options.cost_model = model;
+  query_options.simd = SimdLevel::kScalar;
+  query_options.collect_report = true;
+  query_options.count_operations = true;
+  const auto compute = [&] {
+    return OptimizeQuery(c.catalog, c.graph, query_options);
+  };
+
+  PlanCache::Options cache_options;
+  cache_options.max_entries = 1;
+  cache_options.shards = 1;
+  PlanCache cache(cache_options);
+  const PlanFingerprint fp =
+      ComputePlanFingerprint(c.catalog, c.graph, query_options);
+
+  Result<OptimizedQuery> cold = cache.GetOrCompute(fp, compute);
+  if (!cold.ok()) {
+    return OracleVerdict::Fail("cold cache run failed: " +
+                               cold.status().ToString());
+  }
+  if (cold->from_cache) {
+    return OracleVerdict::Fail("cold run claims cache provenance");
+  }
+
+  Result<OptimizedQuery> warm = cache.GetOrCompute(fp, compute);
+  if (!warm.ok()) {
+    return OracleVerdict::Fail("warm cache run failed: " +
+                               warm.status().ToString());
+  }
+  // Only degradation-free results are inserted; when the insert was
+  // bypassed the warm run recomputes (and must still agree bit for bit).
+  const bool inserted = cache.GetStats().inserts > 0;
+  if (warm->from_cache != inserted) {
+    return OracleVerdict::Fail(StrFormat(
+        "cache accounting diverges: inserts=%d but warm from_cache=%d",
+        inserted ? 1 : 0, warm->from_cache ? 1 : 0));
+  }
+  if (const OracleVerdict v = ResultsBitIdentical(*warm, *cold); !v.ok) {
+    return OracleVerdict::Fail("warm hit vs cold: " + v.message);
+  }
+
+  // Evict via a decoy problem, then recompute the original.
+  std::vector<RelationStats> bumped;
+  bumped.reserve(c.catalog.num_relations());
+  for (int i = 0; i < c.catalog.num_relations(); ++i) {
+    bumped.push_back(c.catalog.relation(i));
+  }
+  bumped[0].cardinality = bumped[0].cardinality * 2 + 1;
+  Result<Catalog> decoy_catalog = Catalog::Create(std::move(bumped));
+  if (!decoy_catalog.ok()) {
+    return OracleVerdict::Fail("decoy catalog failed: " +
+                               decoy_catalog.status().ToString());
+  }
+  const PlanFingerprint decoy_fp =
+      ComputePlanFingerprint(*decoy_catalog, c.graph, query_options);
+  if (decoy_fp.canonical == fp.canonical) {
+    return OracleVerdict::Fail(
+        "decoy with different statistics shares the fingerprint");
+  }
+  Result<OptimizedQuery> decoy = cache.GetOrCompute(decoy_fp, [&] {
+    return OptimizeQuery(*decoy_catalog, c.graph, query_options);
+  });
+  if (!decoy.ok()) {
+    return OracleVerdict::Fail("decoy run failed: " +
+                               decoy.status().ToString());
+  }
+
+  // If the decoy itself was insertable it displaced the original entry
+  // (max_entries = 1); the original must then recompute, not hit.
+  const bool decoy_inserted = cache.GetStats().inserts > (inserted ? 1u : 0u);
+  Result<OptimizedQuery> evicted = cache.GetOrCompute(fp, compute);
+  if (!evicted.ok()) {
+    return OracleVerdict::Fail("post-eviction run failed: " +
+                               evicted.status().ToString());
+  }
+  if (decoy_inserted && evicted->from_cache) {
+    return OracleVerdict::Fail(
+        "post-eviction answer still claims cache provenance");
+  }
+  if (const OracleVerdict v = ResultsBitIdentical(*evicted, *cold); !v.ok) {
+    return OracleVerdict::Fail("post-eviction vs cold: " + v.message);
+  }
+  return OracleVerdict::Pass();
 }
 
 }  // namespace
@@ -225,6 +349,16 @@ CaseVerdict RunDifferentialCase(const FuzzCase& c,
         return fail(config,
                     StrFormat("plan recost under true statistics is %g",
                               true_cost));
+      }
+    }
+
+    // Plan-cache reuse: cold, warm, and post-eviction answers must be one
+    // answer (the differential wall around serving-tier reuse).
+    if (options.with_plan_cache) {
+      const OracleVerdict reuse = RunPlanCacheLeg(c, model);
+      if (!reuse.ok) {
+        return fail(ConfigName(model, 1, SimdLevel::kScalar, " plan-cache"),
+                    reuse.message);
       }
     }
 

@@ -39,6 +39,12 @@ struct DifferentialOptions {
   /// run succeeds, the plan covers every relation, and its cost under the
   /// *true* statistics is positive and finite. Empty disables the leg.
   std::vector<EstimatorKind> estimators = {EstimatorKind::kPaperFanout};
+  /// Plan-cache reuse leg (fuzz_blitzsplit --no-plan-cache to disable):
+  /// the case is driven through a serving-tier PlanCache cold, warm, and
+  /// again after a forced LRU eviction. All three answers must be
+  /// bit-identical — plan text, cost bits, tier, passes, and the Section
+  /// 3.3 counters — and the warm answer must actually come from the cache.
+  bool with_plan_cache = true;
 };
 
 /// The outcome of one case: pass, or the first failing check with the

@@ -5,7 +5,7 @@
 //   fuzz_blitzsplit [--seed=N] [--iters=K] [--min-n=2] [--max-n=12]
 //                   [--brute-max-n=12] [--time-budget-s=S]
 //                   [--corpus-dir=DIR] [--no-minimize] [--no-thresholds]
-//                   [--estimators=paper,hist,noest]
+//                   [--estimators=paper,hist,noest] [--no-plan-cache]
 //                   [--replay=FILE.bjq] [--verbose]
 //
 // Samples K cases from the paper's Appendix grid (topology in {chain, star,
@@ -64,7 +64,7 @@ int Usage() {
                "usage: fuzz_blitzsplit [--seed=N] [--iters=K] [--min-n=2] "
                "[--max-n=12] [--brute-max-n=12] [--time-budget-s=S] "
                "[--corpus-dir=DIR] [--no-minimize] [--no-thresholds] "
-               "[--estimators=paper,hist,noest] "
+               "[--estimators=paper,hist,noest] [--no-plan-cache] "
                "[--replay=FILE.bjq] [--verbose]\n");
   return kExitUsage;
 }
@@ -81,6 +81,7 @@ struct Flags {
   std::string estimators = "paper";
   bool minimize = true;
   bool thresholds = true;
+  bool plan_cache = true;
   bool verbose = false;
 };
 
@@ -156,6 +157,8 @@ int main(int argc, char** argv) {
       flags.minimize = false;
     } else if (std::strcmp(argv[i], "--no-thresholds") == 0) {
       flags.thresholds = false;
+    } else if (std::strcmp(argv[i], "--no-plan-cache") == 0) {
+      flags.plan_cache = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       flags.verbose = true;
     } else {
@@ -167,6 +170,7 @@ int main(int argc, char** argv) {
   DifferentialOptions diff;
   diff.brute_force_max_n = flags.brute_max_n;
   diff.with_thresholds = flags.thresholds;
+  diff.with_plan_cache = flags.plan_cache;
   diff.estimators.clear();
   for (const std::string& name :
        blitz::StrSplit(flags.estimators, ',')) {

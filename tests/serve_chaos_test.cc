@@ -197,6 +197,16 @@ TEST_F(ServeChaosTest, ArenaAllocFault) {
   RunChaosRound(kFaultServeArenaAlloc, spec);
 }
 
+TEST_F(ServeChaosTest, CacheInsertFault) {
+  // A failed insert degrades to a bypass: the request's own result is
+  // unaffected, only reuse for later twins is lost.
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailStatus;
+  spec.status = Status::ResourceExhausted("injected cache-insert failure");
+  spec.times = 5;
+  RunChaosRound(kFaultServeCacheInsert, spec);
+}
+
 TEST_F(ServeChaosTest, DrainFaultForcesImmediateCancellation) {
   FaultRegistry registry;
   ScopedFaultRegistry scoped(&registry);
@@ -268,6 +278,7 @@ TEST_F(ServeChaosTest, AllPointsArmedTogether) {
   registry.Arm(kFaultServeParse, alloc);
   registry.Arm(kFaultServeEnqueue, fail);
   registry.Arm(kFaultServeArenaAlloc, alloc);
+  registry.Arm(kFaultServeCacheInsert, fail);
 
   const LoadReport report = RunLoad(server->get(), /*clients=*/6,
                                     /*per_client=*/8, /*seed=*/777);

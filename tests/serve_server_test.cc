@@ -328,6 +328,8 @@ TEST(ServerTest, ArenaReusesTablesAcrossRequests) {
   ServerOptions options;
   options.num_workers = 1;  // Serialized: every request after the first
                             // finds the previous request's table pooled.
+  options.cache.max_entries = 0;  // Plan-cache hits would skip the
+                                  // optimizer (and the arena) entirely.
   Result<std::unique_ptr<BlitzServer>> server =
       BlitzServer::Create(options);
   ASSERT_TRUE(server.ok());
@@ -441,6 +443,80 @@ TEST(ServerTest, OptionValidationRejectsNonsense) {
   bad = ServerOptions{};
   bad.drain_grace_ms = -1;
   EXPECT_FALSE(BlitzServer::Create(bad).ok());
+  bad = ServerOptions{};
+  bad.cache.shards = 0;
+  EXPECT_FALSE(BlitzServer::Create(bad).ok());
+}
+
+TEST(ServerTest, RepeatRequestsAreAnsweredFromThePlanCache) {
+  Result<std::unique_ptr<BlitzServer>> server =
+      BlitzServer::Create(ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  TestConnection conn(server->get());
+  BlitzClient client(conn.stream(), BlitzClient::Options{});
+
+  Result<ServeReply> cold = client.Optimize(kSmallBjq);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cached);
+
+  Result<ServeReply> warm = client.Optimize(kSmallBjq);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->cached);
+  // Bit-identical reuse: same plan text, same cost, same tier, same
+  // §3.3 counter provenance (passes).
+  EXPECT_EQ(warm->plan, cold->plan);
+  EXPECT_EQ(warm->cost, cold->cost);
+  EXPECT_EQ(warm->tier, cold->tier);
+  EXPECT_EQ(warm->passes, cold->passes);
+
+  const PlanCache::Stats stats = (*server)->cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServerTest, NoCacheOptionDisablesReuse) {
+  ServerOptions options;
+  options.cache.max_entries = 0;
+  Result<std::unique_ptr<BlitzServer>> server = BlitzServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  TestConnection conn(server->get());
+  BlitzClient client(conn.stream(), BlitzClient::Options{});
+  ASSERT_TRUE(client.Optimize(kSmallBjq).ok());
+  Result<ServeReply> again = client.Optimize(kSmallBjq);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cached);
+  EXPECT_EQ((*server)->cache_stats().entries, 0u);
+}
+
+TEST(ServerTest, StatzAnswersBeforeAdmissionAndWhileDraining) {
+  Result<std::unique_ptr<BlitzServer>> server =
+      BlitzServer::Create(ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  TestConnection conn(server->get());
+  BlitzClient client(conn.stream(), BlitzClient::Options{});
+  ASSERT_TRUE(client.Optimize(kSmallBjq).ok());
+  // FinishJob responds *before* releasing the tenant's admission slot;
+  // wait for full quiescence (ordered after the release) so the tenant
+  // accounting below is deterministic.
+  while ((*server)->in_flight() != 0) std::this_thread::yield();
+
+  Result<std::string> statz = client.Statz();
+  ASSERT_TRUE(statz.ok()) << statz.status().ToString();
+  EXPECT_EQ(statz->rfind(kStatzMagic, 0), 0u) << *statz;
+  EXPECT_NE(statz->find("\nrequests_answered 1\n"), std::string::npos)
+      << *statz;
+  EXPECT_NE(statz->find("\ncache_enabled 1\n"), std::string::npos) << *statz;
+  EXPECT_NE(statz->find("\ndraining 0\n"), std::string::npos) << *statz;
+  // Admission erases a tenant's slot entry when its last request releases,
+  // so a quiesced server reports zero tracked tenants.
+  EXPECT_NE(statz->find("\ntenants_tracked 0\n"), std::string::npos) << *statz;
+
+  // A draining server sheds optimize requests but still answers statz.
+  (*server)->BeginDrain();
+  Result<std::string> draining = client.Statz();
+  ASSERT_TRUE(draining.ok()) << draining.status().ToString();
+  EXPECT_NE(draining->find("\ndraining 1\n"), std::string::npos) << *draining;
 }
 
 }  // namespace

@@ -240,7 +240,8 @@ void ChaosLoop(const SoakConfig& config, FaultRegistry* registry,
   Rng rng(blitz::DeriveSeed(config.seed, 0xC4A05));
   const std::string_view points[] = {
       blitz::kFaultServeAccept, blitz::kFaultServeParse,
-      blitz::kFaultServeEnqueue, blitz::kFaultServeArenaAlloc};
+      blitz::kFaultServeEnqueue, blitz::kFaultServeArenaAlloc,
+      blitz::kFaultServeCacheInsert};
   while (!stop->load(std::memory_order_relaxed)) {
     const std::string_view point =
         points[rng.NextBounded(sizeof(points) / sizeof(points[0]))];

@@ -197,6 +197,133 @@ TEST(WireTest, ReplyBodyIgnoresUnknownKeysButRequiresCore) {
   EXPECT_FALSE(ParseReplyBody("plan p\ncost nan-ish\ntier greedy\n").ok());
 }
 
+TEST(WireTest, ReplyBodyCachedFlagRoundTrips) {
+  ServeReply reply;
+  reply.plan = "(A x B)";
+  reply.cost = 9.5;
+  reply.tier = "exhaustive";
+  reply.cached = true;
+  const std::string body = EncodeReplyBody(reply);
+  Result<ServeReply> parsed = ParseReplyBody(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->cached);
+
+  // Fresh answers omit the line entirely (not "cached 0"), so pre-cache
+  // readers never see an unfamiliar key on the common path.
+  reply.cached = false;
+  const std::string fresh = EncodeReplyBody(reply);
+  EXPECT_EQ(fresh.find("cached"), std::string::npos) << fresh;
+  Result<ServeReply> fresh_parsed = ParseReplyBody(fresh);
+  ASSERT_TRUE(fresh_parsed.ok());
+  EXPECT_FALSE(fresh_parsed->cached);
+}
+
+TEST(AssemblerTest, ByteAtATimeFeedReassemblesPipelinedFrames) {
+  RequestFrame first = MakeRequest(1, "relation A 10\n");
+  first.deadline_ms = 125;
+  const RequestFrame second = MakeRequest(2, "");
+  const std::string wire =
+      EncodeRequestFrame(first) + EncodeRequestFrame(second);
+
+  RequestFrameAssembler assembler{WireLimits{}};
+  std::vector<RequestFrame> frames;
+  for (char byte : wire) {
+    ASSERT_TRUE(assembler.Feed(std::string_view(&byte, 1), &frames).ok());
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].id, 1u);
+  EXPECT_EQ(frames[0].deadline_ms, 125);
+  EXPECT_EQ(frames[0].body, "relation A 10\n");
+  EXPECT_EQ(frames[1].id, 2u);
+  EXPECT_TRUE(frames[1].body.empty());
+  EXPECT_FALSE(assembler.mid_frame());
+}
+
+TEST(AssemblerTest, SingleFeedYieldsEveryCompleteFrame) {
+  std::string wire;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    wire += EncodeRequestFrame(MakeRequest(id, "relation A 10\n"));
+  }
+  // Plus a trailing partial header, which must stay buffered.
+  wire += "blitzq1 tenant-a";
+
+  RequestFrameAssembler assembler{WireLimits{}};
+  std::vector<RequestFrame> frames;
+  ASSERT_TRUE(assembler.Feed(wire, &frames).ok());
+  EXPECT_EQ(frames.size(), 5u);
+  EXPECT_TRUE(assembler.mid_frame());
+}
+
+TEST(AssemblerTest, OversizedHeaderPoisonsTheAssembler) {
+  WireLimits limits;
+  limits.max_header_bytes = 32;
+  RequestFrameAssembler assembler{limits};
+  std::vector<RequestFrame> frames;
+  const std::string runaway(64, 'x');  // No '\n' within the limit.
+  const Status status = assembler.Feed(runaway, &frames);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(frames.empty());
+
+  // Error stickiness: a valid frame after the poison still fails with the
+  // original error — the stream is no longer frame-aligned.
+  const Status again =
+      assembler.Feed(EncodeRequestFrame(MakeRequest(1, "")), &frames);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), status.code());
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(AssemblerTest, OversizedDeclaredBodyRejectedBeforeBuffering) {
+  WireLimits limits;
+  limits.max_body_bytes = 16;
+  RequestFrameAssembler assembler{limits};
+  std::vector<RequestFrame> frames;
+  // Header declares a body beyond the limit: rejected on the header alone,
+  // before a single body byte arrives.
+  const Status status =
+      assembler.Feed("blitzq1 tenant-a 1 1000\n", &frames);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+
+  std::vector<RequestFrame> more;
+  EXPECT_FALSE(assembler.Feed("x", &more).ok());
+}
+
+TEST(AssemblerTest, MidFrameStateTracksHeaderAndBodyPhases) {
+  RequestFrameAssembler assembler{WireLimits{}};
+  std::vector<RequestFrame> frames;
+  EXPECT_FALSE(assembler.mid_frame());
+
+  ASSERT_TRUE(assembler.Feed("blitzq1 tenant-a 7 4\n", &frames).ok());
+  EXPECT_TRUE(assembler.mid_frame());  // Header done, body pending.
+  ASSERT_TRUE(assembler.Feed("ab", &frames).ok());
+  EXPECT_TRUE(assembler.mid_frame());
+  ASSERT_TRUE(assembler.Feed("cd", &frames).ok());
+  EXPECT_FALSE(assembler.mid_frame());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].body, "abcd");
+}
+
+TEST(AssemblerTest, ResponseAssemblerMatchesTheBlockingReader) {
+  ResponseFrame frame;
+  frame.id = 9;
+  frame.code = StatusCode::kResourceExhausted;
+  frame.retry_after_ms = 31.25;
+  frame.body = "try later";
+  const std::string wire = EncodeResponseFrame(frame);
+
+  ResponseFrameAssembler assembler{WireLimits{}};
+  std::vector<ResponseFrame> frames;
+  for (std::size_t i = 0; i < wire.size(); i += 3) {
+    ASSERT_TRUE(assembler.Feed(wire.substr(i, 3), &frames).ok());
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].id, 9u);
+  EXPECT_EQ(frames[0].code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(frames[0].retry_after_ms, 31.25);
+  EXPECT_EQ(frames[0].body, "try later");
+}
+
 TEST(StreamTest, ReadFullAcrossChunkedWrites) {
   auto [a, b] = CreateDuplexPipe(/*buffer_capacity=*/8);
   std::thread writer([&a] {

@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "serve/mux.h"
 #include "serve/server.h"
 #include "serve/stream.h"
 
@@ -84,6 +85,13 @@ void PrintUsage(std::FILE* out) {
       "                           a peer that stops reading for this long\n"
       "                           forfeits its connection (default 5000,\n"
       "                           0 = never time out)\n"
+      "  --max-connections <n>    open-connection cap for socket\n"
+      "                           transports (default 0 = fd limit only)\n"
+      "  --cache-entries <n>      plan cache entry cap (default 4096,\n"
+      "                           0 disables the cache)\n"
+      "  --cache-bytes <n>        plan cache retained-bytes cap\n"
+      "                           (default 64M)\n"
+      "  --no-cache               disable the plan cache entirely\n"
       "  --help                   this text\n");
 }
 
@@ -96,6 +104,8 @@ struct DaemonArgs {
   /// send buffer) loses its connection after this instead of parking a
   /// worker — and the SIGTERM drain — forever. 0 disables.
   double write_timeout_ms = 5000;
+  /// Open-connection cap for the socket transports. 0 = fd limit only.
+  int max_connections = 0;
   ServerOptions server;
 };
 
@@ -192,6 +202,32 @@ Result<DaemonArgs> ParseArgs(int argc, char** argv) {
             "--write-timeout-ms needs a non-negative number");
       }
       args.write_timeout_ms = ms;
+    } else if (arg == "--max-connections") {
+      const char* value = next();
+      int n = 0;
+      if (value == nullptr || !ParseIntArg(value, &n) || n < 0) {
+        return Status::InvalidArgument(
+            "--max-connections needs a non-negative integer");
+      }
+      args.max_connections = n;
+    } else if (arg == "--cache-entries") {
+      const char* value = next();
+      int n = 0;
+      if (value == nullptr || !ParseIntArg(value, &n) || n < 0) {
+        return Status::InvalidArgument(
+            "--cache-entries needs a non-negative integer");
+      }
+      args.server.cache.max_entries = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-bytes") {
+      const char* value = next();
+      int n = 0;
+      if (value == nullptr || !ParseIntArg(value, &n) || n < 0) {
+        return Status::InvalidArgument(
+            "--cache-bytes needs a non-negative integer");
+      }
+      args.server.cache.max_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--no-cache") {
+      args.server.cache.max_entries = 0;
     } else if (arg == "--arena-bytes") {
       const char* value = next();
       int n = 0;
@@ -256,55 +292,19 @@ Result<int> ListenTcp(int port) {
   return fd;
 }
 
-/// Accepts connections until the wake fd fires, serving each on its own
-/// thread. ALL exits — drain and fatal listener errors alike — go through
-/// BeginDrain plus the join loop below: the connection threads are joinable
-/// std::threads, and returning past them would std::terminate the daemon
-/// with requests in flight (their streams carry the wake fd, so drain
-/// unblocks them).
+/// Serves a listening socket through the epoll multiplexer (serve/mux.h):
+/// one event-loop thread owns every connection, so concurrency is bounded
+/// by file descriptors rather than reader threads. The wake fd (SIGTERM
+/// self-pipe) triggers the drain; ServeMultiplexed itself guarantees every
+/// admitted request is answered before it returns.
 Status AcceptLoop(BlitzServer* server, int listen_fd, int wake_fd,
-                  double write_timeout_ms) {
-  std::vector<std::thread> connections;
-  Status result = Status::OK();
-  for (;;) {
-    struct pollfd fds[2];
-    fds[0] = {wake_fd, POLLIN, 0};
-    fds[1] = {listen_fd, POLLIN, 0};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      result = Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
-      break;
-    }
-    if (fds[0].revents != 0) break;  // Drain requested.
-    if ((fds[1].revents & POLLIN) == 0) continue;
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
-          errno == EWOULDBLOCK || errno == EPROTO) {
-        // The peer hung up between poll and accept (or a spurious
-        // readiness): not our failure, keep listening.
-        continue;
-      }
-      if (errno == EMFILE || errno == ENFILE) {
-        // fd exhaustion clears as connections finish; sleep briefly so the
-        // still-readable listener doesn't spin poll/accept hot meanwhile.
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        continue;
-      }
-      result = Status::Internal(StrFormat("accept: %s", std::strerror(errno)));
-      break;
-    }
-    connections.emplace_back([server, conn_fd, wake_fd, write_timeout_ms] {
-      FdStream stream(conn_fd, conn_fd, /*own_fds=*/true, wake_fd,
-                      write_timeout_ms);
-      // A protocol error ends one connection, never the daemon.
-      (void)server->Serve(&stream);
-    });
-  }
-  server->BeginDrain();
-  for (std::thread& connection : connections) connection.join();
-  return result;
+                  double write_timeout_ms, int max_connections) {
+  MuxOptions mux;
+  mux.listen_fd = listen_fd;
+  mux.wake_fd = wake_fd;
+  mux.write_timeout_ms = write_timeout_ms;
+  mux.max_connections = max_connections;
+  return ServeMultiplexed(server, mux);
 }
 
 int RunDaemon(const DaemonArgs& args) {
@@ -350,7 +350,7 @@ int RunDaemon(const DaemonArgs& args) {
       std::fprintf(stderr, "blitzd: serving on unix socket %s\n",
                    args.unix_path.c_str());
       served = AcceptLoop(server->get(), *listen_fd, wake_pipe[0],
-                          args.write_timeout_ms);
+                          args.write_timeout_ms, args.max_connections);
       ::close(*listen_fd);
       ::unlink(args.unix_path.c_str());
       break;
@@ -364,7 +364,7 @@ int RunDaemon(const DaemonArgs& args) {
       std::fprintf(stderr, "blitzd: serving on 127.0.0.1:%d\n",
                    args.tcp_port);
       served = AcceptLoop(server->get(), *listen_fd, wake_pipe[0],
-                          args.write_timeout_ms);
+                          args.write_timeout_ms, args.max_connections);
       ::close(*listen_fd);
       break;
     }
